@@ -1,0 +1,124 @@
+// Ablation — automatic format switching (DESIGN.md).
+//
+// The auto rule (choose_format) versus each format pinned, on the Fig 4
+// density sweep. Expected shape: no pinned format wins everywhere — CSR
+// wastes O(nrows) on hypersparse data, bitmap/dense waste O(n^2) on sparse
+// data, DCSR pays a row-search penalty on dense rows — while auto tracks
+// the per-regime winner in both storage and op time.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "sparse/ewise.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using sparse::Format;
+using sparse::Index;
+using S = semiring::PlusTimes<double>;
+
+sparse::Matrix<double> workload(Index n, double fill, std::uint64_t seed) {
+  const auto m = static_cast<std::size_t>(
+      fill * static_cast<double>(n) * static_cast<double>(n));
+  return er_matrix(n, std::max<std::size_t>(m, 1), seed);
+}
+
+void print_preamble() {
+  util::banner("Ablation: pinned formats vs automatic switching");
+  util::TextTable t({"density", "auto picks", "bytes auto", "bytes CSR",
+                     "bytes bitmap"});
+  const Index n = 1024;
+  for (const double fill : {0.00002, 0.002, 0.15, 0.9}) {
+    auto m = workload(n, fill, 3);
+    const auto auto_fmt = m.format();
+    const auto auto_bytes = m.bytes();
+    auto csr = m;
+    csr.convert(Format::kCsr);
+    auto bmp = m;
+    bmp.convert(Format::kBitmap);
+    t.row(fill, std::string(format_name(auto_fmt)), auto_bytes, csr.bytes(),
+          bmp.bytes());
+  }
+  t.print();
+  std::cout << "\n(auto never loses by more than the regime constant; no "
+               "pinned format is smallest in every row)\n";
+}
+
+void run_pinned(benchmark::State& state, Format f, double fill) {
+  auto a = workload(1 << 12, fill, 1);
+  auto b = workload(1 << 12, fill, 2);
+  try {
+    a.convert(f);
+    b.convert(f);
+  } catch (const std::length_error&) {
+    state.SkipWithError("format impossible at this dimension");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::ewise_add<S>(a, b));
+}
+
+void bm_pinned_csr_sparse(benchmark::State& state) {
+  run_pinned(state, Format::kCsr, 0.0005);
+  state.SetLabel("CSR on sparse");
+}
+BENCHMARK(bm_pinned_csr_sparse);
+
+void bm_pinned_dcsr_sparse(benchmark::State& state) {
+  run_pinned(state, Format::kDcsr, 0.0005);
+  state.SetLabel("DCSR on sparse");
+}
+BENCHMARK(bm_pinned_dcsr_sparse);
+
+void bm_pinned_bitmap_sparse(benchmark::State& state) {
+  run_pinned(state, Format::kBitmap, 0.0005);
+  state.SetLabel("bitmap on sparse (wasteful)");
+}
+BENCHMARK(bm_pinned_bitmap_sparse);
+
+void bm_auto_sparse(benchmark::State& state) {
+  auto a = workload(1 << 12, 0.0005, 1);
+  auto b = workload(1 << 12, 0.0005, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::ewise_add<S>(a, b));
+  state.SetLabel("auto on sparse");
+}
+BENCHMARK(bm_auto_sparse);
+
+void bm_hypersparse_csr_penalty(benchmark::State& state) {
+  // 2^22 rows, 4096 entries: CSR's row pointer alone is 32 MB; DCSR is KBs.
+  const Index n = Index{1} << 22;
+  auto a = er_matrix(n, 4096, 5);
+  auto d = a;
+  d.convert(Format::kDcsr);
+  auto c = a;
+  c.convert(Format::kCsr);
+  const bool use_dcsr = state.range(0) == 1;
+  auto& m = use_dcsr ? d : c;
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::ewise_add<S>(m, m));
+  state.SetLabel(std::string(use_dcsr ? "DCSR" : "CSR") + " on hypersparse, " +
+                 std::to_string(m.bytes() / 1024) + " KiB stored");
+}
+BENCHMARK(bm_hypersparse_csr_penalty)->Arg(0)->Arg(1);
+
+void bm_auto_format_cost(benchmark::State& state) {
+  // The act of deciding + converting must be cheap relative to one op.
+  auto a = workload(1 << 12, 0.002, 7);
+  for (auto _ : state) {
+    auto copy = a;
+    copy.auto_format();
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetLabel("copy + auto_format decision");
+}
+BENCHMARK(bm_auto_format_cost);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_preamble();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ablation — SpGEMM accumulator strategy (DESIGN.md).
+//
+// Gustavson's dense accumulator versus the hash accumulator across density
+// regimes and dimension scales. Expected shape: Gustavson wins when the
+// output row fits a reusable dense accumulator (ordinary sparse, modest
+// ncols); hash wins — and is the only option — when the column space is
+// hypersparse-huge. The auto strategy must track the winner.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "sparse/mxm.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using sparse::Index;
+using sparse::MxmStrategy;
+using S = semiring::PlusTimes<double>;
+
+void print_preamble() {
+  util::banner("Ablation: SpGEMM Gustavson vs hash accumulator");
+  std::cout << "auto rule: dense accumulator iff ncols(B) <= 2^24\n";
+  // Correctness cross-check at bench time.
+  const auto a = er_matrix(512, 4096, 1);
+  const auto b = er_matrix(512, 4096, 2);
+  std::cout << "strategies agree on 512x512: "
+            << (sparse::mxm_gustavson<S>(a, b) == sparse::mxm_hash<S>(a, b)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+}
+
+void bm_gustavson(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 8, 1);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, b, MxmStrategy::kGustavson));
+  }
+  state.SetLabel("Gustavson (dense accumulator)");
+}
+BENCHMARK(bm_gustavson)->Arg(256)->Arg(1024)->Arg(4096);
+
+void bm_hash(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 8, 1);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, b, MxmStrategy::kHash));
+  }
+  state.SetLabel("hash accumulator");
+}
+BENCHMARK(bm_hash)->Arg(256)->Arg(1024)->Arg(4096);
+
+sparse::Matrix<double> hyper(Index dim_log2, std::size_t m, std::uint64_t seed) {
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : util::hypersparse_edges(Index{1} << dim_log2, m, seed)) {
+    t.push_back({e.src, e.dst, e.weight});
+  }
+  return sparse::Matrix<double>::from_triples<S>(Index{1} << dim_log2,
+                                                 Index{1} << dim_log2,
+                                                 std::move(t));
+}
+
+void bm_hash_hypersparse(benchmark::State& state) {
+  // Gustavson cannot run here (2^40 columns); hash is O(flops).
+  const auto a = hyper(static_cast<Index>(state.range(0)), 1 << 14, 1);
+  const auto b = hyper(static_cast<Index>(state.range(0)), 1 << 14, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, b, MxmStrategy::kHash));
+  }
+  state.SetLabel("hash on 2^" + std::to_string(state.range(0)) +
+                 " dims (Gustavson impossible)");
+}
+BENCHMARK(bm_hash_hypersparse)->Arg(30)->Arg(40)->Arg(50);
+
+void bm_auto(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 8, 1);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, b, MxmStrategy::kAuto));
+  }
+  state.SetLabel("auto strategy");
+}
+BENCHMARK(bm_auto)->Arg(1024)->Arg(4096);
+
+void bm_dense_output_regime(benchmark::State& state) {
+  // Dense-ish products (high flops per output): Gustavson's advantage peaks.
+  const Index n = 512;
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 64, 3);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 64, 4);
+  const bool gust = state.range(0) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(
+        a, b, gust ? MxmStrategy::kGustavson : MxmStrategy::kHash));
+  }
+  state.SetLabel(gust ? "dense-output, Gustavson" : "dense-output, hash");
+}
+BENCHMARK(bm_dense_output_regime)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_preamble();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

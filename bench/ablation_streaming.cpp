@@ -1,0 +1,127 @@
+// Ablation — hierarchical hypersparse streaming ingest (DESIGN.md; the
+// design of Kepner et al.'s "75B streaming inserts/second" hierarchical
+// hypersparse GraphBLAS matrices, cited as [8]).
+//
+// Compares insert paths into a 2^48-keyed adjacency: (a) the hierarchical
+// StreamingMatrix (buffered COO cascading into geometric layers), (b) naive
+// rebuild-per-batch, (c) one-shot batch build (the upper bound). Expected
+// shape: hierarchical ingest is within a small factor of the one-shot
+// build and orders of magnitude above naive rebuilds, with rate independent
+// of the key-space dimension.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "sparse/stream.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using sparse::Index;
+using S = semiring::PlusTimes<double>;
+
+std::vector<util::Edge> stream_edges(std::size_t m) {
+  return util::hypersparse_edges(Index{1} << 48, m, 21);
+}
+
+void print_preamble() {
+  util::banner("Ablation: hierarchical hypersparse streaming inserts");
+  const auto edges = stream_edges(100000);
+  sparse::StreamingMatrix<S> sm(Index{1} << 48, Index{1} << 48, 1 << 14);
+  util::WallTimer t;
+  for (const auto& e : edges) sm.insert(e.src, e.dst, e.weight);
+  const double secs = t.seconds();
+  std::cout << "100k inserts into 2^48 x 2^48 key space: "
+            << static_cast<double>(edges.size()) / secs / 1e6
+            << " M inserts/s, " << sm.n_layers() << " layers\n";
+  // Correctness: snapshot equals the batch build.
+  std::vector<sparse::Triple<double>> batch;
+  for (const auto& e : edges) batch.push_back({e.src, e.dst, e.weight});
+  const auto built = sparse::Matrix<double>::from_triples<S>(
+      Index{1} << 48, Index{1} << 48, std::move(batch));
+  std::cout << "snapshot == batch build: "
+            << (sm.snapshot() == built ? "yes" : "NO") << '\n';
+}
+
+void bm_hierarchical_ingest(benchmark::State& state) {
+  const auto edges = stream_edges(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sparse::StreamingMatrix<S> sm(Index{1} << 48, Index{1} << 48, 1 << 14);
+    for (const auto& e : edges) sm.insert(e.src, e.dst, e.weight);
+    benchmark::DoNotOptimize(sm.pending_updates());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("hierarchical (buffer 16Ki, fanout 4)");
+}
+BENCHMARK(bm_hierarchical_ingest)->Arg(10000)->Arg(100000)->Arg(400000);
+
+void bm_naive_rebuild_ingest(benchmark::State& state) {
+  // Rebuild the sorted matrix every batch of 1024 inserts — what ingest
+  // looks like without the hierarchy.
+  const auto edges = stream_edges(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sparse::Matrix<double> acc(Index{1} << 48, Index{1} << 48);
+    std::vector<sparse::Triple<double>> pend;
+    for (const auto& e : edges) {
+      pend.push_back({e.src, e.dst, e.weight});
+      if (pend.size() == 1024) {
+        acc = sparse::ewise_add<S>(
+            acc, sparse::Matrix<double>::from_triples<S>(
+                     Index{1} << 48, Index{1} << 48, std::move(pend)));
+        pend.clear();
+      }
+    }
+    benchmark::DoNotOptimize(acc.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("naive rebuild per 1Ki batch");
+}
+BENCHMARK(bm_naive_rebuild_ingest)->Arg(10000)->Arg(100000);
+
+void bm_batch_build(benchmark::State& state) {
+  const auto edges = stream_edges(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<sparse::Triple<double>> t;
+    t.reserve(edges.size());
+    for (const auto& e : edges) t.push_back({e.src, e.dst, e.weight});
+    benchmark::DoNotOptimize(sparse::Matrix<double>::from_triples<S>(
+        Index{1} << 48, Index{1} << 48, std::move(t)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("one-shot batch build (upper bound)");
+}
+BENCHMARK(bm_batch_build)->Arg(10000)->Arg(100000)->Arg(400000);
+
+void bm_buffer_capacity_sweep(benchmark::State& state) {
+  // The design knob: larger level-0 buffers amortize more per cascade.
+  const auto edges = stream_edges(100000);
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sparse::StreamingMatrix<S> sm(Index{1} << 48, Index{1} << 48, cap);
+    for (const auto& e : edges) sm.insert(e.src, e.dst, e.weight);
+    benchmark::DoNotOptimize(sm.n_layers());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+  state.SetLabel("buffer capacity " + std::to_string(cap));
+}
+BENCHMARK(bm_buffer_capacity_sweep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void bm_snapshot_cost(benchmark::State& state) {
+  const auto edges = stream_edges(static_cast<std::size_t>(state.range(0)));
+  sparse::StreamingMatrix<S> sm(Index{1} << 48, Index{1} << 48, 1 << 14);
+  for (const auto& e : edges) sm.insert(e.src, e.dst, e.weight);
+  for (auto _ : state) benchmark::DoNotOptimize(sm.snapshot());
+  state.SetLabel("snapshot (merge all layers)");
+}
+BENCHMARK(bm_snapshot_cost)->Arg(100000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_preamble();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+// Shared helpers for the benchmark binaries.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "semiring/all.hpp"
+#include "sparse/matrix.hpp"
+#include "util/generators.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace hyperspace::bench {
+
+/// R-MAT adjacency matrix at the given scale (2^scale vertices).
+inline sparse::Matrix<double> rmat_matrix(int scale, double edge_factor = 8,
+                                          std::uint64_t seed = 1) {
+  using S = semiring::PlusTimes<double>;
+  const auto edges = util::rmat_edges(
+      {.scale = scale, .edge_factor = edge_factor, .seed = seed});
+  std::vector<sparse::Triple<double>> t;
+  t.reserve(edges.size());
+  for (const auto& e : edges) t.push_back({e.src, e.dst, e.weight});
+  return sparse::Matrix<double>::from_triples<S>(
+      sparse::Index{1} << scale, sparse::Index{1} << scale, std::move(t));
+}
+
+/// Uniform-random square matrix with m entries.
+inline sparse::Matrix<double> er_matrix(sparse::Index n, std::size_t m,
+                                        std::uint64_t seed = 1) {
+  using S = semiring::PlusTimes<double>;
+  std::vector<sparse::Triple<double>> t;
+  t.reserve(m);
+  for (const auto& e : util::erdos_renyi_edges(n, m, seed)) {
+    t.push_back({e.src, e.dst, e.weight});
+  }
+  return sparse::Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+}  // namespace hyperspace::bench

@@ -1,0 +1,110 @@
+// Fig 2 — Hyper-Multi-Graph Edge Array Duality.
+//
+// Reproduction: a 13-edge, 12-vertex hyper-multi-graph rendered as its
+// E_out / E_in incidence arrays (hyper-edge row touching >2 vertices,
+// multi-edge rows repeating a vertex pair), then streaming-ingest rate
+// series: edges/second into incidence arrays as the stream grows, for both
+// modest and hypersparse vertex key spaces.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "hypergraph/incidence.hpp"
+#include "sparse/io.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using hypergraph::HyperEdge;
+using sparse::Index;
+
+hypergraph::IncidencePair fig2_graph() {
+  std::vector<HyperEdge> edges;
+  for (const auto& [s, d] :
+       std::vector<std::pair<Index, Index>>{{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                            {4, 5}, {5, 6}, {6, 7}, {7, 0},
+                                            {8, 9}, {10, 11}}) {
+    edges.push_back({{s}, {d}, 1.0});
+  }
+  edges.push_back({{0, 2, 4}, {6, 8, 10}, 1.0});  // hyper-edge (red)
+  edges.push_back({{3}, {4}, 1.0});               // multi-edge (blue)
+  edges.push_back({{3}, {4}, 1.0});
+  return hypergraph::IncidencePair(12, edges);
+}
+
+void print_fig2() {
+  util::banner("Fig 2: Incidence arrays of a hyper-multi-graph");
+  const auto g = fig2_graph();
+  std::cout << "13 edges x 12 vertices; edge 10 is a hyper-edge, edges 11-12 "
+               "repeat (3,4) (multi-edges)\n\n";
+  std::cout << "E_out (edge k leaves vertex k1):\n"
+            << sparse::to_grid(g.eout(), 3) << '\n';
+  std::cout << "E_in (edge k enters vertex k2):\n"
+            << sparse::to_grid(g.ein(), 3) << '\n';
+  std::cout << "has hyper-edges: " << (g.has_hyper_edges() ? "yes" : "no")
+            << "\n";
+}
+
+void bm_incidence_ingest(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto edges = util::erdos_renyi_edges(1 << 16, m, 5);
+  std::vector<std::pair<Index, Index>> pairs;
+  pairs.reserve(m);
+  for (const auto& e : edges) pairs.emplace_back(e.src, e.dst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hypergraph::incidence_from_edges(1 << 16, pairs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+  state.SetLabel("64k-vertex key space");
+}
+BENCHMARK(bm_incidence_ingest)->Arg(10000)->Arg(100000)->Arg(400000);
+
+void bm_incidence_ingest_hypersparse(benchmark::State& state) {
+  // The same stream drawn from a 2^48 key space: the edge dimension stays
+  // O(edges); vertex dimension never allocates (DCSR columns).
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Index huge = Index{1} << 48;
+  const auto edges = util::hypersparse_edges(huge, m, 6);
+  std::vector<hypergraph::HyperEdge> hs;
+  hs.reserve(m);
+  for (const auto& e : edges) hs.push_back({{e.src}, {e.dst}, e.weight});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypergraph::IncidencePair(huge, hs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+  state.SetLabel("2^48-vertex key space (hypersparse)");
+}
+BENCHMARK(bm_incidence_ingest_hypersparse)->Arg(10000)->Arg(100000);
+
+void bm_hyperedge_expansion(benchmark::State& state) {
+  // Hyper-edges with k endpoints: ingest cost grows with endpoint count.
+  const int k = static_cast<int>(state.range(0));
+  std::vector<HyperEdge> hs;
+  util::Xoshiro256 rng(7);
+  for (int e = 0; e < 5000; ++e) {
+    HyperEdge h;
+    for (int i = 0; i < k; ++i) {
+      h.out.push_back(static_cast<Index>(rng.bounded(1 << 14)));
+      h.in.push_back(static_cast<Index>(rng.bounded(1 << 14)));
+    }
+    h.weight = 1.0;
+    hs.push_back(std::move(h));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypergraph::IncidencePair(1 << 14, hs));
+  }
+  state.SetLabel(std::to_string(k) + " endpoints/side");
+}
+BENCHMARK(bm_hyperedge_expansion)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

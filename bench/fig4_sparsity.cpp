@@ -1,0 +1,114 @@
+// Fig 4 — Dense, Sparse, and Hypersparse Arrays.
+//
+// Reproduction: the three regimes (nnz ~ N^2, nnz ~ N, nnz << N) built at a
+// sweep of N, printing the storage format the container picks and the bytes
+// per stored entry. Expected shape: dense bytes/entry is constant-small;
+// CSR adds an index per entry plus an O(N) row pointer (which dominates as
+// density falls); DCSR stays O(nnz) — flat bytes/entry no matter how large
+// N grows, which is the figure's point. Then timed ewise work per regime.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "sparse/ewise.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using sparse::Index;
+using S = semiring::PlusTimes<double>;
+
+sparse::Matrix<double> dense_regime(Index n) {
+  return sparse::Matrix<double>::full(n, n, 1.0);
+}
+
+sparse::Matrix<double> sparse_regime(Index n) {
+  std::vector<sparse::Triple<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    t.push_back({i, (i * 7 + 1) % n, 1.0});
+    t.push_back({i, (i * 13 + 5) % n, 1.0});
+  }
+  return sparse::Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+sparse::Matrix<double> hypersparse_regime(Index n_huge, std::size_t m) {
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : util::hypersparse_edges(n_huge, m, 9)) {
+    t.push_back({e.src, e.dst, e.weight});
+  }
+  return sparse::Matrix<double>::from_triples<S>(n_huge, n_huge, std::move(t));
+}
+
+void print_fig4() {
+  util::banner("Fig 4: dense (nnz~N^2) / sparse (nnz~N) / hypersparse (nnz<<N)");
+  util::TextTable t({"regime", "N", "nnz", "format", "bytes", "bytes/entry"});
+  for (const Index n : {Index{256}, Index{1024}, Index{4096}}) {
+    const auto d = dense_regime(std::min<Index>(n, 2048));
+    t.row("dense", d.nrows(), d.nnz(), std::string(format_name(d.format())),
+          d.bytes(),
+          static_cast<double>(d.bytes()) / static_cast<double>(d.nnz()));
+  }
+  for (const Index n : {Index{1} << 12, Index{1} << 16, Index{1} << 20}) {
+    const auto s = sparse_regime(n);
+    t.row("sparse", s.nrows(), s.nnz(), std::string(format_name(s.format())),
+          s.bytes(),
+          static_cast<double>(s.bytes()) / static_cast<double>(s.nnz()));
+  }
+  for (const Index n : {Index{1} << 30, Index{1} << 45, Index{1} << 60}) {
+    const auto h = hypersparse_regime(n, 4096);
+    t.row("hypersparse", h.nrows(), h.nnz(),
+          std::string(format_name(h.format())), h.bytes(),
+          static_cast<double>(h.bytes()) / static_cast<double>(h.nnz()));
+  }
+  t.print();
+  std::cout << "\nShape check: hypersparse bytes/entry stays flat as N grows "
+               "to 2^60 — storage is O(nnz), independent of dimension.\n";
+}
+
+void bm_ewise_dense(benchmark::State& state) {
+  const auto a = dense_regime(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::ewise_add<S>(a, a));
+  state.SetLabel("dense regime");
+}
+BENCHMARK(bm_ewise_dense)->Arg(256)->Arg(1024);
+
+void bm_ewise_sparse(benchmark::State& state) {
+  const auto a = sparse_regime(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::ewise_add<S>(a, a));
+  state.SetLabel("sparse regime (CSR)");
+}
+BENCHMARK(bm_ewise_sparse)->Arg(1 << 14)->Arg(1 << 18);
+
+void bm_ewise_hypersparse(benchmark::State& state) {
+  const auto a = hypersparse_regime(Index{1} << state.range(0), 1 << 16);
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::ewise_add<S>(a, a));
+  state.SetLabel("hypersparse regime (DCSR), 64Ki entries");
+}
+BENCHMARK(bm_ewise_hypersparse)->Arg(30)->Arg(45)->Arg(60);
+
+void bm_build_hypersparse(benchmark::State& state) {
+  // Streaming-build cost must depend on nnz only, never on dimension.
+  const Index n = Index{1} << state.range(0);
+  const auto edges = util::hypersparse_edges(n, 1 << 16, 4);
+  for (auto _ : state) {
+    std::vector<sparse::Triple<double>> t;
+    t.reserve(edges.size());
+    for (const auto& e : edges) t.push_back({e.src, e.dst, e.weight});
+    benchmark::DoNotOptimize(
+        sparse::Matrix<double>::from_triples<S>(n, n, std::move(t)));
+  }
+  state.SetLabel("build 64Ki entries, dim 2^" +
+                 std::to_string(state.range(0)));
+}
+BENCHMARK(bm_build_hypersparse)->Arg(20)->Arg(40)->Arg(60);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figs 7/8 — DNN inference as a linear system over two semirings.
+//
+// Reproduction: a four-layer network in the Fig 8 shape (input features →
+// hidden layers → category scores) run through both the standard
+// formulation h(YW + B) and the paper's two-semiring formulation
+// Y W ⊗₂ B ⊕₂ 0 with S1 = +.× and S2 = max.+. The outputs are asserted
+// identical at bench time. Then scaling series in neurons and layers
+// (RadiX-Net style, Sparse DNN Challenge shape). Expected shape: cost is
+// O(batch · nnz(W) · activity) per layer for both formulations; the
+// semilink form costs the same as the standard form (it is the same
+// arithmetic, re-typed), which is the paper's linearity point.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "dnn/inference.hpp"
+#include "dnn/radixnet.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using namespace hyperspace::dnn;
+
+void print_fig8() {
+  util::banner("Fig 8: four-layer DNN, standard vs two-semiring inference");
+  const auto net = make_radixnet(
+      {.neurons = 256, .layers = 4, .fanin = 32, .weight = 0.5,
+       .bias = -0.001});
+  const auto y0 = make_sparse_features(8, 256, 0.25, 123);
+  const auto std_out = infer_standard(net, y0);
+  const auto sl_out = infer_semilink(net, y0);
+  bool identical = std_out.data == sl_out.data;
+  std::cout << "network: L=4, N=256 neurons/layer, fanin 32 ("
+            << net.total_nnz() << " weights)\n"
+            << "input batch: 8 x 256, " << y0.nnz() << " nonzero features\n"
+            << "output activity: " << std_out.nnz() << " of "
+            << std_out.batch * std_out.n << " (sparse through depth)\n"
+            << "standard h(YW+B) == semilink YW (x)B (+)0 bitwise: "
+            << (identical ? "yes" : "NO") << '\n';
+  const auto cats = categories(std_out);
+  std::cout << "argmax categories per batch row:";
+  for (const auto c : cats) std::cout << ' ' << c;
+  std::cout << '\n';
+}
+
+Network net_for(sparse::Index neurons, int layers) {
+  return make_radixnet({.neurons = neurons, .layers = layers, .fanin = 32,
+                        .weight = 0.5, .bias = -0.001});
+}
+
+void bm_infer_standard(benchmark::State& state) {
+  const auto neurons = static_cast<sparse::Index>(state.range(0));
+  const auto net = net_for(neurons, 8);
+  const auto y0 = make_sparse_features(32, neurons, 0.2, 9);
+  for (auto _ : state) benchmark::DoNotOptimize(infer_standard(net, y0));
+  state.SetItemsProcessed(state.iterations() * net.total_nnz() * 32);
+  state.SetLabel("standard, L=8, batch=32");
+}
+BENCHMARK(bm_infer_standard)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void bm_infer_semilink(benchmark::State& state) {
+  const auto neurons = static_cast<sparse::Index>(state.range(0));
+  const auto net = net_for(neurons, 8);
+  const auto y0 = make_sparse_features(32, neurons, 0.2, 9);
+  for (auto _ : state) benchmark::DoNotOptimize(infer_semilink(net, y0));
+  state.SetItemsProcessed(state.iterations() * net.total_nnz() * 32);
+  state.SetLabel("two-semiring, L=8, batch=32");
+}
+BENCHMARK(bm_infer_semilink)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void bm_infer_depth(benchmark::State& state) {
+  const auto layers = static_cast<int>(state.range(0));
+  const auto net = net_for(1024, layers);
+  const auto y0 = make_sparse_features(32, 1024, 0.2, 9);
+  for (auto _ : state) benchmark::DoNotOptimize(infer_standard(net, y0));
+  state.SetLabel("depth sweep, N=1024");
+}
+BENCHMARK(bm_infer_depth)->Arg(4)->Arg(30)->Arg(120);
+
+void bm_equivalence_check(benchmark::State& state) {
+  const auto net = net_for(1024, 8);
+  const auto y0 = make_sparse_features(16, 1024, 0.2, 10);
+  bool ok = true;
+  for (auto _ : state) {
+    ok = ok && infer_standard(net, y0).data == infer_semilink(net, y0).data;
+  }
+  if (!ok) state.SkipWithError("formulations diverged");
+  state.SetLabel("both formulations, outputs compared");
+}
+BENCHMARK(bm_equivalence_check);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart — the library in five minutes.
+//
+// Builds an associative array from string-keyed data, exercises the three
+// semilink operations (⊕, ⊗, ⊕.⊗), swaps semirings, and shows hypersparse
+// storage at an astronomically large key space.
+
+#include <iostream>
+
+#include "array/assoc_array.hpp"
+#include "semiring/all.hpp"
+#include "sparse/io.hpp"
+
+int main() {
+  using namespace hyperspace;
+  using S = semiring::PlusTimes<double>;
+  using Arr = array::AssocArray<S>;
+  using array::Key;
+
+  // 1. Associative arrays map sortable keys to values — no dimensioning.
+  const Arr follows(
+      std::vector<Key>{"alice", "alice", "bob", "carol"},
+      std::vector<Key>{"bob", "carol", "carol", "dave"},
+      std::vector<double>{1, 1, 1, 1});
+  std::cout << "follows graph:\n" << follows << '\n';
+
+  // 2. ⊕.⊗ composes relations: who is two hops away?
+  const auto two_hops = array::mtimes(follows, follows);
+  std::cout << "two hops (follows (+.x) follows):\n" << two_hops << '\n';
+
+  // 3. ⊕ is union, ⊗ is intersection — combine observation windows.
+  const Arr window2(
+      std::vector<Key>{"alice", "dave"},
+      std::vector<Key>{"bob", "erin"},
+      std::vector<double>{1, 1});
+  std::cout << "union of windows:\n" << array::add(follows, window2)
+            << "persistent links (intersection):\n"
+            << array::mult(follows, window2) << '\n';
+
+  // 4. Swap the semiring, keep the code: min.+ finds cheapest routes.
+  using MP = semiring::MinPlus<double>;
+  const array::AssocArray<MP> costs(
+      std::vector<Key>{"nyc", "nyc", "chi", "chi"},
+      std::vector<Key>{"chi", "lax", "lax", "den"},
+      std::vector<double>{790, 2790, 2015, 1000});
+  const auto cheapest_2seg = array::mtimes(costs, costs);
+  std::cout << "cheapest 2-segment fares (min.+):\n" << cheapest_2seg << '\n';
+
+  // 5. Hypersparse: a 2^60-keyed matrix with three entries costs ~a KB.
+  const auto huge = sparse::Matrix<double>::from_unique_triples(
+      sparse::Index{1} << 60, sparse::Index{1} << 60,
+      {{123, 456, 1.0}, {sparse::Index{1} << 59, 7, 2.0},
+       {999999999999LL, 42, 3.0}});
+  std::cout << "2^60 x 2^60 matrix: " << sparse::summary(huge) << '\n';
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Tropical-semiring routing — the finance/optimization corner of Table I.
+//
+// One flight network, three questions, three semirings, one kernel:
+//   min.+   cheapest itinerary cost        (shortest path)
+//   max.min widest-bottleneck capacity     (max.min row of Table I)
+//   max.×   most reliable route            (probability product, max.×)
+// Each is k-hop closure by repeated ⊕.⊗ over the appropriate semiring.
+
+#include <iostream>
+
+#include "array/assoc_array.hpp"
+#include "semiring/all.hpp"
+
+int main() {
+  using namespace hyperspace;
+  using array::Key;
+
+  const std::vector<Key> from = {"nyc", "nyc", "chi", "chi", "den", "sfo"};
+  const std::vector<Key> to = {"chi", "sfo", "den", "sfo", "lax", "lax"};
+
+  // min.+: ticket prices; itinerary cost is the sum, choose the min.
+  {
+    using MP = semiring::MinPlus<double>;
+    array::AssocArray<MP> fares(from, to,
+                                {190, 420, 110, 250, 95, 120});
+    auto reach = fares;
+    for (int hops = 1; hops < 3; ++hops) {
+      reach = array::add(reach, array::mtimes(reach, fares));
+    }
+    std::cout << "cheapest fares up to 3 segments (min.+):\n" << reach << '\n';
+  }
+
+  // max.min: per-leg seat capacity; a route's capacity is its bottleneck.
+  {
+    using MM = semiring::MaxMin<double>;
+    array::AssocArray<MM> seats(from, to, {180, 120, 200, 90, 160, 140});
+    auto cap = seats;
+    for (int hops = 1; hops < 3; ++hops) {
+      cap = array::add(cap, array::mtimes(cap, seats));
+    }
+    std::cout << "widest-bottleneck capacity, up to 3 segments (max.min):\n"
+              << cap << '\n';
+  }
+
+  // max.×: per-leg on-time probability; route reliability multiplies.
+  {
+    using MT = semiring::MaxTimes<double>;
+    array::AssocArray<MT> ontime(from, to, {0.9, 0.7, 0.95, 0.8, 0.85, 0.9});
+    auto rel = ontime;
+    for (int hops = 1; hops < 3; ++hops) {
+      rel = array::add(rel, array::mtimes(rel, ontime));
+    }
+    std::cout << "most reliable routes, up to 3 segments (max.x):\n" << rel;
+    const auto nyc_lax = rel.get("nyc", "lax");
+    std::cout << "\nnyc->lax best reliability: "
+              << (nyc_lax ? *nyc_lax : 0.0)
+              << "  (via chi->den->lax: 0.9*0.95*0.85 = "
+              << 0.9 * 0.95 * 0.85 << ")\n";
+  }
+  return 0;
+}

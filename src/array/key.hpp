@@ -1,0 +1,139 @@
+#pragma once
+// Keys and key sets.
+//
+// Section III: associative arrays map K1 × K2 → V where "K1 (the set of row
+// keys) and K2 (the set of column keys) can be any sortable sets, such as
+// the integers, real numbers, or strings." Key is a strict totally ordered
+// sum of exactly those three carriers (ordered by type tag, then value, so
+// mixed-type key sets still sort deterministically). KeySet is the
+// sorted-unique container with the union/intersection operations that the
+// §IV annihilation conditions (row(A) ∩ row(B) = ∅ ...) are stated over.
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hyperspace::array {
+
+class Key {
+ public:
+  Key() : v_(std::int64_t{0}) {}
+  Key(std::int64_t i) : v_(i) {}                       // NOLINT(runtime/explicit)
+  Key(int i) : v_(static_cast<std::int64_t>(i)) {}     // NOLINT(runtime/explicit)
+  Key(double d) : v_(d) {}                             // NOLINT(runtime/explicit)
+  Key(std::string s) : v_(std::move(s)) {}             // NOLINT(runtime/explicit)
+  Key(const char* s) : v_(std::string(s)) {}           // NOLINT(runtime/explicit)
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_real() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  std::string to_string() const {
+    if (is_int()) return std::to_string(as_int());
+    if (is_real()) return std::to_string(as_real());
+    return as_string();
+  }
+
+  friend bool operator==(const Key& a, const Key& b) { return a.v_ == b.v_; }
+  friend bool operator<(const Key& a, const Key& b) {
+    if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+    return a.v_ < b.v_;
+  }
+  friend bool operator<=(const Key& a, const Key& b) { return !(b < a); }
+  friend bool operator>(const Key& a, const Key& b) { return b < a; }
+  friend bool operator>=(const Key& a, const Key& b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Key& k) {
+    return os << k.to_string();
+  }
+
+ private:
+  std::variant<std::int64_t, double, std::string> v_;
+};
+
+/// Sorted-unique set of keys; positions double as matrix indices.
+class KeySet {
+ public:
+  KeySet() = default;
+  KeySet(std::initializer_list<Key> ks) : keys_(ks) { normalize(); }
+  explicit KeySet(std::vector<Key> ks) : keys_(std::move(ks)) { normalize(); }
+
+  /// {0, 1, ..., n-1} — the integer key range used by plain matrices.
+  static KeySet range(std::int64_t n, std::int64_t start = 0) {
+    std::vector<Key> ks;
+    ks.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) ks.emplace_back(start + i);
+    KeySet s;
+    s.keys_ = std::move(ks);  // already sorted-unique
+    return s;
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  const Key& operator[](std::size_t i) const { return keys_[i]; }
+  const std::vector<Key>& keys() const { return keys_; }
+  auto begin() const { return keys_.begin(); }
+  auto end() const { return keys_.end(); }
+
+  /// Index of `k` in the set, if present.
+  std::optional<std::size_t> find(const Key& k) const {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    if (it == keys_.end() || !(*it == k)) return std::nullopt;
+    return static_cast<std::size_t>(it - keys_.begin());
+  }
+
+  bool contains(const Key& k) const { return find(k).has_value(); }
+
+  friend KeySet key_union(const KeySet& a, const KeySet& b) {
+    KeySet out;
+    out.keys_.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out.keys_));
+    return out;
+  }
+
+  friend KeySet key_intersection(const KeySet& a, const KeySet& b) {
+    KeySet out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out.keys_));
+    return out;
+  }
+
+  friend bool operator==(const KeySet& a, const KeySet& b) {
+    return a.keys_ == b.keys_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const KeySet& s) {
+    os << '{';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (i) os << ',';
+      os << s[i];
+    }
+    return os << '}';
+  }
+
+ private:
+  void normalize() {
+    std::sort(keys_.begin(), keys_.end());
+    keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  }
+
+  std::vector<Key> keys_;
+};
+
+/// The §IV disjointness predicate: row(A) ∩ row(B) = ∅ etc.
+inline bool disjoint(const KeySet& a, const KeySet& b) {
+  return key_intersection(a, b).empty();
+}
+
+}  // namespace hyperspace::array

@@ -1,0 +1,128 @@
+#pragma once
+// CSV ⇄ associative array — the paper's closing claim that this algebra can
+// "be a plug-in replacement for spreadsheets [and] database tables".
+//
+// read_csv ingests a header-rowed CSV into an AssocTable (row keys are the
+// 1-based sequence ids, column keys the header fields, cells interned
+// through the table's dictionary). write_csv round-trips a table back out.
+// The parser handles quoted fields with embedded commas and doubled quotes.
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "db/table.hpp"
+
+namespace hyperspace::db {
+
+/// Split one CSV record, honoring double-quoted fields ("" = literal quote).
+inline std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(ch);
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  if (quoted) throw std::invalid_argument("parse_csv_line: unterminated quote");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+/// Quote a field if it needs it.
+inline std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += '"';
+  return out;
+}
+
+/// Read a header-rowed CSV into a table. Empty cells are skipped (absent =
+/// the semiring 0 — sparsity is first-class, unlike a spreadsheet grid).
+inline AssocTable read_csv(std::istream& is,
+                           std::shared_ptr<Dictionary> dict =
+                               std::make_shared<Dictionary>()) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("read_csv: missing header row");
+  }
+  const auto header = parse_csv_line(line);
+  AssocTable table(std::move(dict));
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = parse_csv_line(line);
+    if (fields.size() > header.size()) {
+      throw std::invalid_argument("read_csv: row wider than header");
+    }
+    Record rec;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!fields[i].empty()) rec[header[i]] = fields[i];
+    }
+    table.insert(rec);
+  }
+  return table;
+}
+
+inline AssocTable read_csv_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_csv(is);
+}
+
+/// Write a table back to CSV: header = sorted column keys, one row per
+/// row key; multi-valued cells join with ';'.
+inline void write_csv(std::ostream& os, const AssocTable& table) {
+  const auto& arr = table.array();
+  const auto cols = arr.col_keys();
+  os << "row";
+  for (const auto& c : cols) os << ',' << csv_escape(c.to_string());
+  os << '\n';
+  const auto& dict = *table.dictionary();
+  for (const auto& r : arr.row_keys()) {
+    os << csv_escape(r.to_string());
+    for (const auto& c : cols) {
+      os << ',';
+      const auto cell = arr.get(r, c);
+      if (!cell) continue;
+      std::string joined;
+      for (const auto id : cell->elements()) {
+        if (!joined.empty()) joined += ';';
+        joined += dict.at(id);
+      }
+      os << csv_escape(joined);
+    }
+    os << '\n';
+  }
+}
+
+inline std::string write_csv_string(const AssocTable& table) {
+  std::ostringstream os;
+  write_csv(os, table);
+  return os.str();
+}
+
+}  // namespace hyperspace::db

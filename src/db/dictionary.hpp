@@ -1,0 +1,48 @@
+#pragma once
+// Bidirectional string ⇄ id dictionary.
+//
+// The paper's Conclusions call for "key based indices (such as pointers to
+// strings)" to make GraphBLAS a richer associative array algebra. This
+// dictionary is that index: it interns strings once and hands out dense
+// int64 ids, so ValueSet cells and matrix dimensions stay numeric while
+// the user-facing API speaks strings.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hyperspace::db {
+
+class Dictionary {
+ public:
+  /// Intern `s`, returning its stable id (existing id if already present).
+  std::int64_t intern(const std::string& s) {
+    const auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::int64_t>(strings_.size());
+    strings_.push_back(s);
+    ids_.emplace(s, id);
+    return id;
+  }
+
+  /// Id of `s` if already interned.
+  std::optional<std::int64_t> find(const std::string& s) const {
+    const auto it = ids_.find(s);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& at(std::int64_t id) const {
+    return strings_.at(static_cast<std::size_t>(id));
+  }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::int64_t> ids_;
+};
+
+}  // namespace hyperspace::db

@@ -1,0 +1,112 @@
+#pragma once
+// D4M-style exploded schema.
+//
+// The paper's associative-array database lineage (D4M, refs [23]–[28])
+// popularized the *exploded* table encoding: instead of cell (row, column)
+// = value, store a 0/1 entry at (row, "column|value"). Every distinct
+// value becomes its own column key, so
+//
+//   * select column=value  becomes a single column lookup (no scan),
+//   * AᵀA computes value co-occurrence counts ("facet correlation"),
+//   * the table is a pure sparsity pattern — any Table I semiring applies.
+//
+// ExplodedTable ingests the same Record stream as AssocTable and exposes
+// both queries; tests assert it agrees with the semilink select.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "array/assoc_array.hpp"
+#include "semiring/arithmetic.hpp"
+
+namespace hyperspace::db {
+
+class ExplodedTable {
+ public:
+  using S = semiring::PlusTimes<double>;
+  using Arr = array::AssocArray<S>;
+
+  static constexpr char kSeparator = '|';
+
+  /// "column|value" composite key — D4M's exploded column space.
+  static array::Key exploded_key(const std::string& column,
+                                 const std::string& value) {
+    return array::Key(column + kSeparator + value);
+  }
+
+  void insert(const std::map<std::string, std::string>& record) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%06zu", n_rows_ + 1);
+    const array::Key row{std::string(buf)};
+    for (const auto& [column, value] : record) {
+      entries_.emplace_back(row, exploded_key(column, value), 1.0);
+    }
+    ++n_rows_;
+    dirty_ = true;
+  }
+
+  std::size_t size() const { return n_rows_; }
+
+  const Arr& array() const {
+    if (dirty_) {
+      arr_ = Arr::from_entries(entries_);
+      dirty_ = false;
+    }
+    return arr_;
+  }
+
+  /// Row keys matching column=value: one column extraction, no scan.
+  array::KeySet select_rows(const std::string& column,
+                            const std::string& value) const {
+    const auto sub =
+        array().extract_cols(array::KeySet{exploded_key(column, value)});
+    return sub.row();
+  }
+
+  /// All records (as exploded keys) for the matching rows — the D4M
+  /// equivalent of the §V-B select: pattern mask times the table.
+  Arr select(const std::string& column, const std::string& value) const {
+    return array().extract_rows(select_rows(column, value));
+  }
+
+  /// Distinct values of `out_column` among rows where `column` = `value`.
+  std::vector<std::string> select_values(const std::string& column,
+                                         const std::string& value,
+                                         const std::string& out_column) const {
+    const auto rows = select(column, value);
+    const std::string prefix = out_column + kSeparator;
+    std::vector<std::string> out;
+    for (const auto& k : rows.col()) {
+      const auto& s = k.as_string();
+      if (s.rfind(prefix, 0) == 0) out.push_back(s.substr(prefix.size()));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// Facet correlation AᵀA: entry (k1, k2) counts rows where both exploded
+  /// keys co-occur — D4M's signature one-liner for cross-column statistics.
+  Arr correlation() const {
+    const auto& a = array();
+    return array::mtimes(a.transpose(), a);
+  }
+
+  /// Co-occurrence count of two (column, value) facets.
+  double cooccurrence(const std::string& col1, const std::string& val1,
+                      const std::string& col2, const std::string& val2) const {
+    const auto c = correlation().get(exploded_key(col1, val1),
+                                     exploded_key(col2, val2));
+    return c.value_or(0.0);
+  }
+
+ private:
+  std::vector<Arr::Entry> entries_;
+  mutable Arr arr_;
+  mutable bool dirty_ = false;
+  std::size_t n_rows_ = 0;
+};
+
+}  // namespace hyperspace::db

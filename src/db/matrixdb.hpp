@@ -1,0 +1,82 @@
+#pragma once
+// Adjacency-matrix database — the "NewSQL / Matrix Mathematics" panel of
+// Fig 6: the link table lives as a hypersparse adjacency matrix over
+// interned entity ids, and the neighbor query is a vector-matrix product
+// vᵀA (the same operation as the Fig 1 BFS step).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/dictionary.hpp"
+#include "semiring/arithmetic.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/transpose.hpp"
+
+namespace hyperspace::db {
+
+class MatrixDb {
+ public:
+  explicit MatrixDb(std::shared_ptr<Dictionary> dict =
+                        std::make_shared<Dictionary>())
+      : dict_(std::move(dict)) {}
+
+  void insert_edge(const std::string& src, const std::string& dst,
+                   double weight = 1.0) {
+    pending_.push_back({dict_->intern(src), dict_->intern(dst), weight});
+    dirty_ = true;
+  }
+
+  std::size_t size() const { return pending_.size(); }
+  const std::shared_ptr<Dictionary>& dictionary() const { return dict_; }
+
+  /// Out-neighbors of `entity` via vᵀA over +.× (weights accumulate).
+  std::vector<std::string> out_neighbors(const std::string& entity) const {
+    return neighbors(entity, /*transposed=*/false);
+  }
+
+  /// In-neighbors via vᵀAᵀ.
+  std::vector<std::string> in_neighbors(const std::string& entity) const {
+    return neighbors(entity, /*transposed=*/true);
+  }
+
+  const sparse::Matrix<double>& adjacency() const {
+    rebuild();
+    return adj_;
+  }
+
+ private:
+  void rebuild() const {
+    if (!dirty_) return;
+    const auto n = static_cast<sparse::Index>(dict_->size());
+    using S = semiring::PlusTimes<double>;
+    adj_ = sparse::Matrix<double>::from_triples<S>(n, n, pending_);
+    adj_t_ = sparse::transpose(adj_);
+    dirty_ = false;
+  }
+
+  std::vector<std::string> neighbors(const std::string& entity,
+                                     bool transposed) const {
+    const auto id = dict_->find(entity);
+    if (!id) return {};
+    rebuild();
+    const auto& A = transposed ? adj_t_ : adj_;
+    using S = semiring::PlusTimes<double>;
+    const auto v = sparse::Matrix<double>::from_unique_triples(
+        1, A.nrows(), {{0, *id, 1.0}});
+    const auto hits = sparse::mxm<S>(v, A);
+    std::vector<std::string> out;
+    for (const auto& t : hits.to_triples()) out.push_back(dict_->at(t.col));
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::shared_ptr<Dictionary> dict_;
+  mutable std::vector<sparse::Triple<double>> pending_;
+  mutable sparse::Matrix<double> adj_;
+  mutable sparse::Matrix<double> adj_t_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace hyperspace::db

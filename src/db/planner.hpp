@@ -1,0 +1,94 @@
+#pragma once
+// Query planning with §IV annihilation conditions.
+//
+// "Intersection ∩ distributing over union ∪ is essential to database query
+//  planning and parallel query execution" (§V-B) — and the §IV key-overlap
+//  conditions give a planner license to skip whole products: if
+//  row(A) ∩ row(B) = ∅ (etc.), the result is 0 and need not be computed.
+//
+// The planner here evaluates composite expressions over associative arrays
+// with those prechecks, recording how much work was skipped.
+
+#include <vector>
+
+#include "array/assoc_array.hpp"
+#include "semilink/identities.hpp"
+
+namespace hyperspace::db {
+
+struct PlanStats {
+  int products_evaluated = 0;
+  int products_skipped = 0;   ///< skipped via §IV annihilation
+  int mults_evaluated = 0;
+  int mults_skipped = 0;
+};
+
+/// A ⊕.⊗ B with the inner-key precheck: col(A) ∩ row(B) = ∅ ⇒ 0.
+template <semiring::Semiring S>
+array::AssocArray<S> planned_mtimes(const array::AssocArray<S>& a,
+                                    const array::AssocArray<S>& b,
+                                    PlanStats* stats = nullptr) {
+  if (array::disjoint(a.col(), b.row())) {
+    if (stats) ++stats->products_skipped;
+    return array::AssocArray<S>();
+  }
+  if (stats) ++stats->products_evaluated;
+  return array::mtimes(a, b);
+}
+
+/// A ⊗ B with the pattern precheck: disjoint rows or columns ⇒ 0.
+template <semiring::Semiring S>
+array::AssocArray<S> planned_mult(const array::AssocArray<S>& a,
+                                  const array::AssocArray<S>& b,
+                                  PlanStats* stats = nullptr) {
+  if (array::disjoint(a.row(), b.row()) || array::disjoint(a.col(), b.col())) {
+    if (stats) ++stats->mults_skipped;
+    return array::AssocArray<S>();
+  }
+  if (stats) ++stats->mults_evaluated;
+  return array::mult(a, b);
+}
+
+/// A ⊗ (B ⊕.⊗ C) with the full §IV form-1 precheck.
+template <semiring::Semiring S>
+array::AssocArray<S> planned_mult_of_product(const array::AssocArray<S>& a,
+                                             const array::AssocArray<S>& b,
+                                             const array::AssocArray<S>& c,
+                                             PlanStats* stats = nullptr) {
+  if (array::disjoint(a.row(), b.row()) ||
+      array::disjoint(a.col(), c.col()) ||
+      array::disjoint(b.col(), c.row())) {
+    if (stats) {
+      ++stats->mults_skipped;
+      ++stats->products_skipped;
+    }
+    return array::AssocArray<S>();
+  }
+  return planned_mult(a, planned_mtimes(b, c, stats), stats);
+}
+
+/// Chain product A1 ⊕.⊗ A2 ⊕.⊗ ... with early exit: the first disjoint
+/// inner key space annihilates the whole chain (associativity, Table II).
+template <semiring::Semiring S>
+array::AssocArray<S> planned_chain(
+    const std::vector<array::AssocArray<S>>& factors,
+    PlanStats* stats = nullptr) {
+  if (factors.empty()) return array::AssocArray<S>();
+  for (std::size_t i = 0; i + 1 < factors.size(); ++i) {
+    if (array::disjoint(factors[i].col(), factors[i + 1].row())) {
+      if (stats) {
+        stats->products_skipped +=
+            static_cast<int>(factors.size()) - 1 - stats->products_evaluated;
+      }
+      return array::AssocArray<S>();
+    }
+  }
+  auto acc = factors.front();
+  for (std::size_t i = 1; i < factors.size(); ++i) {
+    acc = planned_mtimes(acc, factors[i], stats);
+    if (acc.empty()) break;  // sparsity can still annihilate mid-chain
+  }
+  return acc;
+}
+
+}  // namespace hyperspace::db

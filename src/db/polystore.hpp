@@ -1,0 +1,77 @@
+#pragma once
+// Polystore — Fig 6 in one object.
+//
+// "Associative arrays combine the properties of databases, graphs, and
+// matrices and provide common mathematics that span SQL, NoSQL, and NewSQL
+// databases." FlowPolystore ingests network-flow records once and answers
+// the figure's canonical query — find an address's nearest neighbors — in
+// all four engines: relational scan (SQL), triple store (NoSQL), adjacency
+// matrix (NewSQL), and the associative-array semilink select. The integration
+// tests assert all four agree.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/matrixdb.hpp"
+#include "db/relational.hpp"
+#include "db/table.hpp"
+#include "db/triplestore.hpp"
+
+namespace hyperspace::db {
+
+/// One network flow, the Fig 6 record shape: (src, link, dest).
+struct Flow {
+  std::string src;
+  std::string link;  ///< protocol, e.g. "http", "udp", "ssh"
+  std::string dest;
+};
+
+class FlowPolystore {
+ public:
+  FlowPolystore() : dict_(std::make_shared<Dictionary>()),
+                    assoc_(dict_), triples_(dict_), matrix_(dict_) {}
+
+  void insert(const Flow& f) {
+    relational_.insert({{"src", f.src}, {"link", f.link}, {"dest", f.dest}});
+    assoc_.insert({{"src", f.src}, {"link", f.link}, {"dest", f.dest}});
+    triples_.insert(f.src, f.link, f.dest);
+    matrix_.insert_edge(f.src, f.dest);
+  }
+
+  std::size_t size() const { return relational_.size(); }
+
+  /// SQL: SELECT DISTINCT dest FROM T WHERE src = ip.
+  std::vector<std::string> neighbors_sql(const std::string& ip) const {
+    return relational_.where("src", ip).project("dest");
+  }
+
+  /// NoSQL: objects of triples with subject = ip.
+  std::vector<std::string> neighbors_nosql(const std::string& ip) const {
+    return triples_.out_neighbors(ip);
+  }
+
+  /// NewSQL: vᵀA over the adjacency matrix.
+  std::vector<std::string> neighbors_newsql(const std::string& ip) const {
+    return matrix_.out_neighbors(ip);
+  }
+
+  /// Associative array: the paper's semilink select expression.
+  std::vector<std::string> neighbors_semilink(const std::string& ip) const {
+    return assoc_.select_values("src", ip, "dest");
+  }
+
+  const RelationalTable& relational() const { return relational_; }
+  const AssocTable& assoc() const { return assoc_; }
+  const TripleStore& triples() const { return triples_; }
+  const MatrixDb& matrix() const { return matrix_; }
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  RelationalTable relational_;
+  AssocTable assoc_;
+  TripleStore triples_;
+  MatrixDb matrix_;
+};
+
+}  // namespace hyperspace::db

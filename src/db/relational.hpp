@@ -1,0 +1,72 @@
+#pragma once
+// A minimal row-store relational engine — the "SQL / Set Operations" panel
+// of Fig 6, and the scan baseline the associative-array formulations are
+// checked against. Supports insert, full-scan select, projection, and the
+// set-algebra table operations (union / intersection of row sets) that the
+// ∪.∩ semiring abstracts.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hyperspace::db {
+
+using RelRecord = std::map<std::string, std::string>;
+
+class RelationalTable {
+ public:
+  void insert(RelRecord rec) { rows_.push_back(std::move(rec)); }
+
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<RelRecord>& rows() const { return rows_; }
+
+  /// SELECT * FROM this WHERE column = value (full scan).
+  RelationalTable where(const std::string& column,
+                        const std::string& value) const {
+    RelationalTable out;
+    for (const auto& r : rows_) {
+      const auto it = r.find(column);
+      if (it != r.end() && it->second == value) out.insert(r);
+    }
+    return out;
+  }
+
+  /// SELECT DISTINCT column FROM this (projection).
+  std::vector<std::string> project(const std::string& column) const {
+    std::set<std::string> vals;
+    for (const auto& r : rows_) {
+      const auto it = r.find(column);
+      if (it != r.end()) vals.insert(it->second);
+    }
+    return {vals.begin(), vals.end()};
+  }
+
+  /// Set union of row multisets (duplicates collapse).
+  friend RelationalTable table_union(const RelationalTable& a,
+                                     const RelationalTable& b) {
+    std::set<RelRecord> s(a.rows_.begin(), a.rows_.end());
+    s.insert(b.rows_.begin(), b.rows_.end());
+    RelationalTable out;
+    for (const auto& r : s) out.insert(r);
+    return out;
+  }
+
+  /// Set intersection of row sets.
+  friend RelationalTable table_intersection(const RelationalTable& a,
+                                            const RelationalTable& b) {
+    const std::set<RelRecord> sa(a.rows_.begin(), a.rows_.end());
+    RelationalTable out;
+    std::set<RelRecord> seen;
+    for (const auto& r : b.rows_) {
+      if (sa.count(r) && seen.insert(r).second) out.insert(r);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<RelRecord> rows_;
+};
+
+}  // namespace hyperspace::db

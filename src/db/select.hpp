@@ -1,0 +1,77 @@
+#pragma once
+// The §V-B semilink select.
+//
+// "Perhaps the most canonical function in a relational database is the SQL
+//  select statement ... In terms of this semilink [the select] can be
+//  written as
+//
+//      |((A ∪.∩ I(k(i))) ∩ v) ∪.∩ 1|₀ ∩ A
+//
+//  The term A ∪.∩ I(k(i)) selects column k(i) from A. The next operation
+//  ∩ v selects the entries corresponding to v. A mask of all the columns in
+//  these rows is constructed by ∪.∩ 1, whose values are converted to P(V)
+//  with the zero norm ||₀. Applying the mask with ∩ A selects the
+//  corresponding rows."
+//
+// semilink_select evaluates exactly that expression over the relevant
+// semilink (A, ∪, ∩, ∪.∩, ∅, 1, I) where each entry of 1 is P(V) and
+// I(k,k) = P(V). direct_select is the scan baseline the tests compare
+// against.
+
+#include "array/assoc_array.hpp"
+#include "semiring/set_algebra.hpp"
+
+namespace hyperspace::db {
+
+using SetSemiring = semiring::UnionIntersect;
+using SetArray = array::AssocArray<SetSemiring>;
+using semiring::ValueSet;
+
+/// I(k(i)): the identity array restricted to the single column key — a
+/// one-entry diagonal whose value is P(V).
+inline SetArray column_selector(const array::Key& column) {
+  return SetArray::identity(array::KeySet{column});
+}
+
+/// The paper's semilink select: rows of A whose column `column` contains
+/// element `v`. Returns those rows of A (all columns), as an array over
+/// A's key spaces.
+inline SetArray semilink_select(const SetArray& A, const array::Key& column,
+                                ValueSet::element v) {
+  // A ∪.∩ I(k(i)) — keep only column k(i).
+  const SetArray col = array::mtimes(A, column_selector(column));
+  // ∩ v — intersect every cell with {v}; cells lacking v become ∅.
+  const SetArray v_hits = array::mult(
+      col, SetArray(A.row_keys(), array::KeySet{column},
+                    sparse::Matrix<ValueSet>::full(
+                        static_cast<sparse::Index>(A.row_keys().size()), 1,
+                        ValueSet{v}, ValueSet::empty())));
+  // Drop the ∅ cells so the mask only covers matching rows.
+  const SetArray pruned(
+      v_hits.row_keys(), v_hits.col_keys(),
+      sparse::prune<SetSemiring>(v_hits.matrix()));
+  // ∪.∩ 1 — spread each matching row across all columns of A.
+  const SetArray mask_raw = array::mtimes(
+      pruned, SetArray::ones(array::KeySet{column}, A.col_keys()));
+  // |·|₀ — convert mask values to P(V) (the ⊗-identity), then ∩ A.
+  const SetArray mask = mask_raw.zero_norm();
+  return array::mult(mask, A);
+}
+
+/// Scan baseline: same result computed row-by-row without the semilink.
+inline SetArray direct_select(const SetArray& A, const array::Key& column,
+                              ValueSet::element v) {
+  std::vector<SetArray::Entry> keep;
+  std::vector<char> row_in(A.row_keys().size(), 0);
+  for (const auto& [r, c, val] : A.entries()) {
+    if (c == column && val.contains(v)) {
+      row_in[*A.row_keys().find(r)] = 1;
+    }
+  }
+  for (const auto& [r, c, val] : A.entries()) {
+    if (row_in[*A.row_keys().find(r)]) keep.emplace_back(r, c, val);
+  }
+  return SetArray::from_entries(keep).realign(A.row_keys(), A.col_keys());
+}
+
+}  // namespace hyperspace::db

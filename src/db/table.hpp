@@ -1,0 +1,108 @@
+#pragma once
+// AssocTable — a database table as an associative array (Section V-B).
+//
+// "The row keys are equivalent to the sequence ID in a relational database
+//  table. The column keys are equivalent to the column names or record
+//  fields."
+//
+// Cells hold *sets of values* from a shared dictionary, so the table lives
+// directly over the ∪.∩ semiring and the paper's semilink select applies
+// unchanged. String values are interned once; queries translate strings to
+// ids at the boundary.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/dictionary.hpp"
+#include "db/select.hpp"
+
+namespace hyperspace::db {
+
+/// One record: field name → value string.
+using Record = std::map<std::string, std::string>;
+
+class AssocTable {
+ public:
+  explicit AssocTable(std::shared_ptr<Dictionary> dict =
+                          std::make_shared<Dictionary>())
+      : dict_(std::move(dict)) {}
+
+  /// Append a record; the row key is the (1-based, zero-padded) sequence id
+  /// unless an explicit row key is given.
+  void insert(const Record& rec) {
+    insert(next_row_key(), rec);
+  }
+
+  void insert(const array::Key& row, const Record& rec) {
+    for (const auto& [field, value] : rec) {
+      pending_.emplace_back(row, array::Key(field),
+                            ValueSet{dict_->intern(value)});
+    }
+    dirty_ = true;
+    ++n_rows_;
+  }
+
+  std::size_t size() const { return n_rows_; }
+  const std::shared_ptr<Dictionary>& dictionary() const { return dict_; }
+
+  /// The associative array over the ∪.∩ semiring (built lazily; duplicate
+  /// cells union their value sets — multi-valued fields are first-class).
+  const SetArray& array() const {
+    if (dirty_) {
+      arr_ = SetArray::from_entries(pending_);
+      dirty_ = false;
+    }
+    return arr_;
+  }
+
+  /// select ... from T where `column` = `value` — via the paper's semilink
+  /// expression. Returns the matching rows as a table-shaped array.
+  SetArray select_semilink(const std::string& column,
+                           const std::string& value) const {
+    const auto id = dict_->find(value);
+    if (!id) return SetArray();  // value never seen: empty result
+    return semilink_select(array(), array::Key(column), *id);
+  }
+
+  /// Same query via the direct row scan (baseline).
+  SetArray select_direct(const std::string& column,
+                         const std::string& value) const {
+    const auto id = dict_->find(value);
+    if (!id) return SetArray();
+    return direct_select(array(), array::Key(column), *id);
+  }
+
+  /// Distinct values of `column` among rows matching the select — e.g. the
+  /// Fig 6 query: SELECT 'dest' FROM T WHERE 'src=1.1.1.1'.
+  std::vector<std::string> select_values(const std::string& where_col,
+                                         const std::string& where_val,
+                                         const std::string& out_col) const {
+    const SetArray rows = select_semilink(where_col, where_val);
+    std::vector<std::string> out;
+    for (const auto& [r, c, v] : rows.entries()) {
+      if (c == array::Key(out_col)) {
+        for (const auto id : v.elements()) out.push_back(dict_->at(id));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+ private:
+  array::Key next_row_key() const {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%06zu", n_rows_ + 1);
+    return array::Key(std::string(buf));
+  }
+
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<SetArray::Entry> pending_;
+  mutable SetArray arr_;
+  mutable bool dirty_ = false;
+  std::size_t n_rows_ = 0;
+};
+
+}  // namespace hyperspace::db

@@ -1,0 +1,103 @@
+#pragma once
+// A triple store — the "NoSQL / Graph Operations" panel of Fig 6.
+//
+// Facts are (subject, predicate, object) triples; the Fig 6 neighbor query
+// "find 1.1.1.1's nearest neighbors" is the SPO-index lookup
+// objects(subject = 1.1.1.1). Indexes are sorted vectors over interned ids
+// (SPO and OPS orderings), the standard minimal triple-store layout.
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "db/dictionary.hpp"
+
+namespace hyperspace::db {
+
+class TripleStore {
+ public:
+  explicit TripleStore(std::shared_ptr<Dictionary> dict =
+                           std::make_shared<Dictionary>())
+      : dict_(std::move(dict)) {}
+
+  void insert(const std::string& subject, const std::string& predicate,
+              const std::string& object) {
+    const auto s = dict_->intern(subject);
+    const auto p = dict_->intern(predicate);
+    const auto o = dict_->intern(object);
+    spo_.emplace_back(s, p, o);
+    ops_.emplace_back(o, p, s);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return spo_.size(); }
+  const std::shared_ptr<Dictionary>& dictionary() const { return dict_; }
+
+  /// All distinct objects o with (subject, *, o) — out-neighbors.
+  std::vector<std::string> out_neighbors(const std::string& subject) const {
+    return scan(spo_, dict_->find(subject));
+  }
+
+  /// All distinct subjects s with (s, *, object) — in-neighbors.
+  std::vector<std::string> in_neighbors(const std::string& object) const {
+    return scan(ops_, dict_->find(object));
+  }
+
+  /// Distinct objects for (subject, predicate, ·).
+  std::vector<std::string> objects(const std::string& subject,
+                                   const std::string& predicate) const {
+    const auto s = dict_->find(subject);
+    const auto p = dict_->find(predicate);
+    if (!s || !p) return {};
+    ensure_sorted();
+    std::vector<std::string> out;
+    const std::tuple<std::int64_t, std::int64_t, std::int64_t> lo{*s, *p, -1};
+    for (auto it = std::upper_bound(spo_.begin(), spo_.end(), lo);
+         it != spo_.end() && std::get<0>(*it) == *s && std::get<1>(*it) == *p;
+         ++it) {
+      out.push_back(dict_->at(std::get<2>(*it)));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+ private:
+  using T3 = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+  void ensure_sorted() const {
+    if (sorted_) return;
+    std::sort(spo_.begin(), spo_.end());
+    spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+    std::sort(ops_.begin(), ops_.end());
+    ops_.erase(std::unique(ops_.begin(), ops_.end()), ops_.end());
+    sorted_ = true;
+  }
+
+  std::vector<std::string> scan(const std::vector<T3>& index,
+                                std::optional<std::int64_t> first) const {
+    if (!first) return {};
+    ensure_sorted();
+    std::vector<std::string> out;
+    const T3 lo{*first, std::numeric_limits<std::int64_t>::min(),
+                std::numeric_limits<std::int64_t>::min()};
+    for (auto it = std::lower_bound(index.begin(), index.end(), lo);
+         it != index.end() && std::get<0>(*it) == *first; ++it) {
+      out.push_back(dict_->at(std::get<2>(*it)));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  std::shared_ptr<Dictionary> dict_;
+  mutable std::vector<T3> spo_;
+  mutable std::vector<T3> ops_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace hyperspace::db

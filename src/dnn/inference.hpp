@@ -1,0 +1,133 @@
+#pragma once
+// DNN inference two ways (Section V-C):
+//
+//   * infer_standard — the conventional formulation
+//         Yℓ₊₁ = h(Yℓ Wℓ + Bℓ),  h = ReLU = max(·, 0)
+//     computed with a row-parallel dense-batch × sparse-matrix kernel.
+//
+//   * infer_semilink — the paper's two-semiring linear formulation
+//         Yk₊₁ = Yk Wk ⊗ Bk ⊕ 0
+//     where Yk Wk is evaluated over S1 = (R, +, ×, 0, 1) and the ⊗ (bias
+//     add) and ⊕ 0 (ReLU) are evaluated over S2 = (R ∪ {-∞}, max, +, -∞, 0).
+//     Note ⊕ 0 adds S2's *multiplicative* identity (the real number 0) with
+//     S2's ⊕ = max — i.e. ReLU is literally "⊕ 1₂" in S2. The code below
+//     spells every scalar step with S1/S2 operations to make the linearity
+//     claim executable; tests assert both paths agree.
+//
+// "Thus, the inference step of a ReLU DNN can be viewed as combining
+//  correlations of inputs to choose optimal paths through the network."
+
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "semiring/arithmetic.hpp"
+#include "semiring/tropical.hpp"
+
+namespace hyperspace::dnn {
+
+/// One standard layer step: out = ReLU(in · W + b), row-parallel.
+inline DenseBatch step_standard(const DenseBatch& in, const Layer& layer) {
+  DenseBatch out(in.batch, layer.n_out());
+  const auto w = layer.weights.view();
+  const bool full = w.n_nonempty_rows() == w.nrows;
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(in.batch); ++r) {
+    double* acc = &out.data[static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(out.n)];
+    for (Index k = 0; k < in.n; ++k) {
+      const double y = in.at(static_cast<Index>(r), k);
+      if (y == 0.0) continue;
+      const std::ptrdiff_t ri =
+          full ? k
+               : [&] {
+                   const auto it = std::lower_bound(w.row_ids.begin(),
+                                                    w.row_ids.end(), k);
+                   return (it != w.row_ids.end() && *it == k)
+                              ? it - w.row_ids.begin()
+                              : std::ptrdiff_t{-1};
+                 }();
+      if (ri < 0) continue;
+      const auto cols = w.row_cols(static_cast<std::size_t>(ri));
+      const auto vals = w.row_vals(static_cast<std::size_t>(ri));
+      for (std::size_t q = 0; q < cols.size(); ++q) {
+        acc[cols[q]] += y * vals[q];
+      }
+    }
+    for (Index j = 0; j < out.n; ++j) {
+      const double z = acc[j] + layer.bias[static_cast<std::size_t>(j)];
+      acc[j] = z > 0.0 ? z : 0.0;
+    }
+  }
+  return out;
+}
+
+/// Full standard inference.
+inline DenseBatch infer_standard(const Network& net, DenseBatch y) {
+  for (const auto& layer : net.layers()) y = step_standard(y, layer);
+  return y;
+}
+
+/// One semilink layer step: S1 for the correlation Yk Wk, S2 for bias ⊗ and
+/// the ⊕ 0 ReLU. Identical arithmetic, expressed through the two semirings.
+inline DenseBatch step_semilink(const DenseBatch& in, const Layer& layer) {
+  using S1 = semiring::PlusTimes<double>;
+  using S2 = semiring::MaxPlus<double>;
+  DenseBatch out(in.batch, layer.n_out());
+  const auto w = layer.weights.view();
+  const bool full = w.n_nonempty_rows() == w.nrows;
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(in.batch); ++r) {
+    double* acc = &out.data[static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(out.n)];
+    // Yk Wk over S1 = (+, ×): acc_j = ⊕₁_k  Y(r,k) ⊗₁ W(k,j).
+    for (Index k = 0; k < in.n; ++k) {
+      const double y = in.at(static_cast<Index>(r), k);
+      if (y == S1::zero()) continue;
+      const std::ptrdiff_t ri =
+          full ? k
+               : [&] {
+                   const auto it = std::lower_bound(w.row_ids.begin(),
+                                                    w.row_ids.end(), k);
+                   return (it != w.row_ids.end() && *it == k)
+                              ? it - w.row_ids.begin()
+                              : std::ptrdiff_t{-1};
+                 }();
+      if (ri < 0) continue;
+      const auto cols = w.row_cols(static_cast<std::size_t>(ri));
+      const auto vals = w.row_vals(static_cast<std::size_t>(ri));
+      for (std::size_t q = 0; q < cols.size(); ++q) {
+        acc[cols[q]] = S1::add(acc[cols[q]], S1::mul(y, vals[q]));
+      }
+    }
+    // (· ⊗₂ Bk) ⊕₂ 0 over S2 = (max, +): bias add is S2's ⊗; ReLU is
+    // ⊕₂ with S2's multiplicative identity 1₂ = 0.0.
+    for (Index j = 0; j < out.n; ++j) {
+      const double z = S2::mul(acc[j], layer.bias[static_cast<std::size_t>(j)]);
+      acc[j] = S2::add(z, S2::one());
+    }
+  }
+  return out;
+}
+
+/// Full two-semiring inference — must agree with infer_standard exactly.
+inline DenseBatch infer_semilink(const Network& net, DenseBatch y) {
+  for (const auto& layer : net.layers()) y = step_semilink(y, layer);
+  return y;
+}
+
+/// Categories: argmax per batch row of the final layer scores.
+inline std::vector<Index> categories(const DenseBatch& y) {
+  std::vector<Index> out(static_cast<std::size_t>(y.batch), 0);
+  for (Index r = 0; r < y.batch; ++r) {
+    Index best = 0;
+    for (Index j = 1; j < y.n; ++j) {
+      if (y.at(r, j) > y.at(r, best)) best = j;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace hyperspace::dnn

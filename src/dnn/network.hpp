@@ -1,0 +1,86 @@
+#pragma once
+// Sparse deep neural network substrate (Section V-C, Fig 8).
+//
+// A network is a sequence of layers, each a sparse weight matrix Wℓ
+// (neuron i → neuron j where Wℓ(i,j) ≠ 0, the paper's "standard graph
+// community convention") plus a bias vector bℓ. Inference propagates a
+// batch Yℓ of row vectors:  Yℓ₊₁ = h(Yℓ Wℓ + Bℓ)  with h = ReLU.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "semiring/arithmetic.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::dnn {
+
+using sparse::Index;
+
+struct Layer {
+  sparse::Matrix<double> weights;  ///< n_in × n_out
+  std::vector<double> bias;        ///< size n_out
+
+  Index n_in() const { return weights.nrows(); }
+  Index n_out() const { return weights.ncols(); }
+};
+
+/// A dense batch of row vectors (batch × n, row-major) — the Yℓ array.
+struct DenseBatch {
+  Index batch = 0;
+  Index n = 0;
+  std::vector<double> data;  ///< batch * n values
+
+  DenseBatch() = default;
+  DenseBatch(Index b, Index width)
+      : batch(b), n(width),
+        data(static_cast<std::size_t>(b) * static_cast<std::size_t>(width), 0.0) {}
+
+  double& at(Index r, Index c) {
+    return data[static_cast<std::size_t>(r * n + c)];
+  }
+  double at(Index r, Index c) const {
+    return data[static_cast<std::size_t>(r * n + c)];
+  }
+
+  Index nnz() const {
+    Index count = 0;
+    for (const double v : data) count += (v != 0.0);
+    return count;
+  }
+};
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::vector<Layer> layers) : layers_(std::move(layers)) {
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      if (layers_[l].bias.size() !=
+          static_cast<std::size_t>(layers_[l].n_out())) {
+        throw std::invalid_argument("Network: bias size != n_out");
+      }
+      if (l > 0 && layers_[l - 1].n_out() != layers_[l].n_in()) {
+        throw std::invalid_argument("Network: layer width mismatch");
+      }
+    }
+  }
+
+  std::size_t depth() const { return layers_.size(); }
+  const Layer& layer(std::size_t l) const { return layers_[l]; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  Index n_in() const { return layers_.empty() ? 0 : layers_.front().n_in(); }
+  Index n_out() const { return layers_.empty() ? 0 : layers_.back().n_out(); }
+
+  /// Total stored weights across layers.
+  Index total_nnz() const {
+    Index s = 0;
+    for (const auto& l : layers_) s += l.weights.nnz();
+    return s;
+  }
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+}  // namespace hyperspace::dnn

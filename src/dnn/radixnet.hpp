@@ -1,0 +1,106 @@
+#pragma once
+// Synthetic sparse DNN topologies.
+//
+// The paper cites the Sparse DNN Challenge networks (RadiX-Net mixed-radix
+// topologies: fixed fan-in, every neuron reachable). We generate the same
+// family: each layer connects neuron k to `fanin` evenly strided targets,
+// with a stride that varies per layer so paths mix across depth — plus a
+// uniformly random sparse generator for unstructured controls. Weights and
+// biases follow the challenge convention (constant weight, constant
+// negative bias) so activations stay sparse through depth.
+// See DESIGN.md "Substitutions".
+
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "semiring/arithmetic.hpp"
+#include "util/rng.hpp"
+
+namespace hyperspace::dnn {
+
+struct RadixNetParams {
+  Index neurons = 1024;     ///< width of every layer
+  int layers = 8;
+  int fanin = 32;           ///< connections into each neuron
+  double weight = 0.5;      ///< base synapse magnitude (jittered per synapse)
+  double bias = -0.001;     ///< constant bias (keeps activity sparse, not dead)
+};
+
+/// Fixed fan-in, mixed-stride layered topology.
+inline Network make_radixnet(const RadixNetParams& p) {
+  std::vector<Layer> layers;
+  layers.reserve(static_cast<std::size_t>(p.layers));
+  using S = semiring::PlusTimes<double>;
+  for (int l = 0; l < p.layers; ++l) {
+    std::vector<sparse::Triple<double>> t;
+    t.reserve(static_cast<std::size_t>(p.neurons) *
+              static_cast<std::size_t>(p.fanin));
+    // Per-layer odd stride so consecutive layers permute differently and
+    // every output neuron keeps in-degree exactly `fanin`.
+    const Index stride = 2 * static_cast<Index>(l) + 1;
+    for (Index k = 0; k < p.neurons; ++k) {
+      for (int f = 0; f < p.fanin; ++f) {
+        const Index j =
+            (k * stride + f * (p.neurons / p.fanin + 1)) % p.neurons;
+        // Deterministic mixed-sign variation around the base weight: an
+        // all-equal-positive net maps every input to the same saturating
+        // output vector; mixed signs keep activations sparse through depth
+        // (the Sparse DNN Challenge trait) and differentiate categories.
+        const double jitter =
+            static_cast<double>((k * 131 + j * 17 + l * 7) % 64) / 32.0 - 1.0;
+        t.push_back({k, j, p.weight * jitter});
+      }
+    }
+    auto w = sparse::Matrix<double>::from_triples<S>(p.neurons, p.neurons,
+                                                     std::move(t));
+    layers.push_back(
+        {std::move(w),
+         std::vector<double>(static_cast<std::size_t>(p.neurons), p.bias)});
+  }
+  return Network(std::move(layers));
+}
+
+/// Uniformly random sparse layers (unstructured control).
+inline Network make_random_net(Index neurons, int depth, double density,
+                               std::uint64_t seed = 7) {
+  using S = semiring::PlusTimes<double>;
+  util::Xoshiro256 rng(seed);
+  std::vector<Layer> layers;
+  layers.reserve(static_cast<std::size_t>(depth));
+  const auto per_layer = static_cast<std::size_t>(
+      density * static_cast<double>(neurons) * static_cast<double>(neurons));
+  for (int l = 0; l < depth; ++l) {
+    std::vector<sparse::Triple<double>> t;
+    t.reserve(per_layer);
+    for (std::size_t e = 0; e < per_layer; ++e) {
+      t.push_back({static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(neurons))),
+                   static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(neurons))),
+                   rng.uniform(-0.5, 0.5)});
+    }
+    auto w = sparse::Matrix<double>::from_triples<S>(neurons, neurons,
+                                                     std::move(t));
+    layers.push_back(
+        {std::move(w),
+         std::vector<double>(static_cast<std::size_t>(neurons), -0.05)});
+  }
+  return Network(std::move(layers));
+}
+
+/// Synthetic sparse feature batch (MNIST-like: a fraction of inputs lit).
+inline DenseBatch make_sparse_features(Index batch, Index n, double density,
+                                       std::uint64_t seed = 11) {
+  util::Xoshiro256 rng(seed);
+  DenseBatch y(batch, n);
+  const auto per_row = static_cast<std::size_t>(
+      density * static_cast<double>(n));
+  for (Index r = 0; r < batch; ++r) {
+    for (std::size_t e = 0; e < per_row; ++e) {
+      const auto c = static_cast<Index>(
+          rng.bounded(static_cast<std::uint64_t>(n)));
+      y.at(r, c) = rng.uniform(0.5, 1.5);
+    }
+  }
+  return y;
+}
+
+}  // namespace hyperspace::dnn

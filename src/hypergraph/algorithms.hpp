@@ -1,0 +1,120 @@
+#pragma once
+// Graph analytics in the language of sparse arrays (§V-A): the topological
+// operations — BFS (bfs.hpp), union ⊕, intersection ⊗ — hold over any
+// semiring; these classics exercise specific semirings:
+//
+//   * connected_components: min.+ label propagation (tropical semiring)
+//   * triangle_count:       +.× with element-wise mask, tri = Σ(A ⊗ A²)/6
+//   * degrees:              row reduction (the §IV "1 projects rows")
+//   * sssp:                 min.+ Bellman–Ford iteration
+
+#include <vector>
+
+#include "semiring/arithmetic.hpp"
+#include "semiring/tropical.hpp"
+#include "sparse/apply.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/reduce.hpp"
+#include "sparse/transpose.hpp"
+
+namespace hyperspace::hypergraph {
+
+/// Undirected view: A ⊕ Aᵀ over lor.land pattern.
+template <typename T>
+sparse::Matrix<std::uint8_t> symmetrize_pattern(const sparse::Matrix<T>& A) {
+  auto p = sparse::apply(A, [](const T&) -> std::uint8_t { return 1; });
+  return sparse::ewise_add<semiring::LorLand>(p, sparse::transpose(p));
+}
+
+/// Connected components by min.+ label propagation: labels start as vertex
+/// ids; each round y ← y ⊕ (y ⊕.⊗ A₀) over min.+, where A₀ is the
+/// undirected pattern with weight 0; converges when labels stop changing.
+/// Returns the component label (smallest reachable vertex id) per vertex.
+template <typename T>
+std::vector<sparse::Index> connected_components(const sparse::Matrix<T>& A) {
+  using MP = semiring::MinPlus<double>;
+  using sparse::Index;
+  const Index n = A.nrows();
+  const auto undirected = symmetrize_pattern(A);
+  // min.+ needs edge weight 0 so propagation takes the min of neighbors.
+  auto zeros = sparse::apply(undirected, [](std::uint8_t) { return 0.0; });
+  zeros.set_implicit_zero(MP::zero());
+
+  std::vector<sparse::Triple<double>> init;
+  init.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    init.push_back({0, i, static_cast<double>(i)});
+  }
+  auto y = sparse::Matrix<double>::from_canonical_triples(1, n, init,
+                                                          MP::zero());
+  while (true) {
+    auto next = sparse::ewise_add<MP>(y, sparse::mxm<MP>(y, zeros));
+    if (next == y) break;
+    y = std::move(next);
+  }
+  std::vector<Index> label(static_cast<std::size_t>(n), -1);
+  for (const auto& t : y.to_triples()) {
+    label[static_cast<std::size_t>(t.col)] = static_cast<Index>(t.val);
+  }
+  return label;
+}
+
+/// Triangle count on the undirected simple graph underlying A:
+/// tri = Σ_{i,j} (A ⊗ (A ⊕.⊗ A))(i,j) / 6 over +.× on the 0/1 pattern.
+template <typename T>
+std::int64_t triangle_count(const sparse::Matrix<T>& A) {
+  using S = semiring::PlusTimes<double>;
+  auto p8 = symmetrize_pattern(A);
+  // Drop self-loops; convert to doubles for counting.
+  auto p = sparse::select(
+      sparse::apply(p8, [](std::uint8_t) { return 1.0; }),
+      [](sparse::Index r, sparse::Index c, double) { return r != c; });
+  const auto a2 = sparse::mxm<S>(p, p);
+  const auto masked = sparse::ewise_mult<S>(p, a2);
+  const double total =
+      sparse::reduce_all<semiring::AddMonoidOf<S>>(masked);
+  return static_cast<std::int64_t>(total + 0.5) / 6;
+}
+
+/// Out-degree per vertex via the row projection A ⊕.⊗ 1 (§IV) computed as a
+/// reduction over the counting semiring.
+template <typename T>
+std::vector<sparse::Index> out_degrees(const sparse::Matrix<T>& A) {
+  using S = semiring::PlusTimes<double>;
+  auto cnt = sparse::apply(A, [](const T&) { return 1.0; });
+  const auto sums = sparse::reduce_rows<semiring::AddMonoidOf<S>>(cnt);
+  std::vector<sparse::Index> deg(static_cast<std::size_t>(A.nrows()), 0);
+  for (const auto& t : sums.to_triples()) {
+    deg[static_cast<std::size_t>(t.row)] = static_cast<sparse::Index>(t.val);
+  }
+  return deg;
+}
+
+/// Single-source shortest paths over min.+ (Bellman–Ford as repeated vxm).
+/// Unreachable vertices get +inf.
+inline std::vector<double> sssp(const sparse::Matrix<double>& A,
+                                sparse::Index source) {
+  using MP = semiring::MinPlus<double>;
+  using sparse::Index;
+  const Index n = A.nrows();
+  auto W = A;  // weights as given; implicit zero must be +inf for min.+
+  W.set_implicit_zero(MP::zero());
+
+  auto d = sparse::Matrix<double>::from_unique_triples(1, n,
+                                                       {{0, source, 0.0}},
+                                                       MP::zero());
+  for (Index round = 0; round < n; ++round) {
+    auto next = sparse::ewise_add<MP>(d, sparse::mxm<MP>(d, W));
+    if (next == d) break;
+    d = std::move(next);
+  }
+  std::vector<double> dist(static_cast<std::size_t>(n), MP::zero());
+  for (const auto& t : d.to_triples()) {
+    dist[static_cast<std::size_t>(t.col)] = t.val;
+  }
+  return dist;
+}
+
+}  // namespace hyperspace::hypergraph

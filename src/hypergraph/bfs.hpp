@@ -1,0 +1,91 @@
+#pragma once
+// Breadth-first search two ways — the Fig 1 duality.
+//
+// "Breadth-first-search performed on a graph (left) and an adjacency array
+// (right) illustrates the deep connection between graphs and arrays."
+//
+//   * bfs_array: the array formulation — repeated vᵀA over the lor.land
+//     semiring, masking off visited vertices each step.
+//   * bfs_queue: the classic frontier-queue traversal over CSR rows.
+//
+// Both return the same level array (tests assert equality on R-MAT graphs);
+// the bench measures both sides of the duality.
+
+#include <queue>
+#include <vector>
+
+#include "semiring/arithmetic.hpp"
+#include "sparse/apply.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/mxm.hpp"
+
+namespace hyperspace::hypergraph {
+
+using sparse::Index;
+
+/// BFS levels via the array method: frontier row-vector times adjacency
+/// array per level, any semiring's pattern works — lor.land used here.
+/// Returns level[v] = hops from source, or -1 if unreachable.
+template <typename T>
+std::vector<Index> bfs_array(const sparse::Matrix<T>& A, Index source) {
+  using B = semiring::LorLand;
+  const Index n = A.nrows();
+  std::vector<Index> level(static_cast<std::size_t>(n), -1);
+  if (source < 0 || source >= n) return level;
+  level[static_cast<std::size_t>(source)] = 0;
+
+  // Work on the pattern of A so the traversal is semiring-agnostic.
+  const auto pattern = sparse::apply(
+      A, [](const T&) -> std::uint8_t { return 1; });
+
+  auto frontier = sparse::Matrix<std::uint8_t>::from_unique_triples(
+      1, n, {{0, source, std::uint8_t{1}}});
+  Index depth = 0;
+  while (frontier.nnz() > 0) {
+    ++depth;
+    frontier = sparse::mxm<B>(frontier, pattern);
+    // Mask: keep only not-yet-visited vertices; record their level.
+    auto triples = frontier.to_triples();
+    std::vector<sparse::Triple<std::uint8_t>> next;
+    next.reserve(triples.size());
+    for (const auto& t : triples) {
+      auto& lv = level[static_cast<std::size_t>(t.col)];
+      if (lv < 0) {
+        lv = depth;
+        next.push_back(t);
+      }
+    }
+    frontier = sparse::Matrix<std::uint8_t>::from_canonical_triples(1, n, next);
+  }
+  return level;
+}
+
+/// BFS levels via the classic queue traversal (the baseline side of Fig 1).
+template <typename T>
+std::vector<Index> bfs_queue(const sparse::Matrix<T>& A, Index source) {
+  const Index n = A.nrows();
+  std::vector<Index> level(static_cast<std::size_t>(n), -1);
+  if (source < 0 || source >= n) return level;
+  const auto v = A.view();
+  const bool full = v.n_nonempty_rows() == v.nrows;
+
+  std::queue<Index> q;
+  q.push(source);
+  level[static_cast<std::size_t>(source)] = 0;
+  while (!q.empty()) {
+    const Index u = q.front();
+    q.pop();
+    const auto ri = sparse::detail::find_row(v, u, full);
+    if (ri < 0) continue;
+    for (const Index w : v.row_cols(static_cast<std::size_t>(ri))) {
+      auto& lw = level[static_cast<std::size_t>(w)];
+      if (lw < 0) {
+        lw = level[static_cast<std::size_t>(u)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace hyperspace::hypergraph

@@ -1,0 +1,134 @@
+#pragma once
+// Further graph analytics on the semiring kernels: PageRank (repeated
+// normalized vxm over +.×), k-truss peeling (repeated masked triangle
+// support counts, the algorithm Davis demonstrates on SuiteSparse:GraphBLAS
+// [17]), and Jaccard neighborhood similarity.
+
+#include <cmath>
+#include <vector>
+
+#include "hypergraph/algorithms.hpp"
+#include "semiring/arithmetic.hpp"
+#include "sparse/apply.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/reduce.hpp"
+#include "sparse/transpose.hpp"
+
+namespace hyperspace::hypergraph {
+
+struct PageRankParams {
+  double damping = 0.85;
+  double tolerance = 1e-9;
+  int max_iterations = 100;
+};
+
+/// PageRank over the out-degree-normalized adjacency pattern. Dangling
+/// vertices redistribute uniformly. Returns a probability vector.
+template <typename T>
+std::vector<double> pagerank(const sparse::Matrix<T>& A,
+                             PageRankParams params = {}) {
+  using S = semiring::PlusTimes<double>;
+  using sparse::Index;
+  const Index n = A.nrows();
+  if (n == 0) return {};
+
+  // Row-normalize the pattern: P(i, j) = 1/outdeg(i).
+  const auto deg = out_degrees(A);
+  auto triples = A.to_triples();
+  std::vector<sparse::Triple<double>> pt;
+  pt.reserve(triples.size());
+  for (const auto& t : triples) {
+    pt.push_back({t.row, t.col,
+                  1.0 / static_cast<double>(deg[static_cast<std::size_t>(t.row)])});
+  }
+  const auto P = sparse::Matrix<double>::from_triples<S>(n, n, std::move(pt));
+
+  std::vector<double> rank(static_cast<std::size_t>(n),
+                           1.0 / static_cast<double>(n));
+  const double teleport = (1.0 - params.damping) / static_cast<double>(n);
+  for (int it = 0; it < params.max_iterations; ++it) {
+    // r' = teleport + d * (r P + dangling mass / n)
+    std::vector<sparse::Triple<double>> rt;
+    rt.reserve(rank.size());
+    for (Index i = 0; i < n; ++i) {
+      rt.push_back({0, i, rank[static_cast<std::size_t>(i)]});
+    }
+    const auto r = sparse::Matrix<double>::from_canonical_triples(1, n, rt);
+    const auto rp = sparse::mxm<S>(r, P);
+    double dangling = 0;
+    for (Index i = 0; i < n; ++i) {
+      if (deg[static_cast<std::size_t>(i)] == 0) {
+        dangling += rank[static_cast<std::size_t>(i)];
+      }
+    }
+    std::vector<double> next(static_cast<std::size_t>(n),
+                             teleport + params.damping * dangling /
+                                            static_cast<double>(n));
+    for (const auto& t : rp.to_triples()) {
+      next[static_cast<std::size_t>(t.col)] += params.damping * t.val;
+    }
+    double delta = 0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      delta += std::abs(next[i] - rank[i]);
+    }
+    rank.swap(next);
+    if (delta < params.tolerance) break;
+  }
+  return rank;
+}
+
+/// k-truss: the maximal subgraph in which every edge participates in at
+/// least k-2 triangles. Returns the surviving undirected edge pattern.
+template <typename T>
+sparse::Matrix<double> k_truss(const sparse::Matrix<T>& A, int k) {
+  using S = semiring::PlusTimes<double>;
+  using sparse::Index;
+  const int support_needed = k - 2;
+  auto e8 = symmetrize_pattern(A);
+  auto E = sparse::select(
+      sparse::apply(e8, [](std::uint8_t) { return 1.0; }),
+      [](Index r, Index c, double) { return r != c; });
+  // k <= 2 keeps every edge (support >= 0 is vacuous; edges with zero
+  // support carry no stored entry in the support matrix below).
+  if (support_needed <= 0) return E;
+  while (true) {
+    // support(i,j) = #common neighbors = (E ⊕.⊗ E)(i,j) on the edge mask.
+    const auto support = sparse::ewise_mult<S>(E, sparse::mxm<S>(E, E));
+    // Keep edges with enough support.
+    auto kept = sparse::select(support, [&](Index, Index, double s) {
+      return s >= static_cast<double>(support_needed);
+    });
+    const auto next = sparse::apply(kept, [](double) { return 1.0; });
+    if (next.nnz() == E.nnz()) return E;
+    if (next.nnz() == 0) return sparse::Matrix<double>(E.nrows(), E.ncols());
+    E = next;
+  }
+}
+
+/// Jaccard similarity of out-neighborhoods for every connected pair:
+/// J(i,j) = |N(i) ∩ N(j)| / |N(i) ∪ N(j)|, computed as (A Aᵀ) with
+/// degree normalization. Returns entries only where the overlap is > 0.
+template <typename T>
+sparse::Matrix<double> jaccard_similarity(const sparse::Matrix<T>& A) {
+  using S = semiring::PlusTimes<double>;
+  using sparse::Index;
+  const auto pattern = sparse::apply(A, [](const T&) { return 1.0; });
+  const auto overlap = sparse::mxm<S>(pattern, sparse::transpose(pattern));
+  const auto deg = out_degrees(A);
+  auto triples = overlap.to_triples();
+  std::vector<sparse::Triple<double>> out;
+  out.reserve(triples.size());
+  for (const auto& t : triples) {
+    if (t.row == t.col) continue;
+    const double du = static_cast<double>(deg[static_cast<std::size_t>(t.row)]);
+    const double dv = static_cast<double>(deg[static_cast<std::size_t>(t.col)]);
+    const double uni = du + dv - t.val;
+    if (uni > 0) out.push_back({t.row, t.col, t.val / uni});
+  }
+  return sparse::Matrix<double>::from_canonical_triples(A.nrows(), A.nrows(),
+                                                        out);
+}
+
+}  // namespace hyperspace::hypergraph

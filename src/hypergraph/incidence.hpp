@@ -1,0 +1,94 @@
+#pragma once
+// Incidence (edge) arrays — Fig 2.
+//
+// Streaming events are "hyper-multi-weighted-directed-graphs ... best
+// represented as incidence (or edge) arrays", where
+//
+//   E_out(k, k1) ≠ 0   edge k comes out of vertex k1
+//   E_in (k, k2) ≠ 0   edge k goes into vertex k2
+//
+// A HyperEdge may leave multiple vertices and enter multiple vertices
+// (hyper-edge, Fig 2 red) and the same (out, in) pair may repeat across
+// edge rows (multi-edge, Fig 2 blue).
+
+#include <stdexcept>
+#include <vector>
+
+#include "semiring/arithmetic.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::hypergraph {
+
+using sparse::Index;
+
+struct HyperEdge {
+  std::vector<Index> out;  ///< vertices the edge leaves
+  std::vector<Index> in;   ///< vertices the edge enters
+  double weight = 1.0;
+};
+
+/// A directed hyper-multi-graph stored as the pair (E_out, E_in) of
+/// n_edges × n_vertices incidence arrays.
+class IncidencePair {
+ public:
+  IncidencePair(Index n_vertices, const std::vector<HyperEdge>& edges)
+      : n_vertices_(n_vertices), n_edges_(static_cast<Index>(edges.size())) {
+    using S = semiring::PlusTimes<double>;
+    std::vector<sparse::Triple<double>> out_t, in_t;
+    for (Index k = 0; k < n_edges_; ++k) {
+      const auto& e = edges[static_cast<std::size_t>(k)];
+      if (e.out.empty() || e.in.empty()) {
+        throw std::invalid_argument("HyperEdge: needs >=1 out and in vertex");
+      }
+      for (const Index v : e.out) out_t.push_back({k, v, e.weight});
+      for (const Index v : e.in) in_t.push_back({k, v, e.weight});
+    }
+    eout_ = sparse::Matrix<double>::from_triples<S>(n_edges_, n_vertices_,
+                                                    std::move(out_t));
+    ein_ = sparse::Matrix<double>::from_triples<S>(n_edges_, n_vertices_,
+                                                   std::move(in_t));
+  }
+
+  Index n_vertices() const { return n_vertices_; }
+  Index n_edges() const { return n_edges_; }
+  const sparse::Matrix<double>& eout() const { return eout_; }
+  const sparse::Matrix<double>& ein() const { return ein_; }
+
+  /// True if any edge row touches more than two vertices total (hyper-edge).
+  bool has_hyper_edges() const {
+    const auto vo = eout_.view();
+    const auto vi = ein_.view();
+    // Count per edge row across both arrays.
+    std::vector<Index> touch(static_cast<std::size_t>(n_edges_), 0);
+    for (std::size_t r = 0; r < vo.row_ids.size(); ++r) {
+      touch[static_cast<std::size_t>(vo.row_ids[r])] +=
+          static_cast<Index>(vo.row_cols(r).size());
+    }
+    for (std::size_t r = 0; r < vi.row_ids.size(); ++r) {
+      touch[static_cast<std::size_t>(vi.row_ids[r])] +=
+          static_cast<Index>(vi.row_cols(r).size());
+    }
+    for (const Index t : touch) {
+      if (t > 2) return true;
+    }
+    return false;
+  }
+
+ private:
+  Index n_vertices_;
+  Index n_edges_;
+  sparse::Matrix<double> eout_;
+  sparse::Matrix<double> ein_;
+};
+
+/// Convenience: plain directed edges (src → dst) as an incidence pair.
+inline IncidencePair incidence_from_edges(
+    Index n_vertices, const std::vector<std::pair<Index, Index>>& edges,
+    double weight = 1.0) {
+  std::vector<HyperEdge> hs;
+  hs.reserve(edges.size());
+  for (const auto& [s, d] : edges) hs.push_back({{s}, {d}, weight});
+  return IncidencePair(n_vertices, hs);
+}
+
+}  // namespace hyperspace::hypergraph

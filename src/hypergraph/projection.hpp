@@ -1,0 +1,31 @@
+#pragma once
+// Edge array → adjacency array projection (Fig 3):
+//
+//   A = E_outᵀ E_in,   A(i, j) = ⨁_k E_outᵀ(i, k) ⊗ E_in(k, j)
+//
+// "The adjacency array represents a projection of edge data and is often an
+// initial step in processing diverse digital data."
+
+#include "hypergraph/incidence.hpp"
+#include "semiring/concepts.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/transpose.hpp"
+
+namespace hyperspace::hypergraph {
+
+/// A = E_outᵀ ⊕.⊗ E_in over an arbitrary semiring (the values of A depend
+/// on the semiring; its *pattern* — the graph topology — does not, which is
+/// the §V-A observation about topological operations).
+template <semiring::Semiring S>
+sparse::Matrix<typename S::value_type> adjacency_projection(
+    const sparse::Matrix<typename S::value_type>& eout,
+    const sparse::Matrix<typename S::value_type>& ein) {
+  return sparse::mxm<S>(sparse::transpose(eout), ein);
+}
+
+/// The standard +.× projection of an IncidencePair: multi-edges accumulate.
+inline sparse::Matrix<double> adjacency(const IncidencePair& g) {
+  return adjacency_projection<semiring::PlusTimes<double>>(g.eout(), g.ein());
+}
+
+}  // namespace hyperspace::hypergraph

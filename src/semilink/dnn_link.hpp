@@ -1,0 +1,50 @@
+#pragma once
+// The DNN semiring pair (Section V-C).
+//
+// "the ReLU DNN can be written as a linear system that oscillates over two
+//  semirings S1 and S2 ... This DNN semiring pair is more complex than what
+//  is described by the semilink concept and may require extending the
+//  semilink concept to encompass DNNs."
+//
+// SemiringPair is that extension: two semirings over the same carrier with
+// designated roles (S1 for the correlation step, S2 for the thresholding
+// step). The dnn/ module instantiates DnnLink = (+.×, max.+).
+
+#include <concepts>
+
+#include "semiring/arithmetic.hpp"
+#include "semiring/concepts.hpp"
+#include "semiring/tropical.hpp"
+
+namespace hyperspace::semilink {
+
+/// Two semirings sharing one carrier — the "linked semirings" of the
+/// paper's conclusions.
+template <semiring::Semiring A, semiring::Semiring B>
+  requires std::same_as<typename A::value_type, typename B::value_type>
+struct SemiringPair {
+  using S1 = A;  ///< the correlation semiring (Yk Wk)
+  using S2 = B;  ///< the selection semiring (bias ⊗, threshold ⊕)
+  using value_type = typename A::value_type;
+};
+
+/// S1 = (R, +, ×, 0, 1), S2 = (R ∪ {-∞}, max, +, -∞, 0).
+using DnnLink =
+    SemiringPair<semiring::PlusTimes<double>, semiring::MaxPlus<double>>;
+
+/// ReLU written purely in S2: h(y) = y ⊕₂ 1₂ = max(y, 0).
+template <typename Pair = DnnLink>
+constexpr typename Pair::value_type relu(typename Pair::value_type y) {
+  using S2 = typename Pair::S2;
+  return S2::add(y, S2::one());
+}
+
+/// Bias application written purely in S2: y ⊗₂ b = y + b.
+template <typename Pair = DnnLink>
+constexpr typename Pair::value_type bias_mul(typename Pair::value_type y,
+                                             typename Pair::value_type b) {
+  using S2 = typename Pair::S2;
+  return S2::mul(y, b);
+}
+
+}  // namespace hyperspace::semilink

@@ -1,0 +1,152 @@
+#pragma once
+// The §IV semilink identities, as executable checks.
+//
+// Each identity the paper states becomes a predicate that evaluates both
+// sides with the library's own operations and compares stored entries.
+// The test suite asserts these under the stated preconditions and exhibits
+// counterexamples when a precondition is dropped; the §IV bench measures
+// them at scale.
+
+#include <utility>
+
+#include "array/assoc_array.hpp"
+#include "semilink/semilink.hpp"
+#include "sparse/apply.hpp"
+
+namespace hyperspace::semilink {
+
+/// 1 ⊗ I = I ⊗ 1 = I  and  1 ⊕.⊗ I = I ⊕.⊗ 1 = 1  — the identities
+/// "preserve their properties with respect to their corresponding
+/// operations". Checked over the given square key space.
+template <semiring::Semiring S>
+bool identities_interact(const Semilink<S>& L) {
+  const auto one = L.one();
+  const auto eye = L.eye();
+  const bool mult_side = (L.mult(one, eye) == eye) && (L.mult(eye, one) == eye);
+  const bool mtimes_side =
+      (L.mtimes(one, eye) == one) && (L.mtimes(eye, one) == one);
+  return mult_side && mtimes_side;
+}
+
+/// If |A|₀ = P (a permutation pattern) then A ⊗ P = P ⊗ A = A.
+/// P here is the zero-norm of A itself, the canonical such permutation.
+template <semiring::Semiring S>
+bool permutation_elementwise_identity(const AssocArray<S>& A) {
+  const auto P = A.zero_norm();
+  return array::mult(A, P) == A && array::mult(P, A) == A;
+}
+
+/// C = A ⊕.⊗ 1 projects onto rows: C(k1, :) = ⨁_{k2} A(k1, k2).
+/// Verified against the direct monoid reduction.
+template <semiring::Semiring S>
+bool ones_projects_rows(const AssocArray<S>& A) {
+  const KeySet out_col{Key(std::int64_t{0})};
+  const auto ones = AssocArray<S>::ones(A.col_keys(), out_col);
+  const auto via_mtimes = array::mtimes(A, ones);
+  const auto direct =
+      sparse::reduce_rows<semiring::AddMonoidOf<S>>(A.matrix());
+  const AssocArray<S> expect(A.row_keys(), out_col, direct);
+  return via_mtimes == expect;
+}
+
+/// C = 1 ⊕.⊗ A projects onto columns: C(:, k2) = ⨁_{k1} A(k1, k2).
+template <semiring::Semiring S>
+bool ones_projects_cols(const AssocArray<S>& A) {
+  const KeySet out_row{Key(std::int64_t{0})};
+  const auto ones = AssocArray<S>::ones(out_row, A.row_keys());
+  const auto via_mtimes = array::mtimes(ones, A);
+  const auto direct =
+      sparse::reduce_cols<semiring::AddMonoidOf<S>>(A.matrix());
+  const AssocArray<S> expect(out_row, A.col_keys(), direct);
+  return via_mtimes == expect;
+}
+
+/// Conditional distributivity of ⊕.⊗ over ⊗ (§IV): if
+/// |A|₀ = |A1|₀ = |A2|₀ = P and A = A1 ⊗ A2, then
+///   A ⊕.⊗ (B ⊗ C) = (A1 ⊕.⊗ B) ⊗ (A2 ⊕.⊗ C).
+/// Preconditions are checked; returns false if they do not hold or if the
+/// identity fails.
+template <semiring::Semiring S>
+bool conditional_distributivity(const AssocArray<S>& A1,
+                                const AssocArray<S>& A2,
+                                const AssocArray<S>& B,
+                                const AssocArray<S>& C) {
+  if (!is_permutation_pattern(A1) || !is_permutation_pattern(A2)) return false;
+  const auto A = array::mult(A1, A2);
+  if (!(A.zero_norm() == A1.zero_norm() && A.zero_norm() == A2.zero_norm())) {
+    return false;  // patterns must coincide for the hypothesis |A|₀ = P
+  }
+  const auto lhs = array::mtimes(A, array::mult(B, C));
+  const auto rhs =
+      array::mult(array::mtimes(A1, B), array::mtimes(A2, C));
+  return lhs == rhs;
+}
+
+/// Does A ⊗ (B ⊕.⊗ C) = (A ⊗ B) ⊕.⊗ C hold for these operands? §IV proves
+/// it in the trivial cases A = 1 or C = I; tests use this general evaluator
+/// to confirm those cases and to exhibit counterexamples outside them.
+template <semiring::Semiring S>
+bool hybrid_associativity_holds(const AssocArray<S>& A, const AssocArray<S>& B,
+                                const AssocArray<S>& C) {
+  const auto lhs = array::mult(A, array::mtimes(B, C));
+  const auto rhs = array::mtimes(array::mult(A, B), C);
+  return lhs == rhs;
+}
+
+/// Hybrid associativity in the trivial cases (§IV): if A = 1 or C = I then
+///   A ⊗ (B ⊕.⊗ C) = (A ⊗ B) ⊕.⊗ C.
+/// `a_is_one` selects which trivial case to instantiate for operand B.
+template <semiring::Semiring S>
+bool hybrid_associativity_trivial(const AssocArray<S>& B, bool a_is_one) {
+  const auto eye = AssocArray<S>::identity(B.col_keys());
+  if (a_is_one) {
+    // A = 1 over B's key spaces, C = I over B's column keys.
+    const auto one = AssocArray<S>::ones(B.row_keys(), B.col_keys());
+    const auto lhs = array::mult(one, array::mtimes(B, eye));
+    const auto rhs = array::mtimes(array::mult(one, B), eye);
+    return lhs == rhs;
+  }
+  // A = B (arbitrary), C = I over B's column keys.
+  const auto lhs = array::mult(B, array::mtimes(B, eye));
+  const auto rhs = array::mtimes(array::mult(B, B), eye);
+  return lhs == rhs;
+}
+
+/// §IV annihilation, form 1: if row(A) ∩ row(B) = ∅ or
+/// col(A) ∩ col(C) = ∅ or col(B) ∩ row(C) = ∅, then A ⊗ (B ⊕.⊗ C) = 0.
+template <semiring::Semiring S>
+bool annihilates_left(const AssocArray<S>& A, const AssocArray<S>& B,
+                      const AssocArray<S>& C) {
+  const bool precondition = array::disjoint(A.row(), B.row()) ||
+                            array::disjoint(A.col(), C.col()) ||
+                            array::disjoint(B.col(), C.row());
+  if (!precondition) return false;
+  return array::mult(A, array::mtimes(B, C)).empty();
+}
+
+/// §IV annihilation, form 2: if row(A) ∩ row(B) = ∅ or col(A) ∩ col(B) = ∅
+/// or col(A) ∩ row(C) = ∅ or col(B) ∩ row(C) = ∅, then (A ⊗ B) ⊕.⊗ C = 0.
+template <semiring::Semiring S>
+bool annihilates_right(const AssocArray<S>& A, const AssocArray<S>& B,
+                       const AssocArray<S>& C) {
+  const bool precondition = array::disjoint(A.row(), B.row()) ||
+                            array::disjoint(A.col(), B.col()) ||
+                            array::disjoint(A.col(), C.row()) ||
+                            array::disjoint(B.col(), C.row());
+  if (!precondition) return false;
+  return array::mtimes(array::mult(A, B), C).empty();
+}
+
+/// §IV corollary: if row(A) ∩ row(B) = ∅ or col(B) ∩ row(C) = ∅, then both
+/// groupings vanish: A ⊗ (B ⊕.⊗ C) = (A ⊗ B) ⊕.⊗ C = 0.
+template <semiring::Semiring S>
+bool annihilates_both(const AssocArray<S>& A, const AssocArray<S>& B,
+                      const AssocArray<S>& C) {
+  const bool precondition = array::disjoint(A.row(), B.row()) ||
+                            array::disjoint(B.col(), C.row());
+  if (!precondition) return false;
+  return array::mult(A, array::mtimes(B, C)).empty() &&
+         array::mtimes(array::mult(A, B), C).empty();
+}
+
+}  // namespace hyperspace::semilink

@@ -1,0 +1,82 @@
+#pragma once
+// The semilink (Section IV):
+//
+//   (A, ⊕, ⊗, ⊕.⊗, 0, 1, I)
+//
+// the structure obtained by coupling the element-wise commutative semiring
+// (A, ⊕, ⊗, 0, 1) with the array semiring (A, ⊕, ⊕.⊗, 0, I) over the
+// associative arrays A on a value semiring S. Semilink<S> packages the
+// three operations and the three distinguished arrays (0, 1, I) over a
+// fixed pair of key spaces, so the §IV identities can be stated — and
+// checked (identities.hpp) — as code.
+
+#include "array/assoc_array.hpp"
+#include "semiring/concepts.hpp"
+
+namespace hyperspace::semilink {
+
+using array::AssocArray;
+using array::Key;
+using array::KeySet;
+
+template <semiring::Semiring S>
+class Semilink {
+ public:
+  using value_type = typename S::value_type;
+  using Array = AssocArray<S>;
+
+  /// A semilink instance over row key space `r` and column key space `c`.
+  Semilink(KeySet r, KeySet c) : rows_(std::move(r)), cols_(std::move(c)) {}
+
+  /// Square semilink (row keys == column keys), the setting of most §IV
+  /// statements (I is square by construction).
+  explicit Semilink(KeySet k) : rows_(k), cols_(std::move(k)) {}
+
+  const KeySet& row_keys() const { return rows_; }
+  const KeySet& col_keys() const { return cols_; }
+
+  /// 0 — the array of all 0, i.e. the empty array (no stored entries).
+  Array zero() const {
+    return Array(rows_, cols_,
+                 sparse::Matrix<value_type>(
+                     static_cast<sparse::Index>(rows_.size()),
+                     static_cast<sparse::Index>(cols_.size()), S::zero()));
+  }
+
+  /// 1 — the array of all 1 (⊗-identity of the element-wise semiring).
+  Array one() const { return Array::ones(rows_, cols_); }
+
+  /// I — the identity array (⊕.⊗-identity), defined on the row key space.
+  Array eye() const { return Array::identity(rows_); }
+
+  /// The three semilink operations, bound to this instance for fluency.
+  Array add(const Array& a, const Array& b) const { return array::add(a, b); }
+  Array mult(const Array& a, const Array& b) const { return array::mult(a, b); }
+  Array mtimes(const Array& a, const Array& b) const {
+    return array::mtimes(a, b);
+  }
+
+ private:
+  KeySet rows_;
+  KeySet cols_;
+};
+
+/// True iff the sparsity pattern of A is a permutation: every non-empty row
+/// has exactly one entry and no column is used twice (|A|₀ = P, §IV).
+template <semiring::Semiring S>
+bool is_permutation_pattern(const AssocArray<S>& A) {
+  const auto v = A.matrix().view();
+  std::vector<char> col_used(static_cast<std::size_t>(A.matrix().ncols()), 0);
+  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+    const auto cols = v.row_cols(ri);
+    if (cols.size() > 1) return false;
+    for (const auto c : cols) {
+      auto& used = col_used[static_cast<std::size_t>(c)];
+      if (used) return false;
+      used = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace hyperspace::semilink

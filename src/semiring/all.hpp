@@ -1,0 +1,8 @@
+#pragma once
+// Convenience umbrella for the full Table I semiring family.
+
+#include "semiring/arithmetic.hpp"
+#include "semiring/concepts.hpp"
+#include "semiring/laws.hpp"
+#include "semiring/set_algebra.hpp"
+#include "semiring/tropical.hpp"

@@ -1,0 +1,38 @@
+#pragma once
+// Standard arithmetic semiring (R, +, ×, 0, 1) — Table I row 1, and the S1
+// semiring of the paper's DNN formulation (Section V-C).
+
+#include <cstdint>
+#include <string_view>
+
+namespace hyperspace::semiring {
+
+/// (T, +, ×, 0, 1). T is any arithmetic-like type.
+template <typename T = double>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr std::string_view name() { return "+.x"; }
+  static constexpr T zero() { return T{0}; }
+  static constexpr T one() { return T{1}; }
+  static constexpr T add(const T& a, const T& b) { return a + b; }
+  static constexpr T mul(const T& a, const T& b) { return a * b; }
+};
+
+/// Boolean (lor.land) semiring: ({0,1}, ∨, ∧, 0, 1). The semiring of pure
+/// topology — BFS reachability, sparsity-pattern algebra, the zero-norm ||₀.
+/// Carrier is uint8_t (0/1) rather than bool so values pack into ordinary
+/// arrays (std::vector<bool> has no contiguous storage to view).
+struct LorLand {
+  using value_type = std::uint8_t;
+  static constexpr std::string_view name() { return "lor.land"; }
+  static constexpr value_type zero() { return 0; }
+  static constexpr value_type one() { return 1; }
+  static constexpr value_type add(value_type a, value_type b) {
+    return static_cast<value_type>(a | b);
+  }
+  static constexpr value_type mul(value_type a, value_type b) {
+    return static_cast<value_type>(a & b);
+  }
+};
+
+}  // namespace hyperspace::semiring

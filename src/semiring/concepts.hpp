@@ -1,0 +1,61 @@
+#pragma once
+// C++20 concepts for monoids and semirings.
+//
+// The paper (Section II-C) defines a semiring (V, ⊕, ⊗, 0, 1): ⊕ is a
+// commutative monoid with identity 0, ⊗ is a monoid with identity 1, ⊗
+// distributes over ⊕, and 0 annihilates under ⊗. Semirings are *types* in
+// this library: stateless structs exposing the carrier type and the four
+// ingredients, so every sparse kernel can be instantiated for every Table I
+// semiring from a single code path — the GraphBLAS design the paper builds on.
+
+#include <concepts>
+
+namespace hyperspace::semiring {
+
+/// A monoid over M::value_type: associative op() with identity().
+template <typename M>
+concept Monoid = requires(typename M::value_type a, typename M::value_type b) {
+  typename M::value_type;
+  { M::identity() } -> std::convertible_to<typename M::value_type>;
+  { M::op(a, b) } -> std::convertible_to<typename M::value_type>;
+};
+
+/// A semiring over S::value_type.
+///
+/// Requirements (checked structurally here, algebraically in laws.hpp and
+/// the property-test suite):
+///  - add(a,b): commutative monoid with identity zero()
+///  - mul(a,b): monoid with identity one()
+///  - mul distributes over add; zero() annihilates mul.
+template <typename S>
+concept Semiring = requires(typename S::value_type a, typename S::value_type b) {
+  typename S::value_type;
+  { S::zero() } -> std::convertible_to<typename S::value_type>;
+  { S::one() } -> std::convertible_to<typename S::value_type>;
+  { S::add(a, b) } -> std::convertible_to<typename S::value_type>;
+  { S::mul(a, b) } -> std::convertible_to<typename S::value_type>;
+  { S::name() };
+};
+
+/// The additive monoid view of a semiring, usable wherever Monoid is needed
+/// (e.g. reductions C = A ⊕.⊗ 1 project via the add monoid alone).
+template <Semiring S>
+struct AddMonoidOf {
+  using value_type = typename S::value_type;
+  static value_type identity() { return S::zero(); }
+  static value_type op(const value_type& a, const value_type& b) {
+    return S::add(a, b);
+  }
+};
+
+/// The multiplicative monoid view of a semiring.
+template <Semiring S>
+struct MulMonoidOf {
+  using value_type = typename S::value_type;
+  static value_type identity() { return S::one(); }
+  static value_type op(const value_type& a, const value_type& b) {
+    return S::mul(a, b);
+  }
+};
+
+}  // namespace hyperspace::semiring

@@ -1,0 +1,136 @@
+#pragma once
+// Executable algebraic-law checkers.
+//
+// The paper's Section II argues that the *laws* (distributivity, additive
+// identity, multiplicative annihilator) are what buy reordering freedom for
+// parallel computation and zero-elision for sparse storage. This header
+// turns each law into a predicate over a sample of carrier values, so the
+// property-test suite and the §IV bench can verify every Table I semiring
+// mechanically rather than by assertion.
+
+#include <cmath>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+
+namespace hyperspace::semiring {
+
+namespace detail {
+// Approximate equality for floating carriers: tropical adds on large
+// magnitudes are exact, but +.x over doubles needs a relative tolerance
+// when checking associativity/distributivity on random samples.
+inline bool law_eq(double a, double b) {
+  if (a == b) return true;            // covers ±inf and exact hits
+  if (a != a && b != b) return true;  // NaN == NaN for law purposes
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= 1e-9 * std::max(scale, 1.0);
+}
+template <typename T>
+bool law_eq(const T& a, const T& b) {
+  return a == b;
+}
+}  // namespace detail
+
+/// ∀a,b ∈ sample: a ⊕ b == b ⊕ a.
+template <Semiring S>
+bool add_commutative(const std::vector<typename S::value_type>& sample) {
+  for (const auto& a : sample) {
+    for (const auto& b : sample) {
+      if (!detail::law_eq(S::add(a, b), S::add(b, a))) return false;
+    }
+  }
+  return true;
+}
+
+/// ∀a,b,c: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+template <Semiring S>
+bool add_associative(const std::vector<typename S::value_type>& sample) {
+  for (const auto& a : sample) {
+    for (const auto& b : sample) {
+      for (const auto& c : sample) {
+        if (!detail::law_eq(S::add(S::add(a, b), c), S::add(a, S::add(b, c)))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// ∀a,b,c: (a ⊗ b) ⊗ c == a ⊗ (b ⊗ c).
+template <Semiring S>
+bool mul_associative(const std::vector<typename S::value_type>& sample) {
+  for (const auto& a : sample) {
+    for (const auto& b : sample) {
+      for (const auto& c : sample) {
+        if (!detail::law_eq(S::mul(S::mul(a, b), c), S::mul(a, S::mul(b, c)))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// ∀a: a ⊕ 0 == a and 0 ⊕ a == a.
+template <Semiring S>
+bool additive_identity(const std::vector<typename S::value_type>& sample) {
+  for (const auto& a : sample) {
+    if (!detail::law_eq(S::add(a, S::zero()), a)) return false;
+    if (!detail::law_eq(S::add(S::zero(), a), a)) return false;
+  }
+  return true;
+}
+
+/// ∀a: a ⊗ 1 == a and 1 ⊗ a == a.
+template <Semiring S>
+bool multiplicative_identity(const std::vector<typename S::value_type>& sample) {
+  for (const auto& a : sample) {
+    if (!detail::law_eq(S::mul(a, S::one()), a)) return false;
+    if (!detail::law_eq(S::mul(S::one(), a), a)) return false;
+  }
+  return true;
+}
+
+/// ∀a: a ⊗ 0 == 0 and 0 ⊗ a == 0 — the zero-elision property that makes
+/// sparse storage correct.
+template <Semiring S>
+bool multiplicative_annihilator(const std::vector<typename S::value_type>& sample) {
+  for (const auto& a : sample) {
+    if (!detail::law_eq(S::mul(a, S::zero()), S::zero())) return false;
+    if (!detail::law_eq(S::mul(S::zero(), a), S::zero())) return false;
+  }
+  return true;
+}
+
+/// ∀a,b,c: a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c) and the right-hand version —
+/// the reordering property Section I highlights for parallel computation.
+template <Semiring S>
+bool distributive(const std::vector<typename S::value_type>& sample) {
+  for (const auto& a : sample) {
+    for (const auto& b : sample) {
+      for (const auto& c : sample) {
+        if (!detail::law_eq(S::mul(a, S::add(b, c)),
+                            S::add(S::mul(a, b), S::mul(a, c)))) {
+          return false;
+        }
+        if (!detail::law_eq(S::mul(S::add(b, c), a),
+                            S::add(S::mul(b, a), S::mul(c, a)))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// All semiring laws at once; the one-call check used by TEST_P sweeps.
+template <Semiring S>
+bool all_semiring_laws(const std::vector<typename S::value_type>& sample) {
+  return add_commutative<S>(sample) && add_associative<S>(sample) &&
+         mul_associative<S>(sample) && additive_identity<S>(sample) &&
+         multiplicative_identity<S>(sample) &&
+         multiplicative_annihilator<S>(sample) && distributive<S>(sample);
+}
+
+}  // namespace hyperspace::semiring

@@ -1,0 +1,109 @@
+#pragma once
+// The union-intersection semiring (P(V), ∪, ∩, ∅, P(V)) — Table I row 6 and
+// the semiring of relational algebra (Section V-B):
+//
+//   "relational (SQL) databases are described by relational algebra that
+//    corresponds to the union-intersection semiring ∪.∩"
+//
+// ValueSet represents an element of the power set P(V) for a countable
+// universe V. The top element P(V) itself (the ⊗-identity 1) is represented
+// symbolically by a `universe` flag so that the identity is exact even when
+// V is unbounded — the same trick lets the database layer's 1-array and
+// I-array (Section V-B) be finite objects.
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace hyperspace::semiring {
+
+/// A set of element ids drawn from a universe V, or the whole universe P(V)'s
+/// top element. Elements are kept sorted-unique; operations are linear merges.
+class ValueSet {
+ public:
+  using element = std::int64_t;
+
+  ValueSet() = default;
+  ValueSet(std::initializer_list<element> xs) : elems_(xs) { normalize(); }
+  explicit ValueSet(std::vector<element> xs) : elems_(std::move(xs)) { normalize(); }
+
+  /// The top element: the entire universe V (i.e. "P(V)" in Table I).
+  static ValueSet all() {
+    ValueSet s;
+    s.universe_ = true;
+    return s;
+  }
+  static ValueSet empty() { return ValueSet{}; }
+
+  bool is_universe() const { return universe_; }
+  bool is_empty() const { return !universe_ && elems_.empty(); }
+  std::size_t size() const { return elems_.size(); }
+  const std::vector<element>& elements() const { return elems_; }
+
+  bool contains(element x) const {
+    if (universe_) return true;
+    return std::binary_search(elems_.begin(), elems_.end(), x);
+  }
+
+  friend ValueSet set_union(const ValueSet& a, const ValueSet& b) {
+    if (a.universe_ || b.universe_) return all();
+    ValueSet out;
+    out.elems_.reserve(a.elems_.size() + b.elems_.size());
+    std::set_union(a.elems_.begin(), a.elems_.end(), b.elems_.begin(),
+                   b.elems_.end(), std::back_inserter(out.elems_));
+    return out;
+  }
+
+  friend ValueSet set_intersection(const ValueSet& a, const ValueSet& b) {
+    if (a.universe_) return b;
+    if (b.universe_) return a;
+    ValueSet out;
+    std::set_intersection(a.elems_.begin(), a.elems_.end(), b.elems_.begin(),
+                          b.elems_.end(), std::back_inserter(out.elems_));
+    return out;
+  }
+
+  friend bool operator==(const ValueSet& a, const ValueSet& b) {
+    return a.universe_ == b.universe_ && a.elems_ == b.elems_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const ValueSet& s) {
+    if (s.universe_) return os << "P(V)";
+    os << '{';
+    for (std::size_t i = 0; i < s.elems_.size(); ++i) {
+      if (i) os << ',';
+      os << s.elems_[i];
+    }
+    return os << '}';
+  }
+
+ private:
+  void normalize() {
+    std::sort(elems_.begin(), elems_.end());
+    elems_.erase(std::unique(elems_.begin(), elems_.end()), elems_.end());
+  }
+
+  std::vector<element> elems_;
+  bool universe_ = false;
+};
+
+/// (P(V), ∪, ∩, ∅, P(V)). ∅ is the ⊕-identity and ⊗-annihilator; P(V) is the
+/// ⊗-identity. Distributivity of ∩ over ∪ is what makes relational query
+/// planning sound (Section V-B).
+struct UnionIntersect {
+  using value_type = ValueSet;
+  static constexpr std::string_view name() { return "u.n"; }
+  static value_type zero() { return ValueSet::empty(); }
+  static value_type one() { return ValueSet::all(); }
+  static value_type add(const value_type& a, const value_type& b) {
+    return set_union(a, b);
+  }
+  static value_type mul(const value_type& a, const value_type& b) {
+    return set_intersection(a, b);
+  }
+};
+
+}  // namespace hyperspace::semiring

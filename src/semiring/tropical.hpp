@@ -1,0 +1,146 @@
+#pragma once
+// The tropical semiring family of Table I:
+//
+//   R ∪ {-∞}   max  +    -∞   0      (max.+, DNN/finance)
+//   R ∪ {+∞}   min  +    +∞   0      (min.+, shortest paths)
+//   R≥0        max  ×     0   1      (max.×)
+//   R≥0 ∪ {+∞} min  ×    +∞   1      (min.×)
+//   V ∪ {-∞}   max  min  -∞  +∞      (max.min, bottleneck paths)
+//   V ∪ {+∞}   min  max  +∞  -∞      (min.max)
+//
+// The real-valued instantiations use IEEE ±inf directly. For arbitrary
+// strict totally ordered carriers V (the paper: "any sortable set", e.g.
+// strings), Bounded<T> adjoins explicit ±∞ elements so max.min / min.max
+// work over non-numeric keys too.
+
+#include <algorithm>
+#include <compare>
+#include <limits>
+#include <string_view>
+
+namespace hyperspace::semiring {
+
+template <typename T = double>
+struct MaxPlus {
+  using value_type = T;
+  static constexpr std::string_view name() { return "max.+"; }
+  static constexpr T zero() { return -std::numeric_limits<T>::infinity(); }
+  static constexpr T one() { return T{0}; }
+  static constexpr T add(const T& a, const T& b) { return std::max(a, b); }
+  static constexpr T mul(const T& a, const T& b) { return a + b; }
+};
+
+template <typename T = double>
+struct MinPlus {
+  using value_type = T;
+  static constexpr std::string_view name() { return "min.+"; }
+  static constexpr T zero() { return std::numeric_limits<T>::infinity(); }
+  static constexpr T one() { return T{0}; }
+  static constexpr T add(const T& a, const T& b) { return std::min(a, b); }
+  static constexpr T mul(const T& a, const T& b) { return a + b; }
+};
+
+/// max.× over the non-negative reals R≥0 (0 is both ⊕-identity and
+/// ⊗-annihilator; closure requires a,b ≥ 0, asserted in debug kernels).
+template <typename T = double>
+struct MaxTimes {
+  using value_type = T;
+  static constexpr std::string_view name() { return "max.x"; }
+  static constexpr T zero() { return T{0}; }
+  static constexpr T one() { return T{1}; }
+  static constexpr T add(const T& a, const T& b) { return std::max(a, b); }
+  static constexpr T mul(const T& a, const T& b) { return a * b; }
+};
+
+/// min.× over R≥0 ∪ {+∞}.
+template <typename T = double>
+struct MinTimes {
+  using value_type = T;
+  static constexpr std::string_view name() { return "min.x"; }
+  static constexpr T zero() { return std::numeric_limits<T>::infinity(); }
+  static constexpr T one() { return T{1}; }
+  static constexpr T add(const T& a, const T& b) { return std::min(a, b); }
+  static constexpr T mul(const T& a, const T& b) {
+    // +∞ must annihilate min even against 0 (IEEE inf*0 = NaN otherwise).
+    if (a == zero() || b == zero()) return zero();
+    return a * b;
+  }
+};
+
+template <typename T = double>
+struct MaxMin {
+  using value_type = T;
+  static constexpr std::string_view name() { return "max.min"; }
+  static constexpr T zero() { return -std::numeric_limits<T>::infinity(); }
+  static constexpr T one() { return std::numeric_limits<T>::infinity(); }
+  static constexpr T add(const T& a, const T& b) { return std::max(a, b); }
+  static constexpr T mul(const T& a, const T& b) { return std::min(a, b); }
+};
+
+template <typename T = double>
+struct MinMax {
+  using value_type = T;
+  static constexpr std::string_view name() { return "min.max"; }
+  static constexpr T zero() { return std::numeric_limits<T>::infinity(); }
+  static constexpr T one() { return -std::numeric_limits<T>::infinity(); }
+  static constexpr T add(const T& a, const T& b) { return std::min(a, b); }
+  static constexpr T mul(const T& a, const T& b) { return std::max(a, b); }
+};
+
+/// T extended with explicit -∞ / +∞ elements, totally ordered:
+/// NegInf < every finite value (by T's order) < PosInf.
+/// Lets max.min / min.max run over any sortable carrier (e.g. std::string).
+template <typename T>
+struct Bounded {
+  enum class Kind : unsigned char { NegInf, Finite, PosInf };
+
+  Kind kind = Kind::Finite;
+  T value{};
+
+  static constexpr Bounded neg_inf() { return {Kind::NegInf, T{}}; }
+  static constexpr Bounded pos_inf() { return {Kind::PosInf, T{}}; }
+  static constexpr Bounded finite(T v) { return {Kind::Finite, std::move(v)}; }
+
+  friend bool operator==(const Bounded& a, const Bounded& b) {
+    if (a.kind != b.kind) return false;
+    return a.kind != Kind::Finite || a.value == b.value;
+  }
+  friend bool operator<(const Bounded& a, const Bounded& b) {
+    if (a.kind != b.kind) {
+      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    }
+    return a.kind == Kind::Finite && a.value < b.value;
+  }
+};
+
+/// max.min over Bounded<T> — "V is any strict totally ordered set".
+template <typename T>
+struct BoundedMaxMin {
+  using value_type = Bounded<T>;
+  static constexpr std::string_view name() { return "max.min (ordered V)"; }
+  static value_type zero() { return Bounded<T>::neg_inf(); }
+  static value_type one() { return Bounded<T>::pos_inf(); }
+  static value_type add(const value_type& a, const value_type& b) {
+    return a < b ? b : a;
+  }
+  static value_type mul(const value_type& a, const value_type& b) {
+    return a < b ? a : b;
+  }
+};
+
+/// min.max over Bounded<T>.
+template <typename T>
+struct BoundedMinMax {
+  using value_type = Bounded<T>;
+  static constexpr std::string_view name() { return "min.max (ordered V)"; }
+  static value_type zero() { return Bounded<T>::pos_inf(); }
+  static value_type one() { return Bounded<T>::neg_inf(); }
+  static value_type add(const value_type& a, const value_type& b) {
+    return a < b ? a : b;
+  }
+  static value_type mul(const value_type& a, const value_type& b) {
+    return a < b ? b : a;
+  }
+};
+
+}  // namespace hyperspace::semiring

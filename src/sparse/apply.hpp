@@ -1,0 +1,75 @@
+#pragma once
+// Per-entry transforms: apply (GrB_apply), select (GxB_select), and the
+// element-wise zero-norm ||·||₀ of Table II, which "maps all non-zero
+// elements to 1" — the workhorse that turns values into pure sparsity
+// patterns (used by the §IV identities and the §V-B database mask).
+
+#include <utility>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+/// C(i,j) = f(A(i,j)) on stored entries. f may change the value type.
+template <typename T, typename F>
+auto apply(const Matrix<T>& A, F&& f) {
+  using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
+  auto triples = A.to_triples();
+  std::vector<Triple<U>> out;
+  out.reserve(triples.size());
+  for (auto& t : triples) out.push_back({t.row, t.col, f(t.val)});
+  return Matrix<U>::from_canonical_triples(A.nrows(), A.ncols(), out);
+}
+
+/// Keep entries where pred(row, col, value) holds.
+template <typename T, typename Pred>
+Matrix<T> select(const Matrix<T>& A, Pred&& pred) {
+  auto triples = A.to_triples();
+  std::vector<Triple<T>> out;
+  out.reserve(triples.size());
+  for (auto& t : triples) {
+    if (pred(t.row, t.col, t.val)) out.push_back(std::move(t));
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
+                                           A.implicit_zero());
+}
+
+/// Drop stored entries equal to the semiring zero (GraphBLAS "prune").
+template <semiring::Semiring S>
+Matrix<typename S::value_type> prune(const Matrix<typename S::value_type>& A) {
+  using T = typename S::value_type;
+  return select(A, [](Index, Index, const T& v) { return !(v == S::zero()); });
+}
+
+/// |A|₀ — zero-norm: entries not equal to 0 become 1; explicit zeros are
+/// dropped. The result is the sparsity pattern of A expressed in S.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> zero_norm(
+    const Matrix<typename S::value_type>& A) {
+  using T = typename S::value_type;
+  auto triples = A.to_triples();
+  std::vector<Triple<T>> out;
+  out.reserve(triples.size());
+  for (auto& t : triples) {
+    if (!(t.val == S::zero())) out.push_back({t.row, t.col, S::one()});
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
+                                           S::zero());
+}
+
+/// Same-sparsity test |A|₀ = |B|₀ (Table II), independent of values.
+template <typename T, typename U>
+bool same_sparsity(const Matrix<T>& A, const Matrix<U>& B) {
+  if (A.nrows() != B.nrows() || A.ncols() != B.ncols()) return false;
+  const auto ta = A.to_triples();
+  const auto tb = B.to_triples();
+  if (ta.size() != tb.size()) return false;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (ta[i].row != tb[i].row || ta[i].col != tb[i].col) return false;
+  }
+  return true;
+}
+
+}  // namespace hyperspace::sparse

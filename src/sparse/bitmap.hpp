@@ -1,0 +1,72 @@
+#pragma once
+// Bitmap format — presence byte per position plus a value array.
+//
+// SuiteSparse:GraphBLAS (paper, Conclusions) uses bitmap for matrices that
+// are too dense for CSR's per-entry index overhead but still have holes.
+// O(nrows*ncols) storage; O(1) random access and update.
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace hyperspace::sparse {
+
+/// Largest nrows*ncols we will allocate for bitmap/dense formats. Beyond
+/// this the dimension is in hypersparse territory and densifying is a bug.
+inline constexpr Index kMaxDenseExtent = Index{1} << 26;
+
+template <typename T>
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  Bitmap(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols) {
+    if (nrows < 0 || ncols < 0 ||
+        (nrows > 0 && ncols > kMaxDenseExtent / std::max<Index>(nrows, 1))) {
+      throw std::length_error("Bitmap: dimensions too large to densify");
+    }
+    present_.assign(static_cast<std::size_t>(nrows * ncols), 0);
+    vals_.assign(static_cast<std::size_t>(nrows * ncols), T{});
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+
+  Index nnz() const {
+    Index n = 0;
+    for (auto p : present_) n += p;
+    return n;
+  }
+
+  bool has(Index r, Index c) const { return present_[pos(r, c)] != 0; }
+  const T& at(Index r, Index c) const { return vals_[pos(r, c)]; }
+
+  void set(Index r, Index c, T v) {
+    present_[pos(r, c)] = 1;
+    vals_[pos(r, c)] = std::move(v);
+  }
+  void clear(Index r, Index c) {
+    present_[pos(r, c)] = 0;
+    vals_[pos(r, c)] = T{};
+  }
+
+  std::size_t bytes() const {
+    return sizeof(*this) + present_.capacity() * sizeof(unsigned char) +
+           vals_.capacity() * sizeof(T);
+  }
+
+ private:
+  std::size_t pos(Index r, Index c) const {
+    assert(r >= 0 && r < nrows_ && c >= 0 && c < ncols_);
+    return static_cast<std::size_t>(r * ncols_ + c);
+  }
+
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<unsigned char> present_;
+  std::vector<T> vals_;
+};
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,78 @@
+#pragma once
+// COO (coordinate) format — the streaming-ingest/build format.
+//
+// Edges arrive as (row, col, value) triples in arbitrary order, possibly
+// with duplicates (multi-edges). sort_combine<S>() canonicalizes: sorts by
+// (row, col) and combines duplicates with the semiring's ⊕ — exactly the
+// "multi-edge" semantics of the paper's incidence arrays (Fig 2), where
+// repeated entries accumulate.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/types.hpp"
+
+namespace hyperspace::sparse {
+
+template <typename T>
+class Coo {
+ public:
+  Coo() = default;
+  Coo(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols) {}
+  Coo(Index nrows, Index ncols, std::vector<Triple<T>> triples)
+      : nrows_(nrows), ncols_(ncols), triples_(std::move(triples)) {}
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return static_cast<Index>(triples_.size()); }
+  const std::vector<Triple<T>>& triples() const { return triples_; }
+  bool sorted() const { return sorted_; }
+
+  void push(Index row, Index col, T val) {
+    triples_.push_back({row, col, std::move(val)});
+    sorted_ = false;
+  }
+
+  /// Sort by (row, col) and fold duplicates with S::add. After this the
+  /// triple list is canonical and convertible to CSR/DCSR in one pass.
+  template <semiring::Semiring S>
+    requires std::same_as<typename S::value_type, T>
+  void sort_combine() {
+    sort_combine_with([](const T& a, const T& b) { return S::add(a, b); });
+  }
+
+  /// Same, with an arbitrary combiner (e.g. "second wins" for upserts).
+  template <typename Combine>
+  void sort_combine_with(Combine&& combine) {
+    std::stable_sort(triples_.begin(), triples_.end(),
+                     [](const Triple<T>& x, const Triple<T>& y) {
+                       return x.row != y.row ? x.row < y.row : x.col < y.col;
+                     });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < triples_.size(); ++i) {
+      if (out > 0 && triples_[out - 1].row == triples_[i].row &&
+          triples_[out - 1].col == triples_[i].col) {
+        triples_[out - 1].val = combine(triples_[out - 1].val, triples_[i].val);
+      } else {
+        if (out != i) triples_[out] = std::move(triples_[i]);
+        ++out;
+      }
+    }
+    triples_.resize(out);
+    sorted_ = true;
+  }
+
+  std::size_t bytes() const {
+    return sizeof(*this) + triples_.capacity() * sizeof(Triple<T>);
+  }
+
+ private:
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<Triple<T>> triples_;
+  bool sorted_ = false;
+};
+
+}  // namespace hyperspace::sparse

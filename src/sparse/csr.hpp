@@ -1,0 +1,94 @@
+#pragma once
+// CSR (compressed sparse row) — the "sparse" regime of Fig 4: nnz ~ O(N).
+//
+// Storage is O(nrows + nnz): a row-pointer array plus packed, column-sorted
+// entries. This is the workhorse compute format; kernels consume it through
+// SparseView (see view.hpp).
+
+#include <cassert>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "sparse/view.hpp"
+
+namespace hyperspace::sparse {
+
+template <typename T>
+class Csr {
+ public:
+  Csr() = default;
+  Csr(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols),
+                                  row_ptr_(static_cast<std::size_t>(nrows) + 1, 0) {}
+
+  /// Build from canonical triples (sorted by (row,col), no duplicates —
+  /// i.e. the output of Coo::sort_combine).
+  Csr(Index nrows, Index ncols, const std::vector<Triple<T>>& sorted_triples)
+      : nrows_(nrows), ncols_(ncols),
+        row_ptr_(static_cast<std::size_t>(nrows) + 1, 0) {
+    cols_.reserve(sorted_triples.size());
+    vals_.reserve(sorted_triples.size());
+    for (const auto& t : sorted_triples) {
+      assert(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols);
+      ++row_ptr_[static_cast<std::size_t>(t.row) + 1];
+      cols_.push_back(t.col);
+      vals_.push_back(t.val);
+    }
+    std::partial_sum(row_ptr_.begin(), row_ptr_.end(), row_ptr_.begin());
+  }
+
+  /// Assemble directly from parts (kernel outputs).
+  Csr(Index nrows, Index ncols, std::vector<Index> row_ptr,
+      std::vector<Index> cols, std::vector<T> vals)
+      : nrows_(nrows), ncols_(ncols), row_ptr_(std::move(row_ptr)),
+        cols_(std::move(cols)), vals_(std::move(vals)) {
+    assert(row_ptr_.size() == static_cast<std::size_t>(nrows_) + 1);
+    assert(cols_.size() == vals_.size());
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+
+  const std::vector<Index>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& cols() const { return cols_; }
+  const std::vector<T>& vals() const { return vals_; }
+  std::vector<T>& mutable_vals() { return vals_; }
+
+  Index n_nonempty_rows() const {
+    Index n = 0;
+    for (Index r = 0; r < nrows_; ++r) {
+      n += (row_ptr_[static_cast<std::size_t>(r) + 1] >
+            row_ptr_[static_cast<std::size_t>(r)]);
+    }
+    return n;
+  }
+
+  /// Uniform kernel view. Materializes (once) the identity row-id list;
+  /// call from a single thread before entering parallel regions.
+  SparseView<T> view() const {
+    if (row_ids_cache_.size() != static_cast<std::size_t>(nrows_)) {
+      row_ids_cache_.resize(static_cast<std::size_t>(nrows_));
+      std::iota(row_ids_cache_.begin(), row_ids_cache_.end(), Index{0});
+    }
+    return {nrows_, ncols_, row_ids_cache_, row_ptr_, cols_, vals_};
+  }
+
+  /// Storage footprint (excludes the lazily built view cache, which is an
+  /// iteration convenience, not part of the format).
+  std::size_t bytes() const {
+    return sizeof(*this) + row_ptr_.capacity() * sizeof(Index) +
+           cols_.capacity() * sizeof(Index) + vals_.capacity() * sizeof(T);
+  }
+
+ private:
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<Index> row_ptr_;
+  std::vector<Index> cols_;
+  std::vector<T> vals_;
+  mutable std::vector<Index> row_ids_cache_;
+};
+
+}  // namespace hyperspace::sparse

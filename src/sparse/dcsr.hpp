@@ -1,0 +1,84 @@
+#pragma once
+// DCSR (doubly-compressed sparse row) — the *hypersparse* regime of Fig 4:
+// nnz ≪ N (Buluç & Gilbert 2008, cited as [6] in the paper).
+//
+// Only non-empty rows are stored: a sorted row-id list plus offsets. Total
+// storage is O(nnz), fully independent of the nominal dimension, so a
+// 2^60 × 2^60 array with a thousand entries costs a few kilobytes — the
+// "data growing without bounds" regime of Section II-B.
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "sparse/view.hpp"
+
+namespace hyperspace::sparse {
+
+template <typename T>
+class Dcsr {
+ public:
+  Dcsr() = default;
+  Dcsr(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols),
+                                   row_ptr_(1, 0) {}
+
+  /// Build from canonical triples (sorted by (row,col), deduplicated).
+  Dcsr(Index nrows, Index ncols, const std::vector<Triple<T>>& sorted_triples)
+      : nrows_(nrows), ncols_(ncols) {
+    row_ptr_.push_back(0);
+    cols_.reserve(sorted_triples.size());
+    vals_.reserve(sorted_triples.size());
+    for (const auto& t : sorted_triples) {
+      assert(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols);
+      if (row_ids_.empty() || row_ids_.back() != t.row) {
+        row_ids_.push_back(t.row);
+        row_ptr_.push_back(row_ptr_.back());
+      }
+      ++row_ptr_.back();
+      cols_.push_back(t.col);
+      vals_.push_back(t.val);
+    }
+  }
+
+  /// Assemble directly from parts (kernel outputs).
+  Dcsr(Index nrows, Index ncols, std::vector<Index> row_ids,
+       std::vector<Index> row_ptr, std::vector<Index> cols, std::vector<T> vals)
+      : nrows_(nrows), ncols_(ncols), row_ids_(std::move(row_ids)),
+        row_ptr_(std::move(row_ptr)), cols_(std::move(cols)),
+        vals_(std::move(vals)) {
+    assert(row_ptr_.size() == row_ids_.size() + 1);
+    assert(cols_.size() == vals_.size());
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+  Index n_nonempty_rows() const { return static_cast<Index>(row_ids_.size()); }
+
+  const std::vector<Index>& row_ids() const { return row_ids_; }
+  const std::vector<Index>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& cols() const { return cols_; }
+  const std::vector<T>& vals() const { return vals_; }
+
+  SparseView<T> view() const {
+    return {nrows_, ncols_, row_ids_, row_ptr_, cols_, vals_};
+  }
+
+  std::size_t bytes() const {
+    return sizeof(*this) + row_ids_.capacity() * sizeof(Index) +
+           row_ptr_.capacity() * sizeof(Index) +
+           cols_.capacity() * sizeof(Index) + vals_.capacity() * sizeof(T);
+  }
+
+ private:
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<Index> row_ids_;  ///< sorted non-empty rows
+  std::vector<Index> row_ptr_;  ///< size row_ids_.size() + 1
+  std::vector<Index> cols_;
+  std::vector<T> vals_;
+};
+
+}  // namespace hyperspace::sparse

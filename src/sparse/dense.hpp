@@ -1,0 +1,54 @@
+#pragma once
+// Dense ("full") format — every position holds a value.
+//
+// The Fig 4 left panel: nnz ~ N². Positions not explicitly set hold the
+// ambient semiring zero, which must be supplied when densifying since the
+// formats themselves are semiring-agnostic.
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/bitmap.hpp"  // kMaxDenseExtent
+#include "sparse/types.hpp"
+
+namespace hyperspace::sparse {
+
+template <typename T>
+class DenseMat {
+ public:
+  DenseMat() = default;
+
+  DenseMat(Index nrows, Index ncols, T fill = T{})
+      : nrows_(nrows), ncols_(ncols) {
+    if (nrows < 0 || ncols < 0 ||
+        (nrows > 0 && ncols > kMaxDenseExtent / std::max<Index>(nrows, 1))) {
+      throw std::length_error("DenseMat: dimensions too large to densify");
+    }
+    vals_.assign(static_cast<std::size_t>(nrows * ncols), fill);
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return nrows_ * ncols_; }  ///< all entries are present
+
+  const T& at(Index r, Index c) const { return vals_[pos(r, c)]; }
+  T& at(Index r, Index c) { return vals_[pos(r, c)]; }
+  const std::vector<T>& vals() const { return vals_; }
+
+  std::size_t bytes() const {
+    return sizeof(*this) + vals_.capacity() * sizeof(T);
+  }
+
+ private:
+  std::size_t pos(Index r, Index c) const {
+    assert(r >= 0 && r < nrows_ && c >= 0 && c < ncols_);
+    return static_cast<std::size_t>(r * ncols_ + c);
+  }
+
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<T> vals_;
+};
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,143 @@
+#pragma once
+// Element-wise ⊕ and ⊗ — the paper's graph union and graph intersection
+// (Fig 5):
+//
+//   C = A ⊕ B : entries on the *union* of patterns; where both present,
+//               values combine with ⊕ (absent = implicit 0, and a ⊕ 0 = a).
+//   C = A ⊗ B : entries on the *intersection* of patterns; 0 annihilates ⊗,
+//               so positions present in only one operand vanish.
+//
+// Both are two-pointer merges over the sorted row lists / column lists of
+// the operands' SparseViews, so CSR and DCSR (hypersparse) operands mix
+// freely. Output entries are produced in canonical order.
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+namespace detail {
+
+inline void check_same_shape(Index ar, Index ac, Index br, Index bc,
+                             const char* op) {
+  if (ar != br || ac != bc) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch");
+  }
+}
+
+}  // namespace detail
+
+/// C = A ⊕ B (pattern union). Works for any Table I semiring.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> ewise_add(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B) {
+  using T = typename S::value_type;
+  detail::check_same_shape(A.nrows(), A.ncols(), B.nrows(), B.ncols(),
+                           "ewise_add");
+  const SparseView<T> a = A.view();
+  const SparseView<T> b = B.view();
+
+  std::vector<Triple<T>> out;
+  out.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+
+  std::size_t ia = 0, ib = 0;
+  auto emit_row = [&out](Index row, std::span<const Index> cols,
+                         std::span<const T> vals) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out.push_back({row, cols[j], vals[j]});
+    }
+  };
+
+  while (ia < a.row_ids.size() || ib < b.row_ids.size()) {
+    const Index ra = ia < a.row_ids.size() ? a.row_ids[ia]
+                                           : std::numeric_limits<Index>::max();
+    const Index rb = ib < b.row_ids.size() ? b.row_ids[ib]
+                                           : std::numeric_limits<Index>::max();
+    if (ra < rb) {
+      emit_row(ra, a.row_cols(ia), a.row_vals(ia));
+      ++ia;
+    } else if (rb < ra) {
+      emit_row(rb, b.row_cols(ib), b.row_vals(ib));
+      ++ib;
+    } else {
+      const auto ac = a.row_cols(ia), bc = b.row_cols(ib);
+      const auto av = a.row_vals(ia), bv = b.row_vals(ib);
+      std::size_t ja = 0, jb = 0;
+      while (ja < ac.size() || jb < bc.size()) {
+        const Index ca = ja < ac.size() ? ac[ja]
+                                        : std::numeric_limits<Index>::max();
+        const Index cb = jb < bc.size() ? bc[jb]
+                                        : std::numeric_limits<Index>::max();
+        if (ca < cb) {
+          out.push_back({ra, ca, av[ja]});
+          ++ja;
+        } else if (cb < ca) {
+          out.push_back({ra, cb, bv[jb]});
+          ++jb;
+        } else {
+          out.push_back({ra, ca, S::add(av[ja], bv[jb])});
+          ++ja;
+          ++jb;
+        }
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
+                                           S::zero());
+}
+
+/// C = A ⊗ B (pattern intersection). Works for any Table I semiring.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> ewise_mult(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B) {
+  using T = typename S::value_type;
+  detail::check_same_shape(A.nrows(), A.ncols(), B.nrows(), B.ncols(),
+                           "ewise_mult");
+  const SparseView<T> a = A.view();
+  const SparseView<T> b = B.view();
+
+  std::vector<Triple<T>> out;
+  out.reserve(static_cast<std::size_t>(std::min(a.nnz(), b.nnz())));
+
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.row_ids.size() && ib < b.row_ids.size()) {
+    if (a.row_ids[ia] < b.row_ids[ib]) {
+      ++ia;
+    } else if (b.row_ids[ib] < a.row_ids[ia]) {
+      ++ib;
+    } else {
+      const Index row = a.row_ids[ia];
+      const auto ac = a.row_cols(ia), bc = b.row_cols(ib);
+      const auto av = a.row_vals(ia), bv = b.row_vals(ib);
+      std::size_t ja = 0, jb = 0;
+      while (ja < ac.size() && jb < bc.size()) {
+        if (ac[ja] < bc[jb]) {
+          ++ja;
+        } else if (bc[jb] < ac[ja]) {
+          ++jb;
+        } else {
+          out.push_back({row, ac[ja], S::mul(av[ja], bv[jb])});
+          ++ja;
+          ++jb;
+        }
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
+                                           S::zero());
+}
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,97 @@
+#pragma once
+// Sub-array extraction and assignment (GrB_extract / GrB_assign).
+//
+// extract(A, rows, cols) gathers the submatrix addressed by index lists —
+// the integer-index core under AssocArray::extract's key layer. assign
+// scatters a small array into a larger one, combining collisions with a
+// semiring ⊕ (so repeated assigns behave like the paper's streaming
+// accumulation).
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+/// C = A(rows, cols): C(i, j) = A(rows[i], cols[j]). Index lists need not
+/// be sorted or unique (duplicates replicate rows/columns, as in MATLAB).
+template <typename T>
+Matrix<T> extract(const Matrix<T>& A, const std::vector<Index>& rows,
+                  const std::vector<Index>& cols) {
+  for (const Index r : rows) {
+    if (r < 0 || r >= A.nrows()) throw std::out_of_range("extract: row");
+  }
+  for (const Index c : cols) {
+    if (c < 0 || c >= A.ncols()) throw std::out_of_range("extract: col");
+  }
+  // Invert the column list: source col -> list of output cols.
+  std::unordered_map<Index, std::vector<Index>> col_out;
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    col_out[cols[j]].push_back(static_cast<Index>(j));
+  }
+  std::vector<Triple<T>> out;
+  const SparseView<T> v = A.view();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto rit =
+        std::lower_bound(v.row_ids.begin(), v.row_ids.end(), rows[i]);
+    if (rit == v.row_ids.end() || *rit != rows[i]) continue;
+    const auto ri = static_cast<std::size_t>(rit - v.row_ids.begin());
+    const auto rc = v.row_cols(ri);
+    const auto rv = v.row_vals(ri);
+    for (std::size_t p = 0; p < rc.size(); ++p) {
+      const auto it = col_out.find(rc[p]);
+      if (it == col_out.end()) continue;
+      for (const Index j : it->second) {
+        out.push_back({static_cast<Index>(i), j, rv[p]});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Triple<T>& x, const Triple<T>& y) {
+    return x.row != y.row ? x.row < y.row : x.col < y.col;
+  });
+  return Matrix<T>::from_canonical_triples(static_cast<Index>(rows.size()),
+                                           static_cast<Index>(cols.size()),
+                                           out, A.implicit_zero());
+}
+
+/// C = A with B scattered at (rows, cols): positions colliding with
+/// existing entries combine via S::add. rows/cols must be unique.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> assign(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const std::vector<Index>& rows,
+    const std::vector<Index>& cols) {
+  using T = typename S::value_type;
+  if (static_cast<Index>(rows.size()) != B.nrows() ||
+      static_cast<Index>(cols.size()) != B.ncols()) {
+    throw std::invalid_argument("assign: index list / B shape mismatch");
+  }
+  for (const Index r : rows) {
+    if (r < 0 || r >= A.nrows()) throw std::out_of_range("assign: row");
+  }
+  for (const Index c : cols) {
+    if (c < 0 || c >= A.ncols()) throw std::out_of_range("assign: col");
+  }
+  auto triples = A.to_triples();
+  for (const auto& t : B.to_triples()) {
+    triples.push_back({rows[static_cast<std::size_t>(t.row)],
+                       cols[static_cast<std::size_t>(t.col)], t.val});
+  }
+  return Matrix<T>::template from_triples<S>(A.nrows(), A.ncols(),
+                                             std::move(triples));
+}
+
+/// Row gather shorthand: A(rows, :).
+template <typename T>
+Matrix<T> extract_rows(const Matrix<T>& A, const std::vector<Index>& rows) {
+  std::vector<Index> cols(static_cast<std::size_t>(A.ncols()));
+  std::iota(cols.begin(), cols.end(), Index{0});
+  return extract(A, rows, cols);
+}
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,60 @@
+#pragma once
+// Construction helpers and textual rendering for small worked examples
+// (the bench binaries print the paper's figures with these).
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+/// Terse literal construction: make_matrix<S>(r, c, {{0,1,3.0}, ...}).
+template <semiring::Semiring S>
+Matrix<typename S::value_type> make_matrix(
+    Index nrows, Index ncols,
+    std::vector<Triple<typename S::value_type>> triples) {
+  return Matrix<typename S::value_type>::template from_triples<S>(
+      nrows, ncols, std::move(triples));
+}
+
+/// Render a small matrix as a dense grid; empty cells print as '.'.
+/// Intended for worked examples only (guards against large extents).
+template <typename T>
+std::string to_grid(const Matrix<T>& A, int cell_width = 4) {
+  std::ostringstream os;
+  if (A.nrows() * A.ncols() > 10000) {
+    os << "[" << A.nrows() << " x " << A.ncols() << ", nnz=" << A.nnz()
+       << ", " << format_name(A.format()) << "]";
+    return os.str();
+  }
+  for (Index r = 0; r < A.nrows(); ++r) {
+    for (Index c = 0; c < A.ncols(); ++c) {
+      const auto v = A.get(r, c);
+      std::ostringstream cell;
+      if (v) {
+        cell << *v;
+      } else {
+        cell << '.';
+      }
+      os << std::setw(cell_width) << cell.str();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// One-line summary: shape, nnz, storage format, bytes.
+template <typename T>
+std::string summary(const Matrix<T>& A) {
+  std::ostringstream os;
+  os << A.nrows() << "x" << A.ncols() << " nnz=" << A.nnz() << " fmt="
+     << format_name(A.format()) << " bytes=" << A.bytes();
+  return os.str();
+}
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,82 @@
+#pragma once
+// Masked operations — the GraphBLAS write-mask C⟨M⟩ = op(...).
+//
+// A mask restricts which output positions may be written: only positions
+// present in M (or absent, for a complemented mask) survive. Masks are the
+// idiom behind efficient BFS frontiers ("visited" complement masks) and the
+// §V-B database row mask |…|₀ ∩ A — this header generalizes that pattern
+// to every kernel.
+
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/mxm.hpp"
+
+namespace hyperspace::sparse {
+
+/// Structural mask descriptor: which positions of M count, and whether the
+/// sense is complemented.
+struct MaskDesc {
+  bool complement = false;
+};
+
+/// Keep only the entries of A at positions present in M (structural mask;
+/// M's values are ignored — only its pattern matters).
+template <typename T, typename U>
+Matrix<T> mask_select(const Matrix<T>& A, const Matrix<U>& M,
+                      MaskDesc desc = {}) {
+  if (A.nrows() != M.nrows() || A.ncols() != M.ncols()) {
+    throw std::invalid_argument("mask_select: shape mismatch");
+  }
+  const SparseView<U> m = M.view();
+  // Build a row-indexed lookup over M's pattern.
+  auto in_mask = [&m](Index r, Index c) {
+    const auto rit = std::lower_bound(m.row_ids.begin(), m.row_ids.end(), r);
+    if (rit == m.row_ids.end() || *rit != r) return false;
+    const auto ri = static_cast<std::size_t>(rit - m.row_ids.begin());
+    const auto cols = m.row_cols(ri);
+    return std::binary_search(cols.begin(), cols.end(), c);
+  };
+  auto triples = A.to_triples();
+  std::vector<Triple<T>> out;
+  out.reserve(triples.size());
+  for (auto& t : triples) {
+    if (in_mask(t.row, t.col) != desc.complement) out.push_back(std::move(t));
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
+                                           A.implicit_zero());
+}
+
+/// C⟨M⟩ = A ⊕.⊗ B — masked array multiplication. Computed then filtered;
+/// with a complement mask this is the classic BFS "unvisited only" step.
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> mxm_masked(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const Matrix<U>& M,
+    MaskDesc desc = {}) {
+  return mask_select(mxm<S>(A, B), M, desc);
+}
+
+/// C⟨M⟩ = A ⊕ B — masked element-wise addition.
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> ewise_add_masked(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const Matrix<U>& M,
+    MaskDesc desc = {}) {
+  return mask_select(ewise_add<S>(A, B), M, desc);
+}
+
+/// C⟨M⟩ = A ⊗ B — masked element-wise multiplication. (With a structural
+/// mask this equals A ⊗ B ⊗ |M|₀ — the Table II mask identity, asserted in
+/// tests.)
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> ewise_mult_masked(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const Matrix<U>& M,
+    MaskDesc desc = {}) {
+  return mask_select(ewise_mult<S>(A, B), M, desc);
+}
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,387 @@
+#pragma once
+// Matrix<T> — the GrB_Matrix analogue: one opaque container that stores its
+// payload in whichever of {COO, CSR, DCSR, bitmap, dense} suits the data,
+// and switches automatically, "with little or no involvement from the user
+// application" (paper, Conclusions, describing SuiteSparse:GraphBLAS).
+//
+// Switch rule (choose_format):
+//   * dense     if every position is present (nnz == nrows*ncols), matching
+//               SuiteSparse's "full" — automatic switching never fabricates
+//               entries, so stored-entry semantics are format-independent
+//   * bitmap    if the extent densifies and density ≥ 1/10
+//   * DCSR      if non-empty rows < nrows/8, or nrows alone is too big for
+//               an O(nrows) row-pointer array (the hypersparse regime)
+//   * CSR       otherwise
+//
+// Compute kernels consume SparseView<T>; view() lazily materializes a CSR
+// mirror for COO/bitmap/dense payloads so every format is computable.
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/bitmap.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dcsr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/types.hpp"
+#include "sparse/view.hpp"
+
+namespace hyperspace::sparse {
+
+/// Row-pointer arrays beyond this row count are refused; such matrices are
+/// forced to DCSR (storage independent of dimension).
+inline constexpr Index kMaxCsrRows = Index{1} << 28;
+
+/// The automatic format decision. Pure function so the ablation bench can
+/// interrogate it directly.
+inline Format choose_format(Index nrows, Index ncols, Index nnz,
+                            Index nonempty_rows) {
+  const auto extent = static_cast<__int128>(nrows) * ncols;
+  if (extent > 0 && extent <= kMaxDenseExtent) {
+    if (static_cast<__int128>(nnz) == extent) return Format::kDense;
+    const double density =
+        static_cast<double>(nnz) / static_cast<double>(extent);
+    if (density >= 0.10) return Format::kBitmap;
+  }
+  if (nrows > kMaxCsrRows) return Format::kDcsr;
+  if (nonempty_rows * 8 < nrows) return Format::kDcsr;
+  return Format::kCsr;
+}
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : payload_(Csr<T>{}) {}
+
+  Matrix(const Matrix& other) : payload_(other.payload_), zero_(other.zero_) {}
+  Matrix& operator=(const Matrix& other) {
+    payload_ = other.payload_;
+    zero_ = other.zero_;
+    mirror_.reset();
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// Empty matrix of the given shape (CSR or DCSR per the switch rule).
+  Matrix(Index nrows, Index ncols, T implicit_zero = T{})
+      : zero_(std::move(implicit_zero)) {
+    if (nrows > kMaxCsrRows) {
+      payload_ = Dcsr<T>(nrows, ncols);
+    } else {
+      payload_ = Csr<T>(nrows, ncols);
+    }
+  }
+
+  /// Build from triples, combining duplicates with the semiring's ⊕ and
+  /// choosing the storage format automatically.
+  template <semiring::Semiring S>
+    requires std::same_as<typename S::value_type, T>
+  static Matrix from_triples(Index nrows, Index ncols,
+                             std::vector<Triple<T>> triples) {
+    Coo<T> coo(nrows, ncols, std::move(triples));
+    coo.template sort_combine<S>();
+    Matrix m = from_sorted_triples(nrows, ncols, coo.triples());
+    m.zero_ = S::zero();
+    return m;
+  }
+
+  /// Build from triples that are already unique; duplicates are an error.
+  static Matrix from_unique_triples(Index nrows, Index ncols,
+                                    std::vector<Triple<T>> triples,
+                                    T implicit_zero = T{}) {
+    Coo<T> coo(nrows, ncols, std::move(triples));
+    coo.sort_combine_with([](const T&, const T&) -> T {
+      throw std::invalid_argument("from_unique_triples: duplicate entry");
+    });
+    Matrix m = from_sorted_triples(nrows, ncols, coo.triples());
+    m.zero_ = std::move(implicit_zero);
+    return m;
+  }
+
+  /// Build from triples already in canonical order (sorted by (row, col),
+  /// unique). This is the fast path for kernel outputs, which produce
+  /// entries in order; sortedness is asserted in debug builds.
+  static Matrix from_canonical_triples(Index nrows, Index ncols,
+                                       const std::vector<Triple<T>>& triples,
+                                       T implicit_zero = T{}) {
+#ifndef NDEBUG
+    for (std::size_t i = 1; i < triples.size(); ++i) {
+      assert(triples[i - 1].row < triples[i].row ||
+             (triples[i - 1].row == triples[i].row &&
+              triples[i - 1].col < triples[i].col));
+    }
+#endif
+    Matrix m = from_sorted_triples(nrows, ncols, triples);
+    m.zero_ = std::move(implicit_zero);
+    return m;
+  }
+
+  /// Identity-like I(n): diagonal of `one`s (Table II: I(k) = P(k,k)).
+  static Matrix identity(Index n, T one, T implicit_zero = T{}) {
+    std::vector<Triple<T>> t;
+    t.reserve(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) t.push_back({i, i, one});
+    return from_unique_triples(n, n, std::move(t), std::move(implicit_zero));
+  }
+
+  /// The all-`v` matrix ("1 is the array of all 1", Section III). Dense.
+  static Matrix full(Index nrows, Index ncols, T v, T implicit_zero = T{}) {
+    Matrix m;
+    m.payload_ = DenseMat<T>(nrows, ncols, std::move(v));
+    m.zero_ = std::move(implicit_zero);
+    return m;
+  }
+
+  static Matrix from_csr(Csr<T> c, T implicit_zero = T{}) {
+    Matrix m;
+    m.payload_ = std::move(c);
+    m.zero_ = std::move(implicit_zero);
+    return m;
+  }
+  static Matrix from_dcsr(Dcsr<T> d, T implicit_zero = T{}) {
+    Matrix m;
+    m.payload_ = std::move(d);
+    m.zero_ = std::move(implicit_zero);
+    return m;
+  }
+  static Matrix from_dense(DenseMat<T> d, T implicit_zero = T{}) {
+    Matrix m;
+    m.payload_ = std::move(d);
+    m.zero_ = std::move(implicit_zero);
+    return m;
+  }
+  static Matrix from_bitmap(Bitmap<T> b, T implicit_zero = T{}) {
+    Matrix m;
+    m.payload_ = std::move(b);
+    m.zero_ = std::move(implicit_zero);
+    return m;
+  }
+
+  Format format() const {
+    return std::visit(
+        [](const auto& p) -> Format {
+          using P = std::decay_t<decltype(p)>;
+          if constexpr (std::is_same_v<P, Coo<T>>) return Format::kCoo;
+          else if constexpr (std::is_same_v<P, Csr<T>>) return Format::kCsr;
+          else if constexpr (std::is_same_v<P, Dcsr<T>>) return Format::kDcsr;
+          else if constexpr (std::is_same_v<P, Bitmap<T>>) return Format::kBitmap;
+          else return Format::kDense;
+        },
+        payload_);
+  }
+
+  Index nrows() const {
+    return std::visit([](const auto& p) { return p.nrows(); }, payload_);
+  }
+  Index ncols() const {
+    return std::visit([](const auto& p) { return p.ncols(); }, payload_);
+  }
+  Index nnz() const {
+    return std::visit([](const auto& p) { return p.nnz(); }, payload_);
+  }
+
+  const T& implicit_zero() const { return zero_; }
+  void set_implicit_zero(T z) { zero_ = std::move(z); }
+
+  /// Stored value at (r, c), or nullopt if the position is empty.
+  std::optional<T> get(Index r, Index c) const {
+    if (r < 0 || r >= nrows() || c < 0 || c >= ncols()) return std::nullopt;
+    if (const auto* d = std::get_if<DenseMat<T>>(&payload_)) return d->at(r, c);
+    if (const auto* b = std::get_if<Bitmap<T>>(&payload_)) {
+      return b->has(r, c) ? std::optional<T>(b->at(r, c)) : std::nullopt;
+    }
+    const SparseView<T> v = view();
+    // binary search the non-empty row list, then the row's columns
+    const auto rit = std::lower_bound(v.row_ids.begin(), v.row_ids.end(), r);
+    if (rit == v.row_ids.end() || *rit != r) return std::nullopt;
+    const auto ri = static_cast<std::size_t>(rit - v.row_ids.begin());
+    const auto rc = v.row_cols(ri);
+    const auto cit = std::lower_bound(rc.begin(), rc.end(), c);
+    if (cit == rc.end() || *cit != c) return std::nullopt;
+    return v.row_vals(ri)[static_cast<std::size_t>(cit - rc.begin())];
+  }
+
+  /// Extraction: (k1, k2, v) = A (Table II). Triples in (row, col) order.
+  std::vector<Triple<T>> to_triples() const {
+    std::vector<Triple<T>> out;
+    if (const auto* d = std::get_if<DenseMat<T>>(&payload_)) {
+      out.reserve(static_cast<std::size_t>(d->nnz()));
+      for (Index r = 0; r < d->nrows(); ++r) {
+        for (Index c = 0; c < d->ncols(); ++c) out.push_back({r, c, d->at(r, c)});
+      }
+      return out;
+    }
+    if (const auto* b = std::get_if<Bitmap<T>>(&payload_)) {
+      for (Index r = 0; r < b->nrows(); ++r) {
+        for (Index c = 0; c < b->ncols(); ++c) {
+          if (b->has(r, c)) out.push_back({r, c, b->at(r, c)});
+        }
+      }
+      return out;
+    }
+    const SparseView<T> v = view();
+    out.reserve(static_cast<std::size_t>(v.nnz()));
+    for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+      const auto rc = v.row_cols(ri);
+      const auto rv = v.row_vals(ri);
+      for (std::size_t j = 0; j < rc.size(); ++j) {
+        out.push_back({v.row_ids[ri], rc[j], rv[j]});
+      }
+    }
+    return out;
+  }
+
+  Index n_nonempty_rows() const {
+    const Index fast = n_nonempty_rows_fast();
+    return fast >= 0 ? fast : view().n_nonempty_rows();
+  }
+
+ private:
+  Index n_nonempty_rows_fast() const {
+    return std::visit(
+        [](const auto& p) -> Index {
+          using P = std::decay_t<decltype(p)>;
+          if constexpr (std::is_same_v<P, Csr<T>> || std::is_same_v<P, Dcsr<T>>) {
+            return p.n_nonempty_rows();
+          } else if constexpr (std::is_same_v<P, DenseMat<T>>) {
+            return p.ncols() > 0 ? p.nrows() : 0;
+          } else {
+            (void)p;
+            return Index{-1};  // resolved via the view below
+          }
+        },
+        payload_);
+  }
+
+ public:
+  /// Uniform compute view. For COO/bitmap/dense payloads a CSR mirror is
+  /// materialized once into a mutable cache (invalidated by mutation).
+  SparseView<T> view() const {
+    if (const auto* c = std::get_if<Csr<T>>(&payload_)) return c->view();
+    if (const auto* d = std::get_if<Dcsr<T>>(&payload_)) return d->view();
+    if (!mirror_) {
+      auto triples = to_triples_nonview();
+      mirror_ = std::make_unique<Csr<T>>(nrows(), ncols(), triples);
+    }
+    return mirror_->view();
+  }
+
+  /// Convert in place to the requested format. Converting *from* dense to a
+  /// sparse format drops entries equal to the implicit zero — densify and
+  /// sparsify are inverses up to the ambient zero.
+  void convert(Format f) {
+    if (f == format()) return;
+    auto triples = to_triples();
+    if (format() == Format::kDense &&
+        (f == Format::kCoo || f == Format::kCsr || f == Format::kDcsr)) {
+      std::erase_if(triples, [this](const Triple<T>& t) {
+        return t.val == zero_;
+      });
+    }
+    const Index nr = nrows(), nc = ncols();
+    switch (f) {
+      case Format::kCoo:
+        payload_ = Coo<T>(nr, nc, std::move(triples));
+        break;
+      case Format::kCsr:
+        if (nr > kMaxCsrRows) {
+          throw std::length_error("convert: too many rows for CSR");
+        }
+        payload_ = Csr<T>(nr, nc, triples);
+        break;
+      case Format::kDcsr:
+        payload_ = Dcsr<T>(nr, nc, triples);
+        break;
+      case Format::kBitmap: {
+        Bitmap<T> b(nr, nc);
+        for (auto& t : triples) b.set(t.row, t.col, std::move(t.val));
+        payload_ = std::move(b);
+        break;
+      }
+      case Format::kDense: {
+        DenseMat<T> d(nr, nc, zero_);
+        for (auto& t : triples) d.at(t.row, t.col) = std::move(t.val);
+        payload_ = std::move(d);
+        break;
+      }
+    }
+    mirror_.reset();
+  }
+
+  /// Apply the automatic switch rule to the current contents.
+  void auto_format() {
+    convert(choose_format(nrows(), ncols(), nnz(), n_nonempty_rows()));
+  }
+
+  std::size_t bytes() const {
+    return std::visit([](const auto& p) { return p.bytes(); }, payload_);
+  }
+
+  /// Structural + value equality of stored entries (ignores format).
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.nrows() == b.nrows() && a.ncols() == b.ncols() &&
+           a.to_triples() == b.to_triples();
+  }
+
+ private:
+  static Matrix from_sorted_triples(Index nrows, Index ncols,
+                                    const std::vector<Triple<T>>& triples) {
+    Index nonempty = 0;
+    Index prev = -1;
+    for (const auto& t : triples) {
+      if (t.row != prev) {
+        ++nonempty;
+        prev = t.row;
+      }
+    }
+    const Format f = choose_format(nrows, ncols,
+                                   static_cast<Index>(triples.size()), nonempty);
+    Matrix m;
+    switch (f) {
+      case Format::kDense: {
+        DenseMat<T> d(nrows, ncols);
+        for (const auto& t : triples) d.at(t.row, t.col) = t.val;
+        m.payload_ = std::move(d);
+        break;
+      }
+      case Format::kBitmap: {
+        Bitmap<T> b(nrows, ncols);
+        for (const auto& t : triples) b.set(t.row, t.col, t.val);
+        m.payload_ = std::move(b);
+        break;
+      }
+      case Format::kDcsr:
+        m.payload_ = Dcsr<T>(nrows, ncols, triples);
+        break;
+      default:
+        m.payload_ = Csr<T>(nrows, ncols, triples);
+        break;
+    }
+    return m;
+  }
+
+  // to_triples without touching the mirror cache (used to build the mirror).
+  std::vector<Triple<T>> to_triples_nonview() const {
+    if (const auto* coo = std::get_if<Coo<T>>(&payload_)) {
+      auto copy = *coo;
+      copy.sort_combine_with([](const T&, const T& b) { return b; });
+      return copy.triples();
+    }
+    return to_triples();
+  }
+
+  std::variant<Coo<T>, Csr<T>, Dcsr<T>, Bitmap<T>, DenseMat<T>> payload_;
+  T zero_{};
+  mutable std::unique_ptr<Csr<T>> mirror_;
+};
+
+}  // namespace hyperspace::sparse

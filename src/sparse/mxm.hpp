@@ -1,0 +1,196 @@
+#pragma once
+// Array multiplication C = A ⊕.⊗ B — the fundamental array operation the
+// paper pairs with breadth-first-search (Fig 1) and uses to project
+// incidence arrays onto adjacency arrays (Fig 3):
+//
+//   C(i, j) = ⨁_k A(i, k) ⊗ B(k, j)
+//
+// Two SpGEMM accumulator strategies are provided (the DESIGN.md ablation):
+//
+//   * Gustavson: a dense per-thread accumulator of width ncols(B) with a
+//     visit-stamp array. Fastest when ncols(B) is modest; impossible in the
+//     hypersparse regime (allocating O(ncols) defeats O(nnz) storage).
+//   * Hash: a per-row hash accumulator; O(flops) independent of dimension,
+//     mandatory when ncols(B) is huge.
+//
+// mxm() picks automatically; mxm_gustavson / mxm_hash pin a strategy.
+// Rows of A are processed independently (OpenMP), each producing its own
+// sorted output slice, so results are deterministic for any thread count.
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+enum class MxmStrategy { kAuto, kGustavson, kHash };
+
+/// Dense accumulators wider than this fall back to hashing.
+inline constexpr Index kMaxGustavsonWidth = Index{1} << 24;
+
+namespace detail {
+
+/// Locate row `k` inside B's non-empty row list. For CSR operands the list
+/// is the identity so this is O(1); for DCSR it is a binary search.
+template <typename T>
+inline std::ptrdiff_t find_row(const SparseView<T>& v, Index k, bool is_full) {
+  if (is_full) return k;
+  const auto it = std::lower_bound(v.row_ids.begin(), v.row_ids.end(), k);
+  if (it == v.row_ids.end() || *it != k) return -1;
+  return it - v.row_ids.begin();
+}
+
+template <semiring::Semiring S>
+struct RowResult {
+  Index row;
+  std::vector<Index> cols;
+  std::vector<typename S::value_type> vals;
+};
+
+}  // namespace detail
+
+/// Gustavson-style SpGEMM. Requires ncols(B) small enough for a dense
+/// accumulator; throws std::length_error otherwise.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> mxm_gustavson(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B) {
+  using T = typename S::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("mxm: inner dimension mismatch");
+  }
+  if (B.ncols() > kMaxGustavsonWidth) {
+    throw std::length_error("mxm_gustavson: accumulator too wide");
+  }
+  const SparseView<T> a = A.view();
+  const SparseView<T> b = B.view();
+  const bool b_full = b.n_nonempty_rows() == b.nrows;
+
+  const auto n_arows = a.row_ids.size();
+  std::vector<detail::RowResult<S>> rows(n_arows);
+
+#pragma omp parallel
+  {
+    std::vector<T> acc(static_cast<std::size_t>(b.ncols), S::zero());
+    std::vector<Index> stamp(static_cast<std::size_t>(b.ncols), -1);
+    std::vector<Index> touched;
+
+#pragma omp for schedule(dynamic, 16)
+    for (std::ptrdiff_t ri = 0; ri < static_cast<std::ptrdiff_t>(n_arows); ++ri) {
+      touched.clear();
+      const auto acols = a.row_cols(static_cast<std::size_t>(ri));
+      const auto avals = a.row_vals(static_cast<std::size_t>(ri));
+      for (std::size_t p = 0; p < acols.size(); ++p) {
+        const auto bk = detail::find_row(b, acols[p], b_full);
+        if (bk < 0) continue;
+        const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
+        const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
+        for (std::size_t q = 0; q < bcols.size(); ++q) {
+          const auto j = static_cast<std::size_t>(bcols[q]);
+          const T prod = S::mul(avals[p], bvals[q]);
+          if (stamp[j] != ri) {
+            stamp[j] = static_cast<Index>(ri);
+            acc[j] = prod;
+            touched.push_back(bcols[q]);
+          } else {
+            acc[j] = S::add(acc[j], prod);
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& out = rows[static_cast<std::size_t>(ri)];
+      out.row = a.row_ids[static_cast<std::size_t>(ri)];
+      out.cols.assign(touched.begin(), touched.end());
+      out.vals.reserve(touched.size());
+      for (const Index j : touched) {
+        out.vals.push_back(std::move(acc[static_cast<std::size_t>(j)]));
+      }
+    }
+  }
+
+  std::vector<Triple<T>> triples;
+  for (auto& r : rows) {
+    for (std::size_t j = 0; j < r.cols.size(); ++j) {
+      triples.push_back({r.row, r.cols[j], std::move(r.vals[j])});
+    }
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
+                                           S::zero());
+}
+
+/// Hash-accumulator SpGEMM. O(flops) memory, dimension-independent — the
+/// only viable strategy when B's column space is hypersparse-huge.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> mxm_hash(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B) {
+  using T = typename S::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("mxm: inner dimension mismatch");
+  }
+  const SparseView<T> a = A.view();
+  const SparseView<T> b = B.view();
+  const bool b_full = b.n_nonempty_rows() == b.nrows;
+
+  const auto n_arows = a.row_ids.size();
+  std::vector<detail::RowResult<S>> rows(n_arows);
+
+#pragma omp parallel
+  {
+    std::unordered_map<Index, T> acc;
+
+#pragma omp for schedule(dynamic, 16)
+    for (std::ptrdiff_t ri = 0; ri < static_cast<std::ptrdiff_t>(n_arows); ++ri) {
+      acc.clear();
+      const auto acols = a.row_cols(static_cast<std::size_t>(ri));
+      const auto avals = a.row_vals(static_cast<std::size_t>(ri));
+      for (std::size_t p = 0; p < acols.size(); ++p) {
+        const auto bk = detail::find_row(b, acols[p], b_full);
+        if (bk < 0) continue;
+        const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
+        const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
+        for (std::size_t q = 0; q < bcols.size(); ++q) {
+          const T prod = S::mul(avals[p], bvals[q]);
+          auto [it, inserted] = acc.try_emplace(bcols[q], prod);
+          if (!inserted) it->second = S::add(it->second, prod);
+        }
+      }
+      auto& out = rows[static_cast<std::size_t>(ri)];
+      out.row = a.row_ids[static_cast<std::size_t>(ri)];
+      out.cols.reserve(acc.size());
+      for (const auto& [j, _] : acc) out.cols.push_back(j);
+      std::sort(out.cols.begin(), out.cols.end());
+      out.vals.reserve(acc.size());
+      for (const Index j : out.cols) out.vals.push_back(std::move(acc.at(j)));
+    }
+  }
+
+  std::vector<Triple<T>> triples;
+  for (auto& r : rows) {
+    for (std::size_t j = 0; j < r.cols.size(); ++j) {
+      triples.push_back({r.row, r.cols[j], std::move(r.vals[j])});
+    }
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
+                                           S::zero());
+}
+
+/// C = A ⊕.⊗ B with automatic strategy selection.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> mxm(const Matrix<typename S::value_type>& A,
+                                   const Matrix<typename S::value_type>& B,
+                                   MxmStrategy strategy = MxmStrategy::kAuto) {
+  switch (strategy) {
+    case MxmStrategy::kGustavson: return mxm_gustavson<S>(A, B);
+    case MxmStrategy::kHash: return mxm_hash<S>(A, B);
+    case MxmStrategy::kAuto: break;
+  }
+  if (B.ncols() <= kMaxGustavsonWidth) return mxm_gustavson<S>(A, B);
+  return mxm_hash<S>(A, B);
+}
+
+}  // namespace hyperspace::sparse

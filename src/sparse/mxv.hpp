@@ -1,0 +1,52 @@
+#pragma once
+// Vector ⊕.⊗ conveniences.
+//
+// Following the paper's convention (Section V-C, Sparse DNN Challenge:
+// "yℓ are row vectors and left array multiplication is used"), vectors are
+// 1 × n (row) or n × 1 (column) matrices, and vxm/mxv delegate to mxm. The
+// BFS of Fig 1 is vᵀA = vxm(v, A) over any semiring.
+
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/mxm.hpp"
+
+namespace hyperspace::sparse {
+
+/// Build a 1 × n sparse row vector from (index, value) pairs.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> row_vector(
+    Index n, std::vector<std::pair<Index, typename S::value_type>> entries) {
+  using T = typename S::value_type;
+  std::vector<Triple<T>> t;
+  t.reserve(entries.size());
+  for (auto& [i, v] : entries) t.push_back({0, i, std::move(v)});
+  return Matrix<T>::template from_triples<S>(1, n, std::move(t));
+}
+
+/// Build an n × 1 sparse column vector from (index, value) pairs.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> col_vector(
+    Index n, std::vector<std::pair<Index, typename S::value_type>> entries) {
+  using T = typename S::value_type;
+  std::vector<Triple<T>> t;
+  t.reserve(entries.size());
+  for (auto& [i, v] : entries) t.push_back({i, 0, std::move(v)});
+  return Matrix<T>::template from_triples<S>(n, 1, std::move(t));
+}
+
+/// vᵀA: row vector (1 × m) times matrix (m × n) → 1 × n.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> vxm(const Matrix<typename S::value_type>& v,
+                                   const Matrix<typename S::value_type>& A) {
+  return mxm<S>(v, A);
+}
+
+/// Av: matrix (m × n) times column vector (n × 1) → m × 1.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> mxv(const Matrix<typename S::value_type>& A,
+                                   const Matrix<typename S::value_type>& v) {
+  return mxm<S>(A, v);
+}
+
+}  // namespace hyperspace::sparse

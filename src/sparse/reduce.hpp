@@ -1,0 +1,69 @@
+#pragma once
+// Monoid reductions.
+//
+// The paper's Section IV observes that 1 under ⊕.⊗ projects an array onto
+// its rows or columns:  C = A ⊕.⊗ 1  ⇒  C(k1, :) = ⨁_{k2} A(k1, k2).
+// These reductions are that projection computed directly (and the tests
+// verify they agree with the mxm-by-ones formulation).
+
+#include <map>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+/// Row reduction: out(i, 0) = ⨁_j A(i, j). Result is nrows × 1.
+template <semiring::Monoid M>
+Matrix<typename M::value_type> reduce_rows(
+    const Matrix<typename M::value_type>& A) {
+  using T = typename M::value_type;
+  const SparseView<T> v = A.view();
+  std::vector<Triple<T>> out;
+  out.reserve(v.row_ids.size());
+  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+    const auto vals = v.row_vals(ri);
+    if (vals.empty()) continue;
+    T acc = vals[0];
+    for (std::size_t j = 1; j < vals.size(); ++j) acc = M::op(acc, vals[j]);
+    out.push_back({v.row_ids[ri], 0, std::move(acc)});
+  }
+  return Matrix<T>::from_canonical_triples(A.nrows(), 1, out, M::identity());
+}
+
+/// Column reduction: out(0, j) = ⨁_i A(i, j). Result is 1 × ncols.
+template <semiring::Monoid M>
+Matrix<typename M::value_type> reduce_cols(
+    const Matrix<typename M::value_type>& A) {
+  using T = typename M::value_type;
+  const SparseView<T> v = A.view();
+  // Accumulate per column in sorted-key map order to emit canonically.
+  std::map<Index, T> acc;
+  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+    const auto cols = v.row_cols(ri);
+    const auto vals = v.row_vals(ri);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      auto [it, inserted] = acc.try_emplace(cols[j], vals[j]);
+      if (!inserted) it->second = M::op(it->second, vals[j]);
+    }
+  }
+  std::vector<Triple<T>> out;
+  out.reserve(acc.size());
+  for (auto& [c, val] : acc) out.push_back({0, c, std::move(val)});
+  return Matrix<T>::from_canonical_triples(1, A.ncols(), out, M::identity());
+}
+
+/// Full reduction ⨁_{i,j} A(i, j). Returns identity() for an empty matrix.
+template <semiring::Monoid M>
+typename M::value_type reduce_all(const Matrix<typename M::value_type>& A) {
+  using T = typename M::value_type;
+  const SparseView<T> v = A.view();
+  T acc = M::identity();
+  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+    for (const T& val : v.row_vals(ri)) acc = M::op(acc, val);
+  }
+  return acc;
+}
+
+}  // namespace hyperspace::sparse

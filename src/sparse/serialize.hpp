@@ -1,0 +1,78 @@
+#pragma once
+// Matrix serialization — a MatrixMarket-style coordinate text format.
+//
+// Header line:  %%hyperspace matrix coordinate <nrows> <ncols> <nnz>
+// Body:         one "row col value" triple per line, canonical order.
+//
+// Round-trips every storage format (the format is re-chosen on load, so a
+// matrix saved from a bitmap may load as CSR — contents are what persist,
+// per the stored-entry semantics of the container).
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "semiring/concepts.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+/// Write A as coordinate text. Values stream via operator<<.
+template <typename T>
+void write_matrix(std::ostream& os, const Matrix<T>& A) {
+  os << "%%hyperspace matrix coordinate " << A.nrows() << ' ' << A.ncols()
+     << ' ' << A.nnz() << '\n';
+  os.precision(17);
+  for (const auto& t : A.to_triples()) {
+    os << t.row << ' ' << t.col << ' ' << t.val << '\n';
+  }
+}
+
+template <typename T>
+std::string to_string(const Matrix<T>& A) {
+  std::ostringstream os;
+  write_matrix(os, A);
+  return os.str();
+}
+
+/// Read a coordinate-text matrix. Duplicate entries combine with S::add
+/// (streaming-accumulation semantics on load).
+template <semiring::Semiring S>
+Matrix<typename S::value_type> read_matrix(std::istream& is) {
+  using T = typename S::value_type;
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw std::invalid_argument("read_matrix: empty input");
+  }
+  std::istringstream hs(header);
+  std::string magic, kind, layout;
+  Index nrows = 0, ncols = 0, nnz = 0;
+  hs >> magic >> kind >> layout >> nrows >> ncols >> nnz;
+  if (magic != "%%hyperspace" || kind != "matrix" || layout != "coordinate" ||
+      !hs) {
+    throw std::invalid_argument("read_matrix: bad header: " + header);
+  }
+  std::vector<Triple<T>> triples;
+  triples.reserve(static_cast<std::size_t>(nnz));
+  for (Index i = 0; i < nnz; ++i) {
+    Triple<T> t;
+    if (!(is >> t.row >> t.col >> t.val)) {
+      throw std::invalid_argument("read_matrix: truncated body");
+    }
+    if (t.row < 0 || t.row >= nrows || t.col < 0 || t.col >= ncols) {
+      throw std::out_of_range("read_matrix: entry outside declared shape");
+    }
+    triples.push_back(std::move(t));
+  }
+  return Matrix<T>::template from_triples<S>(nrows, ncols, std::move(triples));
+}
+
+template <semiring::Semiring S>
+Matrix<typename S::value_type> from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_matrix<S>(is);
+}
+
+}  // namespace hyperspace::sparse

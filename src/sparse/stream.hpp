@@ -1,0 +1,125 @@
+#pragma once
+// Hierarchical hypersparse streaming accumulator.
+//
+// The paper's hypersparse lineage ([8]: "75,000,000,000 streaming
+// inserts/second using hierarchical hypersparse GraphBLAS matrices")
+// achieves high ingest rates by never touching a big sorted structure per
+// insert: updates land in a small COO buffer; full buffers cascade into a
+// geometric hierarchy of sorted layers (LSM-style), merged with the
+// semiring ⊕; queries and bulk reads merge the layers on demand.
+//
+// StreamingMatrix<S> reproduces that design: O(1) amortized insert, layers
+// of size buffer · fanoutᵏ, and snapshot() producing an ordinary Matrix.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+template <semiring::Semiring S>
+class StreamingMatrix {
+ public:
+  using T = typename S::value_type;
+
+  /// `buffer_capacity` = level-0 size; each level holds fanout× the last.
+  StreamingMatrix(Index nrows, Index ncols,
+                  std::size_t buffer_capacity = 1 << 14, int fanout = 4)
+      : nrows_(nrows), ncols_(ncols), capacity_(buffer_capacity),
+        fanout_(fanout) {
+    buffer_.reserve(capacity_);
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+
+  /// Total stored updates (pre-merge upper bound on nnz).
+  std::size_t pending_updates() const {
+    std::size_t n = buffer_.size();
+    for (const auto& l : layers_) {
+      n += static_cast<std::size_t>(l.nnz());
+    }
+    return n;
+  }
+
+  std::size_t n_layers() const { return layers_.size(); }
+
+  /// O(1) amortized: append to the buffer; cascade when full.
+  void insert(Index row, Index col, T val) {
+    buffer_.push_back({row, col, std::move(val)});
+    if (buffer_.size() >= capacity_) flush_buffer();
+  }
+
+  /// Merge everything into one Matrix (duplicates combined with ⊕).
+  Matrix<T> snapshot() const {
+    Matrix<T> acc = buffer_matrix();
+    for (const auto& l : layers_) acc = ewise_add<S>(acc, l);
+    return acc;
+  }
+
+  /// Value at (r, c) across all layers, if any update touched it.
+  std::optional<T> get(Index r, Index c) const {
+    std::optional<T> acc;
+    auto fold = [&acc](const std::optional<T>& v) {
+      if (!v) return;
+      acc = acc ? S::add(*acc, *v) : *v;
+    };
+    fold(buffer_matrix().get(r, c));
+    for (const auto& l : layers_) fold(l.get(r, c));
+    return acc;
+  }
+
+  /// Force all pending updates into the layer hierarchy.
+  void compact() {
+    if (!buffer_.empty()) flush_buffer();
+    // Fold everything into a single top layer.
+    if (layers_.size() > 1) {
+      Matrix<T> acc = layers_[0];
+      for (std::size_t i = 1; i < layers_.size(); ++i) {
+        acc = ewise_add<S>(acc, layers_[i]);
+      }
+      layers_.assign(1, std::move(acc));
+    }
+  }
+
+ private:
+  Matrix<T> buffer_matrix() const {
+    std::vector<Triple<T>> copy(buffer_);
+    return Matrix<T>::template from_triples<S>(nrows_, ncols_,
+                                               std::move(copy));
+  }
+
+  void flush_buffer() {
+    Matrix<T> level = buffer_matrix();
+    buffer_.clear();
+    // Cascade: merge into level k while the occupant is at capacity for
+    // its depth (geometric growth keeps total merge work O(n log n)).
+    std::size_t level_cap = capacity_;
+    for (std::size_t k = 0;; ++k) {
+      if (k == layers_.size()) {
+        layers_.push_back(std::move(level));
+        return;
+      }
+      if (static_cast<std::size_t>(layers_[k].nnz()) < level_cap) {
+        layers_[k] = ewise_add<S>(layers_[k], level);
+        return;
+      }
+      level = ewise_add<S>(level, std::exchange(layers_[k],
+                                                Matrix<T>(nrows_, ncols_)));
+      level_cap *= static_cast<std::size_t>(fanout_);
+    }
+  }
+
+  Index nrows_;
+  Index ncols_;
+  std::size_t capacity_;
+  int fanout_;
+  std::vector<Triple<T>> buffer_;
+  std::vector<Matrix<T>> layers_;  ///< layers_[k] holds ~capacity·fanoutᵏ
+};
+
+}  // namespace hyperspace::sparse

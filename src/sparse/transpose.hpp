@@ -1,0 +1,23 @@
+#pragma once
+// Transpose: A(k2, k1) = Aᵀ(k1, k2) (Table II).
+
+#include <utility>
+#include <vector>
+
+#include "sparse/matrix.hpp"
+
+namespace hyperspace::sparse {
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& A) {
+  auto triples = A.to_triples();
+  for (auto& t : triples) std::swap(t.row, t.col);
+  std::sort(triples.begin(), triples.end(),
+            [](const Triple<T>& x, const Triple<T>& y) {
+              return x.row != y.row ? x.row < y.row : x.col < y.col;
+            });
+  return Matrix<T>::from_canonical_triples(A.ncols(), A.nrows(), triples,
+                                           A.implicit_zero());
+}
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,46 @@
+#pragma once
+// Shared scalar types for the sparse engine.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hyperspace::sparse {
+
+/// Row/column index. Signed 64-bit so hypersparse dimensions (e.g. 2^60 —
+/// "data growing without bounds", Section II-B) are representable even
+/// though only O(nnz) of the space is ever touched.
+using Index = std::int64_t;
+
+/// One stored entry (row, col, value) — the unit of construction and
+/// extraction (Table II: A = A(k1, k2, v) and (k1, k2, v) = A).
+template <typename T>
+struct Triple {
+  Index row = 0;
+  Index col = 0;
+  T val{};
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// Storage formats, mirroring SuiteSparse:GraphBLAS's sparse / hypersparse /
+/// bitmap / full set (paper, Conclusions) plus COO as the build format.
+enum class Format : unsigned char {
+  kCoo,         ///< unsorted triples; the streaming-ingest format
+  kCsr,         ///< compressed sparse row ("sparse")
+  kDcsr,        ///< doubly-compressed sparse row ("hypersparse")
+  kBitmap,      ///< presence bitmap + value array
+  kDense,       ///< every entry present ("full")
+};
+
+constexpr std::string_view format_name(Format f) {
+  switch (f) {
+    case Format::kCoo: return "COO";
+    case Format::kCsr: return "CSR";
+    case Format::kDcsr: return "DCSR";
+    case Format::kBitmap: return "bitmap";
+    case Format::kDense: return "dense";
+  }
+  return "?";
+}
+
+}  // namespace hyperspace::sparse

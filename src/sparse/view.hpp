@@ -1,0 +1,38 @@
+#pragma once
+// SparseView — the uniform read-only shape every compute kernel consumes.
+//
+// A view lists only the *non-empty* rows (row_ids) with CSR-style offsets
+// into shared col/val arrays. CSR exposes all rows (row_ids = 0..nrows-1,
+// cached); DCSR exposes its non-empty row list directly. This lets one
+// templated kernel serve both the sparse and hypersparse regimes without
+// ever allocating O(nrows) state for hypersparse operands.
+
+#include <span>
+
+#include "sparse/types.hpp"
+
+namespace hyperspace::sparse {
+
+template <typename T>
+struct SparseView {
+  Index nrows = 0;
+  Index ncols = 0;
+  std::span<const Index> row_ids;  ///< sorted non-empty row ids, size nr
+  std::span<const Index> row_ptr;  ///< size nr + 1, offsets into cols/vals
+  std::span<const Index> cols;     ///< column indices, sorted within a row
+  std::span<const T> vals;
+
+  Index nnz() const { return row_ptr.empty() ? 0 : row_ptr.back(); }
+  Index n_nonempty_rows() const { return static_cast<Index>(row_ids.size()); }
+
+  std::span<const Index> row_cols(std::size_t r) const {
+    return cols.subspan(static_cast<std::size_t>(row_ptr[r]),
+                        static_cast<std::size_t>(row_ptr[r + 1] - row_ptr[r]));
+  }
+  std::span<const T> row_vals(std::size_t r) const {
+    return vals.subspan(static_cast<std::size_t>(row_ptr[r]),
+                        static_cast<std::size_t>(row_ptr[r + 1] - row_ptr[r]));
+  }
+};
+
+}  // namespace hyperspace::sparse

@@ -1,0 +1,151 @@
+#pragma once
+// Synthetic workload generators.
+//
+// The paper motivates its mathematics with streaming internet-scale data
+// (network flows, social graphs). We stand in for those proprietary streams
+// with the generator family Kepner's own hypersparse-GraphBLAS experiments
+// use: Kronecker / R-MAT power-law edge streams, plus Erdős–Rényi and Zipf
+// draws for controlled-density sweeps. See DESIGN.md "Substitutions".
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hyperspace::util {
+
+/// A directed edge with a weight, the unit of every streaming workload here.
+struct Edge {
+  std::int64_t src = 0;
+  std::int64_t dst = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// R-MAT (recursive-matrix / stochastic Kronecker) edge generator.
+///
+/// Produces the skewed, power-law degree distributions typical of the
+/// "digital hyperspace" data the paper describes. Default probabilities are
+/// the Graph500 values (a,b,c) = (0.57, 0.19, 0.19).
+struct RmatParams {
+  int scale = 10;           ///< number of vertices is 2^scale
+  double edge_factor = 8;   ///< edges = edge_factor * 2^scale
+  double a = 0.57, b = 0.19, c = 0.19;
+  std::uint64_t seed = 1;
+};
+
+inline std::vector<Edge> rmat_edges(const RmatParams& p) {
+  Xoshiro256 rng(p.seed);
+  const std::int64_t n = std::int64_t{1} << p.scale;
+  const auto m = static_cast<std::size_t>(p.edge_factor * static_cast<double>(n));
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    std::int64_t row = 0, col = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      const double r = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (r < p.a) {
+        // upper-left quadrant: no bits set
+      } else if (r < p.a + p.b) {
+        col |= 1;
+      } else if (r < p.a + p.b + p.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    edges.push_back({row, col, 1.0 + rng.uniform()});
+  }
+  return edges;
+}
+
+/// Erdős–Rényi G(n, m): exactly m uniform edges (with replacement).
+inline std::vector<Edge> erdos_renyi_edges(std::int64_t n, std::size_t m,
+                                           std::uint64_t seed = 1) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    edges.push_back({static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(n))),
+                     static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(n))),
+                     1.0 + rng.uniform()});
+  }
+  return edges;
+}
+
+/// Hypersparse workload: m edges drawn from an enormous key space
+/// (dimension n_huge >> m), so nnz << nrows. This is the Fig 4 right panel.
+inline std::vector<Edge> hypersparse_edges(std::int64_t n_huge, std::size_t m,
+                                           std::uint64_t seed = 1) {
+  return erdos_renyi_edges(n_huge, m, seed);
+}
+
+/// Zipf-distributed integer in [0, n): rank r with probability ~ 1/(r+1)^s.
+/// Uses the rejection-inversion method of Hörmann & Derflinger.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::int64_t n, double s = 1.0) : n_(n), s_(s) {
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+  }
+
+  std::int64_t operator()(Xoshiro256& rng) const {
+    while (true) {
+      const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+      const double x = h_inv(u);
+      auto k = static_cast<std::int64_t>(x + 0.5);
+      k = std::clamp<std::int64_t>(k, 1, n_);
+      if (u >= h(static_cast<double>(k) + 0.5) - std::exp(-s_ * std::log(static_cast<double>(k)))) {
+        return k - 1;  // zero-based rank
+      }
+    }
+  }
+
+ private:
+  double h(double x) const {
+    if (s_ == 1.0) return std::log(x);
+    return (std::exp((1.0 - s_) * std::log(x)) - 1.0) / (1.0 - s_);
+  }
+  double h_inv(double u) const {
+    if (s_ == 1.0) return std::exp(u);
+    return std::exp(std::log(1.0 + u * (1.0 - s_)) / (1.0 - s_));
+  }
+
+  std::int64_t n_;
+  double s_;
+  double h_x1_ = 0;
+  double h_n_ = 0;
+};
+
+/// Deduplicate an edge list, summing weights of duplicates (plus semiring).
+inline std::vector<Edge> dedupe_sum(std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+  });
+  std::vector<Edge> out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (!out.empty() && out.back().src == e.src && out.back().dst == e.dst) {
+      out.back().weight += e.weight;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+/// Synthetic dotted-quad IPv4 string for database workloads (Fig 6).
+inline std::string synthetic_ip(Xoshiro256& rng, std::int64_t universe) {
+  const auto v = static_cast<std::uint32_t>(rng.bounded(static_cast<std::uint64_t>(universe)));
+  return std::to_string((v >> 24) & 0xFF) + "." + std::to_string((v >> 16) & 0xFF) +
+         "." + std::to_string((v >> 8) & 0xFF) + "." + std::to_string(v & 0xFF);
+}
+
+}  // namespace hyperspace::util

@@ -1,0 +1,77 @@
+#pragma once
+// Fixed-width console table printer used by the benchmark binaries to
+// regenerate the paper's tables and figure data as aligned text.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hyperspace::util {
+
+/// Accumulates rows of strings and prints them with per-column alignment.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) {
+    rows_.push_back(std::move(header));
+  }
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width;
+    for (const auto& r : rows_) {
+      if (width.size() < r.size()) width.resize(r.size(), 0);
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << "  ";
+      for (std::size_t c = 0; c < rows_[i].size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2) << rows_[i][c];
+      }
+      os << '\n';
+      if (i == 0) {
+        os << "  ";
+        for (std::size_t c = 0; c < width.size(); ++c) {
+          os << std::string(width[c], '-') << "  ";
+        }
+        os << '\n';
+      }
+    }
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::setprecision(4) << v;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << v;
+      return ss.str();
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used between figure-reproduction blocks in bench output.
+inline void banner(const std::string& title, std::ostream& os = std::cout) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace hyperspace::util

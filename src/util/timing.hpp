@@ -1,0 +1,28 @@
+#pragma once
+// Minimal wall-clock timing for benchmark preambles (figure reproduction
+// sections print their own measured series outside google-benchmark).
+
+#include <chrono>
+
+namespace hyperspace::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hyperspace::util

@@ -1,0 +1,147 @@
+// Tests for the graph analytics built on the semiring kernels:
+// connected components (min.+), triangle counting (+.× with mask),
+// degrees (row projection), and SSSP (min.+ Bellman–Ford).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hypergraph/algorithms.hpp"
+#include "hypergraph/bfs.hpp"
+#include "sparse/io.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::hypergraph;
+using S = semiring::PlusTimes<double>;
+using sparse::Index;
+
+sparse::Matrix<double> from_pairs(
+    Index n, const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& [s, d] : edges) t.push_back({s, d, 1.0});
+  return sparse::Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+TEST(ConnectedComponents, TwoComponents) {
+  const auto a = from_pairs(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto cc = connected_components(a);
+  EXPECT_EQ(cc[0], 0);
+  EXPECT_EQ(cc[1], 0);
+  EXPECT_EQ(cc[2], 0);
+  EXPECT_EQ(cc[3], 3);
+  EXPECT_EQ(cc[4], 3);
+  EXPECT_EQ(cc[5], 5);  // isolated vertex is its own component
+}
+
+TEST(ConnectedComponents, DirectionIgnored) {
+  // Components are over the undirected pattern: 2→0 joins {0,1,2}.
+  const auto a = from_pairs(3, {{0, 1}, {2, 0}});
+  const auto cc = connected_components(a);
+  EXPECT_EQ(cc[0], 0);
+  EXPECT_EQ(cc[1], 0);
+  EXPECT_EQ(cc[2], 0);
+}
+
+TEST(ConnectedComponents, AgreesWithBfsReachability) {
+  const auto edges = util::rmat_edges({.scale = 8, .edge_factor = 2, .seed = 9});
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : edges) t.push_back({e.src, e.dst, 1.0});
+  const auto a = sparse::Matrix<double>::from_triples<S>(256, 256, std::move(t));
+  const auto cc = connected_components(a);
+  // Two vertices share a label iff mutually reachable over the undirected
+  // pattern; verify against BFS from each label representative.
+  const auto undirected8 = symmetrize_pattern(a);
+  const auto und = sparse::apply(undirected8, [](std::uint8_t) { return 1.0; });
+  for (Index rep : {cc[0], cc[100], cc[255]}) {
+    const auto levels = bfs_queue(und, rep);
+    for (Index v = 0; v < 256; ++v) {
+      EXPECT_EQ(cc[static_cast<std::size_t>(v)] == rep, levels[static_cast<std::size_t>(v)] >= 0)
+          << "rep=" << rep << " v=" << v;
+    }
+  }
+}
+
+TEST(TriangleCount, SingleTriangle) {
+  EXPECT_EQ(triangle_count(from_pairs(3, {{0, 1}, {1, 2}, {2, 0}})), 1);
+}
+
+TEST(TriangleCount, NoTrianglesInTree) {
+  EXPECT_EQ(triangle_count(from_pairs(5, {{0, 1}, {0, 2}, {1, 3}, {1, 4}})), 0);
+}
+
+TEST(TriangleCount, CompleteGraphK5) {
+  std::vector<std::pair<Index, Index>> edges;
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = i + 1; j < 5; ++j) edges.emplace_back(i, j);
+  }
+  EXPECT_EQ(triangle_count(from_pairs(5, edges)), 10);  // C(5,3)
+}
+
+TEST(TriangleCount, SelfLoopsIgnored) {
+  EXPECT_EQ(triangle_count(from_pairs(3, {{0, 0}, {0, 1}, {1, 2}, {2, 0}})), 1);
+}
+
+TEST(TriangleCount, MultiEdgesDoNotInflate) {
+  // Pattern-level count: duplicate edges collapse in the lor.land pattern.
+  EXPECT_EQ(triangle_count(from_pairs(3, {{0, 1}, {0, 1}, {1, 2}, {2, 0}})), 1);
+}
+
+TEST(OutDegrees, CountsPerRow) {
+  const auto deg = out_degrees(from_pairs(4, {{0, 1}, {0, 2}, {0, 3}, {2, 3}}));
+  EXPECT_EQ(deg, (std::vector<Index>{3, 0, 1, 0}));
+}
+
+TEST(OutDegrees, MultiEdgesCountSeparately) {
+  // from_pairs sums duplicate weights into one stored entry, so build raw.
+  const auto a = sparse::Matrix<double>::from_unique_triples(
+      2, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_EQ(out_degrees(a), (std::vector<Index>{2, 0}));
+}
+
+TEST(Sssp, ShortestPathBeatsDirectEdge) {
+  // 0→1 cost 10; 0→2→1 cost 3.
+  auto a = sparse::make_matrix<semiring::MinPlus<double>>(
+      3, 3, {{0, 1, 10.0}, {0, 2, 1.0}, {2, 1, 2.0}});
+  const auto d = sssp(a, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+}
+
+TEST(Sssp, UnreachableIsInfinity) {
+  auto a = sparse::make_matrix<semiring::MinPlus<double>>(
+      3, 3, {{0, 1, 1.0}});
+  const auto d = sssp(a, 0);
+  EXPECT_TRUE(std::isinf(d[2]));
+}
+
+TEST(Sssp, AgreesWithBfsHopCountOnUnitWeights) {
+  const auto edges = util::rmat_edges({.scale = 7, .edge_factor = 4, .seed = 3});
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : edges) t.push_back({e.src, e.dst, 1.0});
+  // min.+ combining of duplicates keeps weight 1.
+  auto a = sparse::Matrix<double>::from_triples<semiring::MinPlus<double>>(
+      128, 128, std::move(t));
+  const auto d = sssp(a, 0);
+  const auto levels = bfs_queue(a, 0);
+  for (Index v = 0; v < 128; ++v) {
+    if (levels[static_cast<std::size_t>(v)] < 0) {
+      EXPECT_TRUE(std::isinf(d[static_cast<std::size_t>(v)]));
+    } else {
+      EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(v)],
+                       static_cast<double>(levels[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(SymmetrizePattern, UnionOfBothDirections) {
+  const auto p = symmetrize_pattern(from_pairs(3, {{0, 1}}));
+  EXPECT_EQ(p.nnz(), 2);
+  EXPECT_TRUE(p.get(0, 1).has_value());
+  EXPECT_TRUE(p.get(1, 0).has_value());
+}
+
+}  // namespace

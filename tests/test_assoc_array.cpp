@@ -1,0 +1,204 @@
+// Unit tests for AssocArray — every Table II operation.
+
+#include <gtest/gtest.h>
+
+#include "array/assoc_array.hpp"
+#include "semiring/all.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::array;
+using S = semiring::PlusTimes<double>;
+using Arr = AssocArray<S>;
+
+Arr sample() {
+  // A 3-row table keyed by names and fields.
+  return Arr(std::vector<Key>{"alice", "alice", "bob", "carol"},
+             std::vector<Key>{"age", "city", "age", "city"},
+             std::vector<double>{30, 1, 40, 2});
+}
+
+TEST(AssocArray, ConstructionAndExtractionRoundTrip) {
+  const auto a = sample();
+  const auto entries = a.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  // Entries come back in key order.
+  EXPECT_EQ(std::get<0>(entries[0]), Key("alice"));
+  EXPECT_EQ(std::get<1>(entries[0]), Key("age"));
+  EXPECT_EQ(std::get<2>(entries[0]), 30.0);
+  EXPECT_EQ(Arr::from_entries(entries), a);
+}
+
+TEST(AssocArray, DuplicateKeysCombineWithSemiringAdd) {
+  const Arr a(std::vector<Key>{"x", "x"}, std::vector<Key>{"k", "k"},
+              std::vector<double>{2.0, 5.0});
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_EQ(a.get("x", "k"), 7.0);
+}
+
+TEST(AssocArray, LengthMismatchThrows) {
+  EXPECT_THROW(Arr(std::vector<Key>{"a"}, std::vector<Key>{"b", "c"},
+                   std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(AssocArray, GetAbsentKeyIsEmpty) {
+  const auto a = sample();
+  EXPECT_EQ(a.get("alice", "age"), 30.0);
+  EXPECT_EQ(a.get("dave", "age"), std::nullopt);
+  EXPECT_EQ(a.get("alice", "salary"), std::nullopt);
+}
+
+TEST(AssocArray, RowAndColReturnNonEmptyKeys) {
+  const auto a = sample();
+  EXPECT_EQ(a.row(), (KeySet{"alice", "bob", "carol"}));
+  EXPECT_EQ(a.col(), (KeySet{"age", "city"}));
+}
+
+TEST(AssocArray, PermutationAndIdentity) {
+  const auto p = Arr::permutation({"a", "b", "c"}, {"z", "y", "x"});
+  EXPECT_EQ(p.nnz(), 3);
+  EXPECT_EQ(p.get("a", "z"), S::one());
+  const auto eye = Arr::identity(KeySet{"a", "b"});
+  EXPECT_EQ(eye.get("a", "a"), S::one());
+  EXPECT_EQ(eye.get("a", "b"), std::nullopt);
+}
+
+TEST(AssocArray, PermutationLengthMismatchThrows) {
+  EXPECT_THROW(Arr::permutation({"a"}, {"x", "y"}), std::invalid_argument);
+}
+
+TEST(AssocArray, OnesIsFullArray) {
+  const auto ones = Arr::ones(KeySet{"r1", "r2"}, KeySet{"c1"});
+  EXPECT_EQ(ones.nnz(), 2);
+  EXPECT_EQ(ones.get("r2", "c1"), 1.0);
+}
+
+TEST(AssocArray, TransposeSwapsKeys) {
+  const auto t = sample().transpose();
+  EXPECT_EQ(t.get("age", "alice"), 30.0);
+  EXPECT_EQ(t.row(), (KeySet{"age", "city"}));
+}
+
+TEST(AssocArray, TransposeInvolution) {
+  const auto a = sample();
+  EXPECT_EQ(a.transpose().transpose(), a);
+}
+
+TEST(AssocArray, ExtractSubArray) {
+  const auto a = sample();
+  const auto sub = a.extract(KeySet{"alice", "bob"}, KeySet{"age"});
+  EXPECT_EQ(sub.nnz(), 2);
+  EXPECT_EQ(sub.get("alice", "age"), 30.0);
+  EXPECT_EQ(sub.get("alice", "city"), std::nullopt);
+}
+
+TEST(AssocArray, ExtractWithForeignKeysSelectsNothing) {
+  const auto a = sample();
+  const auto sub = a.extract(KeySet{"nobody"}, KeySet{"age"});
+  EXPECT_TRUE(sub.empty());
+}
+
+TEST(AssocArray, ZeroNormMapsToOne) {
+  const auto z = sample().zero_norm();
+  for (const auto& [r, c, v] : z.entries()) EXPECT_EQ(v, 1.0);
+  EXPECT_EQ(z.nnz(), 4);
+}
+
+TEST(AssocArray, CompactDropsEmptyKeySpace) {
+  const auto a = sample();
+  const auto padded = a.realign(key_union(a.row_keys(), KeySet{"zz"}),
+                                a.col_keys());
+  EXPECT_EQ(padded.row_keys().size(), 4u);
+  const auto c = padded.compact();
+  EXPECT_EQ(c.row_keys().size(), 3u);
+  EXPECT_EQ(c, a);
+}
+
+TEST(AssocArray, AddAlignsDifferentKeySpaces) {
+  // The defining associative-array behaviour: operands over different key
+  // spaces combine with no conformance fuss.
+  const Arr a(std::vector<Key>{"alice"}, std::vector<Key>{"age"},
+              std::vector<double>{30});
+  const Arr b(std::vector<Key>{"bob"}, std::vector<Key>{"age"},
+              std::vector<double>{40});
+  const auto c = add(a, b);
+  EXPECT_EQ(c.get("alice", "age"), 30.0);
+  EXPECT_EQ(c.get("bob", "age"), 40.0);
+  EXPECT_EQ(c.nnz(), 2);
+}
+
+TEST(AssocArray, AddCombinesOverlap) {
+  const Arr a(std::vector<Key>{"x"}, std::vector<Key>{"k"},
+              std::vector<double>{1});
+  const Arr b(std::vector<Key>{"x"}, std::vector<Key>{"k"},
+              std::vector<double>{2});
+  EXPECT_EQ(add(a, b).get("x", "k"), 3.0);
+}
+
+TEST(AssocArray, MultIsKeyIntersection) {
+  const auto a = sample();
+  const Arr b(std::vector<Key>{"alice", "dave"},
+              std::vector<Key>{"age", "age"}, std::vector<double>{2, 9});
+  const auto c = mult(a, b);
+  EXPECT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.get("alice", "age"), 60.0);
+}
+
+TEST(AssocArray, MtimesComposesOverSharedInnerKeys) {
+  // friend-of-friend: alice->bob, bob->carol ⇒ alice->carol.
+  const Arr g(std::vector<Key>{"alice", "bob"},
+              std::vector<Key>{"bob", "carol"}, std::vector<double>{1, 1});
+  const auto two_hop = mtimes(g, g);
+  EXPECT_EQ(two_hop.get("alice", "carol"), 1.0);
+  EXPECT_EQ(two_hop.nnz(), 1);
+}
+
+TEST(AssocArray, MtimesWithDisjointInnerKeysIsZero) {
+  // "What is more important ... is some overlap in the non-zero row and
+  // column keys" — none here, so the product is all 0.
+  const Arr a(std::vector<Key>{"r"}, std::vector<Key>{"k1"},
+              std::vector<double>{3});
+  const Arr b(std::vector<Key>{"k2"}, std::vector<Key>{"c"},
+              std::vector<double>{4});
+  EXPECT_TRUE(mtimes(a, b).empty());
+}
+
+TEST(AssocArray, MtimesIdentityBehaviour) {
+  const auto a = sample();
+  const auto eye = Arr::identity(a.col_keys());
+  EXPECT_EQ(mtimes(a, eye), a);
+  const auto eye_l = Arr::identity(a.row_keys());
+  EXPECT_EQ(mtimes(eye_l, a), a);
+}
+
+TEST(AssocArray, OperatorSugar) {
+  const auto a = sample();
+  EXPECT_EQ(a + a, add(a, a));
+  EXPECT_EQ(a * a, mult(a, a));
+}
+
+TEST(AssocArray, MixedKeyTypesInOneArray) {
+  const Arr a(std::vector<Key>{1, "alice", 2.5},
+              std::vector<Key>{"f", "f", "f"}, std::vector<double>{1, 2, 3});
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_EQ(a.get(1, "f"), 1.0);
+  EXPECT_EQ(a.get("alice", "f"), 2.0);
+  EXPECT_EQ(a.get(2.5, "f"), 3.0);
+}
+
+TEST(AssocArray, EqualityIsEntryBased) {
+  const auto a = sample();
+  const auto padded =
+      a.realign(key_union(a.row_keys(), KeySet{"ghost"}), a.col_keys());
+  EXPECT_EQ(a, padded);  // same entries, bigger ambient space
+}
+
+TEST(AssocArray, WrapMatrixShapeMismatchThrows) {
+  EXPECT_THROW(Arr(KeySet{"a"}, KeySet{"b"},
+                   sparse::Matrix<double>(2, 1, S::zero())),
+               std::invalid_argument);
+}
+
+}  // namespace

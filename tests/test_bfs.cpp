@@ -1,0 +1,96 @@
+// Tests for the Fig 1 BFS duality: the array method (vᵀA per level) and the
+// classic queue traversal must produce identical levels on every graph.
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/bfs.hpp"
+#include "semiring/arithmetic.hpp"
+#include "sparse/io.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::hypergraph;
+using S = semiring::PlusTimes<double>;
+
+sparse::Matrix<double> from_edges(sparse::Index n,
+                                  const std::vector<util::Edge>& edges) {
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : edges) t.push_back({e.src, e.dst, e.weight});
+  return sparse::Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+TEST(Bfs, ChainGraphLevels) {
+  const auto a = sparse::make_matrix<S>(
+      4, 4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  const auto levels = bfs_array(a, 0);
+  EXPECT_EQ(levels, (std::vector<sparse::Index>{0, 1, 2, 3}));
+}
+
+TEST(Bfs, UnreachableVerticesStayMinusOne) {
+  const auto a = sparse::make_matrix<S>(4, 4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  const auto levels = bfs_array(a, 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], -1);
+  EXPECT_EQ(levels[3], -1);
+}
+
+TEST(Bfs, SourceOutOfRange) {
+  const auto a = sparse::make_matrix<S>(3, 3, {{0, 1, 1.0}});
+  EXPECT_EQ(bfs_array(a, 7), (std::vector<sparse::Index>{-1, -1, -1}));
+  EXPECT_EQ(bfs_queue(a, -1), (std::vector<sparse::Index>{-1, -1, -1}));
+}
+
+TEST(Bfs, CycleGraph) {
+  const auto a = sparse::make_matrix<S>(
+      5, 5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}, {4, 0, 1.0}});
+  const auto levels = bfs_array(a, 2);
+  EXPECT_EQ(levels, (std::vector<sparse::Index>{3, 4, 0, 1, 2}));
+}
+
+TEST(Bfs, SelfLoopDoesNotTrapTraversal) {
+  const auto a = sparse::make_matrix<S>(3, 3, {{0, 0, 1.0}, {0, 1, 1.0},
+                                               {1, 2, 1.0}});
+  EXPECT_EQ(bfs_array(a, 0), (std::vector<sparse::Index>{0, 1, 2}));
+}
+
+TEST(Bfs, EmptyGraph) {
+  const sparse::Matrix<double> a(4, 4);
+  const auto levels = bfs_array(a, 1);
+  EXPECT_EQ(levels, (std::vector<sparse::Index>{-1, 0, -1, -1}));
+}
+
+// The duality property, swept over R-MAT scales and seeds.
+class BfsDuality
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BfsDuality, ArrayAndQueueAgree) {
+  const auto [scale, seed] = GetParam();
+  const auto edges =
+      util::rmat_edges({.scale = scale, .edge_factor = 6, .seed = seed});
+  const auto a = from_edges(sparse::Index{1} << scale, edges);
+  for (const sparse::Index src : {sparse::Index{0}, sparse::Index{1}, (a.nrows() - 1) / 2}) {
+    EXPECT_EQ(bfs_array(a, src), bfs_queue(a, src))
+        << "scale=" << scale << " seed=" << seed << " src=" << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RmatSweep, BfsDuality,
+    ::testing::Combine(::testing::Values(6, 8, 10),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(Bfs, DualityOnHypersparsePattern) {
+  // A graph whose adjacency sits in DCSR (few occupied rows).
+  std::vector<sparse::Triple<double>> t;
+  for (sparse::Index i = 0; i < 20; ++i) {
+    t.push_back({i * 50, (i + 1) * 50, 1.0});
+  }
+  const auto a =
+      sparse::Matrix<double>::from_triples<S>(1024, 1024, std::move(t));
+  ASSERT_EQ(a.format(), sparse::Format::kDcsr);
+  EXPECT_EQ(bfs_array(a, 0), bfs_queue(a, 0));
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Tests for PageRank, k-truss, and Jaccard similarity.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hypergraph/centrality.hpp"
+#include "sparse/io.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::hypergraph;
+using sparse::Index;
+using S = semiring::PlusTimes<double>;
+
+sparse::Matrix<double> from_pairs(
+    Index n, const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& [s, d] : edges) t.push_back({s, d, 1.0});
+  return sparse::Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+TEST(PageRank, SumsToOne) {
+  const auto a = from_pairs(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  const auto r = pagerank(a);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-6);
+}
+
+TEST(PageRank, SymmetricCycleIsUniform) {
+  const auto a = from_pairs(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto r = pagerank(a);
+  for (const double v : r) EXPECT_NEAR(v, 0.25, 1e-6);
+}
+
+TEST(PageRank, HubOutranksLeaves) {
+  // Everyone points at vertex 0.
+  const auto a = from_pairs(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const auto r = pagerank(a);
+  for (int v = 1; v < 5; ++v) EXPECT_GT(r[0], r[static_cast<std::size_t>(v)]);
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // 0 -> 1; 1 dangles. Ranks must still sum to 1.
+  const auto a = from_pairs(2, {{0, 1}});
+  const auto r = pagerank(a);
+  EXPECT_NEAR(r[0] + r[1], 1.0, 1e-6);
+  EXPECT_GT(r[1], r[0]);
+}
+
+TEST(PageRank, EmptyGraph) {
+  const sparse::Matrix<double> a(3, 3);
+  const auto r = pagerank(a);
+  for (const double v : r) EXPECT_NEAR(v, 1.0 / 3, 1e-6);
+}
+
+TEST(KTruss, TriangleSurvivesThreeTruss) {
+  const auto a = from_pairs(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  const auto t3 = k_truss(a, 3);
+  // The pendant edge (0,3) has no triangle support; the triangle stays.
+  EXPECT_EQ(t3.nnz(), 6);  // 3 undirected edges, both directions
+  EXPECT_FALSE(t3.get(0, 3).has_value());
+  EXPECT_TRUE(t3.get(0, 1).has_value());
+}
+
+TEST(KTruss, K4SurvivesFourTruss) {
+  std::vector<std::pair<Index, Index>> edges;
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = i + 1; j < 4; ++j) edges.emplace_back(i, j);
+  }
+  const auto a = from_pairs(5, edges);
+  EXPECT_EQ(k_truss(a, 4).nnz(), 12);  // K4: every edge in 2 triangles
+  EXPECT_EQ(k_truss(a, 5).nnz(), 0);   // but not in 3
+}
+
+TEST(KTruss, TwoTrussIsWholeGraph) {
+  const auto a = from_pairs(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  EXPECT_EQ(k_truss(a, 2).nnz(), 8);  // every edge survives (support >= 0)
+}
+
+TEST(KTruss, CascadingPeel) {
+  // Triangle + a second triangle sharing one edge, plus a tail: 3-truss
+  // keeps both triangles, 4-truss kills everything (no edge has 2 support).
+  const auto a = from_pairs(
+      5, {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {2, 3}, {3, 4}});
+  EXPECT_EQ(k_truss(a, 3).nnz(), 10);  // 5 undirected edges survive
+  EXPECT_EQ(k_truss(a, 4).nnz(), 0);
+}
+
+TEST(Jaccard, IdenticalNeighborhoodsScoreOne) {
+  // 0 and 1 both point at exactly {2, 3}.
+  const auto a = from_pairs(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  const auto j = jaccard_similarity(a);
+  EXPECT_NEAR(j.get(0, 1).value(), 1.0, 1e-12);
+  EXPECT_NEAR(j.get(1, 0).value(), 1.0, 1e-12);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  // N(0) = {2,3}, N(1) = {3,4}: J = 1/3.
+  const auto a = from_pairs(5, {{0, 2}, {0, 3}, {1, 3}, {1, 4}});
+  EXPECT_NEAR(jaccard_similarity(a).get(0, 1).value(), 1.0 / 3, 1e-12);
+}
+
+TEST(Jaccard, NoOverlapNoEntry) {
+  const auto a = from_pairs(4, {{0, 2}, {1, 3}});
+  const auto j = jaccard_similarity(a);
+  EXPECT_FALSE(j.get(0, 1).has_value());
+}
+
+TEST(Jaccard, ScoresBounded) {
+  const auto edges = util::rmat_edges({.scale = 7, .edge_factor = 4, .seed = 2});
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : edges) t.push_back({e.src, e.dst, 1.0});
+  const auto a = sparse::Matrix<double>::from_triples<S>(128, 128, std::move(t));
+  for (const auto& tr : jaccard_similarity(a).to_triples()) {
+    EXPECT_GT(tr.val, 0.0);
+    EXPECT_LE(tr.val, 1.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Unit tests for the COO build format.
+
+#include <gtest/gtest.h>
+
+#include "semiring/arithmetic.hpp"
+#include "semiring/tropical.hpp"
+#include "sparse/coo.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using sparse::Coo;
+using sparse::Triple;
+
+TEST(Coo, PushAccumulatesUnsorted) {
+  Coo<double> c(4, 4);
+  c.push(3, 1, 1.0);
+  c.push(0, 2, 2.0);
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_FALSE(c.sorted());
+}
+
+TEST(Coo, SortCombineSumsDuplicates) {
+  Coo<double> c(4, 4);
+  c.push(1, 1, 2.0);
+  c.push(0, 0, 1.0);
+  c.push(1, 1, 3.0);
+  c.sort_combine<semiring::PlusTimes<double>>();
+  ASSERT_EQ(c.nnz(), 2);
+  EXPECT_EQ(c.triples()[0], (Triple<double>{0, 0, 1.0}));
+  EXPECT_EQ(c.triples()[1], (Triple<double>{1, 1, 5.0}));
+  EXPECT_TRUE(c.sorted());
+}
+
+TEST(Coo, SortCombineRespectsSemiring) {
+  // Over min.+, duplicate edges keep the minimum weight.
+  Coo<double> c(2, 2);
+  c.push(0, 1, 7.0);
+  c.push(0, 1, 3.0);
+  c.sort_combine<semiring::MinPlus<double>>();
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_DOUBLE_EQ(c.triples()[0].val, 3.0);
+}
+
+TEST(Coo, SortCombineWithCustomCombiner) {
+  // "Last wins" upsert semantics.
+  Coo<double> c(2, 2);
+  c.push(0, 0, 1.0);
+  c.push(0, 0, 9.0);
+  c.sort_combine_with([](const double&, const double& b) { return b; });
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_DOUBLE_EQ(c.triples()[0].val, 9.0);
+}
+
+TEST(Coo, StableOrderForCustomCombiner) {
+  // stable_sort guarantees duplicates arrive at the combiner in insertion
+  // order, which "last wins" semantics depend on.
+  Coo<int> c(1, 1);
+  for (int i = 0; i < 20; ++i) c.push(0, 0, i);
+  c.sort_combine_with([](int, int b) { return b; });
+  EXPECT_EQ(c.triples()[0].val, 19);
+}
+
+TEST(Coo, EmptySortIsFine) {
+  Coo<double> c(3, 3);
+  c.sort_combine<semiring::PlusTimes<double>>();
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_TRUE(c.sorted());
+}
+
+TEST(Coo, BytesGrowWithEntries) {
+  Coo<double> a(10, 10), b(10, 10);
+  for (int i = 0; i < 100; ++i) b.push(i % 10, (i * 3) % 10, 1.0);
+  EXPECT_GT(b.bytes(), a.bytes());
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Unit tests for CSR and DCSR (hypersparse) storage.
+
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "sparse/dcsr.hpp"
+
+namespace {
+
+using namespace hyperspace::sparse;
+
+std::vector<Triple<double>> sample_triples() {
+  return {{0, 1, 1.0}, {0, 3, 2.0}, {2, 0, 3.0}, {2, 2, 4.0}, {3, 3, 5.0}};
+}
+
+TEST(Csr, BuildFromSortedTriples) {
+  Csr<double> m(4, 4, sample_triples());
+  EXPECT_EQ(m.nrows(), 4);
+  EXPECT_EQ(m.ncols(), 4);
+  EXPECT_EQ(m.nnz(), 5);
+  EXPECT_EQ(m.row_ptr(), (std::vector<Index>{0, 2, 2, 4, 5}));
+  EXPECT_EQ(m.cols(), (std::vector<Index>{1, 3, 0, 2, 3}));
+}
+
+TEST(Csr, NonEmptyRowCountSkipsEmptyRows) {
+  Csr<double> m(4, 4, sample_triples());
+  EXPECT_EQ(m.n_nonempty_rows(), 3);  // row 1 is empty
+}
+
+TEST(Csr, ViewExposesAllRows) {
+  Csr<double> m(4, 4, sample_triples());
+  const auto v = m.view();
+  EXPECT_EQ(v.row_ids.size(), 4u);
+  EXPECT_EQ(v.nnz(), 5);
+  EXPECT_EQ(v.row_cols(0).size(), 2u);
+  EXPECT_EQ(v.row_cols(1).size(), 0u);
+  EXPECT_DOUBLE_EQ(v.row_vals(2)[1], 4.0);
+}
+
+TEST(Csr, EmptyMatrix) {
+  Csr<double> m(5, 7);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.view().row_ids.size(), 5u);
+}
+
+TEST(Dcsr, StoresOnlyNonEmptyRows) {
+  Dcsr<double> m(4, 4, sample_triples());
+  EXPECT_EQ(m.nnz(), 5);
+  EXPECT_EQ(m.row_ids(), (std::vector<Index>{0, 2, 3}));
+  EXPECT_EQ(m.row_ptr(), (std::vector<Index>{0, 2, 4, 5}));
+}
+
+TEST(Dcsr, ViewMatchesStorage) {
+  Dcsr<double> m(4, 4, sample_triples());
+  const auto v = m.view();
+  EXPECT_EQ(v.row_ids.size(), 3u);
+  EXPECT_EQ(v.row_ids[1], 2);
+  EXPECT_EQ(v.row_cols(1)[0], 0);
+}
+
+TEST(Dcsr, HugeDimensionCostsNothing) {
+  // The defining hypersparse property: storage independent of nrows.
+  const Index huge = Index{1} << 50;
+  std::vector<Triple<double>> t = {{Index{1} << 40, 7, 1.0},
+                                   {Index{1} << 49, 3, 2.0}};
+  Dcsr<double> m(huge, huge, t);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.n_nonempty_rows(), 2);
+  EXPECT_LT(m.bytes(), 4096u);
+}
+
+TEST(Dcsr, BytesScaleWithNnzNotDimension) {
+  std::vector<Triple<double>> small_dim, huge_dim;
+  for (Index i = 0; i < 100; ++i) {
+    small_dim.push_back({i, i, 1.0});
+    huge_dim.push_back({i * (Index{1} << 40), i, 1.0});
+  }
+  Dcsr<double> a(128, 128, small_dim);
+  Dcsr<double> b(Index{1} << 50, 128, huge_dim);
+  // Equal nnz and non-empty-row counts: storage must be identical.
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(CsrVsDcsr, SameLogicalContent) {
+  const auto t = sample_triples();
+  Csr<double> c(4, 4, t);
+  Dcsr<double> d(4, 4, t);
+  EXPECT_EQ(c.nnz(), d.nnz());
+  const auto vc = c.view();
+  const auto vd = d.view();
+  // Every non-empty CSR row appears identically in the DCSR view.
+  std::size_t di = 0;
+  for (std::size_t ci = 0; ci < vc.row_ids.size(); ++ci) {
+    if (vc.row_cols(ci).empty()) continue;
+    ASSERT_LT(di, vd.row_ids.size());
+    EXPECT_EQ(vd.row_ids[di], vc.row_ids[ci]);
+    ASSERT_EQ(vd.row_cols(di).size(), vc.row_cols(ci).size());
+    for (std::size_t j = 0; j < vc.row_cols(ci).size(); ++j) {
+      EXPECT_EQ(vd.row_cols(di)[j], vc.row_cols(ci)[j]);
+      EXPECT_DOUBLE_EQ(vd.row_vals(di)[j], vc.row_vals(ci)[j]);
+    }
+    ++di;
+  }
+  EXPECT_EQ(di, vd.row_ids.size());
+}
+
+TEST(Csr, AssembleFromParts) {
+  Csr<double> m(2, 3, {0, 1, 3}, {2, 0, 1}, {9.0, 8.0, 7.0});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.view().row_cols(1)[1], 1);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for the §V-B database layer: the semilink select expression
+// |((A ∪.∩ I(k)) ∩ v) ∪.∩ 1|₀ ∩ A, the AssocTable wrapper, and the Fig 6
+// worked example.
+
+#include <gtest/gtest.h>
+
+#include "db/select.hpp"
+#include "db/table.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::db;
+using array::Key;
+using array::KeySet;
+
+SetArray demo_array() {
+  // The Fig 6 traffic table:
+  //   001 | 1.1.1.1 http 0.0.0.0
+  //   002 | 0.0.0.0 udp  1.1.1.1
+  //   003 | 1.1.1.1 ssh  2.2.2.2
+  // with value ids: 0=1.1.1.1, 1=0.0.0.0, 2=2.2.2.2, 10=http, 11=udp, 12=ssh.
+  return SetArray::from_entries({
+      {Key("001"), Key("src"), semiring::ValueSet{0}},
+      {Key("001"), Key("link"), semiring::ValueSet{10}},
+      {Key("001"), Key("dest"), semiring::ValueSet{1}},
+      {Key("002"), Key("src"), semiring::ValueSet{1}},
+      {Key("002"), Key("link"), semiring::ValueSet{11}},
+      {Key("002"), Key("dest"), semiring::ValueSet{0}},
+      {Key("003"), Key("src"), semiring::ValueSet{0}},
+      {Key("003"), Key("link"), semiring::ValueSet{12}},
+      {Key("003"), Key("dest"), semiring::ValueSet{2}},
+  });
+}
+
+TEST(SemilinkSelect, SelectsMatchingRows) {
+  // WHERE src = 1.1.1.1 (id 0) ⇒ rows 001 and 003, all columns.
+  const auto rows = semilink_select(demo_array(), Key("src"), 0);
+  EXPECT_EQ(rows.nnz(), 6);  // two full rows of three cells
+  EXPECT_TRUE(rows.get(Key("001"), Key("dest")).has_value());
+  EXPECT_TRUE(rows.get(Key("003"), Key("link")).has_value());
+  EXPECT_FALSE(rows.get(Key("002"), Key("src")).has_value());
+}
+
+TEST(SemilinkSelect, PreservesCellValues) {
+  const auto rows = semilink_select(demo_array(), Key("src"), 0);
+  EXPECT_EQ(rows.get(Key("001"), Key("dest")), (semiring::ValueSet{1}));
+  EXPECT_EQ(rows.get(Key("003"), Key("dest")), (semiring::ValueSet{2}));
+}
+
+TEST(SemilinkSelect, AgreesWithDirectScan) {
+  const auto a = demo_array();
+  for (const auto col : {Key("src"), Key("link"), Key("dest")}) {
+    for (semiring::ValueSet::element v = 0; v <= 12; ++v) {
+      EXPECT_EQ(semilink_select(a, col, v), direct_select(a, col, v))
+          << "col=" << col << " v=" << v;
+    }
+  }
+}
+
+TEST(SemilinkSelect, NoMatchesGivesEmptyArray) {
+  EXPECT_TRUE(semilink_select(demo_array(), Key("src"), 999).empty());
+  EXPECT_TRUE(semilink_select(demo_array(), Key("nosuchcol"), 0).empty());
+}
+
+TEST(SemilinkSelect, MultiValuedCellsMatchAnyElement) {
+  // A cell holding {1, 2} matches a select on 1 and on 2.
+  const auto a = SetArray::from_entries({
+      {Key("r1"), Key("tags"), semiring::ValueSet{1, 2}},
+      {Key("r1"), Key("name"), semiring::ValueSet{7}},
+      {Key("r2"), Key("tags"), semiring::ValueSet{3}},
+  });
+  EXPECT_EQ(semilink_select(a, Key("tags"), 1).nnz(), 2);
+  EXPECT_EQ(semilink_select(a, Key("tags"), 2).nnz(), 2);
+  EXPECT_EQ(semilink_select(a, Key("tags"), 3).nnz(), 1);
+}
+
+TEST(ColumnSelector, IsOneEntryIdentity) {
+  const auto sel = column_selector(Key("src"));
+  EXPECT_EQ(sel.nnz(), 1);
+  EXPECT_EQ(sel.get(Key("src"), Key("src")), semiring::ValueSet::all());
+}
+
+TEST(Dictionary, InternIsIdempotent) {
+  Dictionary d;
+  const auto a = d.intern("http");
+  const auto b = d.intern("udp");
+  EXPECT_EQ(d.intern("http"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.at(a), "http");
+  EXPECT_EQ(d.find("udp"), b);
+  EXPECT_EQ(d.find("never"), std::nullopt);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(AssocTable, InsertAndSelect) {
+  AssocTable t;
+  t.insert({{"src", "1.1.1.1"}, {"link", "http"}, {"dest", "0.0.0.0"}});
+  t.insert({{"src", "0.0.0.0"}, {"link", "udp"}, {"dest", "1.1.1.1"}});
+  t.insert({{"src", "1.1.1.1"}, {"link", "ssh"}, {"dest", "2.2.2.2"}});
+  EXPECT_EQ(t.size(), 3u);
+  const auto dests = t.select_values("src", "1.1.1.1", "dest");
+  EXPECT_EQ(dests, (std::vector<std::string>{"0.0.0.0", "2.2.2.2"}));
+}
+
+TEST(AssocTable, SemilinkAndDirectSelectAgree) {
+  AssocTable t;
+  t.insert({{"a", "x"}, {"b", "y"}});
+  t.insert({{"a", "x"}, {"b", "z"}});
+  t.insert({{"a", "w"}, {"b", "y"}});
+  EXPECT_EQ(t.select_semilink("a", "x"), t.select_direct("a", "x"));
+  EXPECT_EQ(t.select_semilink("b", "y"), t.select_direct("b", "y"));
+}
+
+TEST(AssocTable, SelectUnknownValueIsEmpty) {
+  AssocTable t;
+  t.insert({{"a", "x"}});
+  EXPECT_TRUE(t.select_semilink("a", "nope").empty());
+  EXPECT_TRUE(t.select_values("a", "nope", "a").empty());
+}
+
+TEST(AssocTable, ExplicitRowKeys) {
+  AssocTable t;
+  t.insert(array::Key("row-alpha"), {{"f", "1"}});
+  const auto& arr = t.array();
+  EXPECT_TRUE(arr.get(Key("row-alpha"), Key("f")).has_value());
+}
+
+TEST(AssocTable, SharedDictionaryAcrossTables) {
+  auto dict = std::make_shared<Dictionary>();
+  AssocTable t1(dict), t2(dict);
+  t1.insert({{"f", "shared"}});
+  t2.insert({{"g", "shared"}});
+  EXPECT_EQ(dict->size(), 1u);  // one interned string
+}
+
+}  // namespace

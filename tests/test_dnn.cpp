@@ -1,0 +1,171 @@
+// Tests for the sparse DNN layer (§V-C): the two-semiring (semilink-style)
+// inference must agree exactly with the standard formulation, and the
+// RadiX-Net-style generator must produce the stated topology.
+
+#include <gtest/gtest.h>
+
+#include "dnn/inference.hpp"
+#include "dnn/radixnet.hpp"
+#include "semilink/dnn_link.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::dnn;
+
+TEST(DnnLink, ReluIsS2AddWithS2One) {
+  // h(y) = y ⊕₂ 1₂ = max(y, 0).
+  EXPECT_EQ(semilink::relu<>(3.5), 3.5);
+  EXPECT_EQ(semilink::relu<>(-2.0), 0.0);
+  EXPECT_EQ(semilink::relu<>(0.0), 0.0);
+}
+
+TEST(DnnLink, BiasIsS2Mul) {
+  EXPECT_EQ(semilink::bias_mul<>(3.0, -1.0), 2.0);
+}
+
+TEST(DnnLink, S2ZeroAnnihilatesAndIdentities) {
+  using S2 = semilink::DnnLink::S2;
+  EXPECT_EQ(S2::zero(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(S2::one(), 0.0);
+  EXPECT_EQ(S2::add(5.0, S2::zero()), 5.0);
+  EXPECT_EQ(S2::mul(5.0, S2::zero()), S2::zero());
+}
+
+TEST(Network, RejectsBadShapes) {
+  using S = semiring::PlusTimes<double>;
+  auto w = sparse::Matrix<double>::from_triples<S>(4, 4, {{0, 0, 1.0}});
+  EXPECT_THROW(Network({{w, std::vector<double>(3, 0.0)}}),
+               std::invalid_argument);
+  auto w2 = sparse::Matrix<double>::from_triples<S>(5, 5, {{0, 0, 1.0}});
+  EXPECT_THROW(Network({{w, std::vector<double>(4, 0.0)},
+                        {w2, std::vector<double>(5, 0.0)}}),
+               std::invalid_argument);
+}
+
+TEST(Network, ShapeAccessors) {
+  const auto net = make_radixnet({.neurons = 32, .layers = 3, .fanin = 4});
+  EXPECT_EQ(net.depth(), 3u);
+  EXPECT_EQ(net.n_in(), 32);
+  EXPECT_EQ(net.n_out(), 32);
+  EXPECT_EQ(net.total_nnz(), 3 * 32 * 4);
+}
+
+TEST(RadixNet, FixedFanInPerNeuron) {
+  const auto net = make_radixnet({.neurons = 64, .layers = 2, .fanin = 8});
+  for (const auto& layer : net.layers()) {
+    // Every output neuron has in-degree exactly fanin: column sums of the
+    // pattern are all 8.
+    std::vector<int> indeg(64, 0);
+    for (const auto& t : layer.weights.to_triples()) {
+      ++indeg[static_cast<std::size_t>(t.col)];
+    }
+    for (const int d : indeg) EXPECT_EQ(d, 8);
+  }
+}
+
+TEST(RadixNet, LayersDifferInStructure) {
+  const auto net = make_radixnet({.neurons = 32, .layers = 3, .fanin = 4});
+  EXPECT_NE(net.layer(0).weights, net.layer(1).weights);
+}
+
+TEST(StandardInference, HandComputedTinyNet) {
+  // 2 inputs → 2 outputs: W = [[1, 2], [0, 1]], b = (-1, 0).
+  using S = semiring::PlusTimes<double>;
+  auto w = sparse::Matrix<double>::from_triples<S>(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 1.0}});
+  const Network net({{w, {-1.0, 0.0}}});
+  DenseBatch y(1, 2);
+  y.at(0, 0) = 1.0;
+  y.at(0, 1) = 3.0;
+  const auto out = infer_standard(net, y);
+  // z0 = 1*1 - 1 = 0; z1 = 1*2 + 3*1 + 0 = 5.
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 5.0);
+}
+
+TEST(StandardInference, ReluClampsNegative) {
+  using S = semiring::PlusTimes<double>;
+  auto w = sparse::Matrix<double>::from_triples<S>(1, 1, {{0, 0, 1.0}});
+  const Network net({{w, {-10.0}}});
+  DenseBatch y(1, 1);
+  y.at(0, 0) = 2.0;
+  EXPECT_DOUBLE_EQ(infer_standard(net, y).at(0, 0), 0.0);
+}
+
+class InferenceEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(InferenceEquivalence, SemilinkMatchesStandardBitwise) {
+  const auto [neurons, layers, density] = GetParam();
+  const auto net = make_radixnet({.neurons = neurons,
+                                  .layers = layers,
+                                  .fanin = 32,
+                                  .weight = 1.0 / 8,
+                                  .bias = -0.02});
+  const auto y0 = make_sparse_features(16, neurons, density, 77);
+  const auto a = infer_standard(net, y0);
+  const auto b = infer_semilink(net, y0);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    ASSERT_EQ(a.data[i], b.data[i]) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InferenceEquivalence,
+    ::testing::Combine(::testing::Values(64, 256),
+                       ::testing::Values(2, 8),
+                       ::testing::Values(0.1, 0.5)));
+
+TEST(InferenceEquivalence, RandomUnstructuredNet) {
+  const auto net = make_random_net(100, 5, 0.05, 42);
+  const auto y0 = make_sparse_features(8, 100, 0.3, 43);
+  const auto a = infer_standard(net, y0);
+  const auto b = infer_semilink(net, y0);
+  EXPECT_EQ(a.data, b.data);
+}
+
+TEST(Inference, ActivityStaysAliveWithGentleBias) {
+  // The challenge-style constant negative bias must not kill the signal
+  // for the benchmark configuration.
+  const auto net = make_radixnet({.neurons = 128,
+                                  .layers = 12,
+                                  .fanin = 32,
+                                  .weight = 0.5,
+                                  .bias = -0.001});
+  const auto y0 = make_sparse_features(8, 128, 0.3, 5);
+  const auto out = infer_standard(net, y0);
+  EXPECT_GT(out.nnz(), 0);
+}
+
+TEST(Inference, EmptyInputStaysEmptyWithZeroBias) {
+  const auto net = make_radixnet({.neurons = 32, .layers = 3, .fanin = 4,
+                                  .weight = 0.25, .bias = 0.0});
+  const DenseBatch y0(4, 32);  // all zeros
+  EXPECT_EQ(infer_standard(net, y0).nnz(), 0);
+}
+
+TEST(Inference, PositiveBiasLightsEverything) {
+  const auto net = make_radixnet({.neurons = 16, .layers = 1, .fanin = 4,
+                                  .weight = 0.25, .bias = 0.5});
+  const DenseBatch y0(2, 16);
+  EXPECT_EQ(infer_standard(net, y0).nnz(), 2 * 16);
+}
+
+TEST(Categories, ArgmaxPerRow) {
+  DenseBatch y(2, 3);
+  y.at(0, 1) = 5.0;
+  y.at(1, 2) = 2.0;
+  y.at(1, 0) = 1.0;
+  EXPECT_EQ(categories(y), (std::vector<Index>{1, 2}));
+}
+
+TEST(SparseFeatures, DensityApproximatelyRespected) {
+  const auto y = make_sparse_features(10, 1000, 0.1, 3);
+  // Collisions make it ≤ 0.1; should be within a factor.
+  EXPECT_GT(y.nnz(), 10 * 1000 * 0.05);
+  EXPECT_LE(y.nnz(), 10 * 1000 * 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Unit + property tests for element-wise ⊕ (graph union) and ⊗ (graph
+// intersection), Fig 5.
+
+#include <gtest/gtest.h>
+
+#include "semiring/all.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/io.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+Matrix<double> random_matrix(Index n, std::size_t m, std::uint64_t seed) {
+  std::vector<Triple<double>> t;
+  for (const auto& e : util::erdos_renyi_edges(n, m, seed)) {
+    t.push_back({e.src, e.dst, e.weight});
+  }
+  return Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+TEST(EwiseAdd, PatternIsUnion) {
+  const auto a = make_matrix<S>(3, 3, {{0, 0, 1.0}, {1, 1, 2.0}});
+  const auto b = make_matrix<S>(3, 3, {{1, 1, 3.0}, {2, 2, 4.0}});
+  const auto c = ewise_add<S>(a, b);
+  EXPECT_EQ(c.nnz(), 3);
+  EXPECT_EQ(c.get(0, 0), 1.0);   // only in a: a ⊕ 0 = a
+  EXPECT_EQ(c.get(1, 1), 5.0);   // both: 2 ⊕ 3
+  EXPECT_EQ(c.get(2, 2), 4.0);   // only in b
+}
+
+TEST(EwiseMult, PatternIsIntersection) {
+  const auto a = make_matrix<S>(3, 3, {{0, 0, 2.0}, {1, 1, 2.0}, {1, 2, 9.0}});
+  const auto b = make_matrix<S>(3, 3, {{1, 1, 3.0}, {2, 2, 4.0}});
+  const auto c = ewise_mult<S>(a, b);
+  EXPECT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.get(1, 1), 6.0);
+}
+
+TEST(EwiseAdd, EmptyOperandIsIdentity) {
+  const auto a = random_matrix(50, 200, 1);
+  const Matrix<double> zero(50, 50);
+  EXPECT_EQ(ewise_add<S>(a, zero), a);
+  EXPECT_EQ(ewise_add<S>(zero, a), a);
+}
+
+TEST(EwiseMult, EmptyOperandAnnihilates) {
+  const auto a = random_matrix(50, 200, 2);
+  const Matrix<double> zero(50, 50);
+  EXPECT_EQ(ewise_mult<S>(a, zero).nnz(), 0);
+  EXPECT_EQ(ewise_mult<S>(zero, a).nnz(), 0);
+}
+
+TEST(Ewise, ShapeMismatchThrows) {
+  const auto a = random_matrix(4, 4, 3);
+  const Matrix<double> b(5, 4);
+  EXPECT_THROW(ewise_add<S>(a, b), std::invalid_argument);
+  EXPECT_THROW(ewise_mult<S>(a, b), std::invalid_argument);
+}
+
+TEST(Ewise, MixedFormatsAgree) {
+  auto a = random_matrix(64, 600, 4);
+  auto b = random_matrix(64, 600, 5);
+  const auto expect_add = ewise_add<S>(a, b);
+  const auto expect_mul = ewise_mult<S>(a, b);
+  a.convert(Format::kDcsr);
+  b.convert(Format::kBitmap);
+  EXPECT_EQ(ewise_add<S>(a, b), expect_add);
+  EXPECT_EQ(ewise_mult<S>(a, b), expect_mul);
+}
+
+TEST(Ewise, HypersparseOperands) {
+  const Index huge = Index{1} << 45;
+  const auto a = Matrix<double>::from_unique_triples(
+      huge, huge, {{Index{1} << 20, 5, 1.0}, {Index{1} << 40, 9, 2.0}});
+  const auto b = Matrix<double>::from_unique_triples(
+      huge, huge, {{Index{1} << 40, 9, 10.0}});
+  const auto sum = ewise_add<S>(a, b);
+  const auto prod = ewise_mult<S>(a, b);
+  EXPECT_EQ(sum.nnz(), 2);
+  EXPECT_EQ(sum.get(Index{1} << 40, 9), 12.0);
+  EXPECT_EQ(prod.nnz(), 1);
+  EXPECT_EQ(prod.get(Index{1} << 40, 9), 20.0);
+}
+
+// Property sweep: ⊕ commutes, ⊗ commutes, and the identities hold, over
+// several semirings and random patterns.
+class EwiseProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EwiseProperties, AddCommutes) {
+  const auto a = random_matrix(40, 150, GetParam());
+  const auto b = random_matrix(40, 150, GetParam() + 1000);
+  EXPECT_EQ(ewise_add<S>(a, b), ewise_add<S>(b, a));
+}
+
+TEST_P(EwiseProperties, MultCommutes) {
+  const auto a = random_matrix(40, 150, GetParam());
+  const auto b = random_matrix(40, 150, GetParam() + 1000);
+  EXPECT_EQ(ewise_mult<S>(a, b), ewise_mult<S>(b, a));
+}
+
+TEST_P(EwiseProperties, AddAssociates) {
+  const auto a = random_matrix(30, 100, GetParam());
+  const auto b = random_matrix(30, 100, GetParam() + 1);
+  const auto c = random_matrix(30, 100, GetParam() + 2);
+  EXPECT_EQ(ewise_add<S>(ewise_add<S>(a, b), c),
+            ewise_add<S>(a, ewise_add<S>(b, c)));
+}
+
+TEST_P(EwiseProperties, MaxPlusSemiringWorksToo) {
+  using MP = semiring::MaxPlus<double>;
+  const auto a = random_matrix(30, 100, GetParam());
+  const auto b = random_matrix(30, 100, GetParam() + 7);
+  const auto c = ewise_add<MP>(a, b);
+  // max-add union: where both present, value is max.
+  for (const auto& t : c.to_triples()) {
+    const auto va = a.get(t.row, t.col);
+    const auto vb = b.get(t.row, t.col);
+    const double expect =
+        va && vb ? std::max(*va, *vb) : (va ? *va : *vb);
+    EXPECT_DOUBLE_EQ(t.val, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EwiseProperties,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(EwiseSetSemiring, DatabaseStyleCells) {
+  using U = semiring::UnionIntersect;
+  using semiring::ValueSet;
+  const auto a = make_matrix<U>(2, 2, {{0, 0, ValueSet{1, 2}},
+                                       {1, 1, ValueSet{3}}});
+  const auto b = make_matrix<U>(2, 2, {{0, 0, ValueSet{2, 4}},
+                                       {0, 1, ValueSet{9}}});
+  const auto uni = ewise_add<U>(a, b);
+  EXPECT_EQ(uni.get(0, 0), (ValueSet{1, 2, 4}));
+  const auto inter = ewise_mult<U>(a, b);
+  EXPECT_EQ(inter.nnz(), 1);
+  EXPECT_EQ(inter.get(0, 0), (ValueSet{2}));
+}
+
+}  // namespace

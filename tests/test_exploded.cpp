@@ -1,0 +1,115 @@
+// Tests for the D4M-style exploded schema: column|value keys, scan-free
+// selects, and AᵀA facet correlation — and agreement with the §V-B
+// semilink select on the same records.
+
+#include <gtest/gtest.h>
+
+#include "db/exploded.hpp"
+#include "db/table.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::db;
+
+ExplodedTable fig6_exploded() {
+  ExplodedTable t;
+  t.insert({{"src", "1.1.1.1"}, {"link", "http"}, {"dest", "0.0.0.0"}});
+  t.insert({{"src", "0.0.0.0"}, {"link", "udp"}, {"dest", "1.1.1.1"}});
+  t.insert({{"src", "1.1.1.1"}, {"link", "ssh"}, {"dest", "2.2.2.2"}});
+  return t;
+}
+
+TEST(Exploded, KeyComposition) {
+  EXPECT_EQ(ExplodedTable::exploded_key("src", "1.1.1.1"),
+            array::Key("src|1.1.1.1"));
+}
+
+TEST(Exploded, OneEntryPerFieldPerRow) {
+  const auto t = fig6_exploded();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.array().nnz(), 9);  // 3 rows x 3 fields, all 0/1
+  for (const auto& [r, c, v] : t.array().entries()) EXPECT_EQ(v, 1.0);
+}
+
+TEST(Exploded, SelectRowsIsColumnLookup) {
+  const auto t = fig6_exploded();
+  const auto rows = t.select_rows("src", "1.1.1.1");
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows.contains(array::Key("000001")));
+  EXPECT_TRUE(rows.contains(array::Key("000003")));
+}
+
+TEST(Exploded, SelectValuesMatchesFig6) {
+  const auto t = fig6_exploded();
+  EXPECT_EQ(t.select_values("src", "1.1.1.1", "dest"),
+            (std::vector<std::string>{"0.0.0.0", "2.2.2.2"}));
+}
+
+TEST(Exploded, AgreesWithSemilinkSelectTable) {
+  // Same records through both encodings: answers must coincide.
+  AssocTable dense;
+  ExplodedTable exploded;
+  const std::vector<Record> records = {
+      {{"a", "x"}, {"b", "p"}},
+      {{"a", "x"}, {"b", "q"}},
+      {{"a", "y"}, {"b", "p"}},
+      {{"a", "z"}, {"b", "q"}},
+  };
+  for (const auto& r : records) {
+    dense.insert(r);
+    exploded.insert(r);
+  }
+  for (const std::string v : {"x", "y", "z"}) {
+    EXPECT_EQ(exploded.select_values("a", v, "b"),
+              dense.select_values("a", v, "b"))
+        << v;
+  }
+}
+
+TEST(Exploded, SelectUnknownValueIsEmpty) {
+  const auto t = fig6_exploded();
+  EXPECT_TRUE(t.select_rows("src", "9.9.9.9").empty());
+  EXPECT_TRUE(t.select("nope", "x").empty());
+  EXPECT_TRUE(t.select_values("src", "9.9.9.9", "dest").empty());
+}
+
+TEST(Exploded, CorrelationCountsCooccurrence) {
+  const auto t = fig6_exploded();
+  // src=1.1.1.1 co-occurs with link=http once and link=ssh once.
+  EXPECT_EQ(t.cooccurrence("src", "1.1.1.1", "link", "http"), 1.0);
+  EXPECT_EQ(t.cooccurrence("src", "1.1.1.1", "link", "ssh"), 1.0);
+  EXPECT_EQ(t.cooccurrence("src", "1.1.1.1", "link", "udp"), 0.0);
+  // Diagonal counts facet frequency.
+  EXPECT_EQ(t.cooccurrence("src", "1.1.1.1", "src", "1.1.1.1"), 2.0);
+}
+
+TEST(Exploded, CorrelationIsSymmetric) {
+  ExplodedTable t;
+  t.insert({{"u", "a"}, {"v", "b"}});
+  t.insert({{"u", "a"}, {"v", "c"}});
+  t.insert({{"u", "d"}, {"v", "b"}});
+  const auto c = t.correlation();
+  EXPECT_EQ(c, c.transpose());
+  EXPECT_EQ(t.cooccurrence("u", "a", "v", "b"), 1.0);
+  EXPECT_EQ(t.cooccurrence("v", "b", "u", "a"), 1.0);
+}
+
+TEST(Exploded, MultiValuedColumnsViaRepeatedInserts) {
+  // Two rows sharing a tag: correlation counts both.
+  ExplodedTable t;
+  t.insert({{"tag", "red"}, {"name", "n1"}});
+  t.insert({{"tag", "red"}, {"name", "n2"}});
+  EXPECT_EQ(t.cooccurrence("tag", "red", "tag", "red"), 2.0);
+  EXPECT_EQ(t.select_values("tag", "red", "name"),
+            (std::vector<std::string>{"n1", "n2"}));
+}
+
+TEST(Exploded, EmptyTable) {
+  ExplodedTable t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.select_rows("a", "b").empty());
+  EXPECT_TRUE(t.correlation().empty());
+}
+
+}  // namespace

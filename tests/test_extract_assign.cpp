@@ -1,0 +1,112 @@
+// Tests for integer-index extract / assign (GrB_extract / GrB_assign).
+
+#include <gtest/gtest.h>
+
+#include "semiring/all.hpp"
+#include "sparse/extract_assign.hpp"
+#include "sparse/io.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+Matrix<double> sample() {
+  return make_matrix<S>(4, 4, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0},
+                               {2, 3, 4.0}, {3, 0, 5.0}});
+}
+
+TEST(Extract, GathersSubmatrix) {
+  const auto c = extract(sample(), {0, 2}, {0, 2, 3});
+  EXPECT_EQ(c.nrows(), 2);
+  EXPECT_EQ(c.ncols(), 3);
+  EXPECT_EQ(c.get(0, 0), 1.0);   // A(0,0)
+  EXPECT_EQ(c.get(0, 1), 2.0);   // A(0,2)
+  EXPECT_EQ(c.get(1, 2), 4.0);   // A(2,3)
+  EXPECT_EQ(c.nnz(), 3);
+}
+
+TEST(Extract, ReordersRows) {
+  const auto c = extract(sample(), {3, 0}, {0});
+  EXPECT_EQ(c.get(0, 0), 5.0);  // A(3,0) first
+  EXPECT_EQ(c.get(1, 0), 1.0);
+}
+
+TEST(Extract, DuplicatedIndicesReplicate) {
+  const auto c = extract(sample(), {0, 0}, {0, 0});
+  EXPECT_EQ(c.nnz(), 4);  // A(0,0) appears at all four positions
+  EXPECT_EQ(c.get(1, 1), 1.0);
+}
+
+TEST(Extract, OutOfRangeThrows) {
+  EXPECT_THROW(extract(sample(), {4}, {0}), std::out_of_range);
+  EXPECT_THROW(extract(sample(), {0}, {-1}), std::out_of_range);
+}
+
+TEST(Extract, EmptyListsGiveEmptyMatrix) {
+  const auto c = extract(sample(), {}, {});
+  EXPECT_EQ(c.nrows(), 0);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(ExtractRows, AllColumnsShorthand) {
+  const auto c = extract_rows(sample(), {1, 2});
+  EXPECT_EQ(c.nrows(), 2);
+  EXPECT_EQ(c.ncols(), 4);
+  EXPECT_EQ(c.get(0, 1), 3.0);
+  EXPECT_EQ(c.get(1, 3), 4.0);
+}
+
+TEST(Extract, HypersparseSource) {
+  const Index huge = Index{1} << 40;
+  const auto a = Matrix<double>::from_unique_triples(
+      huge, huge, {{Index{1} << 39, Index{1} << 20, 9.0}});
+  const auto c = extract(a, {Index{1} << 39}, {Index{1} << 20, 5});
+  EXPECT_EQ(c.get(0, 0), 9.0);
+  EXPECT_EQ(c.nnz(), 1);
+}
+
+TEST(Assign, ScattersIntoTarget) {
+  const auto b = make_matrix<S>(2, 2, {{0, 0, 10.0}, {1, 1, 20.0}});
+  const auto c = assign<S>(sample(), b, {1, 3}, {2, 3});
+  EXPECT_EQ(c.get(1, 2), 10.0);
+  EXPECT_EQ(c.get(3, 3), 20.0);
+  EXPECT_EQ(c.get(0, 0), 1.0);  // untouched entries survive
+}
+
+TEST(Assign, CollisionsCombineWithSemiringAdd) {
+  const auto b = make_matrix<S>(1, 1, {{0, 0, 100.0}});
+  const auto c = assign<S>(sample(), b, {0}, {0});
+  EXPECT_EQ(c.get(0, 0), 101.0);  // 1 ⊕ 100
+}
+
+TEST(Assign, MinPlusCollisionKeepsMinimum) {
+  using MP = semiring::MinPlus<double>;
+  const auto a = make_matrix<MP>(2, 2, {{0, 0, 5.0}});
+  const auto b = make_matrix<MP>(1, 1, {{0, 0, 3.0}});
+  const auto c = assign<MP>(a, b, {0}, {0});
+  EXPECT_EQ(c.get(0, 0), 3.0);
+}
+
+TEST(Assign, ShapeMismatchThrows) {
+  const auto b = make_matrix<S>(2, 2, {{0, 0, 1.0}});
+  EXPECT_THROW(assign<S>(sample(), b, {0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(assign<S>(sample(), b, {0, 9}, {0, 1}), std::out_of_range);
+}
+
+TEST(ExtractAssign, RoundTrip) {
+  // Extracting then assigning back into an empty matrix restores the block.
+  const auto a = sample();
+  const std::vector<Index> rows = {0, 1}, cols = {0, 1, 2};
+  const auto block = extract(a, rows, cols);
+  const Matrix<double> empty(4, 4);
+  const auto restored = assign<S>(empty, block, rows, cols);
+  for (const Index r : rows) {
+    for (const Index c : cols) {
+      EXPECT_EQ(restored.get(r, c), a.get(r, c)) << r << "," << c;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Unit tests for the synthetic workload generators (util/generators.hpp).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace::util;
+
+TEST(Rmat, EdgeCountMatchesParams) {
+  const auto edges = rmat_edges({.scale = 8, .edge_factor = 4, .seed = 1});
+  EXPECT_EQ(edges.size(), 4u << 8);
+}
+
+TEST(Rmat, VerticesWithinRange) {
+  const auto edges = rmat_edges({.scale = 6, .edge_factor = 8, .seed = 2});
+  for (const auto& e : edges) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, 64);
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, 64);
+  }
+}
+
+TEST(Rmat, Deterministic) {
+  const auto a = rmat_edges({.scale = 7, .seed = 5});
+  const auto b = rmat_edges({.scale = 7, .seed = 5});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // Power-law: the max out-degree should far exceed the mean.
+  const auto edges = rmat_edges({.scale = 10, .edge_factor = 8, .seed = 3});
+  std::map<std::int64_t, int> deg;
+  for (const auto& e : edges) ++deg[e.src];
+  int max_deg = 0;
+  for (const auto& [v, d] : deg) max_deg = std::max(max_deg, d);
+  const double mean =
+      static_cast<double>(edges.size()) / static_cast<double>(deg.size());
+  EXPECT_GT(max_deg, 4 * mean);
+}
+
+TEST(ErdosRenyi, CountAndRange) {
+  const auto edges = erdos_renyi_edges(100, 500, 4);
+  EXPECT_EQ(edges.size(), 500u);
+  for (const auto& e : edges) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, 100);
+  }
+}
+
+TEST(Hypersparse, KeySpaceVastlyExceedsEdges) {
+  const std::int64_t huge = std::int64_t{1} << 40;
+  const auto edges = hypersparse_edges(huge, 1000, 5);
+  EXPECT_EQ(edges.size(), 1000u);
+  // With 2^40 keys and 1000 draws, collisions are vanishingly unlikely:
+  // nearly all sources distinct (nnz << N regime).
+  std::vector<std::int64_t> srcs;
+  for (const auto& e : edges) srcs.push_back(e.src);
+  std::sort(srcs.begin(), srcs.end());
+  srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+  EXPECT_GT(srcs.size(), 990u);
+}
+
+TEST(DedupeSum, CombinesDuplicateEdges) {
+  std::vector<Edge> edges = {{1, 2, 1.0}, {1, 2, 2.5}, {0, 1, 1.0}};
+  const auto out = dedupe_sum(edges);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].src, 0);
+  EXPECT_DOUBLE_EQ(out[1].weight, 3.5);
+}
+
+TEST(DedupeSum, SortedOutput) {
+  const auto out = dedupe_sum(rmat_edges({.scale = 8, .seed = 6}));
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i - 1].src < out[i].src ||
+                (out[i - 1].src == out[i].src && out[i - 1].dst < out[i].dst));
+  }
+}
+
+TEST(Zipf, InRangeAndSkewed) {
+  Xoshiro256 rng(17);
+  ZipfDistribution zipf(1000, 1.1);
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = zipf(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 1000);
+    ++counts[k];
+  }
+  // Rank 0 should dominate rank 100 heavily under s = 1.1.
+  EXPECT_GT(counts[0], 20 * std::max(counts[100], 1));
+}
+
+TEST(SyntheticIp, DottedQuadShape) {
+  Xoshiro256 rng(23);
+  const auto ip = synthetic_ip(rng, 1 << 16);
+  int dots = 0;
+  for (const char ch : ip) dots += (ch == '.');
+  EXPECT_EQ(dots, 3);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Unit tests for incidence arrays (Fig 2) and the adjacency projection
+// A = E_outᵀ E_in (Fig 3).
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/incidence.hpp"
+#include "hypergraph/projection.hpp"
+#include "semiring/all.hpp"
+#include "sparse/apply.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::hypergraph;
+
+TEST(Incidence, SimpleEdgesOneEntryPerArrayRow) {
+  const auto g = incidence_from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.n_edges(), 3);
+  EXPECT_EQ(g.eout().nnz(), 3);
+  EXPECT_EQ(g.ein().nnz(), 3);
+  EXPECT_EQ(g.eout().get(0, 0), 1.0);  // edge 0 leaves vertex 0
+  EXPECT_EQ(g.ein().get(0, 1), 1.0);   // edge 0 enters vertex 1
+  EXPECT_FALSE(g.has_hyper_edges());
+}
+
+TEST(Incidence, HyperEdgeTouchesManyVertices) {
+  // Fig 2 red: one edge connecting more than two vertices.
+  const std::vector<HyperEdge> edges = {{{0, 1, 2}, {3, 4}, 1.0}};
+  const IncidencePair g(5, edges);
+  EXPECT_EQ(g.eout().nnz(), 3);
+  EXPECT_EQ(g.ein().nnz(), 2);
+  EXPECT_TRUE(g.has_hyper_edges());
+}
+
+TEST(Incidence, MultiEdgesOccupySeparateRows) {
+  // Fig 2 blue: repeated edges between the same vertices.
+  const auto g = incidence_from_edges(3, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.n_edges(), 3);
+  EXPECT_EQ(g.eout().nnz(), 3);  // three distinct edge rows
+}
+
+TEST(Incidence, EmptyEndpointThrows) {
+  EXPECT_THROW(IncidencePair(3, {{{0}, {}, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(IncidencePair(3, {{{}, {1}, 1.0}}), std::invalid_argument);
+}
+
+TEST(Projection, SingleEdgeGivesSingleAdjacencyEntry) {
+  const auto g = incidence_from_edges(3, {{0, 2}});
+  const auto a = adjacency(g);
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_EQ(a.get(0, 2), 1.0);
+}
+
+TEST(Projection, MultiEdgesAccumulate) {
+  // Two parallel edges 0→1: A(0,1) = ⊕_k ... = 2 over +.×.
+  const auto g = incidence_from_edges(3, {{0, 1}, {0, 1}});
+  const auto a = adjacency(g);
+  EXPECT_EQ(a.get(0, 1), 2.0);
+}
+
+TEST(Projection, HyperEdgeExpandsToAllPairs) {
+  // Edge out of {0,1} into {2,3} ⇒ adjacency entries (0,2),(0,3),(1,2),(1,3).
+  const IncidencePair g(4, {{{0, 1}, {2, 3}, 1.0}});
+  const auto a = adjacency(g);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_EQ(a.get(0, 2), 1.0);
+  EXPECT_EQ(a.get(1, 3), 1.0);
+  EXPECT_EQ(a.get(2, 0), std::nullopt);  // directed
+}
+
+TEST(Projection, Fig3EntryFormula) {
+  // A(i, j) = ⨁_k E_outᵀ(i, k) ⊗ E_in(k, j): cross-check one entry by hand.
+  const auto g = incidence_from_edges(
+      7, {{3, 2}, {3, 2}, {0, 1}, {3, 5}});  // two parallel 3→2 edges
+  const auto a = adjacency(g);
+  double expect = 0;
+  for (sparse::Index k = 0; k < g.n_edges(); ++k) {
+    const auto o = g.eout().get(k, 3);
+    const auto i = g.ein().get(k, 2);
+    if (o && i) expect += *o * *i;
+  }
+  EXPECT_EQ(a.get(3, 2), expect);
+  EXPECT_EQ(expect, 2.0);
+}
+
+TEST(Projection, PatternIsSemiringIndependent) {
+  // §V-A: "the core topological aspects ... hold for any semiring". The
+  // *pattern* of the projection must be identical across semirings.
+  const auto g = incidence_from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {0, 1}});
+  const auto a_plus = adjacency_projection<semiring::PlusTimes<double>>(
+      g.eout(), g.ein());
+  const auto a_max = adjacency_projection<semiring::MaxPlus<double>>(
+      g.eout(), g.ein());
+  const auto a_min = adjacency_projection<semiring::MinTimes<double>>(
+      g.eout(), g.ein());
+  EXPECT_TRUE(sparse::same_sparsity(a_plus, a_max));
+  EXPECT_TRUE(sparse::same_sparsity(a_plus, a_min));
+  // Values differ: +.× accumulates the multi-edge, max.+ takes the max.
+  EXPECT_EQ(a_plus.get(0, 1), 2.0);
+  EXPECT_EQ(a_max.get(0, 1), 2.0);  // 1+1 over max.+ mul
+  EXPECT_EQ(a_min.get(0, 1), 1.0);  // min(1*1, 1*1)
+}
+
+TEST(Projection, WeightsFlowThrough) {
+  const IncidencePair g(3, {{{0}, {1}, 2.5}});
+  const auto a = adjacency(g);
+  EXPECT_EQ(a.get(0, 1), 2.5 * 2.5);  // E_outᵀ(0,k) ⊗ E_in(k,1) = w·w
+}
+
+}  // namespace

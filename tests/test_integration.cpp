@@ -1,0 +1,130 @@
+// End-to-end integration: the "digital hyperspace" pipeline —
+// stream events → incidence arrays → adjacency projection → graph
+// analytics → database ingestion → identical answers from every engine.
+
+#include <gtest/gtest.h>
+
+#include "db/polystore.hpp"
+#include "hypergraph/algorithms.hpp"
+#include "hypergraph/bfs.hpp"
+#include "hypergraph/incidence.hpp"
+#include "hypergraph/projection.hpp"
+#include "semilink/identities.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using sparse::Index;
+
+TEST(Pipeline, StreamToIncidenceToAdjacencyToAnalytics) {
+  // 1. Stream: R-MAT edges standing in for network events.
+  const auto edges =
+      util::rmat_edges({.scale = 8, .edge_factor = 4, .seed = 21});
+  const Index n = 256;
+
+  // 2. Incidence arrays (one row per event — the streaming representation).
+  std::vector<std::pair<Index, Index>> pairs;
+  for (const auto& e : edges) pairs.emplace_back(e.src, e.dst);
+  const auto g = hypergraph::incidence_from_edges(n, pairs);
+  EXPECT_EQ(g.n_edges(), static_cast<Index>(edges.size()));
+
+  // 3. Projection A = E_outᵀ E_in.
+  const auto a = hypergraph::adjacency(g);
+  EXPECT_GT(a.nnz(), 0);
+
+  // 4. The projection must match direct adjacency construction (duplicate
+  // edges accumulate under +.× in both paths).
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& [s, d] : pairs) t.push_back({s, d, 1.0});
+  const auto direct = sparse::Matrix<double>::from_triples<
+      semiring::PlusTimes<double>>(n, n, std::move(t));
+  EXPECT_EQ(a, direct);
+
+  // 5. Analytics agree across formulations.
+  EXPECT_EQ(hypergraph::bfs_array(a, 0), hypergraph::bfs_queue(a, 0));
+  EXPECT_GE(hypergraph::triangle_count(a), 0);
+}
+
+TEST(Pipeline, EventsToPolystoreConsistency) {
+  // Synthetic traffic through the full polystore; every engine agrees on
+  // every observed source.
+  util::Xoshiro256 rng(5);
+  db::FlowPolystore ps;
+  std::vector<std::string> srcs;
+  for (int i = 0; i < 60; ++i) {
+    const auto s = util::synthetic_ip(rng, 1 << 20);
+    const auto d = util::synthetic_ip(rng, 1 << 20);
+    srcs.push_back(s);
+    ps.insert({s, rng.bounded(2) ? "http" : "dns", d});
+  }
+  for (const auto& s : srcs) {
+    const auto expect = ps.neighbors_sql(s);
+    EXPECT_EQ(ps.neighbors_semilink(s), expect);
+    EXPECT_EQ(ps.neighbors_newsql(s), expect);
+    EXPECT_EQ(ps.neighbors_nosql(s), expect);
+  }
+}
+
+TEST(Pipeline, SemilinkIdentitiesHoldOnRealWorkloadArrays) {
+  // Build an associative array from generated traffic and check the §IV
+  // machinery on it.
+  util::Xoshiro256 rng(9);
+  std::vector<array::Key> k1, k2;
+  std::vector<double> v;
+  for (int i = 0; i < 40; ++i) {
+    k1.emplace_back(util::synthetic_ip(rng, 64));
+    k2.emplace_back(util::synthetic_ip(rng, 64));
+    v.push_back(1.0 + static_cast<double>(rng.bounded(9)));
+  }
+  const array::AssocArray<semiring::PlusTimes<double>> A(k1, k2, v);
+  EXPECT_TRUE(semilink::ones_projects_rows(A));
+  EXPECT_TRUE(semilink::ones_projects_cols(A));
+  semilink::Semilink<semiring::PlusTimes<double>> link(A.row_keys());
+  EXPECT_TRUE(semilink::identities_interact(link));
+}
+
+TEST(Pipeline, HypersparseStreamingIngest) {
+  // Ingest a stream keyed by an enormous (2^48) key space — the regime the
+  // paper's hypersparse arrays exist for — then query it.
+  const Index huge = Index{1} << 48;
+  const auto edges = util::hypersparse_edges(huge, 2000, 33);
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : edges) t.push_back({e.src, e.dst, e.weight});
+  const auto a = sparse::Matrix<double>::from_triples<
+      semiring::PlusTimes<double>>(huge, huge, std::move(t));
+  EXPECT_EQ(a.format(), sparse::Format::kDcsr);
+  EXPECT_LE(a.nnz(), 2000);
+  EXPECT_LT(a.bytes(), 200'000u);
+  // Row projection over the ambient ones is impossible to densify, but
+  // per-row reduction works fine at O(nnz).
+  using Add = semiring::AddMonoidOf<semiring::PlusTimes<double>>;
+  const auto sums = sparse::reduce_rows<Add>(a);
+  EXPECT_EQ(sums.n_nonempty_rows(), a.n_nonempty_rows());
+}
+
+TEST(Pipeline, GraphUnionIntersectionOnStreams) {
+  // Two observation windows of the same network; union joins them,
+  // intersection finds persistent links (Fig 5 at workload scale).
+  using S = semiring::PlusTimes<double>;
+  auto window = [](std::uint64_t seed) {
+    std::vector<sparse::Triple<double>> t;
+    for (const auto& e :
+         util::rmat_edges({.scale = 7, .edge_factor = 4, .seed = seed})) {
+      t.push_back({e.src, e.dst, 1.0});
+    }
+    return sparse::Matrix<double>::from_triples<S>(128, 128, std::move(t));
+  };
+  const auto w1 = window(1), w2 = window(2);
+  const auto uni = sparse::ewise_add<S>(w1, w2);
+  const auto inter = sparse::ewise_mult<S>(w1, w2);
+  EXPECT_GE(uni.nnz(), std::max(w1.nnz(), w2.nnz()));
+  EXPECT_LE(inter.nnz(), std::min(w1.nnz(), w2.nnz()));
+  // Sanity: every intersection edge is in both windows.
+  for (const auto& t : inter.to_triples()) {
+    EXPECT_TRUE(w1.get(t.row, t.col).has_value());
+    EXPECT_TRUE(w2.get(t.row, t.col).has_value());
+  }
+}
+
+}  // namespace

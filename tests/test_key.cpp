@@ -1,0 +1,98 @@
+// Unit tests for Key (sortable mixed-type keys) and KeySet.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "array/key.hpp"
+
+namespace {
+
+using namespace hyperspace::array;
+
+TEST(Key, TypeInspection) {
+  EXPECT_TRUE(Key(5).is_int());
+  EXPECT_TRUE(Key(2.5).is_real());
+  EXPECT_TRUE(Key("abc").is_string());
+  EXPECT_EQ(Key(5).as_int(), 5);
+  EXPECT_EQ(Key(2.5).as_real(), 2.5);
+  EXPECT_EQ(Key("abc").as_string(), "abc");
+}
+
+TEST(Key, StrictTotalOrderWithinType) {
+  EXPECT_LT(Key(1), Key(2));
+  EXPECT_LT(Key(1.5), Key(2.5));
+  EXPECT_LT(Key("alice"), Key("bob"));
+  EXPECT_FALSE(Key("bob") < Key("alice"));
+}
+
+TEST(Key, CrossTypeOrderIsDeterministic) {
+  // ints < reals < strings (variant index order); mixed key sets sort.
+  EXPECT_LT(Key(999), Key(0.5));
+  EXPECT_LT(Key(0.5), Key("a"));
+  EXPECT_LT(Key(999), Key("a"));
+}
+
+TEST(Key, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Key(3), Key(3));
+  EXPECT_NE(Key(3), Key(3.0));  // int key != real key
+  EXPECT_EQ(Key("x"), Key(std::string("x")));
+}
+
+TEST(Key, Printing) {
+  std::ostringstream os;
+  os << Key(7) << "/" << Key("ip");
+  EXPECT_EQ(os.str(), "7/ip");
+}
+
+TEST(KeySet, SortsAndDedupes) {
+  const KeySet s{Key("b"), Key("a"), Key("b"), Key("c")};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], Key("a"));
+  EXPECT_EQ(s[2], Key("c"));
+}
+
+TEST(KeySet, FindReturnsPosition) {
+  const KeySet s{Key(10), Key(20), Key(30)};
+  EXPECT_EQ(s.find(Key(20)), 1u);
+  EXPECT_EQ(s.find(Key(25)), std::nullopt);
+  EXPECT_TRUE(s.contains(Key(30)));
+  EXPECT_FALSE(s.contains(Key(31)));
+}
+
+TEST(KeySet, RangeBuilder) {
+  const auto s = KeySet::range(4, 10);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], Key(10));
+  EXPECT_EQ(s[3], Key(13));
+}
+
+TEST(KeySet, UnionAndIntersection) {
+  const KeySet a{Key(1), Key(2), Key(3)};
+  const KeySet b{Key(3), Key(4)};
+  EXPECT_EQ(key_union(a, b), (KeySet{Key(1), Key(2), Key(3), Key(4)}));
+  EXPECT_EQ(key_intersection(a, b), (KeySet{Key(3)}));
+}
+
+TEST(KeySet, MixedTypeSetOperations) {
+  const KeySet a{Key(1), Key("alice")};
+  const KeySet b{Key("alice"), Key(2.0)};
+  const auto u = key_union(a, b);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_EQ(key_intersection(a, b), (KeySet{Key("alice")}));
+}
+
+TEST(KeySet, DisjointPredicate) {
+  EXPECT_TRUE(disjoint(KeySet{Key(1)}, KeySet{Key(2)}));
+  EXPECT_FALSE(disjoint(KeySet{Key(1), Key(2)}, KeySet{Key(2)}));
+  EXPECT_TRUE(disjoint(KeySet{}, KeySet{Key(1)}));
+}
+
+TEST(KeySet, EmptySetBehaviour) {
+  const KeySet e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(key_union(e, e).size(), 0u);
+  EXPECT_FALSE(e.contains(Key(0)));
+}
+
+}  // namespace

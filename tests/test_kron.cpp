@@ -1,0 +1,98 @@
+// Tests for the Kronecker product / Kronecker-power graph generator.
+
+#include <gtest/gtest.h>
+
+#include "semiring/all.hpp"
+#include "sparse/io.hpp"
+#include "sparse/kron.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/transpose.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+TEST(Kron, ShapeIsProductOfShapes) {
+  const auto a = make_matrix<S>(2, 3, {{0, 0, 1.0}});
+  const auto b = make_matrix<S>(4, 5, {{1, 1, 1.0}});
+  const auto c = kron<S>(a, b);
+  EXPECT_EQ(c.nrows(), 8);
+  EXPECT_EQ(c.ncols(), 15);
+}
+
+TEST(Kron, EntryFormula) {
+  const auto a = make_matrix<S>(2, 2, {{0, 1, 2.0}, {1, 0, 3.0}});
+  const auto b = make_matrix<S>(2, 2, {{0, 0, 5.0}, {1, 1, 7.0}});
+  const auto c = kron<S>(a, b);
+  // C(ia*2+ib, ja*2+jb) = A(ia,ja) * B(ib,jb).
+  EXPECT_EQ(c.nnz(), 4);
+  EXPECT_EQ(c.get(0, 2), 10.0);  // A(0,1)*B(0,0)
+  EXPECT_EQ(c.get(1, 3), 14.0);  // A(0,1)*B(1,1)
+  EXPECT_EQ(c.get(2, 0), 15.0);  // A(1,0)*B(0,0)
+  EXPECT_EQ(c.get(3, 1), 21.0);  // A(1,0)*B(1,1)
+}
+
+TEST(Kron, NnzIsProductOfNnz) {
+  const auto a = make_matrix<S>(3, 3, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}});
+  const auto b = make_matrix<S>(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_EQ(kron<S>(a, b).nnz(), a.nnz() * b.nnz());
+}
+
+TEST(Kron, IdentityKronIdentityIsIdentity) {
+  const auto i2 = Matrix<double>::identity(2, 1.0);
+  const auto i3 = Matrix<double>::identity(3, 1.0);
+  EXPECT_EQ(kron<S>(i2, i3), Matrix<double>::identity(6, 1.0));
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A ⊗K B)(C ⊗K D) = (AC) ⊗K (BD) — the law Kronecker generators rely on.
+  const auto a = make_matrix<S>(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}});
+  const auto b = make_matrix<S>(2, 2, {{0, 1, 1.0}, {1, 0, 4.0}});
+  const auto c = make_matrix<S>(2, 2, {{0, 0, 2.0}, {1, 0, 1.0}});
+  const auto d = make_matrix<S>(2, 2, {{0, 0, 1.0}, {1, 1, 5.0}});
+  const auto lhs = mxm<S>(kron<S>(a, b), kron<S>(c, d));
+  const auto rhs = kron<S>(mxm<S>(a, c), mxm<S>(b, d));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Kron, TransposeDistributes) {
+  const auto a = make_matrix<S>(2, 3, {{0, 2, 2.0}, {1, 0, 3.0}});
+  const auto b = make_matrix<S>(3, 2, {{0, 1, 5.0}, {2, 0, 7.0}});
+  EXPECT_EQ(transpose(kron<S>(a, b)), kron<S>(transpose(a), transpose(b)));
+}
+
+TEST(Kron, TropicalSemiring) {
+  using MP = semiring::MinPlus<double>;
+  // Over min.+, kron multiplies via +.
+  const auto a = make_matrix<MP>(1, 1, {{0, 0, 3.0}});
+  const auto b = make_matrix<MP>(1, 1, {{0, 0, 4.0}});
+  EXPECT_EQ(kron<MP>(a, b).get(0, 0), 7.0);
+}
+
+TEST(KronPower, GrowsExponentially) {
+  // A star seed: 2x2 with 3 entries -> power k has 3^k entries over 2^k dims.
+  const auto seed = make_matrix<S>(2, 2, {{0, 0, 1.0}, {0, 1, 1.0},
+                                          {1, 0, 1.0}});
+  const auto g3 = kron_power<S>(seed, 3);
+  EXPECT_EQ(g3.nrows(), 8);
+  EXPECT_EQ(g3.nnz(), 27);
+}
+
+TEST(KronPower, PowerOneIsIdentityOperation) {
+  const auto seed = make_matrix<S>(2, 2, {{0, 1, 2.0}});
+  EXPECT_EQ(kron_power<S>(seed, 1), seed);
+  EXPECT_THROW(kron_power<S>(seed, 0), std::invalid_argument);
+}
+
+TEST(KronPower, HypersparseAtHighPower) {
+  // 2^40-dimension Kronecker graph with only 2^10 entries: DCSR territory.
+  const auto seed = make_matrix<S>(4, 4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  const auto g = kron_power<S>(seed, 10);  // 4^10 = 2^20 dims, 2^10 entries
+  EXPECT_EQ(g.nrows(), Index{1} << 20);
+  EXPECT_EQ(g.nnz(), 1024);
+  EXPECT_EQ(g.format(), Format::kDcsr);
+}
+
+}  // namespace

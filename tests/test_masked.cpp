@@ -1,0 +1,119 @@
+// Tests for masked operations (write masks, complement masks) and their
+// interaction with the BFS frontier pattern and the §V-B row mask.
+
+#include <gtest/gtest.h>
+
+#include "semiring/all.hpp"
+#include "sparse/io.hpp"
+#include "sparse/apply.hpp"
+#include "sparse/masked.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+Matrix<double> sample() {
+  return make_matrix<S>(4, 4, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 2, 3.0},
+                               {3, 3, 4.0}});
+}
+
+Matrix<double> mask_pattern() {
+  return make_matrix<S>(4, 4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 2, 1.0}});
+}
+
+TEST(MaskSelect, KeepsOnlyMaskedPositions) {
+  const auto c = mask_select(sample(), mask_pattern());
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_EQ(c.get(0, 1), 2.0);
+  EXPECT_EQ(c.get(1, 2), 3.0);
+  EXPECT_FALSE(c.get(0, 0).has_value());
+}
+
+TEST(MaskSelect, ComplementKeepsUnmaskedPositions) {
+  const auto c = mask_select(sample(), mask_pattern(), {.complement = true});
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_EQ(c.get(0, 0), 1.0);
+  EXPECT_EQ(c.get(3, 3), 4.0);
+}
+
+TEST(MaskSelect, MaskValuesIgnoredOnlyPatternMatters) {
+  const auto weird_mask = make_matrix<S>(4, 4, {{0, 0, 0.0}, {0, 1, -5.0}});
+  const auto c = mask_select(sample(), weird_mask);
+  EXPECT_EQ(c.nnz(), 2);  // (0,0) and (0,1) both present in the mask pattern
+}
+
+TEST(MaskSelect, EmptyMaskAnnihilatesOrPassesAll) {
+  const Matrix<double> empty(4, 4);
+  EXPECT_EQ(mask_select(sample(), empty).nnz(), 0);
+  EXPECT_EQ(mask_select(sample(), empty, {.complement = true}), sample());
+}
+
+TEST(MaskSelect, ShapeMismatchThrows) {
+  const Matrix<double> m(3, 4);
+  EXPECT_THROW(mask_select(sample(), m), std::invalid_argument);
+}
+
+TEST(MaskSelect, MixedValueTypes) {
+  // Mask over uint8 pattern applied to a double matrix.
+  const auto m8 = Matrix<std::uint8_t>::from_unique_triples(
+      4, 4, {{0, 0, std::uint8_t{1}}});
+  const auto c = mask_select(sample(), m8);
+  EXPECT_EQ(c.nnz(), 1);
+}
+
+TEST(MaskedMxm, EqualsUnmaskedThenFiltered) {
+  const auto a = sample();
+  const auto m = mask_pattern();
+  EXPECT_EQ(mxm_masked<S>(a, a, m), mask_select(mxm<S>(a, a), m));
+}
+
+TEST(MaskedEwiseMult, MatchesMaskAsThirdFactor) {
+  // C⟨M⟩ = A ⊗ B equals A ⊗ B ⊗ |M|₀ for structural masks.
+  const auto a = sample();
+  const auto b = make_matrix<S>(4, 4, {{0, 1, 10.0}, {1, 2, 10.0},
+                                       {3, 3, 10.0}});
+  const auto m = mask_pattern();
+  const auto lhs = ewise_mult_masked<S>(a, b, m);
+  const auto rhs = ewise_mult<S>(ewise_mult<S>(a, b), zero_norm<S>(m));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(MaskedBfsStep, ComplementMaskExcludesVisited) {
+  // One BFS step that must not revisit: frontier x A masked by ¬visited.
+  using B = semiring::LorLand;
+  const auto adj = Matrix<std::uint8_t>::from_unique_triples(
+      3, 3, {{0, 1, std::uint8_t{1}}, {1, 0, std::uint8_t{1}},
+             {1, 2, std::uint8_t{1}}});
+  const auto frontier = Matrix<std::uint8_t>::from_unique_triples(
+      1, 3, {{0, 1, std::uint8_t{1}}});
+  const auto visited = Matrix<std::uint8_t>::from_unique_triples(
+      1, 3, {{0, 0, std::uint8_t{1}}, {0, 1, std::uint8_t{1}}});
+  const auto next = mxm_masked<B>(frontier, adj, visited,
+                                  {.complement = true});
+  EXPECT_EQ(next.nnz(), 1);
+  EXPECT_TRUE(next.get(0, 2).has_value());  // vertex 0 masked off
+}
+
+TEST(MaskedEwiseAdd, MaskAppliesAfterUnion) {
+  const auto a = sample();
+  const auto b = mask_pattern();
+  const auto c = ewise_add_masked<S>(a, b, mask_pattern());
+  EXPECT_EQ(c.nnz(), 3);  // exactly the mask positions
+  EXPECT_EQ(c.get(0, 1), 3.0);
+}
+
+TEST(Masked, HypersparseOperands) {
+  const Index huge = Index{1} << 40;
+  const auto a = Matrix<double>::from_unique_triples(
+      huge, huge, {{5, 5, 1.0}, {Index{1} << 30, 2, 3.0}});
+  const auto m = Matrix<double>::from_unique_triples(
+      huge, huge, {{Index{1} << 30, 2, 1.0}});
+  const auto c = mask_select(a, m);
+  EXPECT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.get(Index{1} << 30, 2), 3.0);
+}
+
+}  // namespace

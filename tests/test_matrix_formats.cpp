@@ -1,0 +1,179 @@
+// Unit tests for Matrix<T>: the format-switching container (Fig 4 /
+// SuiteSparse-style sparse/hypersparse/bitmap/full behaviour).
+
+#include <gtest/gtest.h>
+
+#include "semiring/arithmetic.hpp"
+#include "sparse/io.hpp"
+#include "sparse/matrix.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+Matrix<double> sample() {
+  return make_matrix<S>(100, 100, {{0, 1, 1.0}, {5, 5, 2.0}, {99, 0, 3.0}});
+}
+
+TEST(ChooseFormat, DenseOnlyWhenCompletelyFull) {
+  EXPECT_EQ(choose_format(10, 10, 100, 10), Format::kDense);
+  // 90% full is *not* dense — automatic switching must never fabricate
+  // entries, so anything short of full stays bitmap.
+  EXPECT_EQ(choose_format(10, 10, 90, 10), Format::kBitmap);
+}
+
+TEST(ChooseFormat, BitmapAtModerateDensity) {
+  EXPECT_EQ(choose_format(100, 100, 2000, 100), Format::kBitmap);
+}
+
+TEST(ChooseFormat, CsrForOrdinarySparse) {
+  EXPECT_EQ(choose_format(1000, 1000, 5000, 900), Format::kCsr);
+}
+
+TEST(ChooseFormat, DcsrWhenFewRowsOccupied) {
+  EXPECT_EQ(choose_format(1'000'000, 1'000'000, 50, 50), Format::kDcsr);
+}
+
+TEST(ChooseFormat, DcsrForcedByHugeRowCount) {
+  // Even with every row "occupied", an O(nrows) row pointer is refused.
+  const Index huge = Index{1} << 40;
+  EXPECT_EQ(choose_format(huge, huge, huge, huge), Format::kDcsr);
+}
+
+TEST(Matrix, AutoFormatOnConstruction) {
+  const auto m = sample();
+  EXPECT_EQ(m.format(), Format::kDcsr);  // 3 of 100 rows occupied
+  EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(Matrix, GetPresentAndAbsent) {
+  const auto m = sample();
+  EXPECT_EQ(m.get(5, 5), 2.0);
+  EXPECT_EQ(m.get(5, 6), std::nullopt);
+  EXPECT_EQ(m.get(-1, 0), std::nullopt);
+  EXPECT_EQ(m.get(0, 1000), std::nullopt);
+}
+
+TEST(Matrix, ConversionRoundTripPreservesContent) {
+  auto m = sample();
+  const auto original = m.to_triples();
+  for (const Format f : {Format::kCoo, Format::kCsr, Format::kBitmap,
+                         Format::kDense, Format::kDcsr, Format::kCsr}) {
+    m.convert(f);
+    EXPECT_EQ(m.format(), f);
+    if (f == Format::kDense) {
+      // Dense stores every position; check the originals survived.
+      for (const auto& t : original) {
+        EXPECT_EQ(m.get(t.row, t.col), t.val);
+      }
+    } else {
+      EXPECT_EQ(m.to_triples(), original) << format_name(f);
+    }
+  }
+}
+
+TEST(Matrix, DenseConversionFillsWithImplicitZero) {
+  auto m = make_matrix<S>(2, 2, {{0, 0, 5.0}});
+  m.convert(Format::kDense);
+  EXPECT_EQ(m.get(1, 1), 0.0);  // S::zero()
+}
+
+TEST(Matrix, DensifyHugeThrows) {
+  auto m = Matrix<double>::from_unique_triples(Index{1} << 30, Index{1} << 30,
+                                               {{0, 0, 1.0}});
+  EXPECT_THROW(m.convert(Format::kDense), std::length_error);
+  EXPECT_THROW(m.convert(Format::kBitmap), std::length_error);
+  EXPECT_THROW(m.convert(Format::kCsr), std::length_error);
+  EXPECT_NO_THROW(m.convert(Format::kDcsr));
+}
+
+TEST(Matrix, EqualityIgnoresFormat) {
+  auto a = sample();
+  auto b = sample();
+  b.convert(Format::kCsr);
+  EXPECT_EQ(a, b);
+  b.convert(Format::kBitmap);
+  // Bitmap stores the same entries — still equal.
+  EXPECT_EQ(a, b);
+}
+
+TEST(Matrix, FromTriplesCombinesDuplicatesWithSemiring) {
+  const auto m = make_matrix<S>(4, 4, {{1, 1, 1.0}, {1, 1, 2.0}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.get(1, 1), 3.0);
+}
+
+TEST(Matrix, FromUniqueTriplesRejectsDuplicates) {
+  EXPECT_THROW(Matrix<double>::from_unique_triples(
+                   2, 2, {{0, 0, 1.0}, {0, 0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, IdentityShape) {
+  const auto eye = Matrix<double>::identity(5, 1.0);
+  EXPECT_EQ(eye.nnz(), 5);
+  EXPECT_EQ(eye.get(3, 3), 1.0);
+  EXPECT_EQ(eye.get(3, 4), std::nullopt);
+}
+
+TEST(Matrix, FullIsDense) {
+  const auto ones = Matrix<double>::full(4, 6, 1.0);
+  EXPECT_EQ(ones.format(), Format::kDense);
+  EXPECT_EQ(ones.nnz(), 24);
+  EXPECT_EQ(ones.get(3, 5), 1.0);
+}
+
+TEST(Matrix, AutoFormatAfterConversionRestoresRule) {
+  auto m = sample();
+  m.convert(Format::kCsr);
+  m.auto_format();
+  EXPECT_EQ(m.format(), Format::kDcsr);
+}
+
+TEST(Matrix, ViewWorksForEveryFormat) {
+  auto m = sample();
+  const auto expect = m.to_triples();
+  for (const Format f : {Format::kCsr, Format::kDcsr, Format::kCoo,
+                         Format::kBitmap}) {
+    m.convert(f);
+    const auto v = m.view();
+    EXPECT_EQ(v.nnz(), 3) << format_name(f);
+  }
+}
+
+TEST(Matrix, CopyIsIndependent) {
+  auto a = sample();
+  auto b = a;
+  b.convert(Format::kCsr);
+  EXPECT_EQ(a.format(), Format::kDcsr);
+  EXPECT_EQ(b.format(), Format::kCsr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Matrix, HypersparseExtremeDimensions) {
+  const Index huge = Index{1} << 60;
+  const auto m = Matrix<double>::from_unique_triples(
+      huge, huge, {{Index{1} << 59, Index{1} << 58, 42.0}});
+  EXPECT_EQ(m.format(), Format::kDcsr);
+  EXPECT_EQ(m.get(Index{1} << 59, Index{1} << 58), 42.0);
+  EXPECT_LT(m.bytes(), 2048u);
+}
+
+TEST(Matrix, SummaryAndGridRendering) {
+  const auto m = make_matrix<S>(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  EXPECT_NE(summary(m).find("2x2"), std::string::npos);
+  const auto grid = to_grid(m);
+  EXPECT_NE(grid.find('1'), std::string::npos);
+  EXPECT_NE(grid.find('.'), std::string::npos);
+}
+
+TEST(Matrix, EmptyMatrixBasics) {
+  Matrix<double> m(3, 3);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.n_nonempty_rows(), 0);
+  EXPECT_TRUE(m.to_triples().empty());
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the vector ⊕.⊗ conveniences (mxv.hpp) and the small utility
+// layer (text tables, timing, grid rendering edge cases).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "semiring/all.hpp"
+#include "sparse/io.hpp"
+#include "sparse/mxv.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+TEST(RowVector, BuildsOneByN) {
+  const auto v = row_vector<S>(5, {{1, 2.0}, {4, 3.0}});
+  EXPECT_EQ(v.nrows(), 1);
+  EXPECT_EQ(v.ncols(), 5);
+  EXPECT_EQ(v.get(0, 4), 3.0);
+}
+
+TEST(ColVector, BuildsNByOne) {
+  const auto v = col_vector<S>(4, {{0, 1.0}, {3, 2.0}});
+  EXPECT_EQ(v.nrows(), 4);
+  EXPECT_EQ(v.ncols(), 1);
+  EXPECT_EQ(v.get(3, 0), 2.0);
+}
+
+TEST(RowVector, DuplicateIndicesCombine) {
+  const auto v = row_vector<S>(3, {{1, 2.0}, {1, 5.0}});
+  EXPECT_EQ(v.get(0, 1), 7.0);
+}
+
+TEST(Vxm, MatchesManualDotProducts) {
+  const auto a = make_matrix<S>(3, 2, {{0, 0, 1.0}, {1, 0, 2.0}, {2, 1, 4.0}});
+  const auto v = row_vector<S>(3, {{0, 10.0}, {2, 1.0}});
+  const auto r = vxm<S>(v, a);
+  EXPECT_EQ(r.get(0, 0), 10.0);  // 10*1
+  EXPECT_EQ(r.get(0, 1), 4.0);   // 1*4
+}
+
+TEST(Mxv, MatchesTransposedVxm) {
+  const auto a = make_matrix<S>(3, 3, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 0, 5.0}});
+  const auto x = col_vector<S>(3, {{1, 1.0}, {2, 1.0}});
+  const auto down = mxv<S>(a, x);
+  EXPECT_EQ(down.get(0, 0), 2.0);
+  EXPECT_EQ(down.get(1, 0), 3.0);
+  EXPECT_EQ(down.get(2, 0), std::nullopt);  // row 2 hits only column 0
+}
+
+TEST(Vxm, MinPlusRelaxationStep) {
+  using MP = semiring::MinPlus<double>;
+  const auto a = make_matrix<MP>(3, 3, {{0, 1, 5.0}, {0, 2, 2.0}, {2, 1, 1.0}});
+  const auto d = row_vector<MP>(3, {{0, 0.0}});
+  const auto step1 = vxm<MP>(d, a);
+  EXPECT_EQ(step1.get(0, 1), 5.0);
+  EXPECT_EQ(step1.get(0, 2), 2.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  util::TextTable t({"name", "value"});
+  t.row("x", 1);
+  t.row("longer", 2.5);
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);  // separator row
+}
+
+TEST(TextTable, MixedCellTypes) {
+  util::TextTable t({"a", "b", "c"});
+  t.row(std::string("str"), 42, 3.14159);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);  // 4 sig figs
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  util::banner("Hello Section", os);
+  EXPECT_NE(os.str().find("Hello Section"), std::string::npos);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  util::WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.millis(), 9.0);
+  t.reset();
+  EXPECT_LT(t.millis(), 9.0);
+}
+
+TEST(ToGrid, LargeMatrixSummarizesInsteadOfPrinting) {
+  const auto big = Matrix<double>::from_unique_triples(
+      1000, 1000, {{0, 0, 1.0}});
+  const auto s = to_grid(big);
+  EXPECT_NE(s.find("nnz=1"), std::string::npos);
+  EXPECT_EQ(s.find("\n.\n"), std::string::npos);  // no giant grid
+}
+
+TEST(ToGrid, EmptyMatrix) {
+  const Matrix<double> m(2, 2);
+  const auto s = to_grid(m);
+  EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+TEST(Summary, MentionsFormatAndShape) {
+  const auto m = make_matrix<S>(3, 4, {{0, 0, 1.0}});
+  const auto s = summary(m);
+  EXPECT_NE(s.find("3x4"), std::string::npos);
+  EXPECT_NE(s.find("nnz=1"), std::string::npos);
+}
+
+}  // namespace

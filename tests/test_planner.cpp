@@ -1,0 +1,114 @@
+// Tests for the §IV-driven query planner: annihilation prechecks must skip
+// exactly the products that are provably zero and never change results.
+
+#include <gtest/gtest.h>
+
+#include "db/planner.hpp"
+#include "semiring/all.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::array;
+using namespace hyperspace::db;
+using S = semiring::PlusTimes<double>;
+using Arr = AssocArray<S>;
+
+Arr block(std::int64_t key_base, std::uint64_t seed, int entries = 20) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Key> k1, k2;
+  std::vector<double> v;
+  for (int i = 0; i < entries; ++i) {
+    k1.emplace_back(key_base + static_cast<std::int64_t>(rng.bounded(16)));
+    k2.emplace_back(key_base + static_cast<std::int64_t>(rng.bounded(16)));
+    v.push_back(1.0 + static_cast<double>(rng.bounded(4)));
+  }
+  return Arr(k1, k2, v);
+}
+
+TEST(Planner, MtimesSkipsDisjointInnerKeys) {
+  PlanStats stats;
+  const auto a = block(0, 1);
+  const auto b = block(1000, 2);
+  const auto r = planned_mtimes(a, b, &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(stats.products_skipped, 1);
+  EXPECT_EQ(stats.products_evaluated, 0);
+}
+
+TEST(Planner, MtimesEvaluatesOverlappingKeys) {
+  PlanStats stats;
+  const auto a = block(0, 1);
+  const auto b = block(0, 2);
+  const auto r = planned_mtimes(a, b, &stats);
+  EXPECT_EQ(r, mtimes(a, b));
+  EXPECT_EQ(stats.products_evaluated, 1);
+  EXPECT_EQ(stats.products_skipped, 0);
+}
+
+TEST(Planner, MultSkipsDisjointPatterns) {
+  PlanStats stats;
+  const auto r = planned_mult(block(0, 1), block(1000, 2), &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(stats.mults_skipped, 1);
+}
+
+TEST(Planner, MultMatchesUnplanned) {
+  PlanStats stats;
+  const auto a = block(0, 3);
+  const auto b = block(0, 4);
+  EXPECT_EQ(planned_mult(a, b, &stats), mult(a, b));
+}
+
+TEST(Planner, MultOfProductFullPrecheck) {
+  PlanStats stats;
+  // row(A) disjoint from row(B): §IV form 1 fires without computing BC.
+  const auto a = block(0, 5);
+  const auto b = block(1000, 6);
+  const auto c = block(1000, 7);
+  const auto r = planned_mult_of_product(a, b, c, &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(stats.products_evaluated, 0);
+  EXPECT_GE(stats.products_skipped + stats.mults_skipped, 1);
+}
+
+TEST(Planner, MultOfProductMatchesDirectEvaluation) {
+  const auto a = block(0, 8);
+  const auto b = block(0, 9);
+  const auto c = block(0, 10);
+  EXPECT_EQ(planned_mult_of_product(a, b, c),
+            mult(a, mtimes(b, c)));
+}
+
+TEST(Planner, ChainEarlyExit) {
+  PlanStats stats;
+  const std::vector<Arr> chain = {block(0, 1), block(0, 2), block(5000, 3),
+                                  block(5000, 4)};
+  const auto r = planned_chain(chain, &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(stats.products_evaluated, 0);  // precheck fired before any work
+}
+
+TEST(Planner, ChainMatchesFoldWhenConnected) {
+  const std::vector<Arr> chain = {block(0, 11), block(0, 12), block(0, 13)};
+  const auto expect = mtimes(mtimes(chain[0], chain[1]), chain[2]);
+  EXPECT_EQ(planned_chain(chain), expect);
+}
+
+TEST(Planner, EmptyChainIsZero) {
+  EXPECT_TRUE(planned_chain(std::vector<Arr>{}).empty());
+}
+
+TEST(Planner, SingleFactorChainIsIdentity) {
+  const auto a = block(0, 14);
+  EXPECT_EQ(planned_chain(std::vector<Arr>{a}), a);
+}
+
+TEST(Planner, NullStatsIsSafe) {
+  const auto a = block(0, 15);
+  EXPECT_NO_THROW(planned_mtimes(a, a));
+  EXPECT_NO_THROW(planned_mult(a, a));
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Integration tests for the Fig 6 polystore: the same neighbor query
+// answered by SQL scan, NoSQL triple store, NewSQL adjacency matrix, and
+// the associative-array semilink select — all four must agree, on the
+// paper's worked example and on random synthetic traffic.
+
+#include <gtest/gtest.h>
+
+#include "db/polystore.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::db;
+
+FlowPolystore fig6_store() {
+  FlowPolystore ps;
+  // The exact Fig 6 table.
+  ps.insert({"1.1.1.1", "http", "0.0.0.0"});
+  ps.insert({"0.0.0.0", "udp", "1.1.1.1"});
+  ps.insert({"1.1.1.1", "ssh", "2.2.2.2"});
+  return ps;
+}
+
+TEST(Polystore, Fig6NeighborsOf1111) {
+  // "Operation: finding 1.1.1.1's nearest neighbors" ⇒ {0.0.0.0, 2.2.2.2}.
+  const auto ps = fig6_store();
+  const std::vector<std::string> expect = {"0.0.0.0", "2.2.2.2"};
+  EXPECT_EQ(ps.neighbors_sql("1.1.1.1"), expect);
+  EXPECT_EQ(ps.neighbors_nosql("1.1.1.1"), expect);
+  EXPECT_EQ(ps.neighbors_newsql("1.1.1.1"), expect);
+  EXPECT_EQ(ps.neighbors_semilink("1.1.1.1"), expect);
+}
+
+TEST(Polystore, Fig6OtherVertices) {
+  const auto ps = fig6_store();
+  const std::vector<std::string> expect = {"1.1.1.1"};
+  EXPECT_EQ(ps.neighbors_sql("0.0.0.0"), expect);
+  EXPECT_EQ(ps.neighbors_nosql("0.0.0.0"), expect);
+  EXPECT_EQ(ps.neighbors_newsql("0.0.0.0"), expect);
+  EXPECT_EQ(ps.neighbors_semilink("0.0.0.0"), expect);
+  // 2.2.2.2 has no outgoing flows.
+  EXPECT_TRUE(ps.neighbors_sql("2.2.2.2").empty());
+  EXPECT_TRUE(ps.neighbors_newsql("2.2.2.2").empty());
+}
+
+TEST(Polystore, UnknownEntity) {
+  const auto ps = fig6_store();
+  EXPECT_TRUE(ps.neighbors_sql("9.9.9.9").empty());
+  EXPECT_TRUE(ps.neighbors_nosql("9.9.9.9").empty());
+  EXPECT_TRUE(ps.neighbors_newsql("9.9.9.9").empty());
+  EXPECT_TRUE(ps.neighbors_semilink("9.9.9.9").empty());
+}
+
+TEST(Polystore, TripleStoreInNeighbors) {
+  const auto ps = fig6_store();
+  EXPECT_EQ(ps.triples().in_neighbors("2.2.2.2"),
+            (std::vector<std::string>{"1.1.1.1"}));
+  EXPECT_EQ(ps.triples().objects("1.1.1.1", "http"),
+            (std::vector<std::string>{"0.0.0.0"}));
+  EXPECT_TRUE(ps.triples().objects("1.1.1.1", "smtp").empty());
+}
+
+TEST(Polystore, MatrixDbInNeighbors) {
+  const auto ps = fig6_store();
+  EXPECT_EQ(ps.matrix().in_neighbors("1.1.1.1"),
+            (std::vector<std::string>{"0.0.0.0"}));
+}
+
+TEST(Polystore, RelationalSetOperations) {
+  const auto ps = fig6_store();
+  const auto from_1 = ps.relational().where("src", "1.1.1.1");
+  const auto http = ps.relational().where("link", "http");
+  const auto both = table_intersection(from_1, http);
+  EXPECT_EQ(both.size(), 1u);
+  const auto either = table_union(from_1, http);
+  EXPECT_EQ(either.size(), 2u);
+}
+
+TEST(Polystore, DuplicateFlowsCollapseInNeighborLists) {
+  FlowPolystore ps;
+  ps.insert({"a", "http", "b"});
+  ps.insert({"a", "http", "b"});
+  ps.insert({"a", "udp", "b"});
+  const std::vector<std::string> expect = {"b"};
+  EXPECT_EQ(ps.neighbors_sql("a"), expect);
+  EXPECT_EQ(ps.neighbors_nosql("a"), expect);
+  EXPECT_EQ(ps.neighbors_newsql("a"), expect);
+  EXPECT_EQ(ps.neighbors_semilink("a"), expect);
+}
+
+// Property sweep: the four engines agree on random synthetic traffic.
+class PolystoreAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolystoreAgreement, AllEnginesAgreeOnRandomTraffic) {
+  util::Xoshiro256 rng(GetParam());
+  const char* protos[] = {"http", "udp", "ssh", "dns"};
+  FlowPolystore ps;
+  std::vector<std::string> ips;
+  for (int i = 0; i < 25; ++i) ips.push_back(util::synthetic_ip(rng, 1 << 30));
+  for (int i = 0; i < 200; ++i) {
+    ps.insert({ips[rng.bounded(ips.size())],
+               protos[rng.bounded(4)],
+               ips[rng.bounded(ips.size())]});
+  }
+  for (const auto& ip : ips) {
+    const auto sql = ps.neighbors_sql(ip);
+    EXPECT_EQ(ps.neighbors_nosql(ip), sql) << ip;
+    EXPECT_EQ(ps.neighbors_newsql(ip), sql) << ip;
+    EXPECT_EQ(ps.neighbors_semilink(ip), sql) << ip;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolystoreAgreement,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace

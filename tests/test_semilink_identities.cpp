@@ -1,0 +1,279 @@
+// Tests for the §IV semilink identities — each theorem the paper states is
+// verified under its preconditions, and counterexamples are exhibited when
+// the preconditions are dropped (showing the conditions are not vacuous).
+
+#include <gtest/gtest.h>
+
+#include "semilink/identities.hpp"
+#include "semiring/all.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::array;
+using namespace hyperspace::semilink;
+
+using S = semiring::PlusTimes<double>;
+using Arr = AssocArray<S>;
+
+Arr random_array(std::uint64_t seed, int n_entries, const char* const* rows,
+                 const char* const* cols, int nk) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Key> k1, k2;
+  std::vector<double> v;
+  for (int i = 0; i < n_entries; ++i) {
+    k1.emplace_back(rows[rng.bounded(static_cast<std::uint64_t>(nk))]);
+    k2.emplace_back(cols[rng.bounded(static_cast<std::uint64_t>(nk))]);
+    v.push_back(static_cast<double>(1 + rng.bounded(4)));
+  }
+  return Arr(k1, k2, v);
+}
+
+const char* kRows[] = {"r1", "r2", "r3", "r4", "r5"};
+const char* kCols[] = {"c1", "c2", "c3", "c4", "c5"};
+
+TEST(SemilinkIdentities, OneAndEyeInteract) {
+  // 1 ⊗ I = I ⊗ 1 = I  and  1 ⊕.⊗ I = I ⊕.⊗ 1 = 1.
+  Semilink<S> link(KeySet{"a", "b", "c"});
+  EXPECT_TRUE(identities_interact(link));
+}
+
+TEST(SemilinkIdentities, OneAndEyeInteractOverMaxPlus) {
+  using MP = semiring::MaxPlus<double>;
+  Semilink<MP> link(KeySet{"a", "b", "c", "d"});
+  EXPECT_TRUE(identities_interact(link));
+}
+
+TEST(SemilinkIdentities, OneAndEyeInteractOverUnionIntersect) {
+  // The database semilink (A, ∪, ∩, ∪.∩, ∅, 1, I) — 1's entries are P(V).
+  using U = semiring::UnionIntersect;
+  Semilink<U> link(KeySet{"k1", "k2", "k3"});
+  EXPECT_TRUE(identities_interact(link));
+}
+
+TEST(SemilinkIdentities, ZeroArrayBehaviour) {
+  Semilink<S> link(KeySet{"a", "b"});
+  const auto zero = link.zero();
+  EXPECT_TRUE(zero.empty());
+  const auto one = link.one();
+  EXPECT_EQ(link.add(one, zero), one);       // A ⊕ 0 = A
+  EXPECT_TRUE(link.mult(one, zero).empty()); // A ⊗ 0 = 0
+  EXPECT_TRUE(link.mtimes(one, zero).empty());
+}
+
+TEST(SemilinkIdentities, PermutationActsAsElementwiseIdentity) {
+  // |A|₀ = P ⇒ A ⊗ P = P ⊗ A = A.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c2"), 3.0},
+                                    {Key("r2"), Key("c1"), 5.0},
+                                    {Key("r3"), Key("c3"), 7.0}});
+  ASSERT_TRUE(is_permutation_pattern(a));
+  EXPECT_TRUE(permutation_elementwise_identity(a));
+}
+
+TEST(SemilinkIdentities, NonPermutationBreaksElementwiseIdentity) {
+  // Counterexample: two entries in one row — |A|₀ is not a permutation and
+  // A ⊗ |A|₀ = A only because |A|₀ is all ones on A's pattern; the paper's
+  // claim is about *permutations* specifically. Verify the predicate
+  // classifies correctly.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 3.0},
+                                    {Key("r1"), Key("c2"), 5.0}});
+  EXPECT_FALSE(is_permutation_pattern(a));
+}
+
+TEST(SemilinkIdentities, PermutationPatternDetection) {
+  const auto diag = Arr::identity(KeySet{"a", "b", "c"});
+  EXPECT_TRUE(is_permutation_pattern(diag));
+  const auto col_dup = Arr::from_entries({{Key("r1"), Key("c1"), 1.0},
+                                          {Key("r2"), Key("c1"), 1.0}});
+  EXPECT_FALSE(is_permutation_pattern(col_dup));
+}
+
+TEST(SemilinkIdentities, OnesProjectsRows) {
+  // C = A ⊕.⊗ 1 ⇒ C(k1, :) = ⨁_{k2} A(k1, k2).
+  const auto a = random_array(21, 18, kRows, kCols, 5);
+  EXPECT_TRUE(ones_projects_rows(a));
+}
+
+TEST(SemilinkIdentities, OnesProjectsCols) {
+  const auto a = random_array(22, 18, kRows, kCols, 5);
+  EXPECT_TRUE(ones_projects_cols(a));
+}
+
+TEST(SemilinkIdentities, OnesProjectsOverMaxPlus) {
+  using MP = semiring::MaxPlus<double>;
+  AssocArray<MP> a(std::vector<Key>{"r1", "r1", "r2"},
+                   std::vector<Key>{"c1", "c2", "c1"},
+                   std::vector<double>{3.0, 8.0, 2.0});
+  EXPECT_TRUE(ones_projects_rows(a));
+  EXPECT_TRUE(ones_projects_cols(a));
+}
+
+TEST(SemilinkIdentities, ConditionalDistributivityHolds) {
+  // A1, A2 share a permutation pattern; A = A1 ⊗ A2.
+  const auto a1 = Arr::from_entries({{Key("r1"), Key("c2"), 2.0},
+                                     {Key("r2"), Key("c3"), 3.0},
+                                     {Key("r3"), Key("c1"), 4.0}});
+  const auto a2 = Arr::from_entries({{Key("r1"), Key("c2"), 5.0},
+                                     {Key("r2"), Key("c3"), 6.0},
+                                     {Key("r3"), Key("c1"), 7.0}});
+  // B and C live on the permutation's column keys.
+  const char* inner[] = {"c1", "c2", "c3"};
+  const char* outer[] = {"z1", "z2", "z3"};
+  const auto b = random_array(31, 7, inner, outer, 3);
+  const auto c = random_array(32, 7, inner, outer, 3);
+  EXPECT_TRUE(conditional_distributivity(a1, a2, b, c));
+}
+
+TEST(SemilinkIdentities, ConditionalDistributivityNeedsPermutation) {
+  // Drop the permutation precondition: checker reports false.
+  const auto bad = Arr::from_entries({{Key("r1"), Key("c1"), 1.0},
+                                      {Key("r1"), Key("c2"), 1.0}});
+  const auto b = random_array(33, 7, kCols, kRows, 3);
+  EXPECT_FALSE(conditional_distributivity(bad, bad, b, b));
+}
+
+TEST(SemilinkIdentities, ConditionalDistributivityFailsForGeneralArrays) {
+  // The identity itself (not just the checker) fails without the
+  // permutation hypothesis: exhibit a counterexample evaluated directly.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 2.0},
+                                    {Key("r1"), Key("c2"), 3.0}});
+  const auto b = Arr::from_entries({{Key("c1"), Key("z1"), 1.0},
+                                    {Key("c2"), Key("z1"), 1.0}});
+  const auto c = b;
+  const auto lhs = mtimes(a, mult(b, c));
+  const auto rhs = mult(mtimes(a, b), mtimes(a, c));
+  EXPECT_NE(lhs, rhs);
+}
+
+TEST(SemilinkIdentities, HybridAssociativityWhenAIsOne) {
+  const auto b = random_array(41, 12, kRows, kCols, 4);
+  EXPECT_TRUE(hybrid_associativity_trivial(b, /*a_is_one=*/true));
+}
+
+TEST(SemilinkIdentities, HybridAssociativityWhenCIsEye) {
+  const auto b = random_array(42, 12, kRows, kRows, 4);
+  EXPECT_TRUE(hybrid_associativity_trivial(b, /*a_is_one=*/false));
+}
+
+TEST(SemilinkIdentities, HybridAssociativityFailsInGeneral) {
+  // Outside the trivial cases the law generally breaks: B ⊕.⊗ C lands on
+  // A's pattern, but A ⊗ B is empty (patterns of A and B are disjoint), so
+  // lhs ≠ 0 = rhs.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 3.0}});
+  const auto b = Arr::from_entries({{Key("r1"), Key("k1"), 1.0},
+                                    {Key("r1"), Key("k2"), 1.0}});
+  const auto c = Arr::from_entries({{Key("k1"), Key("c1"), 1.0},
+                                    {Key("k2"), Key("c1"), 1.0}});
+  EXPECT_FALSE(hybrid_associativity_holds(a, b, c));
+}
+
+TEST(SemilinkIdentities, AnnihilationLeftForm) {
+  // row(A) ∩ row(B) = ∅ ⇒ A ⊗ (B ⊕.⊗ C) = 0.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 1.0}});
+  const auto b = Arr::from_entries({{Key("r2"), Key("c1"), 1.0}});
+  const auto c = Arr::from_entries({{Key("c1"), Key("c2"), 1.0}});
+  EXPECT_TRUE(annihilates_left(a, b, c));
+}
+
+TEST(SemilinkIdentities, AnnihilationLeftViaInnerKeys) {
+  // col(B) ∩ row(C) = ∅ ⇒ B ⊕.⊗ C = 0 ⇒ whole expression 0.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 1.0}});
+  const auto b = Arr::from_entries({{Key("r1"), Key("k1"), 1.0}});
+  const auto c = Arr::from_entries({{Key("k2"), Key("c1"), 1.0}});
+  EXPECT_TRUE(annihilates_left(a, b, c));
+}
+
+TEST(SemilinkIdentities, AnnihilationRightForm) {
+  // col(A) ∩ col(B) = ∅ ⇒ (A ⊗ B) ⊕.⊗ C = 0.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 1.0}});
+  const auto b = Arr::from_entries({{Key("r1"), Key("c2"), 1.0}});
+  const auto c = Arr::from_entries({{Key("c1"), Key("z1"), 1.0},
+                                    {Key("c2"), Key("z1"), 1.0}});
+  EXPECT_TRUE(annihilates_right(a, b, c));
+}
+
+TEST(SemilinkIdentities, AnnihilationBothGroupings) {
+  // row(A) ∩ row(B) = ∅ ⇒ both groupings give 0 — so the hybrid
+  // associativity A ⊗ (B ⊕.⊗ C) = (A ⊗ B) ⊕.⊗ C holds trivially (= 0).
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 2.0}});
+  const auto b = Arr::from_entries({{Key("r9"), Key("c1"), 3.0}});
+  const auto c = Arr::from_entries({{Key("c1"), Key("z1"), 4.0}});
+  EXPECT_TRUE(annihilates_both(a, b, c));
+  EXPECT_TRUE(hybrid_associativity_holds(a, b, c));
+}
+
+// --- The database semilink (A, ∪, ∩, ∪.∩, ∅, 1, I) from §V-B: the §IV
+// machinery must hold over set-valued arrays too, since that instantiation
+// is what licenses the semilink select rewrite. ---
+
+using U = semiring::UnionIntersect;
+using semiring::ValueSet;
+using SetArr = AssocArray<U>;
+
+SetArr random_set_array(std::uint64_t seed, int n_entries = 15) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Key> k1, k2;
+  std::vector<ValueSet> v;
+  for (int i = 0; i < n_entries; ++i) {
+    k1.emplace_back(kRows[rng.bounded(5)]);
+    k2.emplace_back(kCols[rng.bounded(5)]);
+    v.push_back(ValueSet{static_cast<std::int64_t>(rng.bounded(8)),
+                         static_cast<std::int64_t>(rng.bounded(8))});
+  }
+  return SetArr(k1, k2, v);
+}
+
+TEST(SetSemilink, OnesProjectsRowsOverUnionIntersect) {
+  // A ∪.∩ 1 unions each row's value sets — the row-mask step of the §V-B
+  // select, verified against the direct reduction.
+  EXPECT_TRUE(ones_projects_rows(random_set_array(61)));
+  EXPECT_TRUE(ones_projects_cols(random_set_array(62)));
+}
+
+TEST(SetSemilink, PermutationIdentityOverSets) {
+  const auto p = SetArr::from_entries({{Key("r1"), Key("c2"), ValueSet{1, 2}},
+                                       {Key("r2"), Key("c1"), ValueSet{3}}});
+  ASSERT_TRUE(is_permutation_pattern(p));
+  EXPECT_TRUE(permutation_elementwise_identity(p));
+}
+
+TEST(SetSemilink, HybridAssociativityTrivialCases) {
+  const auto b = random_set_array(63);
+  EXPECT_TRUE(hybrid_associativity_trivial(b, /*a_is_one=*/true));
+}
+
+TEST(SetSemilink, AnnihilationOverDisjointKeyBlocks) {
+  const auto a = SetArr::from_entries({{Key("r1"), Key("c1"), ValueSet{1}}});
+  const auto b = SetArr::from_entries({{Key("x1"), Key("c1"), ValueSet{2}}});
+  const auto c = SetArr::from_entries({{Key("c1"), Key("z1"), ValueSet{3}}});
+  EXPECT_TRUE(annihilates_left(a, b, c));
+  EXPECT_TRUE(annihilates_both(a, b, c));
+}
+
+TEST(SetSemilink, ConditionalDistributivityOverSets) {
+  // Permutation-patterned A1, A2 with set values: ∩ is commutative, so the
+  // §IV conditional distributivity carries over verbatim.
+  const auto a1 = SetArr::from_entries({{Key("r1"), Key("c1"), ValueSet{1, 2, 3}},
+                                        {Key("r2"), Key("c2"), ValueSet{4, 5}}});
+  const auto a2 = SetArr::from_entries({{Key("r1"), Key("c1"), ValueSet{2, 3}},
+                                        {Key("r2"), Key("c2"), ValueSet{4}}});
+  const auto b = SetArr::from_entries({{Key("c1"), Key("z1"), ValueSet{2, 9}},
+                                       {Key("c2"), Key("z1"), ValueSet{4}}});
+  const auto c = SetArr::from_entries({{Key("c1"), Key("z1"), ValueSet{2}},
+                                       {Key("c2"), Key("z2"), ValueSet{4, 7}}});
+  EXPECT_TRUE(conditional_distributivity(a1, a2, b, c));
+}
+
+TEST(SemilinkIdentities, AnnihilationPreconditionRequired) {
+  // With every key-overlap condition violated (all rows/cols intersect),
+  // the checker refuses (returns false): the precondition does not hold.
+  const auto a = Arr::from_entries({{Key("r1"), Key("c1"), 1.0}});
+  const auto b = a;
+  const auto c = Arr::from_entries({{Key("c1"), Key("c1"), 1.0}});
+  EXPECT_FALSE(annihilates_left(a, b, c));
+  EXPECT_FALSE(annihilates_right(a, b, c));
+  EXPECT_FALSE(annihilates_both(a, b, c));
+}
+
+}  // namespace

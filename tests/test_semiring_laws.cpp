@@ -1,0 +1,158 @@
+// Property tests: every Table I semiring satisfies every semiring law.
+//
+// Typed tests sweep the numeric semirings over randomized samples; the
+// set-valued ∪.∩ semiring and the Bounded<string> max.min/min.max rows get
+// their own samples. This mechanizes the claim of Section II-C that these
+// (⊕, ⊗) pairs "obey the distributive property ... [and] exhibit the
+// desired properties of a linear system."
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "semiring/all.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperspace::semiring;
+using hyperspace::util::Xoshiro256;
+
+template <typename S>
+class NumericSemiringLaws : public ::testing::Test {
+ public:
+  // Non-negative sample: the common carrier of all Table I numeric rows
+  // (max.× and min.× are semirings over R≥0 only). Negative carriers are
+  // exercised separately below for the rows that admit them.
+  static std::vector<double> sample() {
+    Xoshiro256 rng(99);
+    std::vector<double> xs = {0.0, 1.0, 2.0, 0.5, S::zero(), S::one()};
+    for (int i = 0; i < 8; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+    return xs;
+  }
+};
+
+using NumericSemirings =
+    ::testing::Types<PlusTimes<double>, MaxPlus<double>, MinPlus<double>,
+                     MaxTimes<double>, MinTimes<double>, MaxMin<double>,
+                     MinMax<double>>;
+TYPED_TEST_SUITE(NumericSemiringLaws, NumericSemirings);
+
+TYPED_TEST(NumericSemiringLaws, AddCommutative) {
+  EXPECT_TRUE(add_commutative<TypeParam>(this->sample()));
+}
+TYPED_TEST(NumericSemiringLaws, AddAssociative) {
+  EXPECT_TRUE(add_associative<TypeParam>(this->sample()));
+}
+TYPED_TEST(NumericSemiringLaws, MulAssociative) {
+  EXPECT_TRUE(mul_associative<TypeParam>(this->sample()));
+}
+TYPED_TEST(NumericSemiringLaws, AdditiveIdentity) {
+  EXPECT_TRUE(additive_identity<TypeParam>(this->sample()));
+}
+TYPED_TEST(NumericSemiringLaws, MultiplicativeIdentity) {
+  EXPECT_TRUE(multiplicative_identity<TypeParam>(this->sample()));
+}
+TYPED_TEST(NumericSemiringLaws, MultiplicativeAnnihilator) {
+  EXPECT_TRUE(multiplicative_annihilator<TypeParam>(this->sample()));
+}
+TYPED_TEST(NumericSemiringLaws, Distributive) {
+  EXPECT_TRUE(distributive<TypeParam>(this->sample()));
+}
+
+TEST(NegativeCarriers, LawsHoldWhereTheCarrierAllows) {
+  // +.×, max.+, min.+, max.min, min.max are semirings over all of R.
+  const std::vector<double> with_neg = {-3.0, -1.0, 0.0, 1.0, 2.5, 7.0};
+  EXPECT_TRUE(all_semiring_laws<PlusTimes<double>>(with_neg));
+  EXPECT_TRUE(all_semiring_laws<MaxPlus<double>>(with_neg));
+  EXPECT_TRUE(all_semiring_laws<MinPlus<double>>(with_neg));
+  EXPECT_TRUE(all_semiring_laws<MaxMin<double>>(with_neg));
+  EXPECT_TRUE(all_semiring_laws<MinMax<double>>(with_neg));
+}
+
+TEST(MaxTimesDomain, NonNegativeRealsOnly) {
+  // max.× is a semiring over R≥0: 0 (the ⊕-identity) annihilates there.
+  const std::vector<double> nonneg = {0.0, 0.5, 1.0, 2.0, 7.5};
+  EXPECT_TRUE(all_semiring_laws<MaxTimes<double>>(nonneg));
+  // Outside R≥0 the annihilator law fails: max(-2 * 0, ...) — document by
+  // exhibiting the broken case.
+  EXPECT_FALSE(distributive<MaxTimes<double>>({-2.0, 3.0, -1.0}));
+}
+
+TEST(MinTimesInfinityHandling, InfTimesZeroIsAbsorbed) {
+  using S = MinTimes<double>;
+  // IEEE inf*0 = NaN would break the annihilator; the semiring guards it.
+  EXPECT_EQ(S::mul(S::zero(), 0.0), S::zero());
+  EXPECT_EQ(S::mul(0.0, S::zero()), S::zero());
+  EXPECT_TRUE(all_semiring_laws<S>({0.0, 0.5, 1.0, 3.0, S::zero()}));
+}
+
+TEST(LorLandLaws, AllLaws) {
+  const std::vector<std::uint8_t> sample = {0, 1};
+  EXPECT_TRUE(all_semiring_laws<LorLand>(sample));
+}
+
+TEST(UnionIntersectLaws, AllLaws) {
+  std::vector<ValueSet> sample = {
+      ValueSet::empty(), ValueSet::all(), ValueSet{1},      ValueSet{2, 3},
+      ValueSet{1, 2, 3}, ValueSet{5},     ValueSet{1, 5, 9}};
+  EXPECT_TRUE(all_semiring_laws<UnionIntersect>(sample));
+}
+
+TEST(UnionIntersectLaws, IdentitiesAreTableOne) {
+  // Table I row: (P(V), ∪, ∩, ∅, P(V)).
+  EXPECT_TRUE(UnionIntersect::zero().is_empty());
+  EXPECT_TRUE(UnionIntersect::one().is_universe());
+}
+
+TEST(BoundedOrderedSetLaws, MaxMinOverStrings) {
+  using S = BoundedMaxMin<std::string>;
+  using B = Bounded<std::string>;
+  const std::vector<B> sample = {B::neg_inf(), B::pos_inf(),
+                                 B::finite("alice"), B::finite("bob"),
+                                 B::finite("carol")};
+  EXPECT_TRUE(all_semiring_laws<S>(sample));
+}
+
+TEST(BoundedOrderedSetLaws, MinMaxOverStrings) {
+  using S = BoundedMinMax<std::string>;
+  using B = Bounded<std::string>;
+  const std::vector<B> sample = {B::neg_inf(), B::pos_inf(), B::finite("x"),
+                                 B::finite("y"), B::finite("zebra")};
+  EXPECT_TRUE(all_semiring_laws<S>(sample));
+}
+
+TEST(BoundedOrder, InfinitiesBracketFiniteValues) {
+  using B = Bounded<std::string>;
+  EXPECT_TRUE(B::neg_inf() < B::finite(""));
+  EXPECT_TRUE(B::finite("zzz") < B::pos_inf());
+  EXPECT_TRUE(B::finite("a") < B::finite("b"));
+  EXPECT_FALSE(B::neg_inf() < B::neg_inf());
+}
+
+TEST(MonoidViews, AddAndMulMonoidsOfASemiring) {
+  using Add = AddMonoidOf<MaxPlus<double>>;
+  using Mul = MulMonoidOf<MaxPlus<double>>;
+  EXPECT_EQ(Add::identity(), MaxPlus<double>::zero());
+  EXPECT_EQ(Mul::identity(), MaxPlus<double>::one());
+  EXPECT_EQ(Add::op(3.0, 5.0), 5.0);
+  EXPECT_EQ(Mul::op(3.0, 5.0), 8.0);
+}
+
+TEST(LawCheckers, DetectBrokenStructure) {
+  // minus is not associative / has no identity: the checkers must say no.
+  struct BadRing {
+    using value_type = double;
+    static constexpr std::string_view name() { return "bad"; }
+    static double zero() { return 0; }
+    static double one() { return 1; }
+    static double add(double a, double b) { return a - b; }
+    static double mul(double a, double b) { return a * b; }
+  };
+  const std::vector<double> sample = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(add_commutative<BadRing>(sample));
+  EXPECT_FALSE(add_associative<BadRing>(sample));
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Tests for matrix serialization and CSV ⇄ associative-table ingestion.
+
+#include <gtest/gtest.h>
+
+#include "db/csv.hpp"
+#include "semiring/all.hpp"
+#include "sparse/io.hpp"
+#include "sparse/serialize.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const auto a = make_matrix<S>(5, 7, {{0, 1, 1.5}, {2, 6, -3.25},
+                                       {4, 0, 1e-9}});
+  const auto b = from_string<S>(to_string(a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Serialize, HypersparseRoundTrip) {
+  const Index huge = Index{1} << 50;
+  const auto a = Matrix<double>::from_unique_triples(
+      huge, huge, {{Index{1} << 49, 3, 2.0}});
+  const auto b = from_string<S>(to_string(a));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.format(), Format::kDcsr);
+}
+
+TEST(Serialize, EmptyMatrix) {
+  const Matrix<double> a(3, 4);
+  const auto b = from_string<S>(to_string(a));
+  EXPECT_EQ(b.nrows(), 3);
+  EXPECT_EQ(b.ncols(), 4);
+  EXPECT_EQ(b.nnz(), 0);
+}
+
+TEST(Serialize, PrecisionSurvives) {
+  const double v = 0.1 + 0.2;  // not representable exactly
+  const auto a = make_matrix<S>(1, 1, {{0, 0, v}});
+  const auto b = from_string<S>(to_string(a));
+  EXPECT_EQ(b.get(0, 0), v);  // 17 significant digits round-trip doubles
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  EXPECT_THROW(from_string<S>("nonsense\n"), std::invalid_argument);
+  EXPECT_THROW(from_string<S>(""), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncatedBody) {
+  EXPECT_THROW(from_string<S>("%%hyperspace matrix coordinate 2 2 3\n0 0 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsOutOfShapeEntries) {
+  EXPECT_THROW(from_string<S>("%%hyperspace matrix coordinate 2 2 1\n5 0 1\n"),
+               std::out_of_range);
+}
+
+TEST(Serialize, DuplicatesCombineOnLoadWithSemiring) {
+  const auto m = from_string<S>(
+      "%%hyperspace matrix coordinate 2 2 2\n0 0 1.5\n0 0 2.5\n");
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.get(0, 0), 4.0);
+  using MP = semiring::MinPlus<double>;
+  const auto m2 = from_string<MP>(
+      "%%hyperspace matrix coordinate 2 2 2\n0 0 7\n0 0 3\n");
+  EXPECT_EQ(m2.get(0, 0), 3.0);
+}
+
+TEST(CsvParse, SimpleLine) {
+  EXPECT_EQ(db::parse_csv_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndQuotes) {
+  EXPECT_EQ(db::parse_csv_line(R"("x,y",plain,"say ""hi""")"),
+            (std::vector<std::string>{"x,y", "plain", R"(say "hi")"}));
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  EXPECT_EQ(db::parse_csv_line("a,,c,"),
+            (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(db::parse_csv_line("\"oops"), std::invalid_argument);
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(db::csv_escape("plain"), "plain");
+  EXPECT_EQ(db::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(db::csv_escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvTable, IngestAndQuery) {
+  const auto t = db::read_csv_string(
+      "src,link,dest\n"
+      "1.1.1.1,http,0.0.0.0\n"
+      "0.0.0.0,udp,1.1.1.1\n"
+      "1.1.1.1,ssh,2.2.2.2\n");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.select_values("src", "1.1.1.1", "dest"),
+            (std::vector<std::string>{"0.0.0.0", "2.2.2.2"}));
+}
+
+TEST(CsvTable, EmptyCellsAreAbsentNotStored) {
+  const auto t = db::read_csv_string("a,b\nx,\n,y\n");
+  const auto& arr = t.array();
+  EXPECT_EQ(arr.nnz(), 2);  // one cell per row, not four
+}
+
+TEST(CsvTable, MissingHeaderThrows) {
+  EXPECT_THROW(db::read_csv_string(""), std::invalid_argument);
+}
+
+TEST(CsvTable, WideRowThrows) {
+  EXPECT_THROW(db::read_csv_string("a,b\n1,2,3\n"), std::invalid_argument);
+}
+
+TEST(CsvTable, RoundTripThroughWriteCsv) {
+  const auto t = db::read_csv_string(
+      "name,city\nalice,nyc\nbob,\"san,francisco\"\n");
+  const auto out = db::write_csv_string(t);
+  // Re-ingest the emitted CSV (skipping the synthetic "row" column).
+  std::istringstream is(out);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(db::parse_csv_line(header),
+            (std::vector<std::string>{"row", "city", "name"}));
+  std::string row1;
+  std::getline(is, row1);
+  const auto fields = db::parse_csv_line(row1);
+  EXPECT_EQ(fields[1], "nyc");
+  EXPECT_EQ(fields[2], "alice");
+}
+
+TEST(CsvTable, SelectOnCsvDataMatchesDirect) {
+  const auto t = db::read_csv_string(
+      "proto,port\nhttp,80\nhttps,443\nhttp,8080\n");
+  EXPECT_EQ(t.select_semilink("proto", "http"), t.select_direct("proto", "http"));
+  EXPECT_EQ(t.select_values("proto", "http", "port"),
+            (std::vector<std::string>{"80", "8080"}));
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for the hierarchical hypersparse streaming accumulator.
+
+#include <gtest/gtest.h>
+
+#include "semiring/all.hpp"
+#include "sparse/stream.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+TEST(Stream, InsertAndSnapshot) {
+  StreamingMatrix<S> sm(10, 10, /*buffer_capacity=*/4);
+  sm.insert(1, 1, 2.0);
+  sm.insert(2, 3, 5.0);
+  const auto m = sm.snapshot();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.get(1, 1), 2.0);
+}
+
+TEST(Stream, DuplicatesCombineWithSemiring) {
+  StreamingMatrix<S> sm(10, 10, 2);  // tiny buffer: forces cascades
+  for (int i = 0; i < 10; ++i) sm.insert(5, 5, 1.0);
+  EXPECT_EQ(sm.snapshot().get(5, 5), 10.0);
+  EXPECT_EQ(sm.get(5, 5), 10.0);
+}
+
+TEST(Stream, MinPlusKeepsMinimum) {
+  using MP = semiring::MinPlus<double>;
+  StreamingMatrix<MP> sm(4, 4, 2);
+  sm.insert(0, 1, 7.0);
+  sm.insert(0, 1, 3.0);
+  sm.insert(0, 1, 9.0);
+  EXPECT_EQ(sm.snapshot().get(0, 1), 3.0);
+}
+
+TEST(Stream, LayersCascadeGeometrically) {
+  StreamingMatrix<S> sm(1 << 20, 1 << 20, /*buffer=*/16, /*fanout=*/4);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 4096; ++i) {
+    sm.insert(static_cast<Index>(rng.bounded(1 << 20)),
+              static_cast<Index>(rng.bounded(1 << 20)), 1.0);
+  }
+  // With geometric layering the layer count stays logarithmic.
+  EXPECT_LE(sm.n_layers(), 8u);
+  EXPECT_EQ(sm.pending_updates(), 4096u);
+}
+
+TEST(Stream, SnapshotMatchesBatchBuild) {
+  // The streaming path must agree exactly with a one-shot batch build.
+  const auto edges = util::erdos_renyi_edges(256, 5000, 17);
+  StreamingMatrix<S> sm(256, 256, 64);
+  std::vector<Triple<double>> batch;
+  for (const auto& e : edges) {
+    sm.insert(e.src, e.dst, e.weight);
+    batch.push_back({e.src, e.dst, e.weight});
+  }
+  const auto streamed = sm.snapshot();
+  const auto built = Matrix<double>::from_triples<S>(256, 256, batch);
+  ASSERT_EQ(streamed.nnz(), built.nnz());
+  const auto ts = streamed.to_triples();
+  const auto tb = built.to_triples();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ts[i].row, tb[i].row);
+    EXPECT_EQ(ts[i].col, tb[i].col);
+    EXPECT_NEAR(ts[i].val, tb[i].val, 1e-9);
+  }
+}
+
+TEST(Stream, GetAcrossLayers) {
+  StreamingMatrix<S> sm(100, 100, 2);
+  sm.insert(7, 7, 1.0);   // will cascade to a layer
+  sm.insert(8, 8, 1.0);
+  sm.insert(7, 7, 2.0);   // lands in a different layer / buffer
+  sm.insert(9, 9, 1.0);
+  EXPECT_EQ(sm.get(7, 7), 3.0);
+  EXPECT_EQ(sm.get(8, 8), 1.0);
+  EXPECT_EQ(sm.get(50, 50), std::nullopt);
+}
+
+TEST(Stream, CompactFoldsToOneLayer) {
+  StreamingMatrix<S> sm(64, 64, 2);
+  for (int i = 0; i < 100; ++i) sm.insert(i % 64, (i * 3) % 64, 1.0);
+  const auto before = sm.snapshot();
+  sm.compact();
+  EXPECT_LE(sm.n_layers(), 1u);
+  EXPECT_EQ(sm.snapshot(), before);
+}
+
+TEST(Stream, HypersparseKeySpace) {
+  // The headline use case: streaming into a 2^50-keyed space.
+  const Index huge = Index{1} << 50;
+  StreamingMatrix<S> sm(huge, huge, 128);
+  util::Xoshiro256 rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    sm.insert(static_cast<Index>(rng.bounded(std::uint64_t{1} << 50)),
+              static_cast<Index>(rng.bounded(std::uint64_t{1} << 50)), 1.0);
+  }
+  const auto m = sm.snapshot();
+  EXPECT_EQ(m.format(), Format::kDcsr);
+  EXPECT_LE(m.nnz(), 2000);
+  EXPECT_GT(m.nnz(), 1900);  // few collisions at this key space
+}
+
+TEST(Stream, EmptySnapshot) {
+  StreamingMatrix<S> sm(8, 8);
+  EXPECT_EQ(sm.snapshot().nnz(), 0);
+  EXPECT_EQ(sm.pending_updates(), 0u);
+  sm.compact();
+  EXPECT_EQ(sm.snapshot().nnz(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Property tests for the Table II algebraic laws of associative arrays:
+// commutativity, associativity, distributivity, transpose-of-product, and
+// the identity rows (A ⊕ 0 = A, A ⊗ 1 = A, A ⊗ 0 = 0, A I = A, A 0 = 0).
+// Swept over random arrays and multiple semirings with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/assoc_array.hpp"
+#include "semiring/all.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::array;
+
+// Integer-valued random arrays so +.× laws hold exactly in floating point.
+template <semiring::Semiring S>
+AssocArray<S> random_array(std::uint64_t seed, int n_entries = 25) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Key> k1, k2;
+  std::vector<typename S::value_type> v;
+  const char* row_names[] = {"a", "b", "c", "d", "e", "f"};
+  const char* col_names[] = {"u", "v", "w", "x", "y", "z"};
+  for (int i = 0; i < n_entries; ++i) {
+    k1.emplace_back(row_names[rng.bounded(6)]);
+    k2.emplace_back(col_names[rng.bounded(6)]);
+    v.push_back(static_cast<double>(1 + rng.bounded(5)));
+  }
+  return AssocArray<S>(k1, k2, v);
+}
+
+class Table2Laws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Table2Laws, AddCommutes) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam());
+  const auto b = random_array<S>(GetParam() + 100);
+  EXPECT_EQ(add(a, b), add(b, a));
+}
+
+TEST_P(Table2Laws, MultCommutes) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam());
+  const auto b = random_array<S>(GetParam() + 100);
+  EXPECT_EQ(mult(a, b), mult(b, a));
+}
+
+TEST_P(Table2Laws, AddAssociates) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam());
+  const auto b = random_array<S>(GetParam() + 1);
+  const auto c = random_array<S>(GetParam() + 2);
+  EXPECT_EQ(add(add(a, b), c), add(a, add(b, c)));
+}
+
+TEST_P(Table2Laws, MultAssociates) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam());
+  const auto b = random_array<S>(GetParam() + 1);
+  const auto c = random_array<S>(GetParam() + 2);
+  EXPECT_EQ(mult(mult(a, b), c), mult(a, mult(b, c)));
+}
+
+TEST_P(Table2Laws, MtimesAssociates) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam(), 12);
+  const auto b = random_array<S>(GetParam() + 1, 12);
+  const auto c = random_array<S>(GetParam() + 2, 12);
+  EXPECT_EQ(mtimes(mtimes(a, b), c), mtimes(a, mtimes(b, c)));
+}
+
+TEST_P(Table2Laws, ElementwiseDistributivity) {
+  // A ⊗ (B ⊕ C) = (A ⊗ B) ⊕ (A ⊗ C)
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam());
+  const auto b = random_array<S>(GetParam() + 1);
+  const auto c = random_array<S>(GetParam() + 2);
+  EXPECT_EQ(mult(a, add(b, c)), add(mult(a, b), mult(a, c)));
+}
+
+TEST_P(Table2Laws, ArrayDistributivity) {
+  // A(B ⊕ C) = (AB) ⊕ (AC)
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam(), 12);
+  const auto b = random_array<S>(GetParam() + 1, 12);
+  const auto c = random_array<S>(GetParam() + 2, 12);
+  EXPECT_EQ(mtimes(a, add(b, c)), add(mtimes(a, b), mtimes(a, c)));
+}
+
+TEST_P(Table2Laws, TransposeOfProduct) {
+  // (AB)ᵀ = BᵀAᵀ
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(GetParam(), 15);
+  const auto b = random_array<S>(GetParam() + 1, 15);
+  EXPECT_EQ(mtimes(a, b).transpose(),
+            mtimes(b.transpose(), a.transpose()));
+}
+
+TEST_P(Table2Laws, MaxPlusLawsHoldToo) {
+  using S = semiring::MaxPlus<double>;
+  const auto a = random_array<S>(GetParam());
+  const auto b = random_array<S>(GetParam() + 1);
+  const auto c = random_array<S>(GetParam() + 2);
+  EXPECT_EQ(add(a, b), add(b, a));
+  EXPECT_EQ(mult(a, add(b, c)), add(mult(a, b), mult(a, c)));
+  EXPECT_EQ(mtimes(a, add(b, c)), add(mtimes(a, b), mtimes(a, c)));
+}
+
+TEST_P(Table2Laws, MinPlusLawsHoldToo) {
+  using S = semiring::MinPlus<double>;
+  const auto a = random_array<S>(GetParam(), 15);
+  const auto b = random_array<S>(GetParam() + 1, 15);
+  const auto c = random_array<S>(GetParam() + 2, 15);
+  EXPECT_EQ(mtimes(a, add(b, c)), add(mtimes(a, b), mtimes(a, c)));
+  EXPECT_EQ(mtimes(mtimes(a, b), c), mtimes(a, mtimes(b, c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Table2Laws,
+                         ::testing::Values(7, 17, 27, 37, 47, 57));
+
+TEST(Table2Identities, AddZeroIsIdentity) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(5);
+  const AssocArray<S> zero;  // the empty array is 0
+  EXPECT_EQ(add(a, zero), a);
+}
+
+TEST(Table2Identities, MultZeroAnnihilates) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(6);
+  const AssocArray<S> zero;
+  EXPECT_TRUE(mult(a, zero).empty());
+}
+
+TEST(Table2Identities, MultOnesIsIdentity) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(7);
+  const auto one = AssocArray<S>::ones(a.row_keys(), a.col_keys());
+  EXPECT_EQ(mult(a, one), a);
+  EXPECT_EQ(mult(one, a), a);
+}
+
+TEST(Table2Identities, MtimesIdentityArray) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(8);
+  EXPECT_EQ(mtimes(a, AssocArray<S>::identity(a.col_keys())), a);
+  EXPECT_EQ(mtimes(AssocArray<S>::identity(a.row_keys()), a), a);
+}
+
+TEST(Table2Identities, MtimesZeroAnnihilates) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_array<S>(9);
+  const AssocArray<S> zero;
+  EXPECT_TRUE(mtimes(a, zero).empty());
+  EXPECT_TRUE(mtimes(zero, a).empty());
+}
+
+}  // namespace

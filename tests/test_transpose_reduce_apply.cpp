@@ -1,0 +1,167 @@
+// Unit tests for transpose, monoid reductions, apply/select/prune, and the
+// zero-norm ||·||₀ of Table II.
+
+#include <gtest/gtest.h>
+
+#include "semiring/all.hpp"
+#include "sparse/apply.hpp"
+#include "sparse/io.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/reduce.hpp"
+#include "sparse/transpose.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+Matrix<double> sample() {
+  return make_matrix<S>(3, 4, {{0, 1, 2.0}, {0, 3, -1.0}, {2, 0, 5.0}});
+}
+
+TEST(Transpose, SwapsIndices) {
+  const auto t = transpose(sample());
+  EXPECT_EQ(t.nrows(), 4);
+  EXPECT_EQ(t.ncols(), 3);
+  EXPECT_EQ(t.get(1, 0), 2.0);
+  EXPECT_EQ(t.get(3, 0), -1.0);
+  EXPECT_EQ(t.get(0, 2), 5.0);
+}
+
+TEST(Transpose, Involution) {
+  const auto a = sample();
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Transpose, HypersparsePreserved) {
+  const Index huge = Index{1} << 44;
+  const auto a = Matrix<double>::from_unique_triples(
+      huge, huge, {{Index{1} << 43, 2, 1.0}});
+  const auto t = transpose(a);
+  EXPECT_EQ(t.get(2, Index{1} << 43), 1.0);
+  EXPECT_EQ(t.format(), Format::kDcsr);
+}
+
+TEST(ReduceRows, SumsPerRow) {
+  using Add = semiring::AddMonoidOf<S>;
+  const auto r = reduce_rows<Add>(sample());
+  EXPECT_EQ(r.nrows(), 3);
+  EXPECT_EQ(r.ncols(), 1);
+  EXPECT_EQ(r.get(0, 0), 1.0);
+  EXPECT_EQ(r.get(1, 0), std::nullopt);  // empty row stays empty
+  EXPECT_EQ(r.get(2, 0), 5.0);
+}
+
+TEST(ReduceCols, SumsPerColumn) {
+  using Add = semiring::AddMonoidOf<S>;
+  const auto c = reduce_cols<Add>(sample());
+  EXPECT_EQ(c.nrows(), 1);
+  EXPECT_EQ(c.get(0, 0), 5.0);
+  EXPECT_EQ(c.get(0, 1), 2.0);
+  EXPECT_EQ(c.get(0, 2), std::nullopt);
+}
+
+TEST(ReduceAll, TotalOverMonoid) {
+  using Add = semiring::AddMonoidOf<S>;
+  EXPECT_DOUBLE_EQ(reduce_all<Add>(sample()), 6.0);
+  using Max = semiring::AddMonoidOf<semiring::MaxPlus<double>>;
+  EXPECT_DOUBLE_EQ(reduce_all<Max>(sample()), 5.0);
+}
+
+TEST(ReduceAll, EmptyGivesIdentity) {
+  using Add = semiring::AddMonoidOf<S>;
+  const Matrix<double> zero(4, 4);
+  EXPECT_DOUBLE_EQ(reduce_all<Add>(zero), 0.0);
+  using Min = semiring::AddMonoidOf<semiring::MinPlus<double>>;
+  EXPECT_EQ(reduce_all<Min>(zero),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ReduceRows, AgreesWithMtimesOnes) {
+  // §IV: A ⊕.⊗ 1 projects rows — the reduction must agree with the
+  // explicit ones-vector product.
+  std::vector<Triple<double>> t;
+  for (const auto& e : util::erdos_renyi_edges(40, 200, 12)) {
+    t.push_back({e.src, e.dst, e.weight});
+  }
+  const auto a = Matrix<double>::from_triples<S>(40, 40, std::move(t));
+  const auto ones = Matrix<double>::full(40, 1, 1.0);
+  const auto via_mxm = mxm<S>(a, ones);
+  using Add = semiring::AddMonoidOf<S>;
+  const auto via_reduce = reduce_rows<Add>(a);
+  const auto ta = via_mxm.to_triples();
+  const auto tb = via_reduce.to_triples();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].row, tb[i].row);
+    EXPECT_NEAR(ta[i].val, tb[i].val, 1e-12);
+  }
+}
+
+TEST(Apply, TransformsValuesAndType) {
+  const auto counts = apply(sample(), [](double) { return 1; });
+  EXPECT_EQ(counts.nnz(), 3);
+  EXPECT_EQ(counts.get(0, 1), 1);
+  static_assert(std::is_same_v<decltype(counts.get(0, 0))::value_type, int>);
+}
+
+TEST(Select, FiltersByPredicate) {
+  const auto pos = select(sample(), [](Index, Index, double v) { return v > 0; });
+  EXPECT_EQ(pos.nnz(), 2);
+  EXPECT_EQ(pos.get(0, 3), std::nullopt);
+}
+
+TEST(Select, DiagonalExtraction) {
+  const auto m = make_matrix<S>(3, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {2, 2, 3.0}});
+  const auto diag = select(m, [](Index r, Index c, double) { return r == c; });
+  EXPECT_EQ(diag.nnz(), 2);
+}
+
+TEST(Prune, DropsExplicitZeros) {
+  const auto m = Matrix<double>::from_unique_triples(
+      2, 2, {{0, 0, 0.0}, {1, 1, 3.0}});
+  const auto p = prune<S>(m);
+  EXPECT_EQ(p.nnz(), 1);
+  EXPECT_EQ(p.get(1, 1), 3.0);
+}
+
+TEST(ZeroNorm, MapsNonZeroToOne) {
+  const auto z = zero_norm<S>(sample());
+  for (const auto& t : z.to_triples()) EXPECT_EQ(t.val, 1.0);
+  EXPECT_EQ(z.nnz(), 3);
+}
+
+TEST(ZeroNorm, DropsStoredZeros) {
+  const auto m = Matrix<double>::from_unique_triples(
+      2, 2, {{0, 0, 0.0}, {1, 1, 3.0}});
+  EXPECT_EQ(zero_norm<S>(m).nnz(), 1);
+}
+
+TEST(ZeroNorm, SemiringAwareZero) {
+  // Over min.+ the "0" is +inf: a stored +inf entry vanishes, a stored 0.0
+  // survives (0.0 is the ⊗-identity there, not the zero).
+  using MP = semiring::MinPlus<double>;
+  const auto m = Matrix<double>::from_unique_triples(
+      2, 2, {{0, 0, std::numeric_limits<double>::infinity()}, {1, 1, 0.0}});
+  const auto z = zero_norm<MP>(m);
+  EXPECT_EQ(z.nnz(), 1);
+  EXPECT_EQ(z.get(1, 1), MP::one());
+}
+
+TEST(SameSparsity, ComparesPatternsOnly) {
+  const auto a = make_matrix<S>(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  const auto b = make_matrix<S>(2, 2, {{0, 0, 9.0}, {1, 1, -4.0}});
+  const auto c = make_matrix<S>(2, 2, {{0, 1, 1.0}, {1, 1, 2.0}});
+  EXPECT_TRUE(same_sparsity(a, b));
+  EXPECT_FALSE(same_sparsity(a, c));
+}
+
+TEST(SameSparsity, DimensionMismatch) {
+  const auto a = make_matrix<S>(2, 2, {{0, 0, 1.0}});
+  const auto b = make_matrix<S>(2, 3, {{0, 0, 1.0}});
+  EXPECT_FALSE(same_sparsity(a, b));
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Unit tests for ValueSet, the P(V) carrier of the ∪.∩ semiring.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "semiring/set_algebra.hpp"
+
+namespace {
+
+using hyperspace::semiring::ValueSet;
+
+TEST(ValueSet, DefaultIsEmpty) {
+  ValueSet s;
+  EXPECT_TRUE(s.is_empty());
+  EXPECT_FALSE(s.is_universe());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(ValueSet, InitializerListSortsAndDedupes) {
+  ValueSet s{3, 1, 2, 3, 1};
+  EXPECT_EQ(s.elements(), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(ValueSet, UniverseContainsEverything) {
+  const auto u = ValueSet::all();
+  EXPECT_TRUE(u.is_universe());
+  EXPECT_TRUE(u.contains(0));
+  EXPECT_TRUE(u.contains(-12345));
+  EXPECT_TRUE(u.contains(1'000'000'000));
+}
+
+TEST(ValueSet, ContainsBinarySearch) {
+  ValueSet s{10, 20, 30};
+  EXPECT_TRUE(s.contains(20));
+  EXPECT_FALSE(s.contains(25));
+}
+
+TEST(ValueSet, UnionMergesSorted) {
+  EXPECT_EQ(set_union(ValueSet{1, 3}, ValueSet{2, 3, 4}),
+            (ValueSet{1, 2, 3, 4}));
+}
+
+TEST(ValueSet, UnionWithUniverseIsUniverse) {
+  EXPECT_TRUE(set_union(ValueSet{1}, ValueSet::all()).is_universe());
+  EXPECT_TRUE(set_union(ValueSet::all(), ValueSet{}).is_universe());
+}
+
+TEST(ValueSet, IntersectionKeepsCommon) {
+  EXPECT_EQ(set_intersection(ValueSet{1, 2, 3}, ValueSet{2, 3, 4}),
+            (ValueSet{2, 3}));
+}
+
+TEST(ValueSet, IntersectionWithUniverseIsIdentity) {
+  const ValueSet s{5, 7};
+  EXPECT_EQ(set_intersection(s, ValueSet::all()), s);
+  EXPECT_EQ(set_intersection(ValueSet::all(), s), s);
+}
+
+TEST(ValueSet, IntersectionWithEmptyAnnihilates) {
+  EXPECT_TRUE(set_intersection(ValueSet{1, 2}, ValueSet{}).is_empty());
+}
+
+TEST(ValueSet, DisjointIntersectionIsEmpty) {
+  EXPECT_TRUE(set_intersection(ValueSet{1, 2}, ValueSet{3, 4}).is_empty());
+}
+
+TEST(ValueSet, EqualityDistinguishesUniverseFromLargeSet) {
+  EXPECT_NE(ValueSet::all(), (ValueSet{1, 2, 3}));
+  EXPECT_EQ(ValueSet::all(), ValueSet::all());
+}
+
+TEST(ValueSet, StreamFormatting) {
+  std::ostringstream os;
+  os << ValueSet{2, 1} << " " << ValueSet::all() << " " << ValueSet{};
+  EXPECT_EQ(os.str(), "{1,2} P(V) {}");
+}
+
+}  // namespace
