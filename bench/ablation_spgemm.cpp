@@ -88,6 +88,22 @@ void bm_auto(benchmark::State& state) {
 }
 BENCHMARK(bm_auto)->Arg(1024)->Arg(4096);
 
+void bm_threads(benchmark::State& state) {
+  // Thread-scaling sweep on the unified runtime: Arg = thread count.
+  // Output is bit-identical at every row of the sweep (determinism
+  // contract), so this measures pure scheduling/scaling behavior.
+  hyperspace::util::set_num_threads(static_cast<int>(state.range(0)));
+  const Index n = 2048;
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 16, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, b, MxmStrategy::kGustavson));
+  }
+  state.SetLabel("Gustavson, " + std::to_string(state.range(0)) + " threads");
+  hyperspace::util::set_num_threads(0);
+}
+BENCHMARK(bm_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void bm_dense_output_regime(benchmark::State& state) {
   // Dense-ish products (high flops per output): Gustavson's advantage peaks.
   const Index n = 512;

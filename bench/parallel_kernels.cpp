@@ -1,0 +1,130 @@
+// Parallel-runtime scaling bench — per-kernel timings across thread counts.
+//
+// Each benchmark pins the unified runtime to Arg(0) threads via
+// util::set_num_threads and runs one kernel on the generator workloads, so
+// the JSON output (bench/run_benches.sh → BENCH_parallel.json) captures the
+// serial→parallel trajectory per kernel. The determinism contract means the
+// outputs being timed are bit-identical across every row of the sweep.
+
+#include "bench_common.hpp"
+
+#include "hypergraph/bfs.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/kron.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/mxv.hpp"
+#include "sparse/reduce.hpp"
+#include "sparse/transpose.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using sparse::Index;
+using S = semiring::PlusTimes<double>;
+using Add = semiring::AddMonoidOf<S>;
+
+constexpr int kScale = 13;  // 8192 vertices, ~64k edges
+
+const sparse::Matrix<double>& workload_a() {
+  static const auto m = rmat_matrix(kScale, 8, 1);
+  return m;
+}
+const sparse::Matrix<double>& workload_b() {
+  static const auto m = rmat_matrix(kScale, 8, 2);
+  return m;
+}
+
+void with_threads(benchmark::State& state) {
+  util::set_num_threads(static_cast<int>(state.range(0)));
+}
+
+void bm_mxm(benchmark::State& state) {
+  with_threads(state);
+  const auto& a = workload_a();
+  const auto& b = workload_b();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, b));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_mxm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_ewise_add(benchmark::State& state) {
+  with_threads(state);
+  const auto& a = workload_a();
+  const auto& b = workload_b();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::ewise_add<S>(a, b));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_ewise_add)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_transpose(benchmark::State& state) {
+  with_threads(state);
+  const auto& a = workload_a();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::transpose(a));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_transpose)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_reduce_rows(benchmark::State& state) {
+  with_threads(state);
+  const auto& a = workload_a();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::reduce_rows<Add>(a));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_reduce_rows)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_mxv_pull(benchmark::State& state) {
+  with_threads(state);
+  const auto& a = workload_a();
+  const std::vector<double> x(static_cast<std::size_t>(a.ncols()), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxv_pull<S>(a, x));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_mxv_pull)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_vxm_push(benchmark::State& state) {
+  with_threads(state);
+  const auto& a = workload_a();
+  const std::vector<double> x(static_cast<std::size_t>(a.nrows()), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::vxm_push<S>(x, a));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_vxm_push)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_kron(benchmark::State& state) {
+  with_threads(state);
+  const auto a = er_matrix(128, 2048, 3);
+  const auto b = er_matrix(64, 512, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::kron<S>(a, b));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_kron)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_bfs(benchmark::State& state) {
+  with_threads(state);
+  const auto& a = workload_a();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypergraph::bfs_array(a, 0));
+  }
+  util::set_num_threads(0);
+}
+BENCHMARK(bm_bfs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Run the ablation + parallel-scaling benches and emit BENCH_parallel.json
+# with per-kernel timings. Used locally via the `run_benches` CMake target
+# and in CI, where the JSON is uploaded as an artifact to track the perf
+# trajectory across PRs.
+#
+# Usage: BENCH_BUILD_DIR=<build dir> bench/run_benches.sh [output.json]
+set -euo pipefail
+
+BUILD_DIR="${BENCH_BUILD_DIR:-build}"
+OUT="${1:-${BUILD_DIR}/BENCH_parallel.json}"
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "${TMPDIR_BENCH}"' EXIT
+
+run_bench() {
+  local name="$1"
+  local extra_args="${2:-}"
+  local bin="${BUILD_DIR}/${name}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skip: ${bin} not built" >&2
+    return 0
+  fi
+  echo "=== ${name} ===" >&2
+  # shellcheck disable=SC2086
+  "${bin}" ${extra_args} \
+    --benchmark_format=json \
+    --benchmark_out="${TMPDIR_BENCH}/${name}.json" \
+    --benchmark_out_format=json >&2
+}
+
+# The new parallel-scaling sweep plus the SpGEMM strategy ablation.
+run_bench parallel_kernels
+run_bench ablation_spgemm "--benchmark_filter=(bm_threads/.*|.*/(256|1024)$)"
+
+# Merge per-binary reports into one {bench_name: report} document.
+shopt -s nullglob
+reports=("${TMPDIR_BENCH}"/*.json)
+shopt -u nullglob
+if [[ ${#reports[@]} -eq 0 ]]; then
+  echo '{}' > "${OUT}"
+  echo "no bench reports produced; wrote empty ${OUT}" >&2
+  exit 0
+fi
+if command -v jq >/dev/null 2>&1; then
+  jq -n '
+    [inputs | {(input_filename | split("/")[-1] | rtrimstr(".json")): .}]
+    | add // {}' "${TMPDIR_BENCH}"/*.json > "${OUT}"
+else
+  python3 - "${OUT}" "${TMPDIR_BENCH}" <<'EOF'
+import json, pathlib, sys
+out, tmp = sys.argv[1], pathlib.Path(sys.argv[2])
+merged = {p.stem: json.loads(p.read_text()) for p in sorted(tmp.glob("*.json"))}
+pathlib.Path(out).write_text(json.dumps(merged, indent=2))
+EOF
+fi
+
+echo "wrote ${OUT}" >&2

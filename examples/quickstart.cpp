@@ -9,6 +9,7 @@
 #include "array/assoc_array.hpp"
 #include "semiring/all.hpp"
 #include "sparse/io.hpp"
+#include "util/parallel.hpp"
 
 int main() {
   using namespace hyperspace;
@@ -51,5 +52,10 @@ int main() {
       {{123, 456, 1.0}, {sparse::Index{1} << 59, 7, 2.0},
        {999999999999LL, 42, 3.0}});
   std::cout << "2^60 x 2^60 matrix: " << sparse::summary(huge) << '\n';
+
+  // 6. Every kernel runs on the unified parallel runtime. Thread count
+  //    comes from HYPERSPACE_NUM_THREADS (or set_num_threads), and results
+  //    are bit-identical at any setting.
+  std::cout << "parallel runtime threads: " << util::max_threads() << '\n';
   return 0;
 }

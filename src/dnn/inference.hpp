@@ -22,17 +22,20 @@
 #include "dnn/network.hpp"
 #include "semiring/arithmetic.hpp"
 #include "semiring/tropical.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::dnn {
 
-/// One standard layer step: out = ReLU(in · W + b), row-parallel.
+/// One standard layer step: out = ReLU(in · W + b), row-parallel on the
+/// unified runtime (each batch row owns its output slice — deterministic
+/// for any thread count).
 inline DenseBatch step_standard(const DenseBatch& in, const Layer& layer) {
   DenseBatch out(in.batch, layer.n_out());
   const auto w = layer.weights.view();
   const bool full = w.n_nonempty_rows() == w.nrows;
 
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(in.batch); ++r) {
+  util::parallel_for(0, static_cast<std::ptrdiff_t>(in.batch), 1,
+                     [&](std::ptrdiff_t r) {
     double* acc = &out.data[static_cast<std::size_t>(r) *
                             static_cast<std::size_t>(out.n)];
     for (Index k = 0; k < in.n; ++k) {
@@ -58,7 +61,7 @@ inline DenseBatch step_standard(const DenseBatch& in, const Layer& layer) {
       const double z = acc[j] + layer.bias[static_cast<std::size_t>(j)];
       acc[j] = z > 0.0 ? z : 0.0;
     }
-  }
+  });
   return out;
 }
 
@@ -77,8 +80,8 @@ inline DenseBatch step_semilink(const DenseBatch& in, const Layer& layer) {
   const auto w = layer.weights.view();
   const bool full = w.n_nonempty_rows() == w.nrows;
 
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(in.batch); ++r) {
+  util::parallel_for(0, static_cast<std::ptrdiff_t>(in.batch), 1,
+                     [&](std::ptrdiff_t r) {
     double* acc = &out.data[static_cast<std::size_t>(r) *
                             static_cast<std::size_t>(out.n)];
     // Yk Wk over S1 = (+, ×): acc_j = ⊕₁_k  Y(r,k) ⊗₁ W(k,j).
@@ -107,7 +110,7 @@ inline DenseBatch step_semilink(const DenseBatch& in, const Layer& layer) {
       const double z = S2::mul(acc[j], layer.bias[static_cast<std::size_t>(j)]);
       acc[j] = S2::add(z, S2::one());
     }
-  }
+  });
   return out;
 }
 

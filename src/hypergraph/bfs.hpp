@@ -18,6 +18,8 @@
 #include "sparse/apply.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::hypergraph {
 
@@ -44,17 +46,29 @@ std::vector<Index> bfs_array(const sparse::Matrix<T>& A, Index source) {
   while (frontier.nnz() > 0) {
     ++depth;
     frontier = sparse::mxm<B>(frontier, pattern);
-    // Mask: keep only not-yet-visited vertices; record their level.
+    // Mask: keep only not-yet-visited vertices; record their level. The
+    // frontier's columns are unique, so the level writes are disjoint and
+    // the chunked filter (spliced in chunk order) is deterministic for any
+    // thread count.
     auto triples = frontier.to_triples();
-    std::vector<sparse::Triple<std::uint8_t>> next;
-    next.reserve(triples.size());
-    for (const auto& t : triples) {
-      auto& lv = level[static_cast<std::size_t>(t.col)];
-      if (lv < 0) {
-        lv = depth;
-        next.push_back(t);
-      }
-    }
+    const auto nt = static_cast<std::ptrdiff_t>(triples.size());
+    constexpr std::ptrdiff_t grain = 512;
+    std::vector<std::vector<sparse::Triple<std::uint8_t>>> parts(
+        static_cast<std::size_t>(util::chunk_count(nt, grain)));
+    util::parallel_chunks(
+        0, nt, grain,
+        [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+          auto& part = parts[static_cast<std::size_t>(chunk)];
+          for (std::ptrdiff_t i = lo; i < hi; ++i) {
+            const auto& t = triples[static_cast<std::size_t>(i)];
+            auto& lv = level[static_cast<std::size_t>(t.col)];
+            if (lv < 0) {
+              lv = depth;
+              part.push_back(t);
+            }
+          }
+        });
+    const auto next = sparse::detail::splice_triple_chunks(parts);
     frontier = sparse::Matrix<std::uint8_t>::from_canonical_triples(1, n, next);
   }
   return level;

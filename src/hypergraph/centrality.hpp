@@ -14,7 +14,9 @@
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
 #include "sparse/reduce.hpp"
+#include "sparse/slices.hpp"
 #include "sparse/transpose.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::hypergraph {
 
@@ -50,29 +52,42 @@ std::vector<double> pagerank(const sparse::Matrix<T>& A,
   const double teleport = (1.0 - params.damping) / static_cast<double>(n);
   for (int it = 0; it < params.max_iterations; ++it) {
     // r' = teleport + d * (r P + dangling mass / n)
-    std::vector<sparse::Triple<double>> rt;
-    rt.reserve(rank.size());
-    for (Index i = 0; i < n; ++i) {
-      rt.push_back({0, i, rank[static_cast<std::size_t>(i)]});
-    }
+    std::vector<sparse::Triple<double>> rt(static_cast<std::size_t>(n));
+    util::parallel_for(0, static_cast<std::ptrdiff_t>(n), 1024,
+                       [&](std::ptrdiff_t i) {
+                         rt[static_cast<std::size_t>(i)] = {
+                             0, static_cast<Index>(i),
+                             rank[static_cast<std::size_t>(i)]};
+                       });
     const auto r = sparse::Matrix<double>::from_canonical_triples(1, n, rt);
     const auto rp = sparse::mxm<S>(r, P);
-    double dangling = 0;
-    for (Index i = 0; i < n; ++i) {
-      if (deg[static_cast<std::size_t>(i)] == 0) {
-        dangling += rank[static_cast<std::size_t>(i)];
-      }
-    }
+    // Fixed-grain chunked sum — the same value at every thread count.
+    const double dangling = util::parallel_reduce(
+        0, static_cast<std::ptrdiff_t>(n), 1024, 0.0,
+        [&](std::ptrdiff_t i) {
+          return deg[static_cast<std::size_t>(i)] == 0
+                     ? rank[static_cast<std::size_t>(i)]
+                     : 0.0;
+        },
+        [](double a, double b) { return a + b; });
     std::vector<double> next(static_cast<std::size_t>(n),
                              teleport + params.damping * dangling /
                                             static_cast<double>(n));
-    for (const auto& t : rp.to_triples()) {
-      next[static_cast<std::size_t>(t.col)] += params.damping * t.val;
-    }
-    double delta = 0;
-    for (std::size_t i = 0; i < next.size(); ++i) {
-      delta += std::abs(next[i] - rank[i]);
-    }
+    // rp is 1 × n canonical — columns unique, so the scatter is race-free.
+    const auto rpt = rp.to_triples();
+    util::parallel_for(0, static_cast<std::ptrdiff_t>(rpt.size()), 1024,
+                       [&](std::ptrdiff_t i) {
+                         const auto& t = rpt[static_cast<std::size_t>(i)];
+                         next[static_cast<std::size_t>(t.col)] +=
+                             params.damping * t.val;
+                       });
+    const double delta = util::parallel_reduce(
+        0, static_cast<std::ptrdiff_t>(n), 1024, 0.0,
+        [&](std::ptrdiff_t i) {
+          return std::abs(next[static_cast<std::size_t>(i)] -
+                          rank[static_cast<std::size_t>(i)]);
+        },
+        [](double a, double b) { return a + b; });
     rank.swap(next);
     if (delta < params.tolerance) break;
   }
@@ -117,16 +132,27 @@ sparse::Matrix<double> jaccard_similarity(const sparse::Matrix<T>& A) {
   const auto pattern = sparse::apply(A, [](const T&) { return 1.0; });
   const auto overlap = sparse::mxm<S>(pattern, sparse::transpose(pattern));
   const auto deg = out_degrees(A);
-  auto triples = overlap.to_triples();
-  std::vector<sparse::Triple<double>> out;
-  out.reserve(triples.size());
-  for (const auto& t : triples) {
-    if (t.row == t.col) continue;
-    const double du = static_cast<double>(deg[static_cast<std::size_t>(t.row)]);
-    const double dv = static_cast<double>(deg[static_cast<std::size_t>(t.col)]);
-    const double uni = du + dv - t.val;
-    if (uni > 0) out.push_back({t.row, t.col, t.val / uni});
-  }
+  const auto triples = overlap.to_triples();
+  const auto nt = static_cast<std::ptrdiff_t>(triples.size());
+  constexpr std::ptrdiff_t grain = 1024;
+  std::vector<std::vector<sparse::Triple<double>>> parts(
+      static_cast<std::size_t>(util::chunk_count(nt, grain)));
+  util::parallel_chunks(
+      0, nt, grain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+        auto& part = parts[static_cast<std::size_t>(chunk)];
+        for (std::ptrdiff_t i = lo; i < hi; ++i) {
+          const auto& t = triples[static_cast<std::size_t>(i)];
+          if (t.row == t.col) continue;
+          const double du =
+              static_cast<double>(deg[static_cast<std::size_t>(t.row)]);
+          const double dv =
+              static_cast<double>(deg[static_cast<std::size_t>(t.col)]);
+          const double uni = du + dv - t.val;
+          if (uni > 0) part.push_back({t.row, t.col, t.val / uni});
+        }
+      });
+  const auto out = sparse::detail::splice_triple_chunks(parts);
   return sparse::Matrix<double>::from_canonical_triples(A.nrows(), A.nrows(),
                                                         out);
 }

@@ -3,23 +3,37 @@
 // element-wise zero-norm ||·||₀ of Table II, which "maps all non-zero
 // elements to 1" — the workhorse that turns values into pure sparsity
 // patterns (used by the §IV identities and the §V-B database mask).
+//
+// apply is a 1:1 map, parallelized straight over the entry list; the
+// filters (select / prune / zero_norm) run per fixed chunk with per-chunk
+// output spliced in chunk order — both shapes are deterministic for any
+// thread count.
 
 #include <utility>
 #include <vector>
 
 #include "semiring/concepts.hpp"
 #include "sparse/matrix.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
+
+/// Entries per task in the per-entry kernels.
+inline constexpr std::ptrdiff_t kApplyGrain = 1024;
 
 /// C(i,j) = f(A(i,j)) on stored entries. f may change the value type.
 template <typename T, typename F>
 auto apply(const Matrix<T>& A, F&& f) {
   using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
-  auto triples = A.to_triples();
-  std::vector<Triple<U>> out;
-  out.reserve(triples.size());
-  for (auto& t : triples) out.push_back({t.row, t.col, f(t.val)});
+  const auto triples = A.to_triples();
+  std::vector<Triple<U>> out(triples.size());
+  util::parallel_for(0, static_cast<std::ptrdiff_t>(triples.size()),
+                     kApplyGrain, [&](std::ptrdiff_t i) {
+                       const auto& t = triples[static_cast<std::size_t>(i)];
+                       out[static_cast<std::size_t>(i)] = {t.row, t.col,
+                                                           f(t.val)};
+                     });
   return Matrix<U>::from_canonical_triples(A.nrows(), A.ncols(), out);
 }
 
@@ -27,11 +41,19 @@ auto apply(const Matrix<T>& A, F&& f) {
 template <typename T, typename Pred>
 Matrix<T> select(const Matrix<T>& A, Pred&& pred) {
   auto triples = A.to_triples();
-  std::vector<Triple<T>> out;
-  out.reserve(triples.size());
-  for (auto& t : triples) {
-    if (pred(t.row, t.col, t.val)) out.push_back(std::move(t));
-  }
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(triples.size());
+  std::vector<std::vector<Triple<T>>> parts(
+      static_cast<std::size_t>(util::chunk_count(n, kApplyGrain)));
+  util::parallel_chunks(
+      0, n, kApplyGrain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+        auto& part = parts[static_cast<std::size_t>(chunk)];
+        for (std::ptrdiff_t i = lo; i < hi; ++i) {
+          auto& t = triples[static_cast<std::size_t>(i)];
+          if (pred(t.row, t.col, t.val)) part.push_back(std::move(t));
+        }
+      });
+  const auto out = detail::splice_triple_chunks(parts);
   return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
                                            A.implicit_zero());
 }
@@ -49,12 +71,20 @@ template <semiring::Semiring S>
 Matrix<typename S::value_type> zero_norm(
     const Matrix<typename S::value_type>& A) {
   using T = typename S::value_type;
-  auto triples = A.to_triples();
-  std::vector<Triple<T>> out;
-  out.reserve(triples.size());
-  for (auto& t : triples) {
-    if (!(t.val == S::zero())) out.push_back({t.row, t.col, S::one()});
-  }
+  const auto triples = A.to_triples();
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(triples.size());
+  std::vector<std::vector<Triple<T>>> parts(
+      static_cast<std::size_t>(util::chunk_count(n, kApplyGrain)));
+  util::parallel_chunks(
+      0, n, kApplyGrain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+        auto& part = parts[static_cast<std::size_t>(chunk)];
+        for (std::ptrdiff_t i = lo; i < hi; ++i) {
+          const auto& t = triples[static_cast<std::size_t>(i)];
+          if (!(t.val == S::zero())) part.push_back({t.row, t.col, S::one()});
+        }
+      });
+  const auto out = detail::splice_triple_chunks(parts);
   return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
                                            S::zero());
 }

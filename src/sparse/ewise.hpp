@@ -9,7 +9,9 @@
 //
 // Both are two-pointer merges over the sorted row lists / column lists of
 // the operands' SparseViews, so CSR and DCSR (hypersparse) operands mix
-// freely. Output entries are produced in canonical order.
+// freely. The row-id merge is done once up front; each output row is then
+// an independent column merge, run on the unified parallel runtime with one
+// output slice per row — deterministic for any thread count.
 
 #include <algorithm>
 #include <limits>
@@ -20,6 +22,8 @@
 
 #include "semiring/concepts.hpp"
 #include "sparse/matrix.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -30,6 +34,61 @@ inline void check_same_shape(Index ar, Index ac, Index br, Index bc,
   if (ar != br || ac != bc) {
     throw std::invalid_argument(std::string(op) + ": shape mismatch");
   }
+}
+
+/// One entry of the merged row-id list: a row present in A (ia >= 0),
+/// B (ib >= 0), or both.
+struct RowPair {
+  Index row;
+  std::ptrdiff_t ia;
+  std::ptrdiff_t ib;
+};
+
+/// Merge the sorted row lists of two views (union mode) or keep only common
+/// rows (intersect mode). Rows with no stored entries are dropped — CSR
+/// views list every row, and carrying the empty ones would cost O(nrows)
+/// slices per call in the hypersparse-tall regime.
+template <typename T>
+std::vector<RowPair> merge_row_ids(const SparseView<T>& a,
+                                   const SparseView<T>& b, bool intersect) {
+  const auto nonempty = [](const SparseView<T>& v, std::size_t i) {
+    return v.row_ptr[i + 1] > v.row_ptr[i];
+  };
+  // Non-empty rows are bounded by nnz, which for tall CSR operands (whose
+  // row_ids list every row) is the far tighter reserve bound.
+  const auto bound_a = std::min<std::size_t>(
+      a.row_ids.size(), static_cast<std::size_t>(a.nnz()));
+  const auto bound_b = std::min<std::size_t>(
+      b.row_ids.size(), static_cast<std::size_t>(b.nnz()));
+  std::vector<RowPair> out;
+  out.reserve(intersect ? std::min(bound_a, bound_b) : bound_a + bound_b);
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.row_ids.size() || ib < b.row_ids.size()) {
+    const Index ra = ia < a.row_ids.size() ? a.row_ids[ia]
+                                           : std::numeric_limits<Index>::max();
+    const Index rb = ib < b.row_ids.size() ? b.row_ids[ib]
+                                           : std::numeric_limits<Index>::max();
+    if (ra < rb) {
+      if (!intersect && nonempty(a, ia)) {
+        out.push_back({ra, static_cast<std::ptrdiff_t>(ia), -1});
+      }
+      ++ia;
+    } else if (rb < ra) {
+      if (!intersect && nonempty(b, ib)) {
+        out.push_back({rb, -1, static_cast<std::ptrdiff_t>(ib)});
+      }
+      ++ib;
+    } else {
+      const bool ea = nonempty(a, ia), eb = nonempty(b, ib);
+      if (intersect ? (ea && eb) : (ea || eb)) {
+        out.push_back({ra, static_cast<std::ptrdiff_t>(ia),
+                       static_cast<std::ptrdiff_t>(ib)});
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
 }
 
 }  // namespace detail
@@ -45,53 +104,59 @@ Matrix<typename S::value_type> ewise_add(
   const SparseView<T> a = A.view();
   const SparseView<T> b = B.view();
 
-  std::vector<Triple<T>> out;
-  out.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  const auto merged = detail::merge_row_ids(a, b, /*intersect=*/false);
+  std::vector<detail::RowSlice<T>> rows(merged.size());
 
-  std::size_t ia = 0, ib = 0;
-  auto emit_row = [&out](Index row, std::span<const Index> cols,
-                         std::span<const T> vals) {
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      out.push_back({row, cols[j], vals[j]});
-    }
-  };
-
-  while (ia < a.row_ids.size() || ib < b.row_ids.size()) {
-    const Index ra = ia < a.row_ids.size() ? a.row_ids[ia]
-                                           : std::numeric_limits<Index>::max();
-    const Index rb = ib < b.row_ids.size() ? b.row_ids[ib]
-                                           : std::numeric_limits<Index>::max();
-    if (ra < rb) {
-      emit_row(ra, a.row_cols(ia), a.row_vals(ia));
-      ++ia;
-    } else if (rb < ra) {
-      emit_row(rb, b.row_cols(ib), b.row_vals(ib));
-      ++ib;
-    } else {
-      const auto ac = a.row_cols(ia), bc = b.row_cols(ib);
-      const auto av = a.row_vals(ia), bv = b.row_vals(ib);
-      std::size_t ja = 0, jb = 0;
-      while (ja < ac.size() || jb < bc.size()) {
-        const Index ca = ja < ac.size() ? ac[ja]
-                                        : std::numeric_limits<Index>::max();
-        const Index cb = jb < bc.size() ? bc[jb]
-                                        : std::numeric_limits<Index>::max();
-        if (ca < cb) {
-          out.push_back({ra, ca, av[ja]});
-          ++ja;
-        } else if (cb < ca) {
-          out.push_back({ra, cb, bv[jb]});
-          ++jb;
-        } else {
-          out.push_back({ra, ca, S::add(av[ja], bv[jb])});
-          ++ja;
-          ++jb;
+  util::parallel_for(
+      0, static_cast<std::ptrdiff_t>(merged.size()), 32,
+      [&](std::ptrdiff_t mi) {
+        const auto& m = merged[static_cast<std::size_t>(mi)];
+        auto& out = rows[static_cast<std::size_t>(mi)];
+        out.row = m.row;
+        if (m.ib < 0) {  // row only in A
+          const auto c = a.row_cols(static_cast<std::size_t>(m.ia));
+          const auto v = a.row_vals(static_cast<std::size_t>(m.ia));
+          out.cols.assign(c.begin(), c.end());
+          out.vals.assign(v.begin(), v.end());
+          return;
         }
-      }
-      ++ia;
-      ++ib;
-    }
-  }
+        if (m.ia < 0) {  // row only in B
+          const auto c = b.row_cols(static_cast<std::size_t>(m.ib));
+          const auto v = b.row_vals(static_cast<std::size_t>(m.ib));
+          out.cols.assign(c.begin(), c.end());
+          out.vals.assign(v.begin(), v.end());
+          return;
+        }
+        const auto ac = a.row_cols(static_cast<std::size_t>(m.ia));
+        const auto av = a.row_vals(static_cast<std::size_t>(m.ia));
+        const auto bc = b.row_cols(static_cast<std::size_t>(m.ib));
+        const auto bv = b.row_vals(static_cast<std::size_t>(m.ib));
+        out.cols.reserve(ac.size() + bc.size());
+        out.vals.reserve(ac.size() + bc.size());
+        std::size_t ja = 0, jb = 0;
+        while (ja < ac.size() || jb < bc.size()) {
+          const Index ca = ja < ac.size() ? ac[ja]
+                                          : std::numeric_limits<Index>::max();
+          const Index cb = jb < bc.size() ? bc[jb]
+                                          : std::numeric_limits<Index>::max();
+          if (ca < cb) {
+            out.cols.push_back(ca);
+            out.vals.push_back(av[ja]);
+            ++ja;
+          } else if (cb < ca) {
+            out.cols.push_back(cb);
+            out.vals.push_back(bv[jb]);
+            ++jb;
+          } else {
+            out.cols.push_back(ca);
+            out.vals.push_back(S::add(av[ja], bv[jb]));
+            ++ja;
+            ++jb;
+          }
+        }
+      });
+
+  const auto out = detail::splice_row_slices(rows);
   return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
                                            S::zero());
 }
@@ -107,35 +172,35 @@ Matrix<typename S::value_type> ewise_mult(
   const SparseView<T> a = A.view();
   const SparseView<T> b = B.view();
 
-  std::vector<Triple<T>> out;
-  out.reserve(static_cast<std::size_t>(std::min(a.nnz(), b.nnz())));
+  const auto merged = detail::merge_row_ids(a, b, /*intersect=*/true);
+  std::vector<detail::RowSlice<T>> rows(merged.size());
 
-  std::size_t ia = 0, ib = 0;
-  while (ia < a.row_ids.size() && ib < b.row_ids.size()) {
-    if (a.row_ids[ia] < b.row_ids[ib]) {
-      ++ia;
-    } else if (b.row_ids[ib] < a.row_ids[ia]) {
-      ++ib;
-    } else {
-      const Index row = a.row_ids[ia];
-      const auto ac = a.row_cols(ia), bc = b.row_cols(ib);
-      const auto av = a.row_vals(ia), bv = b.row_vals(ib);
-      std::size_t ja = 0, jb = 0;
-      while (ja < ac.size() && jb < bc.size()) {
-        if (ac[ja] < bc[jb]) {
-          ++ja;
-        } else if (bc[jb] < ac[ja]) {
-          ++jb;
-        } else {
-          out.push_back({row, ac[ja], S::mul(av[ja], bv[jb])});
-          ++ja;
-          ++jb;
+  util::parallel_for(
+      0, static_cast<std::ptrdiff_t>(merged.size()), 32,
+      [&](std::ptrdiff_t mi) {
+        const auto& m = merged[static_cast<std::size_t>(mi)];
+        auto& out = rows[static_cast<std::size_t>(mi)];
+        out.row = m.row;
+        const auto ac = a.row_cols(static_cast<std::size_t>(m.ia));
+        const auto av = a.row_vals(static_cast<std::size_t>(m.ia));
+        const auto bc = b.row_cols(static_cast<std::size_t>(m.ib));
+        const auto bv = b.row_vals(static_cast<std::size_t>(m.ib));
+        std::size_t ja = 0, jb = 0;
+        while (ja < ac.size() && jb < bc.size()) {
+          if (ac[ja] < bc[jb]) {
+            ++ja;
+          } else if (bc[jb] < ac[ja]) {
+            ++jb;
+          } else {
+            out.cols.push_back(ac[ja]);
+            out.vals.push_back(S::mul(av[ja], bv[jb]));
+            ++ja;
+            ++jb;
+          }
         }
-      }
-      ++ia;
-      ++ib;
-    }
-  }
+      });
+
+  const auto out = detail::splice_row_slices(rows);
   return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
                                            S::zero());
 }

@@ -11,10 +11,13 @@
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "semiring/concepts.hpp"
 #include "sparse/matrix.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -34,26 +37,40 @@ Matrix<T> extract(const Matrix<T>& A, const std::vector<Index>& rows,
   for (std::size_t j = 0; j < cols.size(); ++j) {
     col_out[cols[j]].push_back(static_cast<Index>(j));
   }
-  std::vector<Triple<T>> out;
   const SparseView<T> v = A.view();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto rit =
-        std::lower_bound(v.row_ids.begin(), v.row_ids.end(), rows[i]);
-    if (rit == v.row_ids.end() || *rit != rows[i]) continue;
-    const auto ri = static_cast<std::size_t>(rit - v.row_ids.begin());
-    const auto rc = v.row_cols(ri);
-    const auto rv = v.row_vals(ri);
-    for (std::size_t p = 0; p < rc.size(); ++p) {
-      const auto it = col_out.find(rc[p]);
-      if (it == col_out.end()) continue;
-      for (const Index j : it->second) {
-        out.push_back({static_cast<Index>(i), j, rv[p]});
-      }
-    }
-  }
-  std::sort(out.begin(), out.end(), [](const Triple<T>& x, const Triple<T>& y) {
-    return x.row != y.row ? x.row < y.row : x.col < y.col;
-  });
+  // Each output row gathers independently into its own slice (unified
+  // runtime) and sorts its columns locally — canonical order after splicing
+  // in row order, deterministic for any thread count.
+  std::vector<detail::RowSlice<T>> slices(rows.size());
+  util::parallel_for_scratch(
+      0, static_cast<std::ptrdiff_t>(rows.size()), 16,
+      [] { return std::vector<std::pair<Index, T>>{}; },
+      [&](std::ptrdiff_t i, std::vector<std::pair<Index, T>>& gathered) {
+        auto& out = slices[static_cast<std::size_t>(i)];
+        out.row = static_cast<Index>(i);
+        const Index src = rows[static_cast<std::size_t>(i)];
+        const auto rit =
+            std::lower_bound(v.row_ids.begin(), v.row_ids.end(), src);
+        if (rit == v.row_ids.end() || *rit != src) return;
+        const auto ri = static_cast<std::size_t>(rit - v.row_ids.begin());
+        const auto rc = v.row_cols(ri);
+        const auto rv = v.row_vals(ri);
+        gathered.clear();
+        for (std::size_t p = 0; p < rc.size(); ++p) {
+          const auto it = col_out.find(rc[p]);
+          if (it == col_out.end()) continue;
+          for (const Index j : it->second) gathered.push_back({j, rv[p]});
+        }
+        std::sort(gathered.begin(), gathered.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        out.cols.reserve(gathered.size());
+        out.vals.reserve(gathered.size());
+        for (auto& [j, val] : gathered) {
+          out.cols.push_back(j);
+          out.vals.push_back(std::move(val));
+        }
+      });
+  const auto out = detail::splice_row_slices(slices);
   return Matrix<T>::from_canonical_triples(static_cast<Index>(rows.size()),
                                            static_cast<Index>(cols.size()),
                                            out, A.implicit_zero());

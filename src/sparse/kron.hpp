@@ -9,11 +9,13 @@
 // and it composes with hypersparse storage: a few Kronecker factors span
 // astronomically large key spaces at O(nnz(A)·nnz(B)) cost.
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
 #include "semiring/concepts.hpp"
 #include "sparse/matrix.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -28,16 +30,20 @@ Matrix<typename S::value_type> kron(const Matrix<typename S::value_type>& A,
   }
   const auto ta = A.to_triples();
   const auto tb = B.to_triples();
-  std::vector<Triple<T>> out;
-  out.reserve(ta.size() * tb.size());
-  // ta is (row, col) sorted; for fixed (ia, ja) the inner triples are too,
-  // and the block offsets are monotone, so output order is canonical.
-  for (const auto& a : ta) {
-    for (const auto& b : tb) {
-      out.push_back({a.row * mb + b.row, a.col * nb + b.col,
-                     S::mul(a.val, b.val)});
-    }
-  }
+  std::vector<Triple<T>> out(ta.size() * tb.size());
+  // Each A-entry owns the fixed output slice [p·nnz(B), (p+1)·nnz(B)) —
+  // positions are partition-independent, so the parallel fill is
+  // deterministic for any thread count.
+  util::parallel_for(
+      0, static_cast<std::ptrdiff_t>(ta.size()), 8, [&](std::ptrdiff_t p) {
+        const auto& a = ta[static_cast<std::size_t>(p)];
+        Triple<T>* slice = out.data() + static_cast<std::size_t>(p) * tb.size();
+        for (std::size_t q = 0; q < tb.size(); ++q) {
+          const auto& b = tb[q];
+          slice[q] = {a.row * mb + b.row, a.col * nb + b.col,
+                      S::mul(a.val, b.val)};
+        }
+      });
   std::sort(out.begin(), out.end(), [](const Triple<T>& x, const Triple<T>& y) {
     return x.row != y.row ? x.row < y.row : x.col < y.col;
   });

@@ -13,6 +13,8 @@
 #include "sparse/ewise.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -39,12 +41,25 @@ Matrix<T> mask_select(const Matrix<T>& A, const Matrix<U>& M,
     const auto cols = m.row_cols(ri);
     return std::binary_search(cols.begin(), cols.end(), c);
   };
+  // Chunked filter on the unified runtime: per-chunk keeps spliced in chunk
+  // order — deterministic for any thread count.
   auto triples = A.to_triples();
-  std::vector<Triple<T>> out;
-  out.reserve(triples.size());
-  for (auto& t : triples) {
-    if (in_mask(t.row, t.col) != desc.complement) out.push_back(std::move(t));
-  }
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(triples.size());
+  constexpr std::ptrdiff_t grain = 512;
+  std::vector<std::vector<Triple<T>>> parts(
+      static_cast<std::size_t>(util::chunk_count(n, grain)));
+  util::parallel_chunks(
+      0, n, grain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+        auto& part = parts[static_cast<std::size_t>(chunk)];
+        for (std::ptrdiff_t i = lo; i < hi; ++i) {
+          auto& t = triples[static_cast<std::size_t>(i)];
+          if (in_mask(t.row, t.col) != desc.complement) {
+            part.push_back(std::move(t));
+          }
+        }
+      });
+  const auto out = detail::splice_triple_chunks(parts);
   return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
                                            A.implicit_zero());
 }

@@ -14,8 +14,9 @@
 //     mandatory when ncols(B) is huge.
 //
 // mxm() picks automatically; mxm_gustavson / mxm_hash pin a strategy.
-// Rows of A are processed independently (OpenMP), each producing its own
-// sorted output slice, so results are deterministic for any thread count.
+// Rows of A are processed independently on the unified parallel runtime
+// (util/parallel.hpp), each producing its own sorted output slice, so
+// results are deterministic for any thread count.
 
 #include <algorithm>
 #include <stdexcept>
@@ -24,6 +25,8 @@
 
 #include "semiring/concepts.hpp"
 #include "sparse/matrix.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -43,13 +46,6 @@ inline std::ptrdiff_t find_row(const SparseView<T>& v, Index k, bool is_full) {
   if (it == v.row_ids.end() || *it != k) return -1;
   return it - v.row_ids.begin();
 }
-
-template <semiring::Semiring S>
-struct RowResult {
-  Index row;
-  std::vector<Index> cols;
-  std::vector<typename S::value_type> vals;
-};
 
 }  // namespace detail
 
@@ -71,53 +67,54 @@ Matrix<typename S::value_type> mxm_gustavson(
   const bool b_full = b.n_nonempty_rows() == b.nrows;
 
   const auto n_arows = a.row_ids.size();
-  std::vector<detail::RowResult<S>> rows(n_arows);
+  std::vector<detail::RowSlice<T>> rows(n_arows);
 
-#pragma omp parallel
-  {
-    std::vector<T> acc(static_cast<std::size_t>(b.ncols), S::zero());
-    std::vector<Index> stamp(static_cast<std::size_t>(b.ncols), -1);
+  struct Scratch {
+    std::vector<T> acc;
+    std::vector<Index> stamp;
     std::vector<Index> touched;
-
-#pragma omp for schedule(dynamic, 16)
-    for (std::ptrdiff_t ri = 0; ri < static_cast<std::ptrdiff_t>(n_arows); ++ri) {
-      touched.clear();
-      const auto acols = a.row_cols(static_cast<std::size_t>(ri));
-      const auto avals = a.row_vals(static_cast<std::size_t>(ri));
-      for (std::size_t p = 0; p < acols.size(); ++p) {
-        const auto bk = detail::find_row(b, acols[p], b_full);
-        if (bk < 0) continue;
-        const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
-        const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
-        for (std::size_t q = 0; q < bcols.size(); ++q) {
-          const auto j = static_cast<std::size_t>(bcols[q]);
-          const T prod = S::mul(avals[p], bvals[q]);
-          if (stamp[j] != ri) {
-            stamp[j] = static_cast<Index>(ri);
-            acc[j] = prod;
-            touched.push_back(bcols[q]);
-          } else {
-            acc[j] = S::add(acc[j], prod);
+  };
+  util::parallel_for_scratch(
+      0, static_cast<std::ptrdiff_t>(n_arows), 16,
+      [&b] {
+        return Scratch{std::vector<T>(static_cast<std::size_t>(b.ncols),
+                                      S::zero()),
+                       std::vector<Index>(static_cast<std::size_t>(b.ncols),
+                                          -1),
+                       {}};
+      },
+      [&](std::ptrdiff_t ri, Scratch& s) {
+        s.touched.clear();
+        const auto acols = a.row_cols(static_cast<std::size_t>(ri));
+        const auto avals = a.row_vals(static_cast<std::size_t>(ri));
+        for (std::size_t p = 0; p < acols.size(); ++p) {
+          const auto bk = detail::find_row(b, acols[p], b_full);
+          if (bk < 0) continue;
+          const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
+          const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
+          for (std::size_t q = 0; q < bcols.size(); ++q) {
+            const auto j = static_cast<std::size_t>(bcols[q]);
+            const T prod = S::mul(avals[p], bvals[q]);
+            if (s.stamp[j] != ri) {
+              s.stamp[j] = static_cast<Index>(ri);
+              s.acc[j] = prod;
+              s.touched.push_back(bcols[q]);
+            } else {
+              s.acc[j] = S::add(s.acc[j], prod);
+            }
           }
         }
-      }
-      std::sort(touched.begin(), touched.end());
-      auto& out = rows[static_cast<std::size_t>(ri)];
-      out.row = a.row_ids[static_cast<std::size_t>(ri)];
-      out.cols.assign(touched.begin(), touched.end());
-      out.vals.reserve(touched.size());
-      for (const Index j : touched) {
-        out.vals.push_back(std::move(acc[static_cast<std::size_t>(j)]));
-      }
-    }
-  }
+        std::sort(s.touched.begin(), s.touched.end());
+        auto& out = rows[static_cast<std::size_t>(ri)];
+        out.row = a.row_ids[static_cast<std::size_t>(ri)];
+        out.cols.assign(s.touched.begin(), s.touched.end());
+        out.vals.reserve(s.touched.size());
+        for (const Index j : s.touched) {
+          out.vals.push_back(std::move(s.acc[static_cast<std::size_t>(j)]));
+        }
+      });
 
-  std::vector<Triple<T>> triples;
-  for (auto& r : rows) {
-    for (std::size_t j = 0; j < r.cols.size(); ++j) {
-      triples.push_back({r.row, r.cols[j], std::move(r.vals[j])});
-    }
-  }
+  const auto triples = detail::splice_row_slices(rows);
   return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
                                            S::zero());
 }
@@ -137,44 +134,36 @@ Matrix<typename S::value_type> mxm_hash(
   const bool b_full = b.n_nonempty_rows() == b.nrows;
 
   const auto n_arows = a.row_ids.size();
-  std::vector<detail::RowResult<S>> rows(n_arows);
+  std::vector<detail::RowSlice<T>> rows(n_arows);
 
-#pragma omp parallel
-  {
-    std::unordered_map<Index, T> acc;
-
-#pragma omp for schedule(dynamic, 16)
-    for (std::ptrdiff_t ri = 0; ri < static_cast<std::ptrdiff_t>(n_arows); ++ri) {
-      acc.clear();
-      const auto acols = a.row_cols(static_cast<std::size_t>(ri));
-      const auto avals = a.row_vals(static_cast<std::size_t>(ri));
-      for (std::size_t p = 0; p < acols.size(); ++p) {
-        const auto bk = detail::find_row(b, acols[p], b_full);
-        if (bk < 0) continue;
-        const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
-        const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
-        for (std::size_t q = 0; q < bcols.size(); ++q) {
-          const T prod = S::mul(avals[p], bvals[q]);
-          auto [it, inserted] = acc.try_emplace(bcols[q], prod);
-          if (!inserted) it->second = S::add(it->second, prod);
+  util::parallel_for_scratch(
+      0, static_cast<std::ptrdiff_t>(n_arows), 16,
+      [] { return std::unordered_map<Index, T>{}; },
+      [&](std::ptrdiff_t ri, std::unordered_map<Index, T>& acc) {
+        acc.clear();
+        const auto acols = a.row_cols(static_cast<std::size_t>(ri));
+        const auto avals = a.row_vals(static_cast<std::size_t>(ri));
+        for (std::size_t p = 0; p < acols.size(); ++p) {
+          const auto bk = detail::find_row(b, acols[p], b_full);
+          if (bk < 0) continue;
+          const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
+          const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
+          for (std::size_t q = 0; q < bcols.size(); ++q) {
+            const T prod = S::mul(avals[p], bvals[q]);
+            auto [it, inserted] = acc.try_emplace(bcols[q], prod);
+            if (!inserted) it->second = S::add(it->second, prod);
+          }
         }
-      }
-      auto& out = rows[static_cast<std::size_t>(ri)];
-      out.row = a.row_ids[static_cast<std::size_t>(ri)];
-      out.cols.reserve(acc.size());
-      for (const auto& [j, _] : acc) out.cols.push_back(j);
-      std::sort(out.cols.begin(), out.cols.end());
-      out.vals.reserve(acc.size());
-      for (const Index j : out.cols) out.vals.push_back(std::move(acc.at(j)));
-    }
-  }
+        auto& out = rows[static_cast<std::size_t>(ri)];
+        out.row = a.row_ids[static_cast<std::size_t>(ri)];
+        out.cols.reserve(acc.size());
+        for (const auto& [j, _] : acc) out.cols.push_back(j);
+        std::sort(out.cols.begin(), out.cols.end());
+        out.vals.reserve(acc.size());
+        for (const Index j : out.cols) out.vals.push_back(std::move(acc.at(j)));
+      });
 
-  std::vector<Triple<T>> triples;
-  for (auto& r : rows) {
-    for (std::size_t j = 0; j < r.cols.size(); ++j) {
-      triples.push_back({r.row, r.cols[j], std::move(r.vals[j])});
-    }
-  }
+  const auto triples = detail::splice_row_slices(rows);
   return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
                                            S::zero());
 }

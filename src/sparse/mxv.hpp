@@ -5,11 +5,24 @@
 // "yℓ are row vectors and left array multiplication is used"), vectors are
 // 1 × n (row) or n × 1 (column) matrices, and vxm/mxv delegate to mxm. The
 // BFS of Fig 1 is vᵀA = vxm(v, A) over any semiring.
+//
+// For dense operand vectors two direction-specialized parallel kernels are
+// provided on the unified runtime:
+//
+//   * mxv_pull  — y = A ⊕.⊗ x: each output row i folds its CSR row against
+//     x in column order; rows are independent, so the kernel parallelizes
+//     over rows and is bit-identical for any thread count.
+//   * vxm_push  — y = xᵀ ⊕.⊗ A: the scatter direction. Output columns are
+//     partitioned into ranges; every task walks the non-empty rows of A in
+//     order and accumulates only the columns it owns, so each y[j] receives
+//     its contributions in row order no matter how many threads run.
 
+#include <algorithm>
 #include <vector>
 
 #include "semiring/concepts.hpp"
 #include "sparse/mxm.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -47,6 +60,80 @@ template <semiring::Semiring S>
 Matrix<typename S::value_type> mxv(const Matrix<typename S::value_type>& A,
                                    const Matrix<typename S::value_type>& v) {
   return mxm<S>(A, v);
+}
+
+/// Pull-direction dense mxv: y[i] = ⨁_j A(i, j) ⊗ x[j]. Entries absent from
+/// A contribute nothing; rows with no entries yield S::zero(). Parallel over
+/// rows; bit-identical for any thread count.
+template <semiring::Semiring S>
+std::vector<typename S::value_type> mxv_pull(
+    const Matrix<typename S::value_type>& A,
+    const std::vector<typename S::value_type>& x) {
+  using T = typename S::value_type;
+  if (static_cast<Index>(x.size()) != A.ncols()) {
+    throw std::invalid_argument("mxv_pull: dimension mismatch");
+  }
+  const SparseView<T> a = A.view();
+  std::vector<T> y(static_cast<std::size_t>(A.nrows()), S::zero());
+  util::parallel_for(
+      0, static_cast<std::ptrdiff_t>(a.row_ids.size()), 64,
+      [&](std::ptrdiff_t ri) {
+        const auto cols = a.row_cols(static_cast<std::size_t>(ri));
+        const auto vals = a.row_vals(static_cast<std::size_t>(ri));
+        T acc = S::zero();
+        for (std::size_t p = 0; p < cols.size(); ++p) {
+          acc = S::add(acc, S::mul(vals[p], x[static_cast<std::size_t>(cols[p])]));
+        }
+        y[static_cast<std::size_t>(a.row_ids[static_cast<std::size_t>(ri)])] =
+            std::move(acc);
+      });
+  return y;
+}
+
+/// Push-direction dense vxm: y[j] = ⨁_i x[i] ⊗ A(i, j). Tasks own disjoint
+/// output-column ranges and scan A's non-empty rows in order, so every y[j]
+/// accumulates in row order regardless of thread count (deterministic ⊕).
+/// `active` short-circuits rows whose x value equals S::zero().
+template <semiring::Semiring S>
+std::vector<typename S::value_type> vxm_push(
+    const std::vector<typename S::value_type>& x,
+    const Matrix<typename S::value_type>& A) {
+  using T = typename S::value_type;
+  if (static_cast<Index>(x.size()) != A.nrows()) {
+    throw std::invalid_argument("vxm_push: dimension mismatch");
+  }
+  const SparseView<T> a = A.view();
+  std::vector<T> y(static_cast<std::size_t>(A.ncols()), S::zero());
+  if (a.row_ids.empty() || A.ncols() == 0) return y;
+
+  // One column range per thread; every range scans the rows in order. The
+  // O(1) front/back disjointness test keeps the per-(row, range) overhead
+  // to two comparisons when a short row misses the range entirely.
+  const std::ptrdiff_t grain = std::max<std::ptrdiff_t>(
+      1, (static_cast<std::ptrdiff_t>(A.ncols()) +
+          static_cast<std::ptrdiff_t>(util::max_threads()) - 1) /
+             static_cast<std::ptrdiff_t>(util::max_threads()));
+  util::parallel_chunks(
+      0, static_cast<std::ptrdiff_t>(A.ncols()), grain,
+      [&](std::ptrdiff_t, std::ptrdiff_t clo, std::ptrdiff_t chi) {
+        const Index lo = static_cast<Index>(clo);
+        const Index hi = static_cast<Index>(chi);
+        for (std::size_t ri = 0; ri < a.row_ids.size(); ++ri) {
+          const auto cols = a.row_cols(ri);
+          if (cols.empty() || cols.back() < lo || cols.front() >= hi) continue;
+          const T& xv = x[static_cast<std::size_t>(a.row_ids[ri])];
+          if (xv == S::zero()) continue;
+          const auto vals = a.row_vals(ri);
+          const auto first =
+              std::lower_bound(cols.begin(), cols.end(), lo) - cols.begin();
+          for (std::size_t p = static_cast<std::size_t>(first);
+               p < cols.size() && cols[p] < hi; ++p) {
+            auto& acc = y[static_cast<std::size_t>(cols[p])];
+            acc = S::add(acc, S::mul(xv, vals[p]));
+          }
+        }
+      });
+  return y;
 }
 
 }  // namespace hyperspace::sparse

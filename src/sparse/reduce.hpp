@@ -5,14 +5,29 @@
 // its rows or columns:  C = A ⊕.⊗ 1  ⇒  C(k1, :) = ⨁_{k2} A(k1, k2).
 // These reductions are that projection computed directly (and the tests
 // verify they agree with the mxm-by-ones formulation).
+//
+// Parallel structure (unified runtime, deterministic for any thread count):
+//   * reduce_rows — rows are independent; one output slot per row.
+//   * reduce_cols — tasks own disjoint column ranges and scan the rows in
+//     order, so each column's ⨁ happens in row order regardless of threads.
+//   * reduce_all  — fixed-grain chunked fold via util::parallel_reduce: the
+//     chunking depends only on the grain, so the combine order (and thus
+//     the float result) is identical at every thread count.
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
 #include "semiring/concepts.hpp"
 #include "sparse/matrix.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
+
+/// Rows per chunk in reduce_all. Fixed (not thread-derived) so the fold
+/// order — hence the bit pattern of a float result — never varies.
+inline constexpr std::ptrdiff_t kReduceGrain = 256;
 
 /// Row reduction: out(i, 0) = ⨁_j A(i, j). Result is nrows × 1.
 template <semiring::Monoid M>
@@ -20,50 +35,90 @@ Matrix<typename M::value_type> reduce_rows(
     const Matrix<typename M::value_type>& A) {
   using T = typename M::value_type;
   const SparseView<T> v = A.view();
-  std::vector<Triple<T>> out;
-  out.reserve(v.row_ids.size());
-  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
-    const auto vals = v.row_vals(ri);
-    if (vals.empty()) continue;
-    T acc = vals[0];
-    for (std::size_t j = 1; j < vals.size(); ++j) acc = M::op(acc, vals[j]);
-    out.push_back({v.row_ids[ri], 0, std::move(acc)});
-  }
+  std::vector<detail::RowSlice<T>> rows(v.row_ids.size());
+  util::parallel_for(
+      0, static_cast<std::ptrdiff_t>(v.row_ids.size()), 64,
+      [&](std::ptrdiff_t ri) {
+        const auto vals = v.row_vals(static_cast<std::size_t>(ri));
+        auto& out = rows[static_cast<std::size_t>(ri)];
+        out.row = v.row_ids[static_cast<std::size_t>(ri)];
+        if (vals.empty()) return;  // CSR views list empty rows too
+        T acc = vals[0];
+        for (std::size_t j = 1; j < vals.size(); ++j) acc = M::op(acc, vals[j]);
+        out.cols.push_back(0);
+        out.vals.push_back(std::move(acc));
+      });
+  const auto out = detail::splice_row_slices(rows);
   return Matrix<T>::from_canonical_triples(A.nrows(), 1, out, M::identity());
 }
 
 /// Column reduction: out(0, j) = ⨁_i A(i, j). Result is 1 × ncols.
+/// Tasks own disjoint column ranges; every task walks the rows in order, so
+/// each column accumulates identically no matter how work is partitioned.
 template <semiring::Monoid M>
 Matrix<typename M::value_type> reduce_cols(
     const Matrix<typename M::value_type>& A) {
   using T = typename M::value_type;
   const SparseView<T> v = A.view();
-  // Accumulate per column in sorted-key map order to emit canonically.
-  std::map<Index, T> acc;
-  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
-    const auto cols = v.row_cols(ri);
-    const auto vals = v.row_vals(ri);
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      auto [it, inserted] = acc.try_emplace(cols[j], vals[j]);
-      if (!inserted) it->second = M::op(it->second, vals[j]);
-    }
-  }
-  std::vector<Triple<T>> out;
-  out.reserve(acc.size());
-  for (auto& [c, val] : acc) out.push_back({0, c, std::move(val)});
+
+  // One column range per thread; every range scans the rows in order. The
+  // O(1) front/back disjointness test keeps the per-(row, range) overhead
+  // to two comparisons when a short row misses the range entirely.
+  const std::ptrdiff_t ncols = static_cast<std::ptrdiff_t>(A.ncols());
+  const std::ptrdiff_t grain = std::max<std::ptrdiff_t>(
+      1, (ncols + static_cast<std::ptrdiff_t>(util::max_threads()) - 1) /
+             static_cast<std::ptrdiff_t>(util::max_threads()));
+  std::vector<std::vector<Triple<T>>> parts(
+      static_cast<std::size_t>(util::chunk_count(ncols, grain)));
+
+  util::parallel_chunks(
+      0, ncols, grain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t clo, std::ptrdiff_t chi) {
+        const Index lo = static_cast<Index>(clo);
+        const Index hi = static_cast<Index>(chi);
+        // Sorted-key map keeps this range's output in column order.
+        std::map<Index, T> acc;
+        for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+          const auto cols = v.row_cols(ri);
+          if (cols.empty() || cols.back() < lo || cols.front() >= hi) continue;
+          const auto vals = v.row_vals(ri);
+          const auto first =
+              std::lower_bound(cols.begin(), cols.end(), lo) - cols.begin();
+          for (std::size_t j = static_cast<std::size_t>(first);
+               j < cols.size() && cols[j] < hi; ++j) {
+            auto [it, inserted] = acc.try_emplace(cols[j], vals[j]);
+            if (!inserted) it->second = M::op(it->second, vals[j]);
+          }
+        }
+        auto& part = parts[static_cast<std::size_t>(chunk)];
+        part.reserve(acc.size());
+        for (auto& [c, val] : acc) part.push_back({0, c, std::move(val)});
+      });
+
+  const auto out = detail::splice_triple_chunks(parts);
   return Matrix<T>::from_canonical_triples(1, A.ncols(), out, M::identity());
 }
 
 /// Full reduction ⨁_{i,j} A(i, j). Returns identity() for an empty matrix.
+/// Chunked fold with a fixed grain: per-chunk partials are produced in row
+/// order and combined in chunk order, so the result is the same for every
+/// thread count (it may differ from a strictly linear fold only for
+/// non-associative-in-float ⊕ — by design, determinism wins).
 template <semiring::Monoid M>
 typename M::value_type reduce_all(const Matrix<typename M::value_type>& A) {
   using T = typename M::value_type;
   const SparseView<T> v = A.view();
-  T acc = M::identity();
-  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
-    for (const T& val : v.row_vals(ri)) acc = M::op(acc, val);
-  }
-  return acc;
+  return util::parallel_reduce(
+      0, static_cast<std::ptrdiff_t>(v.row_ids.size()), kReduceGrain,
+      M::identity(),
+      [&](std::ptrdiff_t ri) {
+        T acc = M::identity();
+        for (const T& val : v.row_vals(static_cast<std::size_t>(ri))) {
+          acc = M::op(acc, val);
+        }
+        return acc;
+      },
+      [](T a, T b) { return M::op(std::move(a), std::move(b)); });
 }
 
 }  // namespace hyperspace::sparse

@@ -1,0 +1,51 @@
+#pragma once
+// Per-row output slices — the determinism idiom shared by every parallel
+// kernel. Each task computes one row (or one fixed chunk) into its own
+// slice; slices are spliced in row/chunk order on a single thread, so the
+// assembled triple list is identical no matter which thread ran which task.
+
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace hyperspace::sparse::detail {
+
+template <typename T>
+struct RowSlice {
+  Index row = 0;
+  std::vector<Index> cols;
+  std::vector<T> vals;
+};
+
+/// Splice per-row slices into one canonical triple list, in slice order.
+template <typename T>
+std::vector<Triple<T>> splice_row_slices(std::vector<RowSlice<T>>& rows) {
+  std::size_t total = 0;
+  for (const auto& r : rows) total += r.cols.size();
+  std::vector<Triple<T>> triples;
+  triples.reserve(total);
+  for (auto& r : rows) {
+    for (std::size_t j = 0; j < r.cols.size(); ++j) {
+      triples.push_back({r.row, r.cols[j], std::move(r.vals[j])});
+    }
+  }
+  return triples;
+}
+
+/// Splice per-chunk triple vectors in chunk order.
+template <typename T>
+std::vector<Triple<T>> splice_triple_chunks(
+    std::vector<std::vector<Triple<T>>>& parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<Triple<T>> out;
+  out.reserve(total);
+  for (auto& p : parts) {
+    for (auto& t : p) out.push_back(std::move(t));
+    p.clear();
+  }
+  return out;
+}
+
+}  // namespace hyperspace::sparse::detail

@@ -1,15 +1,32 @@
 #pragma once
 // Transpose: A(k2, k1) = Aᵀ(k1, k2) (Table II).
+//
+// Implemented as a parallel counting sort on the unified runtime. Phase 1
+// counts entries per output row (= input column) for each fixed chunk of
+// input rows; phase 2 turns the counts into exact write cursors per
+// (chunk, column); phase 3 has every chunk write its entries straight into
+// their final canonical positions. Each output position is a pure function
+// of the entry's (col, row) rank, so the result is bit-identical for any
+// thread count. Hypersparse-wide inputs (huge ncols) fall back to the
+// sort-based path, which never allocates O(ncols).
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "sparse/matrix.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
+/// Column counts above this use the sort-based fallback (the counting
+/// cursors would need O(ncols · chunks) memory).
+inline constexpr Index kMaxCountingTransposeCols = Index{1} << 22;
+
+namespace detail {
+
 template <typename T>
-Matrix<T> transpose(const Matrix<T>& A) {
+Matrix<T> transpose_by_sort(const Matrix<T>& A) {
   auto triples = A.to_triples();
   for (auto& t : triples) std::swap(t.row, t.col);
   std::sort(triples.begin(), triples.end(),
@@ -17,6 +34,83 @@ Matrix<T> transpose(const Matrix<T>& A) {
               return x.row != y.row ? x.row < y.row : x.col < y.col;
             });
   return Matrix<T>::from_canonical_triples(A.ncols(), A.nrows(), triples,
+                                           A.implicit_zero());
+}
+
+}  // namespace detail
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& A) {
+  // Sort-based path when counting cursors would dwarf the data: wide
+  // hypersparse inputs, or nnz small relative to the column histogram.
+  if (A.ncols() > kMaxCountingTransposeCols || A.nnz() < A.ncols()) {
+    return detail::transpose_by_sort(A);
+  }
+  const SparseView<T> v = A.view();
+  const std::size_t nnz = static_cast<std::size_t>(v.nnz());
+  const std::size_t ncols = static_cast<std::size_t>(A.ncols());
+
+  // Chunk over the non-empty row list. Chunk count scales with threads but
+  // output positions are partition-independent, so any chunking yields the
+  // same canonical result. Scratch is O(nchunks · ncols) (histograms +
+  // cursors), so the chunk count is additionally capped to keep that
+  // bounded on many-core machines.
+  const std::ptrdiff_t n_rows = static_cast<std::ptrdiff_t>(v.row_ids.size());
+  constexpr std::ptrdiff_t kScratchBudget = std::ptrdiff_t{1} << 23;
+  const std::ptrdiff_t max_chunks = std::max<std::ptrdiff_t>(
+      1, kScratchBudget / std::max<std::ptrdiff_t>(
+                              1, static_cast<std::ptrdiff_t>(ncols)));
+  const std::ptrdiff_t want_chunks = std::min<std::ptrdiff_t>(
+      max_chunks, static_cast<std::ptrdiff_t>(util::max_threads()) * 4);
+  const std::ptrdiff_t grain = std::max<std::ptrdiff_t>(
+      64, (n_rows + want_chunks - 1) / want_chunks);
+  const std::size_t nchunks =
+      static_cast<std::size_t>(util::chunk_count(n_rows, grain));
+
+  // Phase 1: per-chunk column histograms.
+  std::vector<std::vector<Index>> counts(
+      nchunks, std::vector<Index>());
+  util::parallel_chunks(
+      0, n_rows, grain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+        auto& c = counts[static_cast<std::size_t>(chunk)];
+        c.assign(ncols, 0);
+        for (std::ptrdiff_t ri = lo; ri < hi; ++ri) {
+          for (const Index col : v.row_cols(static_cast<std::size_t>(ri))) {
+            ++c[static_cast<std::size_t>(col)];
+          }
+        }
+      });
+
+  // Phase 2 (serial): exclusive write cursors per (column, chunk) — the
+  // canonical position of each entry.
+  std::vector<std::size_t> cursor(nchunks * ncols, 0);
+  std::size_t offset = 0;
+  for (std::size_t col = 0; col < ncols; ++col) {
+    for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+      cursor[chunk * ncols + col] = offset;
+      offset += static_cast<std::size_t>(counts[chunk][col]);
+    }
+  }
+
+  // Phase 3: scatter into final positions, rows in order within a chunk.
+  std::vector<Triple<T>> out(nnz);
+  util::parallel_chunks(
+      0, n_rows, grain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+        auto* cur = &cursor[static_cast<std::size_t>(chunk) * ncols];
+        for (std::ptrdiff_t ri = lo; ri < hi; ++ri) {
+          const Index row = v.row_ids[static_cast<std::size_t>(ri)];
+          const auto cols = v.row_cols(static_cast<std::size_t>(ri));
+          const auto vals = v.row_vals(static_cast<std::size_t>(ri));
+          for (std::size_t j = 0; j < cols.size(); ++j) {
+            out[cur[static_cast<std::size_t>(cols[j])]++] =
+                {cols[j], row, vals[j]};
+          }
+        }
+      });
+
+  return Matrix<T>::from_canonical_triples(A.ncols(), A.nrows(), out,
                                            A.implicit_zero());
 }
 

@@ -1,0 +1,303 @@
+#pragma once
+// Unified parallel runtime — the one scheduling substrate every sparse
+// kernel runs on.
+//
+// The paper's performance story ("as fast as the hardware allows") rests on
+// the ⊕.⊗ kernels saturating cores. Rather than sprinkle OpenMP pragmas per
+// kernel, everything funnels through this header:
+//
+//   * parallel_for(begin, end, grain, body)          — body(i) per index
+//   * parallel_for_scratch(b, e, g, make, body)      — body(i, scratch&),
+//     scratch constructed once per worker thread (dense accumulators, hash
+//     maps, stamp arrays)
+//   * parallel_chunks(b, e, grain, body)             — body(chunk, lo, hi),
+//     chunk boundaries fixed by `grain` alone, independent of thread count
+//   * parallel_reduce(b, e, grain, identity, map, combine)
+//     — deterministic chunked fold: partials are produced per fixed chunk
+//     and combined in chunk-index order, so the result is bit-identical for
+//     ANY thread count (1 included).
+//
+// Backend: an OpenMP parallel region when compiled with -fopenmp, otherwise
+// a lazily-started persistent std::thread pool. Both honour
+// HYPERSPACE_NUM_THREADS (env) and set_num_threads() (programmatic, wins
+// over the env; used by tests to sweep thread counts in one process).
+//
+// Determinism contract: work is handed out as chunks via a shared atomic
+// cursor, so WHICH thread runs a chunk is nondeterministic — kernels must
+// write disjoint output slices per index/chunk (the mxm row-slice pattern).
+// Under that discipline every kernel in this repo is bit-identical for any
+// thread count, which is what lets single-threaded CI vouch for the
+// multi-threaded production binary.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace hyperspace::util {
+
+namespace detail {
+
+inline int& thread_override() {
+  static int v = 0;
+  return v;
+}
+
+}  // namespace detail
+
+/// Programmatic thread-count override (0 restores env/hardware default).
+inline void set_num_threads(int n) { detail::thread_override() = n < 0 ? 0 : n; }
+
+/// Worker count: set_num_threads() > HYPERSPACE_NUM_THREADS > hardware.
+inline int max_threads() {
+  if (const int o = detail::thread_override(); o > 0) return o;
+  if (const char* env = std::getenv("HYPERSPACE_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+#endif
+}
+
+namespace detail {
+
+/// Persistent worker pool for the non-OpenMP backend. Workers are started on
+/// first use and parked between regions; run() executes job(tid) for
+/// tid ∈ [0, nthreads), with the calling thread serving tid 0.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// `job` must not throw (callers wrap bodies in try/catch).
+  /// Reentrant calls (a worker body spawning another region) run the inner
+  /// job inline on the calling thread — mirroring OpenMP's default
+  /// serialized nested regions — since the pool has one job slot.
+  void run(int nthreads, const std::function<void(int)>& job) {
+    if (nthreads <= 1 || inside_region()) {
+      job(0);
+      return;
+    }
+    const NestedGuard nested;
+    std::unique_lock lock(mu_);
+    while (static_cast<int>(threads_.size()) < nthreads - 1) {
+      const int id = static_cast<int>(threads_.size()) + 1;
+      threads_.emplace_back([this, id] { worker_loop(id); });
+    }
+    job_ = &job;
+    job_nthreads_ = nthreads;
+    pending_ = nthreads - 1;
+    ++epoch_;
+    lock.unlock();
+    start_cv_.notify_all();
+    job(0);
+    lock.lock();
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  static bool& inside_region() {
+    thread_local bool v = false;
+    return v;
+  }
+  struct NestedGuard {
+    NestedGuard() { inside_region() = true; }
+    ~NestedGuard() { inside_region() = false; }
+  };
+
+  ThreadPool() = default;
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void worker_loop(int id) {
+    std::uint64_t seen = 0;
+    std::unique_lock lock(mu_);
+    while (true) {
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      if (id < job_nthreads_) {
+        const auto* job = job_;
+        lock.unlock();
+        {
+          const NestedGuard nested;
+          (*job)(id);
+        }
+        lock.lock();
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* job_ = nullptr;
+  int job_nthreads_ = 0;
+  int pending_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace detail
+
+/// Low-level region: run body(tid) on `nthreads` workers (caller included).
+/// body must not throw; the higher-level loops below capture exceptions.
+template <typename Body>
+void parallel_region(int nthreads, Body&& body) {
+#if defined(_OPENMP)
+#pragma omp parallel num_threads(nthreads)
+  { body(omp_get_thread_num()); }
+#else
+  const std::function<void(int)> fn = std::ref(body);
+  detail::ThreadPool::instance().run(nthreads, fn);
+#endif
+}
+
+namespace detail {
+
+/// Shared chunked-loop driver: hands out [begin, end) in `grain`-sized
+/// chunks through an atomic cursor; `per_worker` makes each worker's
+/// scratch, `body(i, scratch)` runs per index. First exception wins and is
+/// rethrown on the calling thread.
+template <typename MakeScratch, typename Body>
+void for_each_chunked(std::ptrdiff_t begin, std::ptrdiff_t end,
+                      std::ptrdiff_t grain, MakeScratch&& per_worker,
+                      Body&& body) {
+  const std::ptrdiff_t n = end - begin;
+  if (n <= 0) return;
+  const std::ptrdiff_t g = grain > 0 ? grain : 1;
+  const std::ptrdiff_t nchunks = (n + g - 1) / g;
+  const int nthreads =
+      static_cast<int>(std::min<std::ptrdiff_t>(max_threads(), nchunks));
+
+  if (nthreads <= 1) {
+    auto scratch = per_worker();
+    for (std::ptrdiff_t i = begin; i < end; ++i) body(i, scratch);
+    return;
+  }
+
+  std::atomic<std::ptrdiff_t> cursor{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  parallel_region(nthreads, [&](int) {
+    auto scratch = per_worker();
+    try {
+      while (true) {
+        const std::ptrdiff_t c =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= nchunks) break;
+        const std::ptrdiff_t lo = begin + c * g;
+        const std::ptrdiff_t hi = std::min(end, lo + g);
+        for (std::ptrdiff_t i = lo; i < hi; ++i) body(i, scratch);
+      }
+    } catch (...) {
+      std::lock_guard lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+  });
+  if (error) std::rethrow_exception(error);
+}
+
+struct NoScratch {};
+
+}  // namespace detail
+
+/// Parallel loop: body(i) for i in [begin, end), `grain` indices per task.
+template <typename Body>
+void parallel_for(std::ptrdiff_t begin, std::ptrdiff_t end,
+                  std::ptrdiff_t grain, Body&& body) {
+  detail::for_each_chunked(
+      begin, end, grain, [] { return detail::NoScratch{}; },
+      [&body](std::ptrdiff_t i, detail::NoScratch&) { body(i); });
+}
+
+/// Parallel loop with per-thread scratch: `make()` is invoked once per
+/// worker, body(i, scratch&) per index. The canonical shape for kernels
+/// with dense accumulators / stamp arrays / hash maps.
+template <typename MakeScratch, typename Body>
+void parallel_for_scratch(std::ptrdiff_t begin, std::ptrdiff_t end,
+                          std::ptrdiff_t grain, MakeScratch&& make,
+                          Body&& body) {
+  detail::for_each_chunked(begin, end, grain,
+                           std::forward<MakeScratch>(make),
+                           std::forward<Body>(body));
+}
+
+/// Number of fixed-size chunks `parallel_chunks` will produce.
+inline std::ptrdiff_t chunk_count(std::ptrdiff_t n, std::ptrdiff_t grain) {
+  const std::ptrdiff_t g = grain > 0 ? grain : 1;
+  return n <= 0 ? 0 : (n + g - 1) / g;
+}
+
+/// Chunk-level loop: body(chunk_index, lo, hi) per fixed chunk. Chunk
+/// boundaries depend only on `grain`, never on the thread count — the
+/// building block for stitch-style kernels (filters, counting transpose)
+/// and order-fixed reductions.
+template <typename Body>
+void parallel_chunks(std::ptrdiff_t begin, std::ptrdiff_t end,
+                     std::ptrdiff_t grain, Body&& body) {
+  const std::ptrdiff_t g = grain > 0 ? grain : 1;
+  const std::ptrdiff_t nchunks = chunk_count(end - begin, g);
+  parallel_for(0, nchunks, 1, [&](std::ptrdiff_t c) {
+    const std::ptrdiff_t lo = begin + c * g;
+    const std::ptrdiff_t hi = std::min(end, lo + g);
+    body(c, lo, hi);
+  });
+}
+
+/// Deterministic chunked reduction: each fixed chunk folds
+/// map(i) into `identity` serially (index order), then the per-chunk
+/// partials are combined in chunk-index order. Because chunking is a
+/// function of `grain` only, the result is bit-identical for every thread
+/// count — including non-associative-in-float ⊕.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::ptrdiff_t begin, std::ptrdiff_t end,
+                  std::ptrdiff_t grain, T identity, Map&& map,
+                  Combine&& combine) {
+  const std::ptrdiff_t nchunks = chunk_count(end - begin, grain);
+  if (nchunks == 0) return identity;
+  std::vector<T> partials(static_cast<std::size_t>(nchunks), identity);
+  parallel_chunks(begin, end, grain,
+                  [&](std::ptrdiff_t c, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+                    T acc = identity;
+                    for (std::ptrdiff_t i = lo; i < hi; ++i) {
+                      acc = combine(std::move(acc), map(i));
+                    }
+                    partials[static_cast<std::size_t>(c)] = std::move(acc);
+                  });
+  T out = std::move(partials[0]);
+  for (std::ptrdiff_t c = 1; c < nchunks; ++c) {
+    out = combine(std::move(out), std::move(partials[static_cast<std::size_t>(c)]));
+  }
+  return out;
+}
+
+}  // namespace hyperspace::util

@@ -9,6 +9,7 @@
 #include "semiring/all.hpp"
 #include "sparse/io.hpp"
 #include "sparse/mxv.hpp"
+#include "sparse/transpose.hpp"
 #include "util/table.hpp"
 #include "util/timing.hpp"
 
@@ -61,6 +62,46 @@ TEST(Vxm, MinPlusRelaxationStep) {
   const auto step1 = vxm<MP>(d, a);
   EXPECT_EQ(step1.get(0, 1), 5.0);
   EXPECT_EQ(step1.get(0, 2), 2.0);
+}
+
+TEST(MxvPull, DenseVectorWorkedExample) {
+  const auto a = make_matrix<S>(3, 3, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 0, 5.0}});
+  const std::vector<double> x = {1.0, 10.0, 100.0};
+  const auto y = mxv_pull<S>(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 20.0);   // 2*10
+  EXPECT_DOUBLE_EQ(y[1], 300.0);  // 3*100
+  EXPECT_DOUBLE_EQ(y[2], 5.0);    // 5*1
+}
+
+TEST(VxmPush, DenseVectorWorkedExample) {
+  const auto a = make_matrix<S>(3, 3, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 0, 5.0}});
+  const std::vector<double> x = {1.0, 10.0, 100.0};
+  const auto y = vxm_push<S>(x, a);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 500.0);  // 100*5
+  EXPECT_DOUBLE_EQ(y[1], 2.0);    // 1*2
+  EXPECT_DOUBLE_EQ(y[2], 30.0);   // 10*3
+}
+
+TEST(MxvPushPull, DimensionMismatchThrows) {
+  const auto a = make_matrix<S>(3, 2, {{0, 0, 1.0}});
+  EXPECT_THROW(mxv_pull<S>(a, std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(vxm_push<S>(std::vector<double>(2, 1.0), a),
+               std::invalid_argument);
+}
+
+TEST(VxmPush, ZeroEntriesShortCircuitButResultMatchesPull) {
+  // push over A must equal pull over Aᵀ for a semiring with exact ops.
+  using MP = semiring::MinPlus<double>;
+  const auto a = make_matrix<MP>(4, 4, {{0, 1, 5.0}, {0, 2, 2.0},
+                                        {2, 1, 1.0}, {3, 3, 4.0}});
+  std::vector<double> x(4, MP::one());
+  x[1] = MP::zero();  // inactive source
+  const auto push = vxm_push<MP>(x, a);
+  const auto pull = mxv_pull<MP>(transpose(a), x);
+  EXPECT_EQ(push, pull);
 }
 
 TEST(TextTable, AlignsColumns) {

@@ -1,0 +1,329 @@
+// Tests for the unified parallel runtime (util/parallel.hpp) and the
+// determinism contract of every kernel running on it: identical —
+// bit-identical, not approximately equal — output at 1, 2, and 8 threads,
+// across the arithmetic, tropical, and set-algebra semirings.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/bfs.hpp"
+#include "hypergraph/centrality.hpp"
+#include "semiring/all.hpp"
+#include "sparse/apply.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/kron.hpp"
+#include "sparse/masked.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/mxv.hpp"
+#include "sparse/reduce.hpp"
+#include "sparse/transpose.hpp"
+#include "util/generators.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+
+/// RAII thread-count override so a failing assertion can't leak a setting.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { util::set_num_threads(n); }
+  ~ThreadGuard() { util::set_num_threads(0); }
+};
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+/// Run `make()` at every thread count and require bit-identical results.
+template <typename F>
+auto require_thread_invariant(F&& make) {
+  ThreadGuard guard(1);
+  const auto reference = make();
+  for (const int nt : kThreadCounts) {
+    util::set_num_threads(nt);
+    const auto result = make();
+    EXPECT_TRUE(result == reference) << "diverged at " << nt << " threads";
+  }
+  return reference;
+}
+
+Matrix<double> random_double_matrix(Index nr, Index nc, std::size_t m,
+                                    std::uint64_t seed) {
+  using S = semiring::PlusTimes<double>;
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> t;
+  t.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    // Integer-valued doubles: every ⊕/⊗ below is exact, so equality is
+    // legitimate even where the fold order changes.
+    t.push_back({static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(nr))),
+                 static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(nc))),
+                 static_cast<double>(1 + rng.bounded(8))});
+  }
+  return Matrix<double>::from_triples<S>(nr, nc, std::move(t));
+}
+
+Matrix<semiring::ValueSet> random_set_matrix(Index n, std::size_t m,
+                                             std::uint64_t seed) {
+  using S = semiring::UnionIntersect;
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<semiring::ValueSet>> t;
+  t.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    t.push_back({static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                 static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                 semiring::ValueSet{static_cast<std::int64_t>(rng.bounded(16)),
+                                    static_cast<std::int64_t>(rng.bounded(16))}});
+  }
+  return Matrix<semiring::ValueSet>::from_triples<S>(n, n, std::move(t));
+}
+
+// ------------------------------------------------------------- runtime core
+
+TEST(ParallelRuntime, ForCoversEveryIndexExactlyOnce) {
+  for (const int nt : kThreadCounts) {
+    ThreadGuard guard(nt);
+    constexpr std::ptrdiff_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    util::parallel_for(0, n, 7, [&](std::ptrdiff_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelRuntime, ScratchIsPerWorkerNotPerIndex) {
+  ThreadGuard guard(4);
+  std::atomic<int> scratch_made{0};
+  std::atomic<int> visited{0};
+  util::parallel_for_scratch(
+      0, 256, 4,
+      [&] {
+        scratch_made.fetch_add(1);
+        return 0;
+      },
+      [&](std::ptrdiff_t, int& s) {
+        ++s;
+        visited.fetch_add(1);
+      });
+  EXPECT_EQ(visited.load(), 256);
+  // One scratch per participating worker — never one per index.
+  EXPECT_GE(scratch_made.load(), 1);
+  EXPECT_LE(scratch_made.load(), 4);
+}
+
+TEST(ParallelRuntime, ChunksHaveFixedBoundaries) {
+  for (const int nt : kThreadCounts) {
+    ThreadGuard guard(nt);
+    std::vector<std::pair<std::ptrdiff_t, std::ptrdiff_t>> bounds(
+        static_cast<std::size_t>(util::chunk_count(100, 30)));
+    util::parallel_chunks(0, 100, 30,
+                          [&](std::ptrdiff_t c, std::ptrdiff_t lo,
+                              std::ptrdiff_t hi) {
+                            bounds[static_cast<std::size_t>(c)] = {lo, hi};
+                          });
+    const std::vector<std::pair<std::ptrdiff_t, std::ptrdiff_t>> expect = {
+        {0, 30}, {30, 60}, {60, 90}, {90, 100}};
+    EXPECT_EQ(bounds, expect) << "at " << nt << " threads";
+  }
+}
+
+TEST(ParallelRuntime, ReduceIsThreadCountInvariant) {
+  const auto sum = require_thread_invariant([] {
+    return util::parallel_reduce(
+        0, 10000, 64, 0.0,
+        [](std::ptrdiff_t i) { return static_cast<double>(i); },
+        [](double a, double b) { return a + b; });
+  });
+  EXPECT_DOUBLE_EQ(sum, 10000.0 * 9999.0 / 2.0);
+}
+
+TEST(ParallelRuntime, ExceptionsPropagateToCaller) {
+  for (const int nt : kThreadCounts) {
+    ThreadGuard guard(nt);
+    EXPECT_THROW(
+        util::parallel_for(0, 100, 1,
+                           [](std::ptrdiff_t i) {
+                             if (i == 37) throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelRuntime, NestedParallelForRunsToCompletion) {
+  // Nested regions run the inner job inline on the calling worker (both
+  // backends) — this would deadlock a single-job-slot pool without the
+  // reentrancy guard.
+  ThreadGuard guard(4);
+  std::atomic<int> total{0};
+  util::parallel_for(0, 8, 1, [&](std::ptrdiff_t) {
+    util::parallel_for(0, 8, 1,
+                       [&](std::ptrdiff_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelRuntime, EnvVariableControlsThreadCount) {
+  // set_num_threads(0) falls through to HYPERSPACE_NUM_THREADS.
+  util::set_num_threads(0);
+  ASSERT_EQ(setenv("HYPERSPACE_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(util::max_threads(), 3);
+  ASSERT_EQ(unsetenv("HYPERSPACE_NUM_THREADS"), 0);
+  ThreadGuard guard(5);
+  EXPECT_EQ(util::max_threads(), 5);
+}
+
+// -------------------------------------------------- kernels — arithmetic ⊕.⊗
+
+TEST(ParallelKernels, MxmBothStrategiesArithmetic) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_double_matrix(128, 96, 1500, 1);
+  const auto b = random_double_matrix(96, 80, 1500, 2);
+  require_thread_invariant([&] { return mxm_gustavson<S>(a, b); });
+  require_thread_invariant([&] { return mxm_hash<S>(a, b); });
+  ThreadGuard guard(8);
+  EXPECT_TRUE(mxm_gustavson<S>(a, b) == mxm_hash<S>(a, b));
+}
+
+TEST(ParallelKernels, EwiseAddMultArithmetic) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_double_matrix(200, 150, 3000, 3);
+  const auto b = random_double_matrix(200, 150, 3000, 4);
+  require_thread_invariant([&] { return ewise_add<S>(a, b); });
+  require_thread_invariant([&] { return ewise_mult<S>(a, b); });
+}
+
+TEST(ParallelKernels, ReduceFamilyArithmetic) {
+  using Add = semiring::AddMonoidOf<semiring::PlusTimes<double>>;
+  const auto a = random_double_matrix(300, 200, 4000, 5);
+  require_thread_invariant([&] { return reduce_rows<Add>(a); });
+  require_thread_invariant([&] { return reduce_cols<Add>(a); });
+  const auto total = require_thread_invariant([&] {
+    return std::vector<double>{reduce_all<Add>(a)};
+  });
+  // Integer-valued entries: the chunked fold must equal the plain sum.
+  double expect = 0;
+  for (const auto& t : a.to_triples()) expect += t.val;
+  EXPECT_DOUBLE_EQ(total[0], expect);
+}
+
+TEST(ParallelKernels, TransposeCountingAndSortPaths) {
+  const auto a = random_double_matrix(256, 192, 6000, 6);  // counting path
+  const auto t = require_thread_invariant([&] { return transpose(a); });
+  EXPECT_TRUE(transpose(t) == a);
+  // Wide hypersparse input exercises the sort fallback (nnz < ncols).
+  const auto wide = random_double_matrix(64, 100000, 500, 7);
+  const auto wt = require_thread_invariant([&] { return transpose(wide); });
+  EXPECT_TRUE(transpose(wt) == wide);
+}
+
+TEST(ParallelKernels, ApplySelectZeroNormMask) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_double_matrix(150, 150, 4000, 8);
+  const auto m = random_double_matrix(150, 150, 2000, 9);
+  require_thread_invariant([&] {
+    return apply(a, [](const double& v) { return v * 2.0; });
+  });
+  require_thread_invariant([&] {
+    return select(a, [](Index r, Index c, const double&) {
+      return (r + c) % 2 == 0;
+    });
+  });
+  require_thread_invariant([&] { return zero_norm<S>(a); });
+  require_thread_invariant([&] { return mask_select(a, m); });
+  require_thread_invariant([&] {
+    return mask_select(a, m, MaskDesc{.complement = true});
+  });
+}
+
+TEST(ParallelKernels, KronArithmetic) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_double_matrix(24, 24, 200, 10);
+  const auto b = random_double_matrix(16, 16, 100, 11);
+  require_thread_invariant([&] { return kron<S>(a, b); });
+}
+
+TEST(ParallelKernels, MxvPushPullAgreeWithMxm) {
+  using S = semiring::PlusTimes<double>;
+  const auto a = random_double_matrix(180, 140, 3000, 12);
+  util::Xoshiro256 rng(13);
+  std::vector<double> x(140), y(180);
+  for (auto& v : x) v = static_cast<double>(rng.bounded(5));
+  for (auto& v : y) v = static_cast<double>(rng.bounded(5));
+
+  const auto pull = require_thread_invariant([&] { return mxv_pull<S>(a, x); });
+  const auto push = require_thread_invariant([&] { return vxm_push<S>(y, a); });
+
+  // Dense reference against the mxm formulation.
+  std::vector<double> pull_ref(180, 0.0), push_ref(140, 0.0);
+  for (const auto& t : a.to_triples()) {
+    pull_ref[static_cast<std::size_t>(t.row)] +=
+        t.val * x[static_cast<std::size_t>(t.col)];
+    push_ref[static_cast<std::size_t>(t.col)] +=
+        y[static_cast<std::size_t>(t.row)] * t.val;
+  }
+  for (std::size_t i = 0; i < pull.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pull[i], pull_ref[i]) << "pull row " << i;
+  }
+  for (std::size_t j = 0; j < push.size(); ++j) {
+    EXPECT_DOUBLE_EQ(push[j], push_ref[j]) << "push col " << j;
+  }
+}
+
+// ---------------------------------------------------- kernels — tropical ⊕.⊗
+
+TEST(ParallelKernels, TropicalSemiring) {
+  using MP = semiring::MinPlus<double>;
+  using S = semiring::PlusTimes<double>;
+  const auto costs = random_double_matrix(100, 100, 2000, 14);
+  // min.+ product = single-hop-constrained shortest paths.
+  require_thread_invariant([&] { return mxm<MP>(costs, costs); });
+  require_thread_invariant([&] { return ewise_add<MP>(costs, costs); });
+  require_thread_invariant([&] {
+    return reduce_rows<semiring::AddMonoidOf<MP>>(costs);
+  });
+  std::vector<double> x(100, 1.0);
+  require_thread_invariant([&] { return mxv_pull<MP>(costs, x); });
+  (void)sizeof(S);
+}
+
+// ------------------------------------------------- kernels — set algebra ⊕.⊗
+
+TEST(ParallelKernels, SetAlgebraSemiring) {
+  using S = semiring::UnionIntersect;
+  const auto a = random_set_matrix(64, 600, 15);
+  const auto b = random_set_matrix(64, 600, 16);
+  require_thread_invariant([&] { return mxm<S>(a, b); });
+  require_thread_invariant([&] { return ewise_add<S>(a, b); });
+  require_thread_invariant([&] { return ewise_mult<S>(a, b); });
+  require_thread_invariant([&] {
+    return reduce_all<semiring::AddMonoidOf<S>>(a);
+  });
+  require_thread_invariant([&] { return transpose(a); });
+}
+
+// --------------------------------------------------------- graph algorithms
+
+TEST(ParallelKernels, HypergraphBfsAndPagerank) {
+  const auto edges = util::rmat_edges({.scale = 9, .edge_factor = 8, .seed = 17});
+  using S = semiring::PlusTimes<double>;
+  std::vector<Triple<double>> t;
+  t.reserve(edges.size());
+  for (const auto& e : edges) t.push_back({e.src, e.dst, 1.0});
+  const auto A = Matrix<double>::from_triples<S>(1 << 9, 1 << 9, std::move(t));
+
+  const auto levels = require_thread_invariant(
+      [&] { return hypergraph::bfs_array(A, 0); });
+  ThreadGuard guard(8);
+  EXPECT_EQ(levels, hypergraph::bfs_queue(A, 0));
+
+  require_thread_invariant([&] { return hypergraph::pagerank(A); });
+}
+
+}  // namespace
