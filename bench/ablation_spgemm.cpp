@@ -1,15 +1,20 @@
-// Ablation — SpGEMM accumulator strategy (DESIGN.md).
+// Ablation — SpGEMM accumulator strategy (DESIGN.md) and mask fusion.
 //
-// Gustavson's dense accumulator versus the hash accumulator across density
-// regimes and dimension scales. Expected shape: Gustavson wins when the
-// output row fits a reusable dense accumulator (ordinary sparse, modest
-// ncols); hash wins — and is the only option — when the column space is
-// hypersparse-huge. The auto strategy must track the winner.
+// Three axes:
+//   * accumulator strategy — Gustavson dense scratch vs flat open-addressing
+//     hash vs sorted-merge, with the pre-refactor std::unordered_map
+//     accumulator as the baseline the flat table must beat (the
+//     BENCH_spgemm.json acceptance row);
+//   * dimension regime — ordinary sparse vs hypersparse-huge, where the
+//     dense accumulator is impossible and the hash path carries everything;
+//   * mask density × fusion — fused mxm_masked (O(kept) accumulator work)
+//     vs compute-then-filter at 1%/10%/50% mask density, both senses.
 
 #include "bench_common.hpp"
 
 #include <iostream>
 
+#include "sparse/masked.hpp"
 #include "sparse/mxm.hpp"
 
 namespace {
@@ -21,13 +26,23 @@ using sparse::MxmStrategy;
 using S = semiring::PlusTimes<double>;
 
 void print_preamble() {
-  util::banner("Ablation: SpGEMM Gustavson vs hash accumulator");
+  util::banner("Ablation: SpGEMM accumulators & fused masks");
   std::cout << "auto rule: dense accumulator iff ncols(B) <= 2^24\n";
-  // Correctness cross-check at bench time.
+  // Correctness cross-checks at bench time.
   const auto a = er_matrix(512, 4096, 1);
   const auto b = er_matrix(512, 4096, 2);
+  const auto g = sparse::mxm_gustavson<S>(a, b);
   std::cout << "strategies agree on 512x512: "
-            << (sparse::mxm_gustavson<S>(a, b) == sparse::mxm_hash<S>(a, b)
+            << (g == sparse::mxm_hash<S>(a, b) &&
+                        g == sparse::mxm_sorted<S>(a, b) &&
+                        g == sparse::mxm_hash_baseline<S>(a, b)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  const auto m = er_matrix(512, 8192, 3);
+  std::cout << "fused == filtered on 512x512: "
+            << (sparse::mxm_masked<S>(a, b, m) ==
+                        sparse::mxm_masked_unfused<S>(a, b, m)
                     ? "yes"
                     : "NO")
             << "\n";
@@ -76,6 +91,153 @@ void bm_hash_hypersparse(benchmark::State& state) {
                  " dims (Gustavson impossible)");
 }
 BENCHMARK(bm_hash_hypersparse)->Arg(30)->Arg(40)->Arg(50);
+
+/// Hypersparse bipartite product factors with real per-row accumulator
+/// traffic: `rows` occupied rows at huge indices, each with `row_nnz`
+/// entries into a small shared inner key space, so each output row folds
+/// row_nnz × row_nnz partial products through the accumulator.
+sparse::Matrix<double> hyper_wide(Index dim_log2, Index rows, Index row_nnz,
+                                  Index inner, std::uint64_t seed) {
+  const Index dim = Index{1} << dim_log2;
+  util::Xoshiro256 rng(seed);
+  std::vector<sparse::Triple<double>> t;
+  for (Index r = 0; r < rows; ++r) {
+    const auto row =
+        static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(dim)));
+    for (Index e = 0; e < row_nnz; ++e) {
+      t.push_back({row,
+                   static_cast<Index>(rng.bounded(
+                       static_cast<std::uint64_t>(inner))),
+                   rng.uniform(1.0, 2.0)});
+    }
+  }
+  return sparse::Matrix<double>::from_triples<S>(dim, dim, std::move(t));
+}
+
+void bm_hash_flat_vs_stdmap(benchmark::State& state) {
+  // The acceptance comparison: flat open-addressing accumulator vs the
+  // pre-refactor std::unordered_map baseline on the hypersparse path, at
+  // ~2^11 flops per occupied row (where the accumulator, not the row
+  // dispatch, is the cost). Arg0: log2 dimension; Arg1: 0 = flat, 1 = map.
+  const Index inner = Index{1} << 12;
+  const auto a =
+      hyper_wide(static_cast<Index>(state.range(0)), 1 << 10, 32, inner, 1);
+  // B's occupied rows must live in the inner key space A's columns hit.
+  util::Xoshiro256 rng(2);
+  std::vector<sparse::Triple<double>> tb;
+  const Index bdim = Index{1} << static_cast<Index>(state.range(0));
+  for (Index r = 0; r < inner; ++r) {
+    for (Index e = 0; e < 16; ++e) {
+      tb.push_back({r,
+                    static_cast<Index>(rng.bounded(
+                        static_cast<std::uint64_t>(bdim))),
+                    rng.uniform(1.0, 2.0)});
+    }
+  }
+  const auto b = sparse::Matrix<double>::from_triples<S>(bdim, bdim,
+                                                         std::move(tb));
+  const bool flat = state.range(1) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat ? sparse::mxm_hash<S>(a, b)
+                                  : sparse::mxm_hash_baseline<S>(a, b));
+  }
+  state.SetLabel(std::string(flat ? "flat open-addressing" : "unordered_map") +
+                 ", 2^" + std::to_string(state.range(0)) + " dims");
+}
+BENCHMARK(bm_hash_flat_vs_stdmap)
+    ->Args({40, 0})
+    ->Args({40, 1})
+    ->Args({50, 0})
+    ->Args({50, 1});
+
+void bm_sorted_accumulator(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 8, 1);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, b, MxmStrategy::kSorted));
+  }
+  state.SetLabel("sorted-merge accumulator");
+}
+BENCHMARK(bm_sorted_accumulator)->Arg(256)->Arg(1024)->Arg(4096);
+
+void bm_masked(benchmark::State& state) {
+  // Mask-density × accumulator-strategy × fusion sweep.
+  // Arg0: mask density in tenths of a percent of the full extent,
+  // Arg1: strategy (0 Gustavson, 1 flat hash, 2 sorted),
+  // Arg2: 0 = fused (mask consulted during accumulation), 1 = unfused
+  //       (compute then filter).
+  const Index n = 1024;
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 16, 2);
+  const auto density_tenths = static_cast<std::size_t>(state.range(0));
+  const auto m = er_matrix(
+      n, static_cast<std::size_t>(n) * n * density_tenths / 1000, 3);
+  const auto strategy = state.range(1) == 0   ? MxmStrategy::kGustavson
+                        : state.range(1) == 1 ? MxmStrategy::kHash
+                                              : MxmStrategy::kSorted;
+  const bool fused = state.range(2) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fused ? sparse::mxm_masked<S>(a, b, m, {}, nullptr, strategy)
+              : sparse::mxm_masked_unfused<S>(a, b, m, {}, strategy));
+  }
+  state.SetLabel(std::string(fused ? "fused" : "unfused") + ", mask " +
+                 std::to_string(density_tenths / 10.0) + "%, " +
+                 (state.range(1) == 0   ? "Gustavson"
+                  : state.range(1) == 1 ? "flat hash"
+                                        : "sorted"));
+}
+BENCHMARK(bm_masked)
+    ->Args({10, 0, 0})
+    ->Args({10, 0, 1})
+    ->Args({10, 1, 0})
+    ->Args({10, 1, 1})
+    ->Args({10, 2, 0})
+    ->Args({10, 2, 1})
+    ->Args({100, 0, 0})
+    ->Args({100, 0, 1})
+    ->Args({100, 1, 0})
+    ->Args({100, 1, 1})
+    ->Args({500, 0, 0})
+    ->Args({500, 0, 1});
+
+void bm_masked_complement_bfs_style(benchmark::State& state) {
+  // The BFS shape: thin frontier row-vector × adjacency with a dense
+  // complement ("visited") mask — the case fusion exists for. Arg: percent
+  // of vertices already visited.
+  const Index n = Index{1} << 16;
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 8, 1);
+  util::Xoshiro256 rng(4);
+  std::vector<sparse::Triple<double>> ft, vt;
+  for (int i = 0; i < 256; ++i) {
+    ft.push_back({0, static_cast<Index>(rng.bounded(
+                         static_cast<std::uint64_t>(n))), 1.0});
+  }
+  const auto visited_share = static_cast<std::uint64_t>(state.range(0));
+  for (Index v = 0; v < n; ++v) {
+    if (rng.bounded(100) < visited_share) vt.push_back({0, v, 1.0});
+  }
+  const auto frontier =
+      sparse::Matrix<double>::from_triples<S>(1, n, std::move(ft));
+  const auto visited =
+      sparse::Matrix<double>::from_triples<S>(1, n, std::move(vt));
+  const bool fused = state.range(1) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fused ? sparse::mxm_masked<S>(frontier, a, visited,
+                                      {.complement = true})
+              : sparse::mxm_masked_unfused<S>(frontier, a, visited,
+                                              {.complement = true}));
+  }
+  state.SetLabel(std::string(fused ? "fused" : "unfused") + ", " +
+                 std::to_string(visited_share) + "% visited, ¬mask");
+}
+BENCHMARK(bm_masked_complement_bfs_style)
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({95, 0})
+    ->Args({95, 1});
 
 void bm_auto(benchmark::State& state) {
   const Index n = state.range(0);

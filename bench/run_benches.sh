@@ -1,57 +1,73 @@
 #!/usr/bin/env bash
-# Run the ablation + parallel-scaling benches and emit BENCH_parallel.json
-# with per-kernel timings. Used locally via the `run_benches` CMake target
-# and in CI, where the JSON is uploaded as an artifact to track the perf
-# trajectory across PRs.
+# Run the ablation + parallel-scaling benches and emit two JSON reports:
+#   BENCH_parallel.json — per-kernel parallel-scaling timings
+#   BENCH_spgemm.json   — SpGEMM accumulator-strategy and mask-fusion sweep
+#     (flat open-addressing hash vs the unordered_map baseline, mask-density
+#      × strategy × fused/unfused)
+# Used locally via the `run_benches` CMake target and in CI, where both
+# JSONs are uploaded as artifacts to track the perf trajectory across PRs.
 #
-# Usage: BENCH_BUILD_DIR=<build dir> bench/run_benches.sh [output.json]
+# Usage: BENCH_BUILD_DIR=<build dir> bench/run_benches.sh [parallel.json] [spgemm.json]
 set -euo pipefail
 
 BUILD_DIR="${BENCH_BUILD_DIR:-build}"
-OUT="${1:-${BUILD_DIR}/BENCH_parallel.json}"
+OUT_PARALLEL="${1:-${BUILD_DIR}/BENCH_parallel.json}"
+OUT_SPGEMM="${2:-${BUILD_DIR}/BENCH_spgemm.json}"
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "${TMPDIR_BENCH}"' EXIT
 
 run_bench() {
-  local name="$1"
-  local extra_args="${2:-}"
+  local outdir="$1"
+  local name="$2"
+  local extra_args="${3:-}"
   local bin="${BUILD_DIR}/${name}"
   if [[ ! -x "${bin}" ]]; then
     echo "skip: ${bin} not built" >&2
     return 0
   fi
-  echo "=== ${name} ===" >&2
+  echo "=== ${name} -> ${outdir} ===" >&2
+  mkdir -p "${TMPDIR_BENCH}/${outdir}"
   # shellcheck disable=SC2086
   "${bin}" ${extra_args} \
     --benchmark_format=json \
-    --benchmark_out="${TMPDIR_BENCH}/${name}.json" \
+    --benchmark_out="${TMPDIR_BENCH}/${outdir}/${name}.json" \
     --benchmark_out_format=json >&2
 }
 
-# The new parallel-scaling sweep plus the SpGEMM strategy ablation.
-run_bench parallel_kernels
-run_bench ablation_spgemm "--benchmark_filter=(bm_threads/.*|.*/(256|1024)$)"
-
-# Merge per-binary reports into one {bench_name: report} document.
-shopt -s nullglob
-reports=("${TMPDIR_BENCH}"/*.json)
-shopt -u nullglob
-if [[ ${#reports[@]} -eq 0 ]]; then
-  echo '{}' > "${OUT}"
-  echo "no bench reports produced; wrote empty ${OUT}" >&2
-  exit 0
-fi
-if command -v jq >/dev/null 2>&1; then
-  jq -n '
-    [inputs | {(input_filename | split("/")[-1] | rtrimstr(".json")): .}]
-    | add // {}' "${TMPDIR_BENCH}"/*.json > "${OUT}"
-else
-  python3 - "${OUT}" "${TMPDIR_BENCH}" <<'EOF'
+# Merge one directory of per-binary reports into {bench_name: report}.
+merge_reports() {
+  local dir="$1"
+  local out="$2"
+  shopt -s nullglob
+  local reports=("${dir}"/*.json)
+  shopt -u nullglob
+  if [[ ${#reports[@]} -eq 0 ]]; then
+    echo '{}' > "${out}"
+    echo "no bench reports produced; wrote empty ${out}" >&2
+    return 0
+  fi
+  if command -v jq >/dev/null 2>&1; then
+    jq -n '
+      [inputs | {(input_filename | split("/")[-1] | rtrimstr(".json")): .}]
+      | add // {}' "${dir}"/*.json > "${out}"
+  else
+    python3 - "${out}" "${dir}" <<'EOF'
 import json, pathlib, sys
 out, tmp = sys.argv[1], pathlib.Path(sys.argv[2])
 merged = {p.stem: json.loads(p.read_text()) for p in sorted(tmp.glob("*.json"))}
 pathlib.Path(out).write_text(json.dumps(merged, indent=2))
 EOF
-fi
+  fi
+  echo "wrote ${out}" >&2
+}
 
-echo "wrote ${OUT}" >&2
+# Parallel-scaling sweep (unchanged trajectory series).
+run_bench parallel parallel_kernels
+run_bench parallel ablation_spgemm "--benchmark_filter=(bm_threads/.*|bm_(gustavson|hash|auto)/(256|1024)$)"
+merge_reports "${TMPDIR_BENCH}/parallel" "${OUT_PARALLEL}"
+
+# SpGEMM accumulator + mask-fusion ablation: the flat-hash-vs-unordered_map
+# and fused-vs-unfused acceptance numbers live here.
+run_bench spgemm ablation_spgemm \
+  "--benchmark_filter=(bm_hash_flat_vs_stdmap/.*|bm_sorted_accumulator/.*|bm_masked/.*|bm_masked_complement_bfs_style/.*|bm_hash_hypersparse/.*)"
+merge_reports "${TMPDIR_BENCH}/spgemm" "${OUT_SPGEMM}"

@@ -24,6 +24,7 @@
 #include "sparse/apply.hpp"
 #include "sparse/ewise.hpp"
 #include "sparse/io.hpp"
+#include "sparse/masked.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
 #include "sparse/reduce.hpp"
@@ -274,6 +275,25 @@ AssocArray<S> mtimes(const AssocArray<S>& a, const AssocArray<S>& b) {
   const AssocArray<S> y = b.realign(inner, b.col_keys());
   return AssocArray<S>(a.row_keys(), b.col_keys(),
                        sparse::mxm<S>(x.matrix(), y.matrix()));
+}
+
+/// C⟨M⟩ = A ⊕.⊗ B — masked array multiplication with the mask fused into
+/// accumulation (sparse::mxm_masked): M's pattern, re-embedded in
+/// (row(A), col(B)) key space, limits which output keys are ever produced —
+/// the §V-B row-mask |…|₀ ∩ A pushdown. `stats` receives kept/skipped flop
+/// counts.
+template <semiring::Semiring S, semiring::Semiring SM>
+AssocArray<S> mtimes_masked(const AssocArray<S>& a, const AssocArray<S>& b,
+                            const AssocArray<SM>& mask,
+                            sparse::MaskDesc desc = {},
+                            sparse::MxmMaskStats* stats = nullptr) {
+  const KeySet inner = key_union(a.col_keys(), b.row_keys());
+  const AssocArray<S> x = a.realign(a.row_keys(), inner);
+  const AssocArray<S> y = b.realign(inner, b.col_keys());
+  const AssocArray<SM> m = mask.realign(a.row_keys(), b.col_keys());
+  return AssocArray<S>(
+      a.row_keys(), b.col_keys(),
+      sparse::mxm_masked<S>(x.matrix(), y.matrix(), m.matrix(), desc, stats));
 }
 
 /// Operator sugar matching the paper's notation.

@@ -9,6 +9,7 @@
 // The planner here evaluates composite expressions over associative arrays
 // with those prechecks, recording how much work was skipped.
 
+#include <cstdint>
 #include <vector>
 
 #include "array/assoc_array.hpp"
@@ -21,6 +22,10 @@ struct PlanStats {
   int products_skipped = 0;   ///< skipped via §IV annihilation
   int mults_evaluated = 0;
   int mults_skipped = 0;
+  // Fused-mask accounting (planned_mtimes_masked): per-flop kept/skipped
+  // counts reported by the masked multiply kernel.
+  std::uint64_t mask_flops_kept = 0;
+  std::uint64_t mask_flops_skipped = 0;
 };
 
 /// A ⊕.⊗ B with the inner-key precheck: col(A) ∩ row(B) = ∅ ⇒ 0.
@@ -34,6 +39,37 @@ array::AssocArray<S> planned_mtimes(const array::AssocArray<S>& a,
   }
   if (stats) ++stats->products_evaluated;
   return array::mtimes(a, b);
+}
+
+/// C⟨M⟩ = A ⊕.⊗ B with mask pushdown: beyond the §IV inner-key precheck,
+/// an output mask provably annihilating every output position (empty mask,
+/// plain sense — the degenerate |…|₀ ∩ A of §V-B) skips the product
+/// entirely; otherwise the mask is fused into accumulation and the kernel's
+/// per-flop kept/skipped counts land in the stats.
+template <semiring::Semiring S, semiring::Semiring SM>
+array::AssocArray<S> planned_mtimes_masked(const array::AssocArray<S>& a,
+                                           const array::AssocArray<S>& b,
+                                           const array::AssocArray<SM>& mask,
+                                           sparse::MaskDesc desc = {},
+                                           PlanStats* stats = nullptr) {
+  if (array::disjoint(a.col(), b.row())) {
+    if (stats) ++stats->products_skipped;
+    return array::AssocArray<S>();
+  }
+  if (!desc.complement &&
+      (mask.empty() || array::disjoint(a.row(), mask.row()) ||
+       array::disjoint(b.col(), mask.col()))) {
+    if (stats) ++stats->products_skipped;
+    return array::AssocArray<S>();
+  }
+  if (stats) ++stats->products_evaluated;
+  sparse::MxmMaskStats ms;
+  auto result = array::mtimes_masked(a, b, mask, desc, &ms);
+  if (stats) {
+    stats->mask_flops_kept += ms.flops_kept;
+    stats->mask_flops_skipped += ms.flops_skipped;
+  }
+  return result;
 }
 
 /// A ⊗ B with the pattern precheck: disjoint rows or columns ⇒ 0.

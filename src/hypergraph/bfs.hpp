@@ -5,17 +5,23 @@
 // (right) illustrates the deep connection between graphs and arrays."
 //
 //   * bfs_array: the array formulation — repeated vᵀA over the lor.land
-//     semiring, masking off visited vertices each step.
+//     semiring with the ¬visited complement mask FUSED into the product
+//     (mxm_masked), so each step does O(kept) accumulator work: products
+//     landing on visited vertices are skipped inside the kernel, never
+//     materialized. Pass a MxmMaskStats to observe the kept/skipped split.
 //   * bfs_queue: the classic frontier-queue traversal over CSR rows.
 //
 // Both return the same level array (tests assert equality on R-MAT graphs);
 // the bench measures both sides of the duality.
 
+#include <algorithm>
+#include <iterator>
 #include <queue>
 #include <vector>
 
 #include "semiring/arithmetic.hpp"
 #include "sparse/apply.hpp"
+#include "sparse/masked.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
 #include "sparse/slices.hpp"
@@ -27,9 +33,15 @@ using sparse::Index;
 
 /// BFS levels via the array method: frontier row-vector times adjacency
 /// array per level, any semiring's pattern works — lor.land used here.
-/// Returns level[v] = hops from source, or -1 if unreachable.
+/// The ¬visited write mask is fused into the product, so products landing
+/// on visited vertices are skipped inside the kernel (O(kept) accumulator
+/// work); the level array catches the few stragglers admitted by the
+/// amortized (doubling) mask refresh. Returns level[v] = hops from source,
+/// or -1 if unreachable. `stats`, when given, accumulates the fused
+/// kernel's kept/skipped flop counts across all levels.
 template <typename T>
-std::vector<Index> bfs_array(const sparse::Matrix<T>& A, Index source) {
+std::vector<Index> bfs_array(const sparse::Matrix<T>& A, Index source,
+                             sparse::MxmMaskStats* stats = nullptr) {
   using B = semiring::LorLand;
   const Index n = A.nrows();
   std::vector<Index> level(static_cast<std::size_t>(n), -1);
@@ -42,34 +54,52 @@ std::vector<Index> bfs_array(const sparse::Matrix<T>& A, Index source) {
 
   auto frontier = sparse::Matrix<std::uint8_t>::from_unique_triples(
       1, n, {{0, source, std::uint8_t{1}}});
+  // Visited set as a sorted 1×n mask row. Rebuilding the mask Matrix every
+  // level would cost O(|visited|) per level — Θ(V·depth) on high-diameter
+  // graphs — so the mask is refreshed only when the visited set has doubled
+  // since the last build (amortized O(V) total). The mask may therefore be
+  // a slightly stale SUPERSET of ¬visited; the level array below filters
+  // the stragglers, exactly as a GraphBLAS app would combine a lagged mask
+  // with an assign-if-unset accumulator.
+  std::vector<sparse::Triple<std::uint8_t>> visited{{0, source, 1}};
+  auto mask = sparse::Matrix<std::uint8_t>::from_canonical_triples(1, n,
+                                                                   visited);
+  std::size_t mask_nnz = visited.size();
   Index depth = 0;
   while (frontier.nnz() > 0) {
     ++depth;
-    frontier = sparse::mxm<B>(frontier, pattern);
-    // Mask: keep only not-yet-visited vertices; record their level. The
-    // frontier's columns are unique, so the level writes are disjoint and
-    // the chunked filter (spliced in chunk order) is deterministic for any
+    frontier = sparse::mxm_masked<B>(frontier, pattern, mask,
+                                     {.complement = true}, stats);
+    // Keep only still-unvisited vertices and record their level. Columns
+    // are unique within the product row, so the writes are disjoint and the
+    // chunked filter (spliced in chunk order) is deterministic for any
     // thread count.
-    auto triples = frontier.to_triples();
-    const auto nt = static_cast<std::ptrdiff_t>(triples.size());
-    constexpr std::ptrdiff_t grain = 512;
-    std::vector<std::vector<sparse::Triple<std::uint8_t>>> parts(
-        static_cast<std::size_t>(util::chunk_count(nt, grain)));
-    util::parallel_chunks(
-        0, nt, grain,
-        [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
-          auto& part = parts[static_cast<std::size_t>(chunk)];
-          for (std::ptrdiff_t i = lo; i < hi; ++i) {
-            const auto& t = triples[static_cast<std::size_t>(i)];
-            auto& lv = level[static_cast<std::size_t>(t.col)];
-            if (lv < 0) {
-              lv = depth;
-              part.push_back(t);
-            }
+    const auto triples = frontier.to_triples();
+    const auto next = sparse::detail::chunked_collect<std::uint8_t>(
+        static_cast<std::ptrdiff_t>(triples.size()), 512,
+        [&](std::ptrdiff_t i,
+            std::vector<sparse::Triple<std::uint8_t>>& part) {
+          const auto& t = triples[static_cast<std::size_t>(i)];
+          auto& lv = level[static_cast<std::size_t>(t.col)];
+          if (lv < 0) {
+            lv = depth;
+            part.push_back(t);
           }
         });
-    const auto next = sparse::detail::splice_triple_chunks(parts);
     frontier = sparse::Matrix<std::uint8_t>::from_canonical_triples(1, n, next);
+    // Merge the new frontier into the visited row (both sorted by column)
+    // and refresh the mask once the set has doubled.
+    std::vector<sparse::Triple<std::uint8_t>> merged;
+    merged.reserve(visited.size() + next.size());
+    std::merge(visited.begin(), visited.end(), next.begin(), next.end(),
+               std::back_inserter(merged),
+               [](const auto& x, const auto& y) { return x.col < y.col; });
+    visited = std::move(merged);
+    if (visited.size() >= 2 * mask_nnz) {
+      mask = sparse::Matrix<std::uint8_t>::from_canonical_triples(1, n,
+                                                                  visited);
+      mask_nnz = visited.size();
+    }
   }
   return level;
 }

@@ -11,6 +11,7 @@
 #include "semiring/arithmetic.hpp"
 #include "sparse/apply.hpp"
 #include "sparse/ewise.hpp"
+#include "sparse/masked.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
 #include "sparse/reduce.hpp"
@@ -109,8 +110,11 @@ sparse::Matrix<double> k_truss(const sparse::Matrix<T>& A, int k) {
   // support carry no stored entry in the support matrix below).
   if (support_needed <= 0) return E;
   while (true) {
-    // support(i,j) = #common neighbors = (E ⊕.⊗ E)(i,j) on the edge mask.
-    const auto support = sparse::ewise_mult<S>(E, sparse::mxm<S>(E, E));
+    // support(i,j) = #common neighbors = (E ⊕.⊗ E)⟨E⟩(i,j): the edge mask is
+    // fused into the product, so only wedges that close on an existing edge
+    // ever reach an accumulator (E's entries are all 1, so the former
+    // compute-then-ewise_mult form is value-identical).
+    const auto support = sparse::mxm_masked<S>(E, E, E);
     // Keep edges with enough support.
     auto kept = sparse::select(support, [&](Index, Index, double s) {
       return s >= static_cast<double>(support_needed);
@@ -130,29 +134,26 @@ sparse::Matrix<double> jaccard_similarity(const sparse::Matrix<T>& A) {
   using S = semiring::PlusTimes<double>;
   using sparse::Index;
   const auto pattern = sparse::apply(A, [](const T&) { return 1.0; });
+  // NOT a fused-mask site: excluding the diagonal via a complemented
+  // identity mask would probe the mask on every one of the product's flops
+  // to save only n diagonal entries — the free row==col skip in the
+  // normalization pass below is strictly cheaper. (k-truss and BFS masks
+  // skip dense fractions of the flops; this one cannot.)
   const auto overlap = sparse::mxm<S>(pattern, sparse::transpose(pattern));
   const auto deg = out_degrees(A);
   const auto triples = overlap.to_triples();
-  const auto nt = static_cast<std::ptrdiff_t>(triples.size());
-  constexpr std::ptrdiff_t grain = 1024;
-  std::vector<std::vector<sparse::Triple<double>>> parts(
-      static_cast<std::size_t>(util::chunk_count(nt, grain)));
-  util::parallel_chunks(
-      0, nt, grain,
-      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
-        auto& part = parts[static_cast<std::size_t>(chunk)];
-        for (std::ptrdiff_t i = lo; i < hi; ++i) {
-          const auto& t = triples[static_cast<std::size_t>(i)];
-          if (t.row == t.col) continue;
-          const double du =
-              static_cast<double>(deg[static_cast<std::size_t>(t.row)]);
-          const double dv =
-              static_cast<double>(deg[static_cast<std::size_t>(t.col)]);
-          const double uni = du + dv - t.val;
-          if (uni > 0) part.push_back({t.row, t.col, t.val / uni});
-        }
+  const auto out = sparse::detail::chunked_collect<double>(
+      static_cast<std::ptrdiff_t>(triples.size()), 1024,
+      [&](std::ptrdiff_t i, std::vector<sparse::Triple<double>>& part) {
+        const auto& t = triples[static_cast<std::size_t>(i)];
+        if (t.row == t.col) return;
+        const double du =
+            static_cast<double>(deg[static_cast<std::size_t>(t.row)]);
+        const double dv =
+            static_cast<double>(deg[static_cast<std::size_t>(t.col)]);
+        const double uni = du + dv - t.val;
+        if (uni > 0) part.push_back({t.row, t.col, t.val / uni});
       });
-  const auto out = sparse::detail::splice_triple_chunks(parts);
   return sparse::Matrix<double>::from_canonical_triples(A.nrows(), A.nrows(),
                                                         out);
 }

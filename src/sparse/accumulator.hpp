@@ -1,0 +1,332 @@
+#pragma once
+// Per-row SpGEMM accumulators — the pluggable core of the multiply engine.
+//
+// Every ⊕.⊗ product in this library reduces to the same inner loop: scatter
+// partial products S::mul(a_ik, b_kj) into a per-row accumulator keyed by
+// output column j, folding duplicates with S::add in encounter order, then
+// extract the row sorted by column. This header factors that loop into an
+// *accumulator concept* (RowAccumulatorFor) with three strategies:
+//
+//   * DenseAccumulator      — O(ncols) value + visit-stamp arrays, reused
+//     across rows via an epoch counter. Fastest for modest ncols(B);
+//     impossible in the hypersparse regime.
+//   * FlatHashAccumulator   — open-addressing table in flat arrays
+//     (multiplicative hashing, linear probing, power-of-two capacity,
+//     KEY_EMPTY sentinel — the cheetah local-hypertable idiom). O(flops)
+//     memory independent of dimension; the hypersparse workhorse.
+//   * SortedMergeAccumulator — append (col, val) pairs, stable-sort by
+//     column at extract and fold runs left-to-right. Wins when rows are
+//     tiny or nearly sorted; also the simplest reference.
+//
+// StdMapAccumulator wraps std::unordered_map with the same interface; it is
+// the pre-refactor baseline, kept for equivalence tests and the ablation
+// bench, not for production dispatch.
+//
+// All four fold duplicate columns with S::add in first-encounter order, so
+// every strategy produces bit-identical rows (floats included) and the mxm
+// driver can swap them freely.
+//
+// Mask fusion: MaskDesc / RowMaskProbe let the driver consult a structural
+// (or complemented) mask *during* accumulation, so masked products do
+// O(kept) accumulator work instead of materializing O(produced) entries and
+// filtering. MxmMaskStats records kept/skipped flop counts — the planner's
+// skip-counting and the BFS O(kept) assertions read them.
+
+#include <algorithm>
+#include <bit>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/types.hpp"
+#include "sparse/view.hpp"
+
+namespace hyperspace::sparse {
+
+/// Structural mask descriptor: which positions of M count, and whether the
+/// sense is complemented.
+struct MaskDesc {
+  bool complement = false;
+};
+
+/// Flop accounting for fused masked products. Totals are sums of per-row
+/// integer counts, so they are identical for every thread count.
+struct MxmMaskStats {
+  std::uint64_t flops_kept = 0;     ///< products that reached an accumulator
+  std::uint64_t flops_skipped = 0;  ///< products dropped by the mask probe
+
+  std::uint64_t flops_total() const { return flops_kept + flops_skipped; }
+};
+
+/// A per-row accumulator for semiring S: begin_row() resets, reserve() sizes
+/// for an expected entry count, accumulate() folds one partial product with
+/// S::add in encounter order, extract_sorted() appends the row's entries in
+/// ascending column order and leaves the accumulator reusable.
+template <typename A, typename S>
+concept RowAccumulatorFor =
+    semiring::Semiring<S> &&
+    requires(A a, Index j, typename S::value_type v, std::vector<Index>& cols,
+             std::vector<typename S::value_type>& vals, std::size_t n) {
+      a.begin_row();
+      a.reserve(n);
+      a.accumulate(j, v);
+      a.extract_sorted(cols, vals);
+    };
+
+/// Dense scratch accumulator (the Gustavson strategy). Width fixed at
+/// construction; rows are "cleared" by bumping an epoch stamp, so per-row
+/// cost is O(row nnz), not O(ncols).
+template <semiring::Semiring S>
+class DenseAccumulator {
+  using T = typename S::value_type;
+
+ public:
+  explicit DenseAccumulator(Index width)
+      : acc_(static_cast<std::size_t>(width), S::zero()),
+        stamp_(static_cast<std::size_t>(width), -1) {}
+
+  void begin_row() {
+    ++epoch_;
+    touched_.clear();
+  }
+  void reserve(std::size_t) {}  // width is fixed; nothing to size per row
+
+  void accumulate(Index j, const T& v) {
+    const auto p = static_cast<std::size_t>(j);
+    if (stamp_[p] != epoch_) {
+      stamp_[p] = epoch_;
+      acc_[p] = v;
+      touched_.push_back(j);
+    } else {
+      acc_[p] = S::add(acc_[p], v);
+    }
+  }
+
+  void extract_sorted(std::vector<Index>& cols, std::vector<T>& vals) {
+    std::sort(touched_.begin(), touched_.end());
+    cols.reserve(cols.size() + touched_.size());
+    vals.reserve(vals.size() + touched_.size());
+    for (const Index j : touched_) {
+      cols.push_back(j);
+      vals.push_back(std::move(acc_[static_cast<std::size_t>(j)]));
+    }
+  }
+
+ private:
+  std::vector<T> acc_;
+  std::vector<Index> stamp_;
+  std::vector<Index> touched_;
+  Index epoch_ = 0;
+};
+
+/// Flat open-addressing hash accumulator. Keys and values live in parallel
+/// flat arrays (no per-node allocation); probing is linear from a
+/// multiplicative (Fibonacci) hash; capacity is a power of two grown at 50%
+/// load. KEY_EMPTY = -1 marks free buckets — column indices are always
+/// non-negative. No deletion (accumulators only insert), so no tombstones.
+template <semiring::Semiring S>
+class FlatHashAccumulator {
+  using T = typename S::value_type;
+  static constexpr Index kEmpty = -1;
+  static constexpr std::size_t kMinCapacity = 16;
+
+ public:
+  void begin_row() {
+    // O(occupied) sparse clear: only touched buckets are reset.
+    for (const std::uint32_t b : slots_) keys_[b] = kEmpty;
+    slots_.clear();
+  }
+
+  /// Size for an expected number of distinct columns; grows only (capacity
+  /// persists across rows so hypersparse row sequences stop re-allocating).
+  void reserve(std::size_t expected) {
+    const std::size_t want =
+        std::max(kMinCapacity, std::bit_ceil(expected * 2));
+    if (want > keys_.size()) rehash(want);
+  }
+
+  void accumulate(Index j, const T& v) {
+    if (slots_.size() * 2 >= keys_.size()) {
+      rehash(std::max(kMinCapacity, keys_.size() * 2));
+    }
+    const std::size_t b = find_bucket(j);
+    if (keys_[b] == kEmpty) {
+      keys_[b] = j;
+      vals_[b] = v;
+      slots_.push_back(static_cast<std::uint32_t>(b));
+    } else {
+      vals_[b] = S::add(vals_[b], v);
+    }
+  }
+
+  void extract_sorted(std::vector<Index>& cols, std::vector<T>& vals) {
+    // Sort bucket indices by key so values move once, at emit time.
+    std::sort(slots_.begin(), slots_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return keys_[a] < keys_[b];
+              });
+    cols.reserve(cols.size() + slots_.size());
+    vals.reserve(vals.size() + slots_.size());
+    for (const std::uint32_t b : slots_) {
+      cols.push_back(keys_[b]);
+      vals.push_back(std::move(vals_[b]));
+    }
+  }
+
+  std::size_t capacity() const { return keys_.size(); }
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::size_t find_bucket(Index j) const {
+    const std::size_t mask = keys_.size() - 1;
+    // Fibonacci hashing: multiply by 2^64/φ and keep the TOP log2(capacity)
+    // bits (shift tracks capacity), so every key bit — high column bits of
+    // power-of-two-strided hypersparse keys included — influences the
+    // bucket. A fixed low shift would collapse such keys into one probe
+    // chain.
+    const auto h = static_cast<std::uint64_t>(j) * 0x9E3779B97F4A7C15ULL;
+    std::size_t b = static_cast<std::size_t>(h >> shift_);
+    while (keys_[b] != kEmpty && keys_[b] != j) b = (b + 1) & mask;
+    return b;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Index> old_keys = std::move(keys_);
+    std::vector<T> old_vals = std::move(vals_);
+    std::vector<std::uint32_t> old_slots = std::move(slots_);
+    keys_.assign(new_capacity, kEmpty);
+    vals_.assign(new_capacity, T{});
+    shift_ = 64 - std::bit_width(new_capacity - 1);
+    slots_.clear();
+    slots_.reserve(old_slots.size());
+    for (const std::uint32_t ob : old_slots) {
+      const std::size_t b = find_bucket(old_keys[ob]);
+      keys_[b] = old_keys[ob];
+      vals_[b] = std::move(old_vals[ob]);
+      slots_.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+
+  std::vector<Index> keys_;          ///< kEmpty or a column index
+  std::vector<T> vals_;
+  std::vector<std::uint32_t> slots_; ///< occupied bucket indices, insert order
+  int shift_ = 64;                   ///< 64 - log2(capacity)
+};
+
+/// Sorted-merge accumulator: defer all folding to extract time. Appends are
+/// O(1); extract stable-sorts by column (stability keeps duplicates in
+/// encounter order) and folds runs left-to-right, matching the other
+/// strategies bit-for-bit.
+template <semiring::Semiring S>
+class SortedMergeAccumulator {
+  using T = typename S::value_type;
+
+ public:
+  void begin_row() { pairs_.clear(); }
+  void reserve(std::size_t expected) { pairs_.reserve(expected); }
+
+  void accumulate(Index j, const T& v) { pairs_.push_back({j, v}); }
+
+  void extract_sorted(std::vector<Index>& cols, std::vector<T>& vals) {
+    std::stable_sort(pairs_.begin(), pairs_.end(),
+                     [](const Pair& a, const Pair& b) { return a.col < b.col; });
+    for (std::size_t i = 0; i < pairs_.size();) {
+      std::size_t k = i + 1;
+      T acc = std::move(pairs_[i].val);
+      while (k < pairs_.size() && pairs_[k].col == pairs_[i].col) {
+        acc = S::add(acc, pairs_[k].val);
+        ++k;
+      }
+      cols.push_back(pairs_[i].col);
+      vals.push_back(std::move(acc));
+      i = k;
+    }
+  }
+
+ private:
+  struct Pair {
+    Index col;
+    T val;
+  };
+  std::vector<Pair> pairs_;
+};
+
+/// std::unordered_map accumulator — the pre-refactor baseline. Kept so the
+/// flat table has an in-tree referee (equivalence tests) and a bench
+/// baseline (BENCH_spgemm.json); never selected by automatic dispatch.
+template <semiring::Semiring S>
+class StdMapAccumulator {
+  using T = typename S::value_type;
+
+ public:
+  void begin_row() { map_.clear(); }
+  void reserve(std::size_t expected) { map_.reserve(expected); }
+
+  void accumulate(Index j, const T& v) {
+    auto [it, inserted] = map_.try_emplace(j, v);
+    if (!inserted) it->second = S::add(it->second, v);
+  }
+
+  void extract_sorted(std::vector<Index>& cols, std::vector<T>& vals) {
+    const std::size_t base = cols.size();
+    cols.reserve(base + map_.size());
+    for (const auto& [j, _] : map_) cols.push_back(j);
+    std::sort(cols.begin() + static_cast<std::ptrdiff_t>(base), cols.end());
+    vals.reserve(vals.size() + map_.size());
+    for (std::size_t i = base; i < cols.size(); ++i) {
+      vals.push_back(std::move(map_.at(cols[i])));
+    }
+  }
+
+ private:
+  std::unordered_map<Index, T> map_;
+};
+
+namespace detail {
+
+/// No-mask policy: every column is allowed; compiles out of the driver.
+struct NoMask {
+  static constexpr bool kMasked = false;
+  struct Row {
+    bool all_blocked() const { return false; }
+    bool all_allowed() const { return true; }
+    bool allowed(Index) const { return true; }
+  };
+  Row row(Index) const { return {}; }
+};
+
+/// Structural mask over a sparse view: row r of the mask yields a sorted
+/// column span; allowed(j) is membership XOR complement. An absent mask row
+/// blocks everything (plain sense) or allows everything (complement sense),
+/// which the driver exploits as whole-row fast paths.
+template <typename U>
+struct StructuralMask {
+  static constexpr bool kMasked = true;
+  SparseView<U> m;
+  bool complement = false;
+
+  struct Row {
+    std::span<const Index> cols;
+    bool complement;
+    bool all_blocked() const { return !complement && cols.empty(); }
+    bool all_allowed() const { return complement && cols.empty(); }
+    bool allowed(Index j) const {
+      return std::binary_search(cols.begin(), cols.end(), j) != complement;
+    }
+  };
+
+  Row row(Index r) const {
+    const auto it = std::lower_bound(m.row_ids.begin(), m.row_ids.end(), r);
+    if (it == m.row_ids.end() || *it != r) return {{}, complement};
+    const auto ri = static_cast<std::size_t>(it - m.row_ids.begin());
+    return {m.row_cols(ri), complement};
+  }
+};
+
+}  // namespace detail
+
+}  // namespace hyperspace::sparse

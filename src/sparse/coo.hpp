@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "semiring/concepts.hpp"
+#include "sparse/slices.hpp"
 #include "sparse/types.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -44,12 +46,65 @@ class Coo {
   }
 
   /// Same, with an arbitrary combiner (e.g. "second wins" for upserts).
+  ///
+  /// Runs on the unified parallel runtime: a parallel stable sort, then a
+  /// chunked duplicate fold where each (row, col) group is combined — left
+  /// to right, insertion order — by the chunk containing its first element.
+  /// Chunk boundaries depend only on the sorted data, so the canonical
+  /// result is bit-identical for every thread count (stable_sort order is a
+  /// pure function of the input, and each group folds exactly as in the
+  /// serial scan).
   template <typename Combine>
   void sort_combine_with(Combine&& combine) {
-    std::stable_sort(triples_.begin(), triples_.end(),
-                     [](const Triple<T>& x, const Triple<T>& y) {
-                       return x.row != y.row ? x.row < y.row : x.col < y.col;
-                     });
+    const auto less = [](const Triple<T>& x, const Triple<T>& y) {
+      return x.row != y.row ? x.row < y.row : x.col < y.col;
+    };
+    util::parallel_stable_sort(triples_.begin(), triples_.end(), less);
+
+    const auto n = static_cast<std::ptrdiff_t>(triples_.size());
+    constexpr std::ptrdiff_t grain = std::ptrdiff_t{1} << 14;
+    if (n <= grain || util::max_threads() <= 1) {
+      combine_sorted_serial(combine);
+      return;
+    }
+    const auto same = [this](std::ptrdiff_t i, std::ptrdiff_t j) {
+      const auto& x = triples_[static_cast<std::size_t>(i)];
+      const auto& y = triples_[static_cast<std::size_t>(j)];
+      return x.row == y.row && x.col == y.col;
+    };
+    std::vector<std::vector<Triple<T>>> parts(
+        static_cast<std::size_t>(util::chunk_count(n, grain)));
+    util::parallel_chunks(
+        0, n, grain,
+        [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+          auto& part = parts[static_cast<std::size_t>(chunk)];
+          // Skip entries whose group started in an earlier chunk; a group is
+          // folded in full by the chunk that holds its first element.
+          std::ptrdiff_t i = lo;
+          while (i < hi && i > 0 && same(i - 1, i)) ++i;
+          while (i < hi) {
+            Triple<T> t = std::move(triples_[static_cast<std::size_t>(i)]);
+            std::ptrdiff_t j = i + 1;
+            while (j < n && same(i, j)) {
+              t.val = combine(t.val, triples_[static_cast<std::size_t>(j)].val);
+              ++j;
+            }
+            part.push_back(std::move(t));
+            i = j;
+          }
+        });
+    triples_ = detail::splice_triple_chunks(parts);
+    sorted_ = true;
+  }
+
+  std::size_t bytes() const {
+    return sizeof(*this) + triples_.capacity() * sizeof(Triple<T>);
+  }
+
+ private:
+  /// In-place duplicate fold over sorted triples (small-input fast path).
+  template <typename Combine>
+  void combine_sorted_serial(Combine& combine) {
     std::size_t out = 0;
     for (std::size_t i = 0; i < triples_.size(); ++i) {
       if (out > 0 && triples_[out - 1].row == triples_[i].row &&
@@ -64,11 +119,6 @@ class Coo {
     sorted_ = true;
   }
 
-  std::size_t bytes() const {
-    return sizeof(*this) + triples_.capacity() * sizeof(Triple<T>);
-  }
-
- private:
   Index nrows_ = 0;
   Index ncols_ = 0;
   std::vector<Triple<T>> triples_;

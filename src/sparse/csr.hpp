@@ -12,6 +12,7 @@
 
 #include "sparse/types.hpp"
 #include "sparse/view.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -23,17 +24,46 @@ class Csr {
                                   row_ptr_(static_cast<std::size_t>(nrows) + 1, 0) {}
 
   /// Build from canonical triples (sorted by (row,col), no duplicates —
-  /// i.e. the output of Coo::sort_combine).
+  /// i.e. the output of Coo::sort_combine). Runs on the parallel runtime:
+  /// cols/vals copy and per-chunk row histograms are parallel; only the
+  /// O(nrows) prefix sum and the fold of per-chunk histograms (total size
+  /// ≤ non-empty rows + #chunks) stay serial. Deterministic: every write
+  /// lands at a position fixed by the input alone.
   Csr(Index nrows, Index ncols, const std::vector<Triple<T>>& sorted_triples)
       : nrows_(nrows), ncols_(ncols),
         row_ptr_(static_cast<std::size_t>(nrows) + 1, 0) {
-    cols_.reserve(sorted_triples.size());
-    vals_.reserve(sorted_triples.size());
-    for (const auto& t : sorted_triples) {
-      assert(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols);
-      ++row_ptr_[static_cast<std::size_t>(t.row) + 1];
-      cols_.push_back(t.col);
-      vals_.push_back(t.val);
+    const auto n = static_cast<std::ptrdiff_t>(sorted_triples.size());
+    cols_.resize(sorted_triples.size());
+    vals_.resize(sorted_triples.size());
+    constexpr std::ptrdiff_t grain = std::ptrdiff_t{1} << 14;
+    // Per-chunk histogram over the (contiguous, sorted) row span it covers.
+    struct ChunkCounts {
+      Index first_row = 0;
+      std::vector<Index> counts;
+    };
+    std::vector<ChunkCounts> local(
+        static_cast<std::size_t>(util::chunk_count(n, grain)));
+    util::parallel_chunks(
+        0, n, grain,
+        [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+          auto& cc = local[static_cast<std::size_t>(chunk)];
+          cc.first_row = sorted_triples[static_cast<std::size_t>(lo)].row;
+          const Index last_row =
+              sorted_triples[static_cast<std::size_t>(hi - 1)].row;
+          cc.counts.assign(static_cast<std::size_t>(last_row - cc.first_row) + 1,
+                           0);
+          for (std::ptrdiff_t i = lo; i < hi; ++i) {
+            const auto& t = sorted_triples[static_cast<std::size_t>(i)];
+            assert(t.row >= 0 && t.row < nrows_ && t.col >= 0 && t.col < ncols_);
+            ++cc.counts[static_cast<std::size_t>(t.row - cc.first_row)];
+            cols_[static_cast<std::size_t>(i)] = t.col;
+            vals_[static_cast<std::size_t>(i)] = t.val;
+          }
+        });
+    for (const auto& cc : local) {
+      for (std::size_t r = 0; r < cc.counts.size(); ++r) {
+        row_ptr_[static_cast<std::size_t>(cc.first_row) + r + 1] += cc.counts[r];
+      }
     }
     std::partial_sum(row_ptr_.begin(), row_ptr_.end(), row_ptr_.begin());
   }

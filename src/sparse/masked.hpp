@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "semiring/concepts.hpp"
+#include "sparse/accumulator.hpp"  // MaskDesc, MxmMaskStats
 #include "sparse/ewise.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
@@ -17,12 +18,6 @@
 #include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
-
-/// Structural mask descriptor: which positions of M count, and whether the
-/// sense is complemented.
-struct MaskDesc {
-  bool complement = false;
-};
 
 /// Keep only the entries of A at positions present in M (structural mask;
 /// M's values are ignored — only its pattern matters).
@@ -41,37 +36,46 @@ Matrix<T> mask_select(const Matrix<T>& A, const Matrix<U>& M,
     const auto cols = m.row_cols(ri);
     return std::binary_search(cols.begin(), cols.end(), c);
   };
-  // Chunked filter on the unified runtime: per-chunk keeps spliced in chunk
-  // order — deterministic for any thread count.
+  // Chunked filter on the unified runtime (deterministic for any thread
+  // count — see detail::chunked_collect).
   auto triples = A.to_triples();
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(triples.size());
-  constexpr std::ptrdiff_t grain = 512;
-  std::vector<std::vector<Triple<T>>> parts(
-      static_cast<std::size_t>(util::chunk_count(n, grain)));
-  util::parallel_chunks(
-      0, n, grain,
-      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
-        auto& part = parts[static_cast<std::size_t>(chunk)];
-        for (std::ptrdiff_t i = lo; i < hi; ++i) {
-          auto& t = triples[static_cast<std::size_t>(i)];
-          if (in_mask(t.row, t.col) != desc.complement) {
-            part.push_back(std::move(t));
-          }
+  const auto out = detail::chunked_collect<T>(
+      static_cast<std::ptrdiff_t>(triples.size()), 512,
+      [&](std::ptrdiff_t i, std::vector<Triple<T>>& part) {
+        auto& t = triples[static_cast<std::size_t>(i)];
+        if (in_mask(t.row, t.col) != desc.complement) {
+          part.push_back(std::move(t));
         }
       });
-  const auto out = detail::splice_triple_chunks(parts);
   return Matrix<T>::from_canonical_triples(A.nrows(), A.ncols(), out,
                                            A.implicit_zero());
 }
 
-/// C⟨M⟩ = A ⊕.⊗ B — masked array multiplication. Computed then filtered;
-/// with a complement mask this is the classic BFS "unvisited only" step.
+/// C⟨M⟩ = A ⊕.⊗ B — masked array multiplication, fused: the mask is
+/// consulted during accumulation (O(kept) work; see mxm_masked_fused).
+/// With a complement mask this is the classic BFS "unvisited only" step.
+/// `stats`, when given, accumulates kept/skipped flop counts.
 template <semiring::Semiring S, typename U>
 Matrix<typename S::value_type> mxm_masked(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B, const Matrix<U>& M,
-    MaskDesc desc = {}) {
-  return mask_select(mxm<S>(A, B), M, desc);
+    MaskDesc desc = {}, MxmMaskStats* stats = nullptr,
+    MxmStrategy strategy = MxmStrategy::kAuto) {
+  return mxm_masked_fused<S>(A, B, M, desc, stats, strategy);
+}
+
+/// Compute-then-filter reference for the fused kernel: the full product is
+/// materialized and masked afterwards. O(produced) — kept only so tests and
+/// the ablation bench can assert/measure the fusion win.
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> mxm_masked_unfused(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const Matrix<U>& M,
+    MaskDesc desc = {}, MxmStrategy strategy = MxmStrategy::kAuto) {
+  if (M.nrows() != A.nrows() || M.ncols() != B.ncols()) {
+    throw std::invalid_argument("mxm_masked: mask shape mismatch");
+  }
+  return mask_select(mxm<S>(A, B, strategy), M, desc);
 }
 
 /// C⟨M⟩ = A ⊕ B — masked element-wise addition.

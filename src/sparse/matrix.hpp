@@ -31,8 +31,10 @@
 #include "sparse/csr.hpp"
 #include "sparse/dcsr.hpp"
 #include "sparse/dense.hpp"
+#include "sparse/slices.hpp"
 #include "sparse/types.hpp"
 #include "sparse/view.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -211,32 +213,66 @@ class Matrix {
   }
 
   /// Extraction: (k1, k2, v) = A (Table II). Triples in (row, col) order.
+  /// Every payload writes to positions fixed by the data alone (CSR offsets,
+  /// dense strides, per-row bitmap counts), so the extraction is parallel
+  /// and deterministic — conversions bracket every kernel call, and this is
+  /// their hot half.
   std::vector<Triple<T>> to_triples() const {
     std::vector<Triple<T>> out;
     if (const auto* d = std::get_if<DenseMat<T>>(&payload_)) {
-      out.reserve(static_cast<std::size_t>(d->nnz()));
-      for (Index r = 0; r < d->nrows(); ++r) {
-        for (Index c = 0; c < d->ncols(); ++c) out.push_back({r, c, d->at(r, c)});
-      }
+      const Index nc = d->ncols();
+      out.resize(static_cast<std::size_t>(d->nnz()));
+      util::parallel_for(0, static_cast<std::ptrdiff_t>(d->nrows()), 64,
+                         [&](std::ptrdiff_t r) {
+                           for (Index c = 0; c < nc; ++c) {
+                             out[static_cast<std::size_t>(r * nc + c)] = {
+                                 static_cast<Index>(r), c,
+                                 d->at(static_cast<Index>(r), c)};
+                           }
+                         });
       return out;
     }
     if (const auto* b = std::get_if<Bitmap<T>>(&payload_)) {
-      for (Index r = 0; r < b->nrows(); ++r) {
-        for (Index c = 0; c < b->ncols(); ++c) {
-          if (b->has(r, c)) out.push_back({r, c, b->at(r, c)});
-        }
+      // Count per row, prefix serially, then fill rows in parallel.
+      const Index nr = b->nrows(), nc = b->ncols();
+      std::vector<std::size_t> offset(static_cast<std::size_t>(nr) + 1, 0);
+      util::parallel_for(0, static_cast<std::ptrdiff_t>(nr), 64,
+                         [&](std::ptrdiff_t r) {
+                           std::size_t n = 0;
+                           for (Index c = 0; c < nc; ++c) {
+                             n += b->has(static_cast<Index>(r), c);
+                           }
+                           offset[static_cast<std::size_t>(r) + 1] = n;
+                         });
+      for (std::size_t r = 0; r < static_cast<std::size_t>(nr); ++r) {
+        offset[r + 1] += offset[r];
       }
+      out.resize(offset.back());
+      util::parallel_for(0, static_cast<std::ptrdiff_t>(nr), 64,
+                         [&](std::ptrdiff_t r) {
+                           std::size_t p = offset[static_cast<std::size_t>(r)];
+                           for (Index c = 0; c < nc; ++c) {
+                             if (b->has(static_cast<Index>(r), c)) {
+                               out[p++] = {static_cast<Index>(r), c,
+                                           b->at(static_cast<Index>(r), c)};
+                             }
+                           }
+                         });
       return out;
     }
     const SparseView<T> v = view();
-    out.reserve(static_cast<std::size_t>(v.nnz()));
-    for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
-      const auto rc = v.row_cols(ri);
-      const auto rv = v.row_vals(ri);
-      for (std::size_t j = 0; j < rc.size(); ++j) {
-        out.push_back({v.row_ids[ri], rc[j], rv[j]});
-      }
-    }
+    out.resize(static_cast<std::size_t>(v.nnz()));
+    util::parallel_for(
+        0, static_cast<std::ptrdiff_t>(v.row_ids.size()), 64,
+        [&](std::ptrdiff_t ri) {
+          const auto rc = v.row_cols(static_cast<std::size_t>(ri));
+          const auto rv = v.row_vals(static_cast<std::size_t>(ri));
+          auto p = static_cast<std::size_t>(
+              v.row_ptr[static_cast<std::size_t>(ri)]);
+          for (std::size_t j = 0; j < rc.size(); ++j) {
+            out[p + j] = {v.row_ids[static_cast<std::size_t>(ri)], rc[j], rv[j]};
+          }
+        });
     return out;
   }
 
@@ -283,9 +319,13 @@ class Matrix {
     auto triples = to_triples();
     if (format() == Format::kDense &&
         (f == Format::kCoo || f == Format::kCsr || f == Format::kDcsr)) {
-      std::erase_if(triples, [this](const Triple<T>& t) {
-        return t.val == zero_;
-      });
+      // Chunked parallel zero-drop, spliced in chunk order (deterministic).
+      triples = detail::chunked_collect<T>(
+          static_cast<std::ptrdiff_t>(triples.size()), std::ptrdiff_t{1} << 14,
+          [&](std::ptrdiff_t i, std::vector<Triple<T>>& part) {
+            auto& t = triples[static_cast<std::size_t>(i)];
+            if (!(t.val == zero_)) part.push_back(std::move(t));
+          });
     }
     const Index nr = nrows(), nc = ncols();
     switch (f) {
@@ -302,14 +342,24 @@ class Matrix {
         payload_ = Dcsr<T>(nr, nc, triples);
         break;
       case Format::kBitmap: {
+        // Triples hold unique positions, so parallel set() calls touch
+        // disjoint slots of the presence/value arrays.
         Bitmap<T> b(nr, nc);
-        for (auto& t : triples) b.set(t.row, t.col, std::move(t.val));
+        util::parallel_for(0, static_cast<std::ptrdiff_t>(triples.size()),
+                           1 << 12, [&](std::ptrdiff_t i) {
+                             auto& t = triples[static_cast<std::size_t>(i)];
+                             b.set(t.row, t.col, std::move(t.val));
+                           });
         payload_ = std::move(b);
         break;
       }
       case Format::kDense: {
         DenseMat<T> d(nr, nc, zero_);
-        for (auto& t : triples) d.at(t.row, t.col) = std::move(t.val);
+        util::parallel_for(0, static_cast<std::ptrdiff_t>(triples.size()),
+                           1 << 12, [&](std::ptrdiff_t i) {
+                             auto& t = triples[static_cast<std::size_t>(i)];
+                             d.at(t.row, t.col) = std::move(t.val);
+                           });
         payload_ = std::move(d);
         break;
       }

@@ -5,32 +5,40 @@
 //
 //   C(i, j) = ⨁_k A(i, k) ⊗ B(k, j)
 //
-// Two SpGEMM accumulator strategies are provided (the DESIGN.md ablation):
+// One row-parallel Gustavson driver serves every strategy; the per-row
+// accumulation is a pluggable accumulator (accumulator.hpp):
 //
-//   * Gustavson: a dense per-thread accumulator of width ncols(B) with a
-//     visit-stamp array. Fastest when ncols(B) is modest; impossible in the
-//     hypersparse regime (allocating O(ncols) defeats O(nnz) storage).
-//   * Hash: a per-row hash accumulator; O(flops) independent of dimension,
-//     mandatory when ncols(B) is huge.
+//   * kGustavson — dense scratch of width ncols(B). Fastest when ncols(B)
+//     is modest; impossible in the hypersparse regime (allocating O(ncols)
+//     defeats O(nnz) storage).
+//   * kHash      — flat open-addressing table; O(flops) independent of
+//     dimension, mandatory when ncols(B) is huge.
+//   * kSorted    — append + sort-fold; reference strategy, good for tiny rows.
 //
-// mxm() picks automatically; mxm_gustavson / mxm_hash pin a strategy.
-// Rows of A are processed independently on the unified parallel runtime
-// (util/parallel.hpp), each producing its own sorted output slice, so
-// results are deterministic for any thread count.
+// All strategies fold duplicates with S::add in encounter order, so their
+// outputs are bit-identical and mxm() may pick freely (kAuto).
+//
+// Masked products are *fused*: mxm_masked_fused consults the mask during
+// accumulation, doing O(kept) accumulator work instead of materializing the
+// full product and filtering — the BFS complement-mask and §V-B row-mask
+// fast path. Rows of A are processed independently on the unified parallel
+// runtime (util/parallel.hpp), each producing its own sorted output slice,
+// so results are deterministic for any thread count.
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "semiring/concepts.hpp"
+#include "sparse/accumulator.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/slices.hpp"
 #include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
-enum class MxmStrategy { kAuto, kGustavson, kHash };
+enum class MxmStrategy { kAuto, kGustavson, kHash, kSorted };
 
 /// Dense accumulators wider than this fall back to hashing.
 inline constexpr Index kMaxGustavsonWidth = Index{1} << 24;
@@ -47,6 +55,132 @@ inline std::ptrdiff_t find_row(const SparseView<T>& v, Index k, bool is_full) {
   return it - v.row_ids.begin();
 }
 
+/// The one SpGEMM driver. Each row of A resolves its B-rows once (cached in
+/// scratch so the flop count for reserve() sizing costs no second lookup),
+/// probes the mask policy per product, and folds survivors into the
+/// accumulator. Per-row kept/skipped counts are summed with relaxed atomic
+/// adds — integer addition commutes, so the totals are exact and identical
+/// for every thread count.
+template <semiring::Semiring S, typename MakeAcc, typename Mask>
+Matrix<typename S::value_type> mxm_driver(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, MakeAcc&& make_acc,
+    const Mask& mask, MxmMaskStats* stats) {
+  using T = typename S::value_type;
+  if (A.ncols() != B.nrows()) {
+    throw std::invalid_argument("mxm: inner dimension mismatch");
+  }
+  const SparseView<T> a = A.view();
+  const SparseView<T> b = B.view();
+  const bool b_full = b.n_nonempty_rows() == b.nrows;
+  const auto b_ncols = static_cast<std::size_t>(b.ncols);
+
+  const auto n_arows = a.row_ids.size();
+  std::vector<detail::RowSlice<T>> rows(n_arows);
+  std::atomic<std::uint64_t> kept{0}, skipped{0};
+
+  struct Scratch {
+    decltype(make_acc()) acc;
+    std::vector<std::ptrdiff_t> b_rows;  ///< resolved B-row per A-row entry
+  };
+  util::parallel_for_scratch(
+      0, static_cast<std::ptrdiff_t>(n_arows), 16,
+      [&make_acc] { return Scratch{make_acc(), {}}; },
+      [&](std::ptrdiff_t ri, Scratch& s) {
+        auto& out = rows[static_cast<std::size_t>(ri)];
+        out.row = a.row_ids[static_cast<std::size_t>(ri)];
+        const auto acols = a.row_cols(static_cast<std::size_t>(ri));
+        const auto avals = a.row_vals(static_cast<std::size_t>(ri));
+
+        // Resolve B rows once; the sum of their lengths is this row's flops.
+        s.b_rows.clear();
+        s.b_rows.reserve(acols.size());
+        std::size_t row_flops = 0;
+        for (const Index k : acols) {
+          const auto bk = detail::find_row(b, k, b_full);
+          s.b_rows.push_back(bk);
+          if (bk >= 0) {
+            row_flops += b.row_cols(static_cast<std::size_t>(bk)).size();
+          }
+        }
+        if (row_flops == 0) return;
+
+        const auto mrow = mask.row(out.row);
+        if constexpr (Mask::kMasked) {
+          if (mrow.all_blocked()) {
+            skipped.fetch_add(row_flops, std::memory_order_relaxed);
+            return;
+          }
+        }
+
+        auto& acc = s.acc;
+        acc.begin_row();
+        // Distinct output columns are bounded by both the row's flops and
+        // B's column count — the tight reserve that stops hypersparse rows
+        // paying rehash/allocation churn.
+        acc.reserve(std::min(row_flops, b_ncols));
+
+        std::uint64_t row_kept = 0, row_skipped = 0;
+        for (std::size_t p = 0; p < acols.size(); ++p) {
+          const auto bk = s.b_rows[p];
+          if (bk < 0) continue;
+          const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
+          const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
+          for (std::size_t q = 0; q < bcols.size(); ++q) {
+            if constexpr (Mask::kMasked) {
+              if (!mrow.all_allowed() && !mrow.allowed(bcols[q])) {
+                ++row_skipped;
+                continue;
+              }
+              ++row_kept;
+            }
+            acc.accumulate(bcols[q], S::mul(avals[p], bvals[q]));
+          }
+        }
+        acc.extract_sorted(out.cols, out.vals);
+        if constexpr (Mask::kMasked) {
+          kept.fetch_add(row_kept, std::memory_order_relaxed);
+          skipped.fetch_add(row_skipped, std::memory_order_relaxed);
+        }
+      });
+
+  if (stats) {
+    stats->flops_kept += kept.load();
+    stats->flops_skipped += skipped.load();
+  }
+  const auto triples = detail::splice_row_slices(rows);
+  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
+                                           S::zero());
+}
+
+/// Dispatch a (possibly masked) product to the accumulator the strategy
+/// names. kAuto prefers the dense scratch while it fits, else the flat hash.
+template <semiring::Semiring S, typename Mask>
+Matrix<typename S::value_type> mxm_dispatch(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, MxmStrategy strategy,
+    const Mask& mask, MxmMaskStats* stats) {
+  if (strategy == MxmStrategy::kAuto) {
+    strategy = B.ncols() <= kMaxGustavsonWidth ? MxmStrategy::kGustavson
+                                               : MxmStrategy::kHash;
+  }
+  switch (strategy) {
+    case MxmStrategy::kGustavson:
+      if (B.ncols() > kMaxGustavsonWidth) {
+        throw std::length_error("mxm_gustavson: accumulator too wide");
+      }
+      return mxm_driver<S>(
+          A, B, [w = B.ncols()] { return DenseAccumulator<S>(w); }, mask,
+          stats);
+    case MxmStrategy::kSorted:
+      return mxm_driver<S>(
+          A, B, [] { return SortedMergeAccumulator<S>{}; }, mask, stats);
+    default:
+      return mxm_driver<S>(
+          A, B, [] { return FlatHashAccumulator<S>{}; }, mask, stats);
+  }
+}
+
 }  // namespace detail
 
 /// Gustavson-style SpGEMM. Requires ncols(B) small enough for a dense
@@ -55,117 +189,37 @@ template <semiring::Semiring S>
 Matrix<typename S::value_type> mxm_gustavson(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B) {
-  using T = typename S::value_type;
-  if (A.ncols() != B.nrows()) {
-    throw std::invalid_argument("mxm: inner dimension mismatch");
-  }
-  if (B.ncols() > kMaxGustavsonWidth) {
-    throw std::length_error("mxm_gustavson: accumulator too wide");
-  }
-  const SparseView<T> a = A.view();
-  const SparseView<T> b = B.view();
-  const bool b_full = b.n_nonempty_rows() == b.nrows;
-
-  const auto n_arows = a.row_ids.size();
-  std::vector<detail::RowSlice<T>> rows(n_arows);
-
-  struct Scratch {
-    std::vector<T> acc;
-    std::vector<Index> stamp;
-    std::vector<Index> touched;
-  };
-  util::parallel_for_scratch(
-      0, static_cast<std::ptrdiff_t>(n_arows), 16,
-      [&b] {
-        return Scratch{std::vector<T>(static_cast<std::size_t>(b.ncols),
-                                      S::zero()),
-                       std::vector<Index>(static_cast<std::size_t>(b.ncols),
-                                          -1),
-                       {}};
-      },
-      [&](std::ptrdiff_t ri, Scratch& s) {
-        s.touched.clear();
-        const auto acols = a.row_cols(static_cast<std::size_t>(ri));
-        const auto avals = a.row_vals(static_cast<std::size_t>(ri));
-        for (std::size_t p = 0; p < acols.size(); ++p) {
-          const auto bk = detail::find_row(b, acols[p], b_full);
-          if (bk < 0) continue;
-          const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
-          const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
-          for (std::size_t q = 0; q < bcols.size(); ++q) {
-            const auto j = static_cast<std::size_t>(bcols[q]);
-            const T prod = S::mul(avals[p], bvals[q]);
-            if (s.stamp[j] != ri) {
-              s.stamp[j] = static_cast<Index>(ri);
-              s.acc[j] = prod;
-              s.touched.push_back(bcols[q]);
-            } else {
-              s.acc[j] = S::add(s.acc[j], prod);
-            }
-          }
-        }
-        std::sort(s.touched.begin(), s.touched.end());
-        auto& out = rows[static_cast<std::size_t>(ri)];
-        out.row = a.row_ids[static_cast<std::size_t>(ri)];
-        out.cols.assign(s.touched.begin(), s.touched.end());
-        out.vals.reserve(s.touched.size());
-        for (const Index j : s.touched) {
-          out.vals.push_back(std::move(s.acc[static_cast<std::size_t>(j)]));
-        }
-      });
-
-  const auto triples = detail::splice_row_slices(rows);
-  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
-                                           S::zero());
+  return detail::mxm_dispatch<S>(A, B, MxmStrategy::kGustavson,
+                                 detail::NoMask{}, nullptr);
 }
 
-/// Hash-accumulator SpGEMM. O(flops) memory, dimension-independent — the
-/// only viable strategy when B's column space is hypersparse-huge.
+/// Flat-hash SpGEMM. O(flops) memory, dimension-independent — the only
+/// viable strategy when B's column space is hypersparse-huge.
 template <semiring::Semiring S>
 Matrix<typename S::value_type> mxm_hash(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B) {
-  using T = typename S::value_type;
-  if (A.ncols() != B.nrows()) {
-    throw std::invalid_argument("mxm: inner dimension mismatch");
-  }
-  const SparseView<T> a = A.view();
-  const SparseView<T> b = B.view();
-  const bool b_full = b.n_nonempty_rows() == b.nrows;
+  return detail::mxm_dispatch<S>(A, B, MxmStrategy::kHash, detail::NoMask{},
+                                 nullptr);
+}
 
-  const auto n_arows = a.row_ids.size();
-  std::vector<detail::RowSlice<T>> rows(n_arows);
+/// Sorted-merge SpGEMM (append, sort, fold). Reference strategy.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> mxm_sorted(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B) {
+  return detail::mxm_dispatch<S>(A, B, MxmStrategy::kSorted, detail::NoMask{},
+                                 nullptr);
+}
 
-  util::parallel_for_scratch(
-      0, static_cast<std::ptrdiff_t>(n_arows), 16,
-      [] { return std::unordered_map<Index, T>{}; },
-      [&](std::ptrdiff_t ri, std::unordered_map<Index, T>& acc) {
-        acc.clear();
-        const auto acols = a.row_cols(static_cast<std::size_t>(ri));
-        const auto avals = a.row_vals(static_cast<std::size_t>(ri));
-        for (std::size_t p = 0; p < acols.size(); ++p) {
-          const auto bk = detail::find_row(b, acols[p], b_full);
-          if (bk < 0) continue;
-          const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
-          const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
-          for (std::size_t q = 0; q < bcols.size(); ++q) {
-            const T prod = S::mul(avals[p], bvals[q]);
-            auto [it, inserted] = acc.try_emplace(bcols[q], prod);
-            if (!inserted) it->second = S::add(it->second, prod);
-          }
-        }
-        auto& out = rows[static_cast<std::size_t>(ri)];
-        out.row = a.row_ids[static_cast<std::size_t>(ri)];
-        out.cols.reserve(acc.size());
-        for (const auto& [j, _] : acc) out.cols.push_back(j);
-        std::sort(out.cols.begin(), out.cols.end());
-        out.vals.reserve(acc.size());
-        for (const Index j : out.cols) out.vals.push_back(std::move(acc.at(j)));
-      });
-
-  const auto triples = detail::splice_row_slices(rows);
-  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
-                                           S::zero());
+/// The pre-refactor std::unordered_map accumulator, kept as the referee for
+/// flat-hash equivalence tests and the BENCH_spgemm.json baseline row.
+template <semiring::Semiring S>
+Matrix<typename S::value_type> mxm_hash_baseline(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B) {
+  return detail::mxm_driver<S>(
+      A, B, [] { return StdMapAccumulator<S>{}; }, detail::NoMask{}, nullptr);
 }
 
 /// C = A ⊕.⊗ B with automatic strategy selection.
@@ -173,13 +227,25 @@ template <semiring::Semiring S>
 Matrix<typename S::value_type> mxm(const Matrix<typename S::value_type>& A,
                                    const Matrix<typename S::value_type>& B,
                                    MxmStrategy strategy = MxmStrategy::kAuto) {
-  switch (strategy) {
-    case MxmStrategy::kGustavson: return mxm_gustavson<S>(A, B);
-    case MxmStrategy::kHash: return mxm_hash<S>(A, B);
-    case MxmStrategy::kAuto: break;
+  return detail::mxm_dispatch<S>(A, B, strategy, detail::NoMask{}, nullptr);
+}
+
+/// C⟨M⟩ = A ⊕.⊗ B with the structural mask fused into accumulation: a
+/// product lands in the accumulator only if its output position survives the
+/// mask, so the work is O(kept flops), not O(produced). Bit-identical to
+/// compute-then-filter (each output column either wholly passes or wholly
+/// fails the mask, and survivors fold in the same encounter order).
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> mxm_masked_fused(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const Matrix<U>& M,
+    MaskDesc desc = {}, MxmMaskStats* stats = nullptr,
+    MxmStrategy strategy = MxmStrategy::kAuto) {
+  if (M.nrows() != A.nrows() || M.ncols() != B.ncols()) {
+    throw std::invalid_argument("mxm_masked: mask shape mismatch");
   }
-  if (B.ncols() <= kMaxGustavsonWidth) return mxm_gustavson<S>(A, B);
-  return mxm_hash<S>(A, B);
+  const detail::StructuralMask<U> mask{M.view(), desc.complement};
+  return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
 }
 
 }  // namespace hyperspace::sparse

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sparse/types.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse::detail {
 
@@ -46,6 +47,25 @@ std::vector<Triple<T>> splice_triple_chunks(
     p.clear();
   }
   return out;
+}
+
+/// The chunked filter/transform idiom behind every "keep some triples"
+/// kernel (mask_select, convert's zero-drop, BFS level filtering): fixed
+/// chunks over [0, n), `body(i, part)` appends zero or more triples for
+/// index i into its chunk's part, parts spliced in chunk order —
+/// deterministic for any thread count.
+template <typename T, typename Body>
+std::vector<Triple<T>> chunked_collect(std::ptrdiff_t n, std::ptrdiff_t grain,
+                                       Body&& body) {
+  std::vector<std::vector<Triple<T>>> parts(
+      static_cast<std::size_t>(util::chunk_count(n, grain)));
+  util::parallel_chunks(
+      0, n, grain,
+      [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+        auto& part = parts[static_cast<std::size_t>(chunk)];
+        for (std::ptrdiff_t i = lo; i < hi; ++i) body(i, part);
+      });
+  return splice_triple_chunks(parts);
 }
 
 }  // namespace hyperspace::sparse::detail

@@ -273,6 +273,34 @@ void parallel_chunks(std::ptrdiff_t begin, std::ptrdiff_t end,
   });
 }
 
+/// Parallel stable sort: fixed-grain chunks are stable-sorted concurrently,
+/// then merged pairwise in rounds (std::inplace_merge on fixed boundaries).
+/// Stability is preserved end-to-end — equal elements keep input order — and
+/// a stable sort's output is a pure function of (input, comparator), so the
+/// result is bit-identical for every thread count.
+template <typename RandomIt, typename Compare>
+void parallel_stable_sort(RandomIt first, RandomIt last, Compare comp) {
+  const std::ptrdiff_t n = last - first;
+  constexpr std::ptrdiff_t kSortGrain = std::ptrdiff_t{1} << 13;
+  if (n <= kSortGrain * 2 || max_threads() <= 1) {
+    std::stable_sort(first, last, comp);
+    return;
+  }
+  parallel_chunks(0, n, kSortGrain,
+                  [&](std::ptrdiff_t, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+                    std::stable_sort(first + lo, first + hi, comp);
+                  });
+  for (std::ptrdiff_t width = kSortGrain; width < n; width *= 2) {
+    const std::ptrdiff_t npairs = chunk_count(n, 2 * width);
+    parallel_for(0, npairs, 1, [&](std::ptrdiff_t p) {
+      const std::ptrdiff_t lo = p * 2 * width;
+      const std::ptrdiff_t mid = std::min(lo + width, n);
+      const std::ptrdiff_t hi = std::min(lo + 2 * width, n);
+      if (mid < hi) std::inplace_merge(first + lo, first + mid, first + hi, comp);
+    });
+  }
+}
+
 /// Deterministic chunked reduction: each fixed chunk folds
 /// map(i) into `identity` serially (index order), then the per-chunk
 /// partials are combined in chunk-index order. Because chunking is a

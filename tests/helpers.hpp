@@ -1,0 +1,15 @@
+#pragma once
+// Shared helpers for the test suites (not a test binary: CMake only globs
+// tests/test_*.cpp).
+
+#include "util/parallel.hpp"
+
+namespace hyperspace::testing {
+
+/// RAII thread-count override so a failing assertion can't leak a setting.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { util::set_num_threads(n); }
+  ~ThreadGuard() { util::set_num_threads(0); }
+};
+
+}  // namespace hyperspace::testing

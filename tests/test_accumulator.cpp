@@ -1,0 +1,194 @@
+// Unit tests for the per-row SpGEMM accumulators (accumulator.hpp): the
+// flat open-addressing hash table against the std::unordered_map referee,
+// the dense scratch, and the sorted-merge fold — plus the mxm-level
+// equivalence of all four on hypersparse and adversarial-collision inputs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "semiring/all.hpp"
+#include "sparse/accumulator.hpp"
+#include "sparse/io.hpp"
+#include "sparse/mxm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::sparse;
+using S = semiring::PlusTimes<double>;
+
+/// Drive any accumulator over a (col, val) stream and return the extracted
+/// sorted row.
+template <typename Acc>
+std::pair<std::vector<Index>, std::vector<double>> run(
+    Acc& acc, const std::vector<std::pair<Index, double>>& stream,
+    std::size_t reserve_hint = 0) {
+  acc.begin_row();
+  if (reserve_hint > 0) acc.reserve(reserve_hint);
+  for (const auto& [j, v] : stream) acc.accumulate(j, v);
+  std::vector<Index> cols;
+  std::vector<double> vals;
+  acc.extract_sorted(cols, vals);
+  return {cols, vals};
+}
+
+std::map<Index, double> reference(
+    const std::vector<std::pair<Index, double>>& stream) {
+  std::map<Index, double> m;
+  for (const auto& [j, v] : stream) m[j] += v;
+  return m;
+}
+
+template <typename Acc>
+void expect_matches_reference(
+    Acc& acc, const std::vector<std::pair<Index, double>>& stream) {
+  const auto [cols, vals] = run(acc, stream);
+  const auto ref = reference(stream);
+  ASSERT_EQ(cols.size(), ref.size());
+  std::size_t i = 0;
+  for (const auto& [j, v] : ref) {
+    EXPECT_EQ(cols[i], j);
+    EXPECT_DOUBLE_EQ(vals[i], v);
+    ++i;
+  }
+}
+
+TEST(FlatHash, InsertFoldExtract) {
+  FlatHashAccumulator<S> acc;
+  expect_matches_reference(acc, {{7, 1.0}, {3, 2.0}, {7, 3.0}, {1, 4.0}});
+}
+
+TEST(FlatHash, ReusableAcrossRowsWithSparseClear) {
+  FlatHashAccumulator<S> acc;
+  expect_matches_reference(acc, {{100, 1.0}, {200, 2.0}});
+  // Second row must not see residue from the first.
+  expect_matches_reference(acc, {{100, 5.0}, {300, 6.0}});
+  expect_matches_reference(acc, {});
+}
+
+TEST(FlatHash, GrowsThroughManyDistinctKeys) {
+  FlatHashAccumulator<S> acc;
+  std::vector<std::pair<Index, double>> stream;
+  for (Index j = 0; j < 5000; ++j) stream.push_back({j * 3 + 1, 1.0});
+  for (Index j = 0; j < 5000; ++j) stream.push_back({j * 3 + 1, 0.5});
+  expect_matches_reference(acc, stream);
+  EXPECT_GE(acc.capacity(), 2u * 5000u);
+}
+
+TEST(FlatHash, AdversarialCollisionKeys) {
+  // Keys sharing identical low bits (huge power-of-two strides) — the
+  // classic failure mode for masked hashing — and keys differing only in
+  // high bits. The multiplicative hash + linear probe must stay correct.
+  FlatHashAccumulator<S> acc;
+  std::vector<std::pair<Index, double>> stream;
+  for (Index i = 0; i < 512; ++i) stream.push_back({i << 40, 1.0});
+  for (Index i = 0; i < 512; ++i) stream.push_back({(i << 40) | 1, 2.0});
+  for (Index i = 0; i < 512; ++i) stream.push_back({i << 40, 3.0});
+  expect_matches_reference(acc, stream);
+}
+
+TEST(FlatHash, LargeStrideKeysStayLinearTime) {
+  // 2^46-strided keys differ only in bits a capacity-tracking top-bits
+  // bucket function reaches (~1 probe per insert). Any fixed-low-bits
+  // scheme maps all 2^16 keys into one probe chain — ~2·10^9 probe steps,
+  // minutes under sanitizers — so a regression fails CI by timeout.
+  FlatHashAccumulator<S> acc;
+  std::vector<std::pair<Index, double>> stream;
+  for (Index i = 0; i < (Index{1} << 16); ++i) {
+    stream.push_back({i << 46, 1.0});
+  }
+  expect_matches_reference(acc, stream);
+}
+
+TEST(FlatHash, ReserveBoundsCapacityForHypersparseRows) {
+  // A row with k flops never needs capacity beyond O(k): reserve(k) must
+  // pre-size so tiny rows trigger no rehash churn, and the capacity stays
+  // bounded by the next power of two above 2k.
+  FlatHashAccumulator<S> acc;
+  acc.begin_row();
+  acc.reserve(5);
+  const std::size_t cap = acc.capacity();
+  EXPECT_GE(cap, 10u);
+  EXPECT_LE(cap, 32u);
+  for (Index j = 0; j < 5; ++j) acc.accumulate(j * 1000, 1.0);
+  EXPECT_EQ(acc.capacity(), cap);  // no growth mid-row
+  EXPECT_EQ(acc.size(), 5u);
+}
+
+TEST(SortedMerge, FoldsDuplicatesInEncounterOrder) {
+  SortedMergeAccumulator<S> acc;
+  expect_matches_reference(acc, {{9, 1.0}, {2, 2.0}, {9, 3.0}, {2, 4.0}});
+}
+
+TEST(DenseAccumulator, MatchesReference) {
+  DenseAccumulator<S> acc(1000);
+  expect_matches_reference(acc, {{999, 1.0}, {0, 2.0}, {999, 3.0}});
+  expect_matches_reference(acc, {{5, 1.0}});  // epoch clear works
+}
+
+TEST(StdMapBaseline, MatchesReference) {
+  StdMapAccumulator<S> acc;
+  expect_matches_reference(acc, {{4, 1.0}, {4, 1.0}, {2, 1.0}});
+}
+
+TEST(Accumulators, RandomStreamAgreement) {
+  // All four accumulators fold with S::add in encounter order, so their
+  // extracted rows are bit-identical on any stream.
+  util::Xoshiro256 rng(42);
+  std::vector<std::pair<Index, double>> stream;
+  for (int i = 0; i < 4000; ++i) {
+    stream.push_back({static_cast<Index>(rng.bounded(700)),
+                      rng.uniform(-1.0, 1.0)});
+  }
+  FlatHashAccumulator<S> flat;
+  StdMapAccumulator<S> std_map;
+  SortedMergeAccumulator<S> sorted;
+  DenseAccumulator<S> dense(700);
+  const auto a = run(flat, stream);
+  const auto b = run(std_map, stream);
+  const auto c = run(sorted, stream);
+  const auto d = run(dense, stream);
+  EXPECT_EQ(a, b);  // bitwise: same fold order
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a, d);
+}
+
+// ------------------------------------------------------ mxm-level equivalence
+
+Matrix<double> hypersparse_matrix(Index dim, std::size_t m, std::uint64_t seed,
+                                  Index stride) {
+  // Entries on a coarse power-of-two-ish lattice: hypersparse and
+  // collision-adversarial at once.
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> t;
+  for (std::size_t e = 0; e < m; ++e) {
+    t.push_back({static_cast<Index>(rng.bounded(256)) * stride,
+                 static_cast<Index>(rng.bounded(256)) * stride,
+                 rng.uniform(1.0, 2.0)});
+  }
+  return Matrix<double>::from_triples<S>(dim, dim, std::move(t));
+}
+
+TEST(MxmAccumulators, FlatHashEqualsBaselineOnHypersparse) {
+  const Index dim = Index{1} << 45;
+  const Index stride = (dim / 256);
+  const auto a = hypersparse_matrix(dim, 2000, 7, stride);
+  const auto b = hypersparse_matrix(dim, 2000, 8, stride);
+  ASSERT_EQ(a.format(), Format::kDcsr);
+  EXPECT_EQ(mxm_hash<S>(a, b), mxm_hash_baseline<S>(a, b));
+  EXPECT_EQ(mxm_hash<S>(a, b), mxm_sorted<S>(a, b));
+}
+
+TEST(MxmAccumulators, AllStrategiesAgreeOnOrdinarySparse) {
+  const auto a = hypersparse_matrix(4096, 3000, 9, 16);
+  const auto b = hypersparse_matrix(4096, 3000, 10, 16);
+  const auto g = mxm_gustavson<S>(a, b);
+  EXPECT_EQ(g, mxm_hash<S>(a, b));
+  EXPECT_EQ(g, mxm_sorted<S>(a, b));
+  EXPECT_EQ(g, mxm_hash_baseline<S>(a, b));
+}
+
+}  // namespace

@@ -81,6 +81,46 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(6, 8, 10),
                        ::testing::Values(1u, 2u, 3u)));
 
+TEST(Bfs, ComplementMaskDoesOnlyKeptAccumulatorWork) {
+  // Undirected star: 0 <-> i for i in 1..8. Level 1 discovers all 8 leaves
+  // (8 kept flops); level 2's products all land back on visited vertex 0
+  // (8 skipped flops, 0 kept) and the traversal ends. The fused kernel must
+  // report exactly that split — O(kept) accumulator work, not O(produced).
+  std::vector<sparse::Triple<double>> t;
+  for (sparse::Index i = 1; i <= 8; ++i) {
+    t.push_back({0, i, 1.0});
+    t.push_back({i, 0, 1.0});
+  }
+  const auto a = sparse::Matrix<double>::from_triples<S>(9, 9, std::move(t));
+  sparse::MxmMaskStats stats;
+  const auto levels = bfs_array(a, 0, &stats);
+  EXPECT_EQ(levels[0], 0);
+  for (std::size_t v = 1; v <= 8; ++v) EXPECT_EQ(levels[v], 1);
+  EXPECT_EQ(stats.flops_kept, 8u);
+  EXPECT_EQ(stats.flops_skipped, 8u);
+}
+
+TEST(Bfs, SkipCountersPartitionFlopsOnRmat) {
+  // On any graph: kept + skipped must equal the exact flop count of the
+  // traversal, and every kept flop lands on a then-unvisited vertex, so
+  // kept is bounded by edges into discovered vertices (≤ nnz).
+  const auto edges =
+      util::rmat_edges({.scale = 8, .edge_factor = 6, .seed = 9});
+  const auto a = from_edges(sparse::Index{1} << 8, edges);
+  sparse::MxmMaskStats stats;
+  const auto levels = bfs_array(a, 0, &stats);
+  EXPECT_EQ(levels, bfs_queue(a, 0));
+  EXPECT_GT(stats.flops_total(), 0u);
+  std::uint64_t reached_edges = 0;  // edges whose source was ever a frontier
+  for (const auto& e : edges) {
+    if (levels[static_cast<std::size_t>(e.src)] >= 0) ++reached_edges;
+  }
+  // Multi-edges fold at build time, so the traversal sees ≤ reached_edges.
+  EXPECT_LE(stats.flops_total(), reached_edges);
+  EXPECT_LE(stats.flops_kept,
+            static_cast<std::uint64_t>(a.nnz()));
+}
+
 TEST(Bfs, DualityOnHypersparsePattern) {
   // A graph whose adjacency sits in DCSR (few occupied rows).
   std::vector<sparse::Triple<double>> t;

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "helpers.hpp"
 #include "semiring/arithmetic.hpp"
 #include "semiring/tropical.hpp"
 #include "sparse/coo.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -72,6 +75,64 @@ TEST(Coo, BytesGrowWithEntries) {
   Coo<double> a(10, 10), b(10, 10);
   for (int i = 0; i < 100; ++i) b.push(i % 10, (i * 3) % 10, 1.0);
   EXPECT_GT(b.bytes(), a.bytes());
+}
+
+// --------------------------------------------------------------------------
+// Parallel sort_combine: large inputs exercise the parallel stable sort +
+// chunked group fold, which must be bit-identical at every thread count.
+
+using hyperspace::testing::ThreadGuard;
+
+Coo<double> big_random_coo(std::size_t m, std::uint64_t seed) {
+  hyperspace::util::Xoshiro256 rng(seed);
+  Coo<double> c(1000, 1000);
+  for (std::size_t i = 0; i < m; ++i) {
+    // ~8 duplicates per position on average, in random arrival order.
+    c.push(static_cast<sparse::Index>(rng.bounded(100)),
+           static_cast<sparse::Index>(rng.bounded(100)),
+           rng.uniform(-1.0, 1.0));
+  }
+  return c;
+}
+
+TEST(Coo, ParallelSortCombineIsThreadCountInvariant) {
+  std::vector<std::vector<Triple<double>>> results;
+  for (const int nt : {1, 2, 8}) {
+    ThreadGuard guard(nt);
+    auto c = big_random_coo(80000, 5);
+    c.sort_combine<semiring::PlusTimes<double>>();
+    EXPECT_TRUE(c.sorted());
+    results.push_back(c.triples());
+  }
+  EXPECT_EQ(results[0], results[1]);  // bitwise, float ⊕ included
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(Coo, ParallelLastWinsKeepsInsertionOrder) {
+  // "Last wins" depends on stable sort + left-to-right group folds; a group
+  // spanning many chunks must still resolve to the latest insertion.
+  for (const int nt : {1, 8}) {
+    ThreadGuard guard(nt);
+    Coo<int> c(4, 4);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) c.push(i % 2, 0, i);
+    c.sort_combine_with([](int, int b) { return b; });
+    ASSERT_EQ(c.nnz(), 2);
+    EXPECT_EQ(c.triples()[0].val, n - 2);  // last even i
+    EXPECT_EQ(c.triples()[1].val, n - 1);  // last odd i
+  }
+}
+
+TEST(Coo, ParallelSingleGiantGroup) {
+  // All entries share one (row, col): the group spans every chunk and must
+  // fold exactly once, in insertion order.
+  ThreadGuard guard(8);
+  Coo<double> c(1, 1);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) c.push(0, 0, 1.0);
+  c.sort_combine<semiring::PlusTimes<double>>();
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_DOUBLE_EQ(c.triples()[0].val, static_cast<double>(n));
 }
 
 }  // namespace

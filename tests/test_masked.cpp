@@ -1,13 +1,18 @@
 // Tests for masked operations (write masks, complement masks) and their
-// interaction with the BFS frontier pattern and the §V-B row mask.
+// interaction with the BFS frontier pattern and the §V-B row mask. The
+// fused kernel (mask consulted during accumulation) must be bit-identical
+// to compute-then-filter for every semiring family, strategy, sense, and
+// thread count.
 
 #include <gtest/gtest.h>
 
+#include "helpers.hpp"
 #include "semiring/all.hpp"
 #include "sparse/io.hpp"
 #include "sparse/apply.hpp"
 #include "sparse/masked.hpp"
 #include "util/generators.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -68,6 +73,119 @@ TEST(MaskedMxm, EqualsUnmaskedThenFiltered) {
   const auto a = sample();
   const auto m = mask_pattern();
   EXPECT_EQ(mxm_masked<S>(a, a, m), mask_select(mxm<S>(a, a), m));
+}
+
+TEST(MaskedMxm, MaskShapeMismatchThrows) {
+  const auto a = sample();
+  const Matrix<double> m(3, 4);
+  EXPECT_THROW(mxm_masked<S>(a, a, m), std::invalid_argument);
+  EXPECT_THROW(mxm_masked_unfused<S>(a, a, m), std::invalid_argument);
+}
+
+TEST(MaskedMxm, SkipCountersPartitionTheFlops) {
+  const auto a = sample();
+  const auto m = mask_pattern();
+  // Total flops of a·a: sum over a(i,k) of |row k of a|.
+  std::uint64_t flops = 0;
+  for (const auto& t : a.to_triples()) {
+    for (const auto& u : a.to_triples()) flops += (u.row == t.col);
+  }
+  for (const bool comp : {false, true}) {
+    MxmMaskStats st;
+    const auto c = mxm_masked<S>(a, a, m, {.complement = comp}, &st);
+    EXPECT_EQ(st.flops_total(), flops);
+    EXPECT_GE(st.flops_kept, static_cast<std::uint64_t>(c.nnz()));
+  }
+}
+
+TEST(MaskedMxm, EmptyMaskDoesZeroAccumulatorWork) {
+  // Plain sense + empty mask: every row is blocked before accumulation —
+  // the O(kept) contract with kept == 0.
+  const auto a = sample();
+  const Matrix<double> empty(4, 4);
+  MxmMaskStats st;
+  const auto c = mxm_masked<S>(a, a, empty, {}, &st);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(st.flops_kept, 0u);
+  EXPECT_GT(st.flops_skipped, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Fused ≡ compute-then-filter: all three semiring families × both mask
+// senses × all accumulator strategies × 1/2/8 threads, bit-identical.
+
+using hyperspace::testing::ThreadGuard;
+
+template <semiring::Semiring Sr, typename Gen>
+void expect_fused_equals_filtered(Gen&& entry, Index n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<typename Sr::value_type>> ta, tb, tm;
+  for (int i = 0; i < 400; ++i) {
+    ta.push_back({static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                  static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                  entry(rng)});
+    tb.push_back({static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                  static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                  entry(rng)});
+  }
+  for (int i = 0; i < 250; ++i) {
+    tm.push_back({static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                  static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                  entry(rng)});
+  }
+  using M = Matrix<typename Sr::value_type>;
+  const auto a = M::template from_triples<Sr>(n, n, std::move(ta));
+  const auto b = M::template from_triples<Sr>(n, n, std::move(tb));
+  const auto m = M::template from_triples<Sr>(n, n, std::move(tm));
+  for (const int nt : {1, 2, 8}) {
+    ThreadGuard guard(nt);
+    for (const bool comp : {false, true}) {
+      const MaskDesc desc{.complement = comp};
+      const auto filtered = mxm_masked_unfused<Sr>(a, b, m, desc);
+      for (const auto strat : {MxmStrategy::kGustavson, MxmStrategy::kHash,
+                               MxmStrategy::kSorted}) {
+        EXPECT_EQ(mxm_masked<Sr>(a, b, m, desc, nullptr, strat), filtered)
+            << "threads=" << nt << " complement=" << comp
+            << " strategy=" << static_cast<int>(strat);
+      }
+    }
+  }
+}
+
+TEST(MaskedMxmFused, ArithmeticSemiringAllThreadCounts) {
+  expect_fused_equals_filtered<semiring::PlusTimes<double>>(
+      [](util::Xoshiro256& r) { return r.uniform(-1.0, 1.0); }, 64, 11);
+}
+
+TEST(MaskedMxmFused, TropicalSemiringAllThreadCounts) {
+  expect_fused_equals_filtered<semiring::MinPlus<double>>(
+      [](util::Xoshiro256& r) { return r.uniform(0.0, 10.0); }, 64, 12);
+}
+
+TEST(MaskedMxmFused, SetSemiringAllThreadCounts) {
+  expect_fused_equals_filtered<semiring::UnionIntersect>(
+      [](util::Xoshiro256& r) {
+        return semiring::ValueSet{static_cast<std::int64_t>(r.bounded(16)),
+                                  static_cast<std::int64_t>(r.bounded(16))};
+      },
+      48, 13);
+}
+
+TEST(MaskedMxmFused, HypersparseMaskedProduct) {
+  // Fusion must hold in the DCSR/flat-hash regime too.
+  const Index huge = Index{1} << 40;
+  const auto a = Matrix<double>::from_unique_triples(
+      huge, huge, {{5, 7, 2.0}, {Index{1} << 30, 7, 3.0}});
+  const auto b = Matrix<double>::from_unique_triples(
+      huge, huge, {{7, 9, 10.0}, {7, Index{1} << 35, 20.0}});
+  const auto m = Matrix<double>::from_unique_triples(
+      huge, huge, {{5, 9, 1.0}, {Index{1} << 30, Index{1} << 35, 1.0}});
+  for (const bool comp : {false, true}) {
+    MxmMaskStats st;
+    const auto fused = mxm_masked<S>(a, b, m, {.complement = comp}, &st);
+    EXPECT_EQ(fused, mxm_masked_unfused<S>(a, b, m, {.complement = comp}));
+    EXPECT_EQ(st.flops_total(), 4u);  // 2 A-entries × 2 B-entries on row 7
+  }
 }
 
 TEST(MaskedEwiseMult, MatchesMaskAsThirdFactor) {

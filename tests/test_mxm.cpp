@@ -99,6 +99,18 @@ TEST(Mxm, GustavsonAndHashAgree) {
   EXPECT_TRUE(approx_equal(g, h, 1e-12));
 }
 
+TEST(Mxm, AllAccumulatorStrategiesBitIdentical) {
+  // Every accumulator folds duplicates with S::add in encounter order, so
+  // agreement is exact, not approximate — floats included.
+  const auto a = random_matrix(80, 80, 900, 21);
+  const auto b = random_matrix(80, 80, 900, 22);
+  const auto g = mxm_gustavson<S>(a, b);
+  EXPECT_EQ(g, mxm_hash<S>(a, b));
+  EXPECT_EQ(g, mxm_sorted<S>(a, b));
+  EXPECT_EQ(g, mxm_hash_baseline<S>(a, b));
+  EXPECT_EQ(g, mxm<S>(a, b, MxmStrategy::kSorted));
+}
+
 TEST(Mxm, GustavsonRefusesHugeAccumulator) {
   const Index huge = Index{1} << 40;
   const auto a = Matrix<double>::from_unique_triples(2, huge, {{0, 5, 1.0}});

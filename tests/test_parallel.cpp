@@ -21,6 +21,7 @@
 #include "sparse/mxv.hpp"
 #include "sparse/reduce.hpp"
 #include "sparse/transpose.hpp"
+#include "helpers.hpp"
 #include "util/generators.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -29,12 +30,7 @@ namespace {
 
 using namespace hyperspace;
 using namespace hyperspace::sparse;
-
-/// RAII thread-count override so a failing assertion can't leak a setting.
-struct ThreadGuard {
-  explicit ThreadGuard(int n) { util::set_num_threads(n); }
-  ~ThreadGuard() { util::set_num_threads(0); }
-};
+using hyperspace::testing::ThreadGuard;
 
 const std::vector<int> kThreadCounts = {1, 2, 8};
 

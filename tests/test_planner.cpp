@@ -105,6 +105,60 @@ TEST(Planner, SingleFactorChainIsIdentity) {
   EXPECT_EQ(planned_chain(std::vector<Arr>{a}), a);
 }
 
+TEST(Planner, MaskedMtimesMatchesFilterAfterProduct) {
+  const auto a = block(0, 20);
+  const auto b = block(0, 21);
+  const auto mask = block(0, 22).zero_norm();
+  PlanStats stats;
+  const auto fused = planned_mtimes_masked(a, b, mask, {}, &stats);
+  // Reference: full product, then keep only positions present in the mask.
+  const auto full = mtimes(a, b);
+  std::vector<Arr::Entry> kept;
+  for (const auto& [r, c, v] : full.entries()) {
+    if (mask.get(r, c)) kept.emplace_back(r, c, v);
+  }
+  EXPECT_EQ(fused.entries(), kept);
+  EXPECT_EQ(stats.products_evaluated, 1);
+  EXPECT_GT(stats.mask_flops_kept + stats.mask_flops_skipped, 0u);
+}
+
+TEST(Planner, MaskedMtimesEmptyMaskSkipsProductEntirely) {
+  PlanStats stats;
+  const auto a = block(0, 23);
+  const auto b = block(0, 24);
+  const auto r = planned_mtimes_masked(a, b, Arr(), {}, &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(stats.products_evaluated, 0);
+  EXPECT_EQ(stats.products_skipped, 1);
+  EXPECT_EQ(stats.mask_flops_kept + stats.mask_flops_skipped, 0u);
+}
+
+TEST(Planner, MaskedMtimesDisjointMaskKeysSkip) {
+  // Mask rows/cols disjoint from the product's key spaces ⇒ nothing can
+  // survive; the §V-B pushdown skips the product without computing it.
+  PlanStats stats;
+  const auto a = block(0, 25);
+  const auto b = block(0, 26);
+  const auto far_mask = block(9000, 27).zero_norm();
+  const auto r = planned_mtimes_masked(a, b, far_mask, {}, &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(stats.products_evaluated, 0);
+  EXPECT_EQ(stats.products_skipped, 1);
+}
+
+TEST(Planner, MaskedMtimesComplementSenseStillEvaluates) {
+  // ¬(empty mask) allows everything: must equal the plain product.
+  PlanStats stats;
+  const auto a = block(0, 28);
+  const auto b = block(0, 29);
+  const auto r =
+      planned_mtimes_masked(a, b, Arr(), {.complement = true}, &stats);
+  EXPECT_EQ(r, mtimes(a, b));
+  EXPECT_EQ(stats.products_evaluated, 1);
+  EXPECT_EQ(stats.mask_flops_skipped, 0u);
+  EXPECT_GT(stats.mask_flops_kept, 0u);
+}
+
 TEST(Planner, NullStatsIsSafe) {
   const auto a = block(0, 15);
   EXPECT_NO_THROW(planned_mtimes(a, a));
