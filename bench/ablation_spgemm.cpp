@@ -202,6 +202,38 @@ BENCHMARK(bm_masked)
     ->Args({500, 0, 0})
     ->Args({500, 0, 1});
 
+void bm_masked_probe(benchmark::State& state) {
+  // Mask-probe ablation: binary search vs per-row bitmap on dense mask
+  // rows (the first half of the ROADMAP "merge-path masked probe" item).
+  // Arg0: mask density in tenths of a percent; Arg1: 0 = kBinary forced,
+  // 1 = kBitmap forced, 2 = kAuto (density/amortization gate).
+  const Index n = 1024;
+  const auto a = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto b = er_matrix(n, static_cast<std::size_t>(n) * 16, 2);
+  const auto density_tenths = static_cast<std::size_t>(state.range(0));
+  const auto m = er_matrix(
+      n, static_cast<std::size_t>(n) * n * density_tenths / 1000, 3);
+  const auto probe = state.range(1) == 0   ? sparse::MaskProbe::kBinary
+                     : state.range(1) == 1 ? sparse::MaskProbe::kBitmap
+                                           : sparse::MaskProbe::kAuto;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::mxm_masked<S>(a, b, m, {.complement = false, .probe = probe}));
+  }
+  state.SetLabel(std::string(state.range(1) == 0   ? "binary-search"
+                             : state.range(1) == 1 ? "bitmap"
+                                                   : "auto") +
+                 " probe, mask " + std::to_string(density_tenths / 10.0) +
+                 "%");
+}
+BENCHMARK(bm_masked_probe)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({500, 2});
+
 void bm_masked_complement_bfs_style(benchmark::State& state) {
   // The BFS shape: thin frontier row-vector × adjacency with a dense
   // complement ("visited") mask — the case fusion exists for. Arg: percent

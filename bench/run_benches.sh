@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
-# Run the ablation + parallel-scaling benches and emit two JSON reports:
+# Run the ablation + parallel-scaling benches and emit three JSON reports:
 #   BENCH_parallel.json — per-kernel parallel-scaling timings
-#   BENCH_spgemm.json   — SpGEMM accumulator-strategy and mask-fusion sweep
-#     (flat open-addressing hash vs the unordered_map baseline, mask-density
-#      × strategy × fused/unfused)
-# Used locally via the `run_benches` CMake target and in CI, where both
+#   BENCH_spgemm.json   — SpGEMM accumulator-strategy, mask-fusion, and
+#     mask-probe sweep (flat open-addressing hash vs the unordered_map
+#     baseline, mask-density × strategy × fused/unfused, binary vs bitmap
+#     probe)
+#   BENCH_serve.json    — batch-throughput sweep (K=1/8/64 queries, batched
+#     block-diagonal serving vs per-query dispatch, plus the executor path)
+# Used locally via the `run_benches` CMake target and in CI, where the
 # JSONs are uploaded as artifacts to track the perf trajectory across PRs.
 #
-# Usage: BENCH_BUILD_DIR=<build dir> bench/run_benches.sh [parallel.json] [spgemm.json]
+# Usage: BENCH_BUILD_DIR=<build dir> bench/run_benches.sh [parallel.json] [spgemm.json] [serve.json]
 set -euo pipefail
 
 BUILD_DIR="${BENCH_BUILD_DIR:-build}"
 OUT_PARALLEL="${1:-${BUILD_DIR}/BENCH_parallel.json}"
 OUT_SPGEMM="${2:-${BUILD_DIR}/BENCH_spgemm.json}"
+OUT_SERVE="${3:-${BUILD_DIR}/BENCH_serve.json}"
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "${TMPDIR_BENCH}"' EXIT
 
@@ -66,8 +70,13 @@ run_bench parallel parallel_kernels
 run_bench parallel ablation_spgemm "--benchmark_filter=(bm_threads/.*|bm_(gustavson|hash|auto)/(256|1024)$)"
 merge_reports "${TMPDIR_BENCH}/parallel" "${OUT_PARALLEL}"
 
-# SpGEMM accumulator + mask-fusion ablation: the flat-hash-vs-unordered_map
-# and fused-vs-unfused acceptance numbers live here.
+# SpGEMM accumulator + mask-fusion ablation: the flat-hash-vs-unordered_map,
+# fused-vs-unfused, and binary-vs-bitmap-probe acceptance numbers live here.
 run_bench spgemm ablation_spgemm \
-  "--benchmark_filter=(bm_hash_flat_vs_stdmap/.*|bm_sorted_accumulator/.*|bm_masked/.*|bm_masked_complement_bfs_style/.*|bm_hash_hypersparse/.*)"
+  "--benchmark_filter=(bm_hash_flat_vs_stdmap/.*|bm_sorted_accumulator/.*|bm_masked/.*|bm_masked_probe/.*|bm_masked_complement_bfs_style/.*|bm_hash_hypersparse/.*)"
 merge_reports "${TMPDIR_BENCH}/spgemm" "${OUT_SPGEMM}"
+
+# Batch-throughput sweep: K=1/8/64 queries, batched vs per-query dispatch —
+# the serving engine's acceptance numbers (launches saved, queries/s).
+run_bench serve serve_throughput
+merge_reports "${TMPDIR_BENCH}/serve" "${OUT_SERVE}"

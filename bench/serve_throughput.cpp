@@ -1,0 +1,185 @@
+// Batch-throughput sweep for the serving engine: K concurrent queries
+// against one shared base, batched (one block-diagonal coalesced launch)
+// vs per-query dispatch (K launches). The acceptance row for the ROADMAP
+// "batched query execution" item: at K=64 batching must beat per-query
+// dispatch, with the savings reported in ServeStats counters.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "serve/executor.hpp"
+
+namespace {
+
+using namespace hyperspace;
+using namespace hyperspace::bench;
+using sparse::Index;
+using S = semiring::PlusTimes<double>;
+
+/// Point-lookup traffic — the canonical serving shape: every query is a
+/// 1-row frontier expansion (a few entries against the base). Per-query
+/// dispatch pays the full fixed cost (region spin-up, accumulator scratch
+/// construction, result assembly) per request; batching pays it once per
+/// flush, so this mix shows the coalescing win even single-threaded.
+std::vector<serve::Query<S>> point_queries(int k, Index n,
+                                           std::uint64_t seed) {
+  using Q = serve::Query<S>;
+  util::Xoshiro256 rng(seed);
+  std::vector<serve::Query<S>> qs;
+  qs.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    std::vector<sparse::Triple<double>> t;
+    for (int e = 0; e < 4; ++e) {
+      t.push_back({0,
+                   static_cast<Index>(
+                       rng.bounded(static_cast<std::uint64_t>(n))),
+                   rng.uniform(0.5, 1.5)});
+    }
+    qs.push_back(Q::mtimes(
+        sparse::Matrix<double>::from_triples<S>(1, n, std::move(t))));
+  }
+  return qs;
+}
+
+/// Analytic traffic: heavier lhs operands (8 rows, 64 entries), every 4th
+/// with a plain output mask, every 8th complement-masked, every 6th a
+/// row-extraction select. Flop-dominated — the batched win here comes from
+/// sharing one parallel region across queries, i.e. from core counts > 1.
+std::vector<serve::Query<S>> mixed_queries(int k, Index n,
+                                           std::uint64_t seed) {
+  using Q = serve::Query<S>;
+  util::Xoshiro256 rng(seed);
+  std::vector<serve::Query<S>> qs;
+  qs.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    if (i % 6 == 5) {
+      std::vector<Index> rows;
+      for (int r = 0; r < 8; ++r) {
+        rows.push_back(static_cast<Index>(
+            rng.bounded(static_cast<std::uint64_t>(n))));
+      }
+      qs.push_back(Q::select(rows, n));
+      continue;
+    }
+    std::vector<sparse::Triple<double>> t;
+    for (int e = 0; e < 64; ++e) {
+      t.push_back({static_cast<Index>(rng.bounded(8)),
+                   static_cast<Index>(
+                       rng.bounded(static_cast<std::uint64_t>(n))),
+                   rng.uniform(0.5, 1.5)});
+    }
+    auto lhs = sparse::Matrix<double>::from_triples<S>(8, n, std::move(t));
+    if (i % 4 == 3) {
+      std::vector<sparse::Triple<double>> mt;
+      for (int e = 0; e < static_cast<int>(n) * 2; ++e) {
+        mt.push_back({static_cast<Index>(rng.bounded(8)),
+                      static_cast<Index>(
+                          rng.bounded(static_cast<std::uint64_t>(n))),
+                      1.0});
+      }
+      auto mask = sparse::Matrix<double>::from_triples<S>(8, n,
+                                                          std::move(mt));
+      qs.push_back(Q::mtimes_masked(std::move(lhs), std::move(mask),
+                                    {.complement = i % 8 == 7}));
+    } else {
+      qs.push_back(Q::mtimes(std::move(lhs)));
+    }
+  }
+  return qs;
+}
+
+std::vector<serve::Query<S>> make_queries(int kind, int k, Index n,
+                                          std::uint64_t seed) {
+  return kind == 0 ? point_queries(k, n, seed) : mixed_queries(k, n, seed);
+}
+
+void print_preamble() {
+  util::banner("Serving: batched vs per-query dispatch");
+  const auto base = er_matrix(1024, 16384, 1);
+  for (const int kind : {0, 1}) {
+    const auto qs = make_queries(kind, 16, 1024, 2);
+    const auto batched = serve::run_batch(base, qs);
+    bool same = true;
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      same &= batched[i] == serve::run_single(base, qs[i]);
+    }
+    std::cout << "batched == per-query on 16-query "
+              << (kind == 0 ? "point" : "mixed") << " mix: "
+              << (same ? "yes" : "NO") << "\n";
+  }
+}
+
+void bm_serve(benchmark::State& state) {
+  // Arg0: K (queries per flush). Arg1: 0 = batched (one coalesced launch),
+  // 1 = per-query dispatch (K launches). Arg2: 0 = point-lookup mix,
+  // 1 = analytic mix.
+  const int k = static_cast<int>(state.range(0));
+  const Index n = 4096;
+  const auto base = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto qs = make_queries(static_cast<int>(state.range(2)), k, n, 3);
+  const bool batched = state.range(1) == 0;
+  serve::ServeStats stats;
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(
+          serve::run_batch(base, qs, sparse::MxmStrategy::kAuto, &stats));
+    } else {
+      for (const auto& q : qs) {
+        benchmark::DoNotOptimize(serve::run_single(base, q));
+      }
+    }
+  }
+  if (batched && stats.batches > 0) {
+    state.counters["launches_saved_per_flush"] = static_cast<double>(
+        stats.launches_saved / stats.batches);
+    state.counters["rows_coalesced_per_flush"] = static_cast<double>(
+        stats.rows_coalesced / stats.batches);
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(std::string(batched ? "batched" : "per-query") + ", K=" +
+                 std::to_string(k) +
+                 (state.range(2) == 0 ? ", point lookups" : ", analytic mix"));
+}
+BENCHMARK(bm_serve)
+    ->Args({1, 0, 0})
+    ->Args({1, 1, 0})
+    ->Args({8, 0, 0})
+    ->Args({8, 1, 0})
+    ->Args({64, 0, 0})
+    ->Args({64, 1, 0})
+    ->Args({1, 0, 1})
+    ->Args({1, 1, 1})
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 1})
+    ->Args({64, 0, 1})
+    ->Args({64, 1, 1});
+
+void bm_serve_executor(benchmark::State& state) {
+  // The full executor path: submit K queries, flush, read one result —
+  // measures queue + admission overhead on top of the coalesced launch.
+  const int k = static_cast<int>(state.range(0));
+  const Index n = 4096;
+  auto base = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto qs = make_queries(0, k, n, 4);
+  for (auto _ : state) {
+    serve::Executor<S> ex(base);
+    std::size_t last = 0;
+    for (const auto& q : qs) last = ex.submit(q);
+    benchmark::DoNotOptimize(ex.result(last));
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel("executor submit+flush, K=" + std::to_string(k));
+}
+BENCHMARK(bm_serve_executor)->Arg(8)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_preamble();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Batched query serving — the millions-of-concurrent-users loop in
+// miniature.
+//
+// A follower graph is the shared base array; a stream of simulated users
+// issues neighbor expansions (mtimes), filtered expansions (fused output
+// masks, both senses), and profile lookups (select). The executor queues
+// them, its admission policy slices the queue into coalesced batches, and
+// each batch runs as ONE block-diagonal masked product — bit-identical to
+// answering every user alone, but paying the runtime overhead once per
+// batch instead of once per query. ServeStats shows what coalescing saved.
+
+#include <iostream>
+
+#include "semiring/all.hpp"
+#include "serve/executor.hpp"
+#include "util/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace hyperspace;
+  using sparse::Index;
+  using S = semiring::PlusTimes<double>;
+  using Q = serve::Query<S>;
+
+  const int scale = 12;
+  const Index n = Index{1} << scale;
+  const auto edges = util::rmat_edges({.scale = scale, .edge_factor = 16,
+                                       .seed = 7});
+  std::vector<sparse::Triple<double>> t;
+  for (const auto& e : edges) t.push_back({e.src, e.dst, 1.0});
+  const auto base = sparse::Matrix<double>::from_triples<S>(n, n,
+                                                            std::move(t));
+  std::cout << "base graph: " << n << " users, " << base.nnz()
+            << " follow edges\n";
+
+  serve::Executor<S> ex(base, {.max_batch_queries = 64});
+  util::Xoshiro256 rng(42);
+  auto random_vertex = [&] {
+    return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
+  };
+
+  // One "tick" of traffic: 256 concurrent requests of mixed kinds.
+  std::vector<std::size_t> tickets;
+  for (int u = 0; u < 256; ++u) {
+    switch (u % 3) {
+      case 0: {  // who do my follows follow? (1-row frontier expansion)
+        tickets.push_back(
+            ex.submit(Q::mtimes(sparse::Matrix<double>::from_unique_triples(
+                1, n, {{0, random_vertex(), 1.0}}))));
+        break;
+      }
+      case 1: {  // same, but exclude already-seen users (¬visited mask)
+        std::vector<sparse::Triple<double>> seen;
+        for (int i = 0; i < 32; ++i) seen.push_back({0, random_vertex(), 1.0});
+        tickets.push_back(ex.submit(Q::mtimes_masked(
+            sparse::Matrix<double>::from_unique_triples(
+                1, n, {{0, random_vertex(), 1.0}}),
+            sparse::Matrix<double>::from_triples<S>(1, n, std::move(seen)),
+            {.complement = true})));
+        break;
+      }
+      default: {  // profile lookup: raw adjacency rows for 4 users
+        tickets.push_back(
+            ex.submit(Q::select({random_vertex(), random_vertex(),
+                                 random_vertex(), random_vertex()},
+                                n)));
+      }
+    }
+  }
+  ex.flush();
+
+  std::size_t answered = 0, nonempty = 0;
+  for (const auto tk : tickets) {
+    ++answered;
+    nonempty += ex.result(tk).nnz() > 0;
+  }
+  const auto& st = ex.stats();
+  std::cout << "answered " << answered << " queries (" << nonempty
+            << " with hits)\n"
+            << "batches flushed:      " << st.batches << '\n'
+            << "kernel launches:      " << st.kernel_launches << '\n'
+            << "launches saved:       " << st.launches_saved << '\n'
+            << "rows coalesced:       " << st.rows_coalesced << '\n'
+            << "mask flops kept:      " << st.flops_kept << '\n'
+            << "mask flops skipped:   " << st.flops_skipped << '\n';
+  return 0;
+}

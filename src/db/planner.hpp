@@ -10,9 +10,11 @@
 // with those prechecks, recording how much work was skipped.
 
 #include <cstdint>
+#include <cstddef>
 #include <vector>
 
 #include "array/assoc_array.hpp"
+#include "array/batch.hpp"
 #include "semilink/identities.hpp"
 
 namespace hyperspace::db {
@@ -22,10 +24,14 @@ struct PlanStats {
   int products_skipped = 0;   ///< skipped via §IV annihilation
   int mults_evaluated = 0;
   int mults_skipped = 0;
-  // Fused-mask accounting (planned_mtimes_masked): per-flop kept/skipped
-  // counts reported by the masked multiply kernel.
+  // Fused-mask accounting (planned_mtimes_masked / planned_batch): per-flop
+  // kept/skipped counts reported by the masked multiply kernel.
   std::uint64_t mask_flops_kept = 0;
   std::uint64_t mask_flops_skipped = 0;
+  // Batched-serving accounting (planned_batch).
+  int batches = 0;            ///< coalesced launches issued
+  int queries_batched = 0;    ///< queries served inside a coalesced batch
+  int queries_fallback = 0;   ///< queries routed to per-query execution
 };
 
 /// A ⊕.⊗ B with the inner-key precheck: col(A) ∩ row(B) = ∅ ⇒ 0.
@@ -101,6 +107,73 @@ array::AssocArray<S> planned_mult_of_product(const array::AssocArray<S>& a,
     return array::AssocArray<S>();
   }
   return planned_mult(a, planned_mtimes(b, c, stats), stats);
+}
+
+/// Serve K concurrent queries against one base array — the §V-B "parallel
+/// query execution" story batched. Each query gets the same §IV inner-key
+/// and §V-B mask-annihilation prechecks as planned_mtimes(_masked); the
+/// survivors split two ways:
+///
+///   * batchable (inner alignment = the base's row key space, see
+///     array::batchable) — coalesced into ONE block-diagonal launch
+///     through serve::run_batch;
+///   * incompatible key spaces — per-query planned fallback. (Semiring
+///     compatibility is the template parameter: queries over different
+///     semirings cannot share a batch by construction.)
+///
+/// Results are returned in query order, entry-identical to running each
+/// query through planned_mtimes(_masked) alone.
+template <semiring::Semiring S>
+std::vector<array::AssocArray<S>> planned_batch(
+    const array::AssocArray<S>& base,
+    const std::vector<array::BatchQuery<S>>& queries,
+    PlanStats* stats = nullptr, serve::ServeStats* serve_stats = nullptr) {
+  std::vector<array::AssocArray<S>> out(queries.size());
+  std::vector<std::size_t> coalesce;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& q = queries[i];
+    // §IV inner-key annihilation: col(lhs) ∩ row(base) = ∅ ⇒ 0.
+    if (array::disjoint(q.lhs.col(), base.row())) {
+      if (stats) ++stats->products_skipped;
+      continue;
+    }
+    // §V-B mask annihilation (plain sense): a provably-empty output mask
+    // skips the product entirely.
+    if (q.mask && !q.desc.complement &&
+        (q.mask->empty() || array::disjoint(q.lhs.row(), q.mask->row()) ||
+         array::disjoint(base.col(), q.mask->col()))) {
+      if (stats) ++stats->products_skipped;
+      continue;
+    }
+    if (array::batchable(base, q)) {
+      coalesce.push_back(i);
+    } else {
+      out[i] = q.mask ? planned_mtimes_masked(q.lhs, base, *q.mask, q.desc,
+                                              stats)
+                      : planned_mtimes(q.lhs, base, stats);
+      if (stats) ++stats->queries_fallback;
+    }
+  }
+  if (!coalesce.empty()) {
+    // Pointers, not copies: the coalesced subset is consulted in place.
+    std::vector<const array::BatchQuery<S>*> group;
+    group.reserve(coalesce.size());
+    for (const auto i : coalesce) group.push_back(&queries[i]);
+    serve::ServeStats ss;
+    auto rs = array::mtimes_batched<S>(base, group, &ss);
+    for (std::size_t k = 0; k < coalesce.size(); ++k) {
+      out[coalesce[k]] = std::move(rs[k]);
+    }
+    if (stats) {
+      ++stats->batches;
+      stats->queries_batched += static_cast<int>(coalesce.size());
+      stats->products_evaluated += static_cast<int>(coalesce.size());
+      stats->mask_flops_kept += ss.flops_kept;
+      stats->mask_flops_skipped += ss.flops_skipped;
+    }
+    if (serve_stats) *serve_stats += ss;
+  }
+  return out;
 }
 
 /// Chain product A1 ⊕.⊗ A2 ⊕.⊗ ... with early exit: the first disjoint

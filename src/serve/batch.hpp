@@ -1,0 +1,238 @@
+#pragma once
+// Batched query serving — block-diagonal coalescing of concurrent queries.
+//
+// The ROADMAP north star is serving millions of concurrent users, but a
+// kernel library answers one query per launch: every mtimes pays region
+// spin-up, per-thread scratch construction, and mask setup alone. This
+// header coalesces K concurrent queries against a shared base matrix B
+// into ONE masked SpGEMM:
+//
+//   stack   — per-query left operands concatenate into disjoint row ranges
+//             (sparse::concat_rows), so the batch is a single operand
+//             whose row blocks ARE the queries;
+//   mask    — per-query output masks concatenate the same way, and
+//             mxm_masked_batched resolves each row block's own mask
+//             sense/probe, so plain-masked, complement-masked, and
+//             unmasked queries share one fused launch;
+//   scatter — the stacked result splits back per query
+//             (sparse::split_rows).
+//
+// Determinism contract: the driver computes each stacked row with exactly
+// the accumulation the per-query kernel would run (same B rows, same mask
+// row, same encounter order), and split_rows rebuilds each result through
+// the same canonical-triple path — so batched results are bit-identical to
+// per-query execution at any thread count, for every semiring and
+// strategy. tests/test_serve.cpp enforces this.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/block_diag.hpp"
+#include "sparse/masked.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/mxm.hpp"
+#include "util/parallel.hpp"
+
+namespace hyperspace::serve {
+
+/// Coalescing accounting. All counters are exact and thread-count
+/// invariant (the flop counts aggregate the kernel's deterministic
+/// MxmMaskStats). In a batch that mixes masked and unmasked queries,
+/// flops_kept counts every product that reached an accumulator — unmasked
+/// queries' flops included.
+struct ServeStats {
+  std::uint64_t queries = 0;          ///< queries executed
+  std::uint64_t batches = 0;          ///< coalesced batches flushed
+  std::uint64_t kernel_launches = 0;  ///< parallel products actually run
+  std::uint64_t launches_saved = 0;   ///< queries − kernel_launches
+  std::uint64_t rows_coalesced = 0;   ///< stacked rows across all batches
+  std::uint64_t flops_kept = 0;       ///< products that ran
+  std::uint64_t flops_skipped = 0;    ///< products the masks dropped
+
+  ServeStats& operator+=(const ServeStats& o) {
+    queries += o.queries;
+    batches += o.batches;
+    kernel_launches += o.kernel_launches;
+    launches_saved += o.launches_saved;
+    rows_coalesced += o.rows_coalesced;
+    flops_kept += o.flops_kept;
+    flops_skipped += o.flops_skipped;
+    return *this;
+  }
+};
+
+enum class QueryKind : unsigned char { kMtimes, kMtimesMasked, kSelect };
+
+/// One pending query against a shared base matrix B (n × c).
+template <semiring::Semiring S>
+struct Query {
+  using T = typename S::value_type;
+
+  QueryKind kind = QueryKind::kMtimes;
+  sparse::Matrix<T> lhs;                  ///< m_q × n
+  std::optional<sparse::Matrix<T>> mask;  ///< m_q × c output mask
+  sparse::MaskDesc desc{};
+
+  /// C_q = lhs ⊕.⊗ B.
+  static Query mtimes(sparse::Matrix<T> a) {
+    return {QueryKind::kMtimes, std::move(a), std::nullopt, {}};
+  }
+
+  /// C_q⟨M⟩ = lhs ⊕.⊗ B with a per-query fused output mask.
+  static Query mtimes_masked(sparse::Matrix<T> a, sparse::Matrix<T> m,
+                             sparse::MaskDesc d = {}) {
+    return {QueryKind::kMtimesMasked, std::move(a), std::move(m), d};
+  }
+
+  /// Row-extraction query: result row i = base row rows[i]. Compiles to an
+  /// mtimes whose lhs is a selector (one S::one() per requested row), so
+  /// it coalesces with every other query kind.
+  static Query select(const std::vector<sparse::Index>& rows,
+                      sparse::Index base_nrows) {
+    std::vector<sparse::Triple<T>> t;
+    t.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      t.push_back({static_cast<sparse::Index>(i), rows[i], S::one()});
+    }
+    return {QueryKind::kSelect,
+            sparse::Matrix<T>::from_unique_triples(
+                static_cast<sparse::Index>(rows.size()), base_nrows,
+                std::move(t), S::zero()),
+            std::nullopt,
+            {}};
+  }
+};
+
+namespace detail {
+
+template <semiring::Semiring S>
+void validate_query(const sparse::Matrix<typename S::value_type>& base,
+                    const Query<S>& q) {
+  if (q.lhs.ncols() != base.nrows()) {
+    throw std::invalid_argument("serve: query inner dimension mismatch");
+  }
+  if (q.mask && (q.mask->nrows() != q.lhs.nrows() ||
+                 q.mask->ncols() != base.ncols())) {
+    throw std::invalid_argument("serve: query mask shape mismatch");
+  }
+}
+
+}  // namespace detail
+
+/// Reference single-query execution — exactly what a batch must reproduce.
+template <semiring::Semiring S>
+sparse::Matrix<typename S::value_type> run_single(
+    const sparse::Matrix<typename S::value_type>& base, const Query<S>& q,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    sparse::MxmMaskStats* ms = nullptr) {
+  detail::validate_query(base, q);
+  if (q.mask) {
+    return sparse::mxm_masked<S>(q.lhs, base, *q.mask, q.desc, ms, strategy);
+  }
+  return sparse::mxm<S>(q.lhs, base, strategy);
+}
+
+/// Execute every query against `base` as one coalesced launch; results are
+/// returned in submission order, each bit-identical to run_single's.
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch(
+    const sparse::Matrix<typename S::value_type>& base,
+    const std::vector<Query<S>>& queries,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  using T = typename S::value_type;
+  if (queries.empty()) return {};
+  for (const auto& q : queries) detail::validate_query(base, q);
+
+  std::vector<sparse::Index> offsets(queries.size() + 1, 0);
+  bool any_mask = false;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    offsets[i + 1] = offsets[i] + queries[i].lhs.nrows();
+    any_mask |= queries[i].mask.has_value();
+  }
+
+  sparse::MxmMaskStats ms;
+  std::vector<sparse::Matrix<T>> results;
+  if (queries.size() == 1) {
+    // A batch of one skips the stack/scatter copies.
+    results.push_back(run_single(base, queries.front(), strategy, &ms));
+  } else {
+    std::vector<sparse::Block<T>> ablocks;
+    ablocks.reserve(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ablocks.push_back({&queries[i].lhs, offsets[i], 0});
+    }
+    const auto stacked = sparse::concat_blocks(offsets.back(), base.nrows(),
+                                               std::move(ablocks), S::zero());
+    // Run the ONE coalesced product, keeping the driver's per-row output
+    // slices so per-query results assemble straight from them — no stacked
+    // result matrix is ever materialized or re-split.
+    std::vector<sparse::detail::RowSlice<T>> rows;
+    if (!any_mask) {
+      rows = sparse::detail::mxm_dispatch_rows<S>(
+          stacked, base, strategy, sparse::detail::NoMask{}, &ms);
+    } else {
+      // Zero-copy mask path: each query block probes its own mask view in
+      // local row coordinates; unmasked blocks get an empty view under a
+      // complement sense (absent ⇒ all allowed). No mask entry is copied.
+      std::vector<sparse::SparseView<T>> mviews(queries.size());
+      std::vector<sparse::MaskDesc> descs(queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (queries[i].mask) {
+          descs[i] = queries[i].desc;
+          mviews[i] = queries[i].mask->view();
+        } else {
+          descs[i] = {.complement = true};
+        }
+      }
+      const sparse::detail::MultiMask<T> policy{mviews, offsets, descs};
+      rows = sparse::detail::mxm_dispatch_rows<S>(stacked, base, strategy,
+                                                  policy, &ms);
+    }
+    // Scatter: slices are sorted by stacked row, so query q owns the
+    // contiguous run in [offsets[q], offsets[q+1]). Each result is built
+    // through the same canonical-triple path the per-query kernel uses.
+    const auto nq = static_cast<std::ptrdiff_t>(queries.size());
+    results.resize(queries.size());
+    util::parallel_for(0, nq, 1, [&](std::ptrdiff_t q) {
+      const sparse::Index lo = offsets[static_cast<std::size_t>(q)];
+      const sparse::Index hi = offsets[static_cast<std::size_t>(q) + 1];
+      const auto first = std::lower_bound(
+          rows.begin(), rows.end(), lo,
+          [](const auto& r, sparse::Index v) { return r.row < v; });
+      const auto last = std::lower_bound(
+          first, rows.end(), hi,
+          [](const auto& r, sparse::Index v) { return r.row < v; });
+      std::size_t total = 0;
+      for (auto it = first; it != last; ++it) total += it->cols.size();
+      std::vector<sparse::Triple<T>> t;
+      t.reserve(total);
+      for (auto it = first; it != last; ++it) {
+        for (std::size_t j = 0; j < it->cols.size(); ++j) {
+          t.push_back({it->row - lo, it->cols[j], std::move(it->vals[j])});
+        }
+      }
+      results[static_cast<std::size_t>(q)] =
+          sparse::Matrix<T>::from_canonical_triples(hi - lo, base.ncols(), t,
+                                                    S::zero());
+    });
+  }
+
+  if (stats) {
+    stats->queries += queries.size();
+    stats->batches += 1;
+    stats->kernel_launches += 1;
+    stats->launches_saved += queries.size() - 1;
+    stats->rows_coalesced += static_cast<std::uint64_t>(offsets.back());
+    stats->flops_kept += ms.flops_kept;
+    stats->flops_skipped += ms.flops_skipped;
+  }
+  return results;
+}
+
+}  // namespace hyperspace::serve

@@ -1,0 +1,135 @@
+#pragma once
+// Executor — the serving loop's front door over run_batch.
+//
+// Queries are submitted against one shared base matrix and queued; flush()
+// slices the queue (in submission order) into coalesced batches under a
+// configurable admission policy and runs each batch as a single launch:
+//
+//   * max_batch_queries — close a batch after this many queries (bounds
+//     result latency and stacked-operand size);
+//   * max_batch_flops   — close a batch when its accumulated flop count
+//     would exceed this budget (bounds time-to-first-result under heavy
+//     queries). Flops are counted exactly — the sum over lhs entries of
+//     the matching base-row length — not estimated, so admission is
+//     deterministic.
+//
+// The executor is synchronous and deterministic by design: results are
+// bit-identical to per-query execution regardless of batch boundaries,
+// thread count, or flush timing, so serving-layer batching never changes
+// answers. ServeStats aggregates what coalescing saved.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "serve/batch.hpp"
+
+namespace hyperspace::serve {
+
+template <semiring::Semiring S>
+class Executor {
+  using T = typename S::value_type;
+
+ public:
+  struct Config {
+    int max_batch_queries = 64;
+    std::uint64_t max_batch_flops = std::uint64_t{1} << 32;
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto;
+  };
+
+  explicit Executor(sparse::Matrix<T> base, Config cfg = {})
+      : base_(std::move(base)), cfg_(cfg) {
+    if (cfg_.max_batch_queries < 1) {
+      throw std::invalid_argument("Executor: max_batch_queries must be >= 1");
+    }
+  }
+
+  const sparse::Matrix<T>& base() const { return base_; }
+  const Config& config() const { return cfg_; }
+  const ServeStats& stats() const { return stats_; }
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Enqueue a query; returns the ticket redeemable via result(). Shape
+  /// mismatches throw here — at admission, not at flush.
+  std::size_t submit(Query<S> q) {
+    detail::validate_query(base_, q);
+    pending_flops_.push_back(query_flops(q));
+    pending_tickets_.push_back(results_.size());
+    pending_.push_back(std::move(q));
+    results_.emplace_back();
+    return results_.size() - 1;
+  }
+
+  /// Drain the queue: admission slices pending queries, in submission
+  /// order, into batches; each batch is one coalesced launch.
+  void flush() {
+    std::size_t i = 0;
+    while (i < pending_.size()) {
+      std::size_t j = i;
+      std::uint64_t flops = 0;
+      while (j < pending_.size() &&
+             j - i < static_cast<std::size_t>(cfg_.max_batch_queries) &&
+             (j == i || flops + pending_flops_[j] <= cfg_.max_batch_flops)) {
+        flops += pending_flops_[j];
+        ++j;
+      }
+      std::vector<Query<S>> batch;
+      batch.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        batch.push_back(std::move(pending_[k]));
+      }
+      auto rs = run_batch(base_, batch, cfg_.strategy, &stats_);
+      for (std::size_t k = i; k < j; ++k) {
+        results_[pending_tickets_[k]] = std::move(rs[k - i]);
+      }
+      i = j;
+    }
+    pending_.clear();
+    pending_flops_.clear();
+    pending_tickets_.clear();
+  }
+
+  /// The result for a ticket; flushes pending work if it is not ready yet.
+  /// The reference stays valid across later submit()/flush() calls
+  /// (results live in a deque, which never relocates settled elements).
+  const sparse::Matrix<T>& result(std::size_t ticket) {
+    if (ticket >= results_.size()) {
+      throw std::out_of_range("Executor: unknown ticket");
+    }
+    if (!results_[ticket]) flush();
+    return *results_[ticket];
+  }
+
+ private:
+  /// Exact flop count of q against the base: Σ over lhs entries of the
+  /// matching base-row length. O(nnz(lhs) · log) — cheap next to the
+  /// product itself, and what makes the flop-budget admission exact.
+  std::uint64_t query_flops(const Query<S>& q) const {
+    const auto b = base_.view();
+    const bool b_full = b.n_nonempty_rows() == b.nrows;
+    const auto a = q.lhs.view();
+    std::uint64_t flops = 0;
+    for (std::size_t ri = 0; ri < a.row_ids.size(); ++ri) {
+      for (const sparse::Index k : a.row_cols(ri)) {
+        const auto bk = sparse::detail::find_row(b, k, b_full);
+        if (bk >= 0) {
+          flops += b.row_cols(static_cast<std::size_t>(bk)).size();
+        }
+      }
+    }
+    return flops;
+  }
+
+  sparse::Matrix<T> base_;
+  Config cfg_;
+  ServeStats stats_;
+  std::vector<Query<S>> pending_;
+  std::vector<std::uint64_t> pending_flops_;
+  std::vector<std::size_t> pending_tickets_;
+  std::deque<std::optional<sparse::Matrix<T>>> results_;
+};
+
+}  // namespace hyperspace::serve

@@ -47,10 +47,22 @@
 
 namespace hyperspace::sparse {
 
-/// Structural mask descriptor: which positions of M count, and whether the
-/// sense is complemented.
+/// How the fused kernel probes a mask row for membership.
+///   * kBinary — binary-search the sorted mask row per product: O(log len),
+///     no setup. Right for sparse mask rows.
+///   * kBitmap — arm a per-row bitmap once (O(len)) and probe O(1) per
+///     product. Wins for dense mask rows probed many times (late-BFS
+///     ¬visited); impossible when the mask's column space is hypersparse-
+///     huge (the bitmap would be O(ncols) bits).
+///   * kAuto   — bitmap iff the row is dense enough and probed enough to
+///     amortize arming (see detail::use_bitmap_probe).
+enum class MaskProbe : unsigned char { kAuto, kBinary, kBitmap };
+
+/// Structural mask descriptor: which positions of M count, whether the
+/// sense is complemented, and how rows are probed.
 struct MaskDesc {
   bool complement = false;
+  MaskProbe probe = MaskProbe::kAuto;
 };
 
 /// Flop accounting for fused masked products. Totals are sums of per-row
@@ -288,42 +300,158 @@ class StdMapAccumulator {
 
 namespace detail {
 
+/// Widest mask column space the bitmap probe will allocate for: 2^24 bits
+/// = 2 MiB per worker thread. Beyond this (hypersparse masks) the probe
+/// falls back to binary search regardless of MaskProbe.
+inline constexpr Index kMaxMaskBitmapWidth = Index{1} << 24;
+
+/// kAuto bitmap gate, density half: rows shorter than this never arm.
+inline constexpr std::size_t kMaskBitmapMinRowLen = 64;
+
+/// Should this mask row be probed through a bitmap? Arming costs O(len)
+/// (set + lazy clear); each probe then costs O(1) instead of O(log len).
+/// kAuto arms when the row is dense in its column space (≥ 1/8) and the
+/// row's flop count gives enough probes to amortize the arming pass.
+inline bool use_bitmap_probe(MaskProbe probe, std::size_t row_len,
+                             std::size_t flops_hint, Index ncols) {
+  if (row_len == 0 || ncols > kMaxMaskBitmapWidth) return false;
+  if (probe == MaskProbe::kBinary) return false;
+  if (probe == MaskProbe::kBitmap) return true;
+  return row_len >= kMaskBitmapMinRowLen &&
+         row_len * 8 >= static_cast<std::size_t>(ncols) &&
+         flops_hint * 4 >= row_len;
+}
+
+/// Per-worker bitmap scratch for the mask probe. Armed lazily per mask row;
+/// the previous row's bits are cleared on the next arm (O(previous len)),
+/// so total extra work is O(Σ armed row lengths), never O(ncols · rows).
+struct MaskBitmapScratch {
+  std::vector<std::uint64_t> bits;
+  std::span<const Index> armed;  ///< columns currently set
+
+  const std::uint64_t* arm(std::span<const Index> cols, Index ncols) {
+    for (const Index j : armed) {
+      bits[static_cast<std::size_t>(j >> 6)] &=
+          ~(std::uint64_t{1} << (j & 63));
+    }
+    const auto words = static_cast<std::size_t>((ncols + 63) >> 6);
+    if (bits.size() < words) bits.resize(words, 0);
+    for (const Index j : cols) {
+      bits[static_cast<std::size_t>(j >> 6)] |= std::uint64_t{1} << (j & 63);
+    }
+    armed = cols;
+    return bits.data();
+  }
+};
+
+/// One resolved mask row: a sorted column span, the sense, and (optionally)
+/// an armed bitmap for O(1) probes. Shared by every masked policy.
+struct MaskRow {
+  std::span<const Index> cols;
+  bool complement = false;
+  const std::uint64_t* bits = nullptr;
+
+  bool all_blocked() const { return !complement && cols.empty(); }
+  bool all_allowed() const { return complement && cols.empty(); }
+  bool allowed(Index j) const {
+    const bool hit =
+        bits ? ((bits[static_cast<std::size_t>(j >> 6)] >> (j & 63)) & 1) != 0
+             : std::binary_search(cols.begin(), cols.end(), j);
+    return hit != complement;
+  }
+};
+
+/// Resolve row r of mask view `m` under `desc`, arming the bitmap probe
+/// when the desc/auto rule says so. An absent mask row blocks everything
+/// (plain sense) or allows everything (complement sense) — the driver's
+/// whole-row fast paths.
+template <typename U>
+MaskRow mask_row_lookup(const SparseView<U>& m, Index r, MaskDesc desc,
+                        std::size_t flops_hint, MaskBitmapScratch& scratch) {
+  const auto it = std::lower_bound(m.row_ids.begin(), m.row_ids.end(), r);
+  if (it == m.row_ids.end() || *it != r) return {{}, desc.complement, nullptr};
+  const auto ri = static_cast<std::size_t>(it - m.row_ids.begin());
+  const auto cols = m.row_cols(ri);
+  const std::uint64_t* bits = nullptr;
+  if (use_bitmap_probe(desc.probe, cols.size(), flops_hint, m.ncols)) {
+    bits = scratch.arm(cols, m.ncols);
+  }
+  return {cols, desc.complement, bits};
+}
+
 /// No-mask policy: every column is allowed; compiles out of the driver.
 struct NoMask {
   static constexpr bool kMasked = false;
+  struct Scratch {};
   struct Row {
     bool all_blocked() const { return false; }
     bool all_allowed() const { return true; }
     bool allowed(Index) const { return true; }
   };
-  Row row(Index) const { return {}; }
+  Row row(Index, std::size_t, Scratch&) const { return {}; }
 };
 
-/// Structural mask over a sparse view: row r of the mask yields a sorted
-/// column span; allowed(j) is membership XOR complement. An absent mask row
-/// blocks everything (plain sense) or allows everything (complement sense),
-/// which the driver exploits as whole-row fast paths.
+/// Structural mask over a sparse view: one MaskDesc governs every row.
 template <typename U>
 struct StructuralMask {
   static constexpr bool kMasked = true;
   SparseView<U> m;
-  bool complement = false;
+  MaskDesc desc;
 
-  struct Row {
-    std::span<const Index> cols;
-    bool complement;
-    bool all_blocked() const { return !complement && cols.empty(); }
-    bool all_allowed() const { return complement && cols.empty(); }
-    bool allowed(Index j) const {
-      return std::binary_search(cols.begin(), cols.end(), j) != complement;
-    }
-  };
+  using Scratch = MaskBitmapScratch;
+  using Row = MaskRow;
 
-  Row row(Index r) const {
-    const auto it = std::lower_bound(m.row_ids.begin(), m.row_ids.end(), r);
-    if (it == m.row_ids.end() || *it != r) return {{}, complement};
-    const auto ri = static_cast<std::size_t>(it - m.row_ids.begin());
-    return {m.row_cols(ri), complement};
+  Row row(Index r, std::size_t flops_hint, Scratch& s) const {
+    return mask_row_lookup(m, r, desc, flops_hint, s);
+  }
+};
+
+/// Batched (block-diagonal serving) mask: rows of the stacked operand are
+/// partitioned into K contiguous query blocks by `row_offsets` (size K+1),
+/// and block q probes the shared stacked mask under its own MaskDesc.
+/// Queries without masks contribute no mask rows under a complement sense —
+/// absent row ⇒ all allowed — so masked, complement-masked, and unmasked
+/// queries coalesce into ONE fused kernel launch.
+template <typename U>
+struct BatchMask {
+  static constexpr bool kMasked = true;
+  SparseView<U> m;
+  std::span<const Index> row_offsets;  ///< size K+1, ascending
+  std::span<const MaskDesc> descs;     ///< size K, one per query block
+
+  using Scratch = MaskBitmapScratch;
+  using Row = MaskRow;
+
+  Row row(Index r, std::size_t flops_hint, Scratch& s) const {
+    const auto q = static_cast<std::size_t>(
+        std::upper_bound(row_offsets.begin(), row_offsets.end(), r) -
+        row_offsets.begin() - 1);
+    return mask_row_lookup(m, r, descs[q], flops_hint, s);
+  }
+};
+
+/// BatchMask without the stacked mask matrix: block q's rows probe query
+/// q's OWN mask view, addressed in the query's local row space (stacked
+/// row r ↦ local row r − row_offsets[q]). Unmasked queries pass a default
+/// (empty) view with a complement desc — every row absent ⇒ all allowed.
+/// This is the serving batcher's zero-copy mask path: semantics identical
+/// to BatchMask over concat-ed masks, with no mask entry ever copied.
+template <typename U>
+struct MultiMask {
+  static constexpr bool kMasked = true;
+  std::span<const SparseView<U>> views;  ///< size K, one per query block
+  std::span<const Index> row_offsets;    ///< size K+1, ascending
+  std::span<const MaskDesc> descs;       ///< size K
+
+  using Scratch = MaskBitmapScratch;
+  using Row = MaskRow;
+
+  Row row(Index r, std::size_t flops_hint, Scratch& s) const {
+    const auto q = static_cast<std::size_t>(
+        std::upper_bound(row_offsets.begin(), row_offsets.end(), r) -
+        row_offsets.begin() - 1);
+    return mask_row_lookup(views[q], r - row_offsets[q], descs[q],
+                           flops_hint, s);
   }
 };
 

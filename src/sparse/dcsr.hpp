@@ -14,6 +14,7 @@
 
 #include "sparse/types.hpp"
 #include "sparse/view.hpp"
+#include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
 
@@ -25,20 +26,53 @@ class Dcsr {
                                    row_ptr_(1, 0) {}
 
   /// Build from canonical triples (sorted by (row,col), deduplicated).
+  /// Runs on the parallel runtime like the Csr triple ctor: the cols/vals
+  /// copy and the per-chunk row-id discovery scan are parallel; only the
+  /// fold of per-chunk row lists (total size ≤ non-empty rows + #chunks)
+  /// stays serial. Deterministic: every write lands at a position fixed by
+  /// the input alone, and the fold visits chunks in index order, so the
+  /// result is bit-identical at any thread count.
   Dcsr(Index nrows, Index ncols, const std::vector<Triple<T>>& sorted_triples)
       : nrows_(nrows), ncols_(ncols) {
+    const auto n = static_cast<std::ptrdiff_t>(sorted_triples.size());
+    cols_.resize(sorted_triples.size());
+    vals_.resize(sorted_triples.size());
+    constexpr std::ptrdiff_t grain = std::ptrdiff_t{1} << 14;
+    // Distinct rows (with entry counts) per fixed chunk; a row spanning a
+    // chunk boundary appears in both chunks and is merged in the fold.
+    struct ChunkRows {
+      std::vector<Index> rows;
+      std::vector<Index> counts;
+    };
+    std::vector<ChunkRows> local(
+        static_cast<std::size_t>(util::chunk_count(n, grain)));
+    util::parallel_chunks(
+        0, n, grain,
+        [&](std::ptrdiff_t chunk, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+          auto& cr = local[static_cast<std::size_t>(chunk)];
+          for (std::ptrdiff_t i = lo; i < hi; ++i) {
+            const auto& t = sorted_triples[static_cast<std::size_t>(i)];
+            assert(t.row >= 0 && t.row < nrows_ && t.col >= 0 &&
+                   t.col < ncols_);
+            if (cr.rows.empty() || cr.rows.back() != t.row) {
+              cr.rows.push_back(t.row);
+              cr.counts.push_back(0);
+            }
+            ++cr.counts.back();
+            cols_[static_cast<std::size_t>(i)] = t.col;
+            vals_[static_cast<std::size_t>(i)] = t.val;
+          }
+        });
     row_ptr_.push_back(0);
-    cols_.reserve(sorted_triples.size());
-    vals_.reserve(sorted_triples.size());
-    for (const auto& t : sorted_triples) {
-      assert(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols);
-      if (row_ids_.empty() || row_ids_.back() != t.row) {
-        row_ids_.push_back(t.row);
-        row_ptr_.push_back(row_ptr_.back());
+    for (const auto& cr : local) {
+      for (std::size_t r = 0; r < cr.rows.size(); ++r) {
+        if (!row_ids_.empty() && row_ids_.back() == cr.rows[r]) {
+          row_ptr_.back() += cr.counts[r];  // row split across a chunk edge
+        } else {
+          row_ids_.push_back(cr.rows[r]);
+          row_ptr_.push_back(row_ptr_.back() + cr.counts[r]);
+        }
       }
-      ++row_ptr_.back();
-      cols_.push_back(t.col);
-      vals_.push_back(t.val);
     }
   }
 

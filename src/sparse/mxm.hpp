@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -55,14 +56,17 @@ inline std::ptrdiff_t find_row(const SparseView<T>& v, Index k, bool is_full) {
   return it - v.row_ids.begin();
 }
 
-/// The one SpGEMM driver. Each row of A resolves its B-rows once (cached in
-/// scratch so the flop count for reserve() sizing costs no second lookup),
-/// probes the mask policy per product, and folds survivors into the
-/// accumulator. Per-row kept/skipped counts are summed with relaxed atomic
-/// adds — integer addition commutes, so the totals are exact and identical
-/// for every thread count.
+/// The one SpGEMM inner loop. Each row of A resolves its B-rows once
+/// (cached in scratch so the flop count for reserve() sizing costs no
+/// second lookup), probes the mask policy per product, and folds survivors
+/// into the accumulator. Per-row kept/skipped counts are summed with
+/// relaxed atomic adds — integer addition commutes, so the totals are
+/// exact and identical for every thread count. Returns the per-row output
+/// slices (sorted by row) rather than a matrix, so callers that scatter
+/// rows elsewhere — the batched serving engine splits one product into K
+/// per-query results — skip a stacked-matrix round trip.
 template <semiring::Semiring S, typename MakeAcc, typename Mask>
-Matrix<typename S::value_type> mxm_driver(
+std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B, MakeAcc&& make_acc,
     const Mask& mask, MxmMaskStats* stats) {
@@ -82,10 +86,11 @@ Matrix<typename S::value_type> mxm_driver(
   struct Scratch {
     decltype(make_acc()) acc;
     std::vector<std::ptrdiff_t> b_rows;  ///< resolved B-row per A-row entry
+    typename Mask::Scratch mask;         ///< e.g. the bitmap-probe scratch
   };
   util::parallel_for_scratch(
       0, static_cast<std::ptrdiff_t>(n_arows), 16,
-      [&make_acc] { return Scratch{make_acc(), {}}; },
+      [&make_acc] { return Scratch{make_acc(), {}, {}}; },
       [&](std::ptrdiff_t ri, Scratch& s) {
         auto& out = rows[static_cast<std::size_t>(ri)];
         out.row = a.row_ids[static_cast<std::size_t>(ri)];
@@ -105,7 +110,7 @@ Matrix<typename S::value_type> mxm_driver(
         }
         if (row_flops == 0) return;
 
-        const auto mrow = mask.row(out.row);
+        const auto mrow = mask.row(out.row, row_flops, s.mask);
         if constexpr (Mask::kMasked) {
           if (mrow.all_blocked()) {
             skipped.fetch_add(row_flops, std::memory_order_relaxed);
@@ -148,15 +153,25 @@ Matrix<typename S::value_type> mxm_driver(
     stats->flops_kept += kept.load();
     stats->flops_skipped += skipped.load();
   }
-  const auto triples = detail::splice_row_slices(rows);
-  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
-                                           S::zero());
+  return rows;
 }
 
-/// Dispatch a (possibly masked) product to the accumulator the strategy
-/// names. kAuto prefers the dense scratch while it fits, else the flat hash.
+/// mxm_rows + canonical assembly: the shape every plain product returns.
+template <semiring::Semiring S, typename MakeAcc, typename Mask>
+Matrix<typename S::value_type> mxm_driver(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, MakeAcc&& make_acc,
+    const Mask& mask, MxmMaskStats* stats) {
+  auto rows = mxm_rows<S>(A, B, std::forward<MakeAcc>(make_acc), mask, stats);
+  const auto triples = detail::splice_row_slices(rows);
+  return Matrix<typename S::value_type>::from_canonical_triples(
+      A.nrows(), B.ncols(), triples, S::zero());
+}
+
+/// Strategy switch over mxm_rows. kAuto prefers the dense scratch while it
+/// fits, else the flat hash.
 template <semiring::Semiring S, typename Mask>
-Matrix<typename S::value_type> mxm_dispatch(
+std::vector<detail::RowSlice<typename S::value_type>> mxm_dispatch_rows(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B, MxmStrategy strategy,
     const Mask& mask, MxmMaskStats* stats) {
@@ -169,16 +184,30 @@ Matrix<typename S::value_type> mxm_dispatch(
       if (B.ncols() > kMaxGustavsonWidth) {
         throw std::length_error("mxm_gustavson: accumulator too wide");
       }
-      return mxm_driver<S>(
+      return mxm_rows<S>(
           A, B, [w = B.ncols()] { return DenseAccumulator<S>(w); }, mask,
           stats);
     case MxmStrategy::kSorted:
-      return mxm_driver<S>(
+      return mxm_rows<S>(
           A, B, [] { return SortedMergeAccumulator<S>{}; }, mask, stats);
     default:
-      return mxm_driver<S>(
+      return mxm_rows<S>(
           A, B, [] { return FlatHashAccumulator<S>{}; }, mask, stats);
   }
+}
+
+/// Dispatch a (possibly masked) product to the accumulator the strategy
+/// names and assemble the canonical result matrix.
+template <semiring::Semiring S, typename Mask>
+Matrix<typename S::value_type> mxm_dispatch(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, MxmStrategy strategy,
+    const Mask& mask, MxmMaskStats* stats) {
+  using T = typename S::value_type;
+  auto rows = mxm_dispatch_rows<S>(A, B, strategy, mask, stats);
+  const auto triples = detail::splice_row_slices(rows);
+  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
+                                           S::zero());
 }
 
 }  // namespace detail
@@ -244,7 +273,32 @@ Matrix<typename S::value_type> mxm_masked_fused(
   if (M.nrows() != A.nrows() || M.ncols() != B.ncols()) {
     throw std::invalid_argument("mxm_masked: mask shape mismatch");
   }
-  const detail::StructuralMask<U> mask{M.view(), desc.complement};
+  const detail::StructuralMask<U> mask{M.view(), desc};
+  return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
+}
+
+/// Batched masked product — the serving engine's kernel. Rows of A are
+/// partitioned into K contiguous query blocks by `row_offsets` (size K+1,
+/// front() == 0, back() == nrows(A)); block q probes the shared stacked
+/// mask M under descs[q] (its own sense and probe). Blocks whose query has
+/// no mask simply have no mask rows and a complement sense, so every
+/// sense/probe mix coalesces into ONE launch, each row bit-identical to the
+/// per-query kernel's.
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> mxm_masked_batched(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const Matrix<U>& M,
+    std::span<const Index> row_offsets, std::span<const MaskDesc> descs,
+    MxmMaskStats* stats = nullptr, MxmStrategy strategy = MxmStrategy::kAuto) {
+  if (M.nrows() != A.nrows() || M.ncols() != B.ncols()) {
+    throw std::invalid_argument("mxm_masked_batched: mask shape mismatch");
+  }
+  if (row_offsets.size() != descs.size() + 1 || descs.empty() ||
+      row_offsets.front() != 0 || row_offsets.back() != A.nrows() ||
+      !std::is_sorted(row_offsets.begin(), row_offsets.end())) {
+    throw std::invalid_argument("mxm_masked_batched: bad row offsets");
+  }
+  const detail::BatchMask<U> mask{M.view(), row_offsets, descs};
   return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
 }
 

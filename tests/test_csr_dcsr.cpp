@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "helpers.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dcsr.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
 using namespace hyperspace::sparse;
+using hyperspace::testing::ThreadGuard;
 
 std::vector<Triple<double>> sample_triples() {
   return {{0, 1, 1.0}, {0, 3, 2.0}, {2, 0, 3.0}, {2, 2, 4.0}, {3, 3, 5.0}};
@@ -108,6 +111,74 @@ TEST(Csr, AssembleFromParts) {
   Csr<double> m(2, 3, {0, 1, 3}, {2, 0, 1}, {9.0, 8.0, 7.0});
   EXPECT_EQ(m.nnz(), 3);
   EXPECT_EQ(m.view().row_cols(1)[1], 1);
+}
+
+// --------------------------------------------------------------------------
+// Parallel DCSR assembly: the triple ctor's row-id discovery runs as
+// per-chunk scans folded in chunk order, so the built arrays must be
+// bit-identical at every thread count — including rows that straddle chunk
+// boundaries (the chunk grain is 2^14 entries).
+
+std::vector<Triple<double>> big_sorted_triples(std::size_t n,
+                                               std::uint64_t seed) {
+  hyperspace::util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> t;
+  t.reserve(n);
+  Index row = 0;
+  Index col = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Long runs keep many rows straddling the 2^14-entry chunk boundary.
+    if (rng.bounded(100) < 3) {
+      row += 1 + static_cast<Index>(rng.bounded(Index{1} << 30));
+      col = 0;
+    }
+    col += 1 + static_cast<Index>(rng.bounded(16));
+    t.push_back({row, col, rng.uniform(-1.0, 1.0)});
+  }
+  return t;
+}
+
+TEST(Dcsr, ParallelBuildBitIdenticalAtAnyThreadCount) {
+  const auto t = big_sorted_triples(90'000, 7);  // ~6 chunks
+  const Index dim = Index{1} << 50;
+  std::vector<Index> ref_ids, ref_ptr, ref_cols;
+  std::vector<double> ref_vals;
+  {
+    ThreadGuard guard(1);
+    Dcsr<double> d(dim, dim, t);
+    ref_ids = d.row_ids();
+    ref_ptr = d.row_ptr();
+    ref_cols = d.cols();
+    ref_vals = d.vals();
+  }
+  EXPECT_EQ(ref_ptr.back(), static_cast<Index>(t.size()));
+  for (const int nt : {2, 8}) {
+    ThreadGuard guard(nt);
+    Dcsr<double> d(dim, dim, t);
+    EXPECT_EQ(d.row_ids(), ref_ids) << "threads=" << nt;
+    EXPECT_EQ(d.row_ptr(), ref_ptr) << "threads=" << nt;
+    EXPECT_EQ(d.cols(), ref_cols) << "threads=" << nt;
+    EXPECT_EQ(d.vals(), ref_vals) << "threads=" << nt;
+  }
+}
+
+TEST(Dcsr, ParallelBuildMergesRowsAcrossChunkBoundaries) {
+  // One giant row spanning several chunks plus neighbors: the per-chunk
+  // fold must merge the straddling row, not duplicate it.
+  std::vector<Triple<double>> t;
+  t.push_back({2, 0, 1.0});
+  for (Index i = 0; i < (Index{1} << 15) + 37; ++i) {
+    t.push_back({5, i, static_cast<double>(i)});
+  }
+  t.push_back({9, 1, 2.0});
+  for (const int nt : {1, 8}) {
+    ThreadGuard guard(nt);
+    Dcsr<double> d(16, Index{1} << 16, t);
+    EXPECT_EQ(d.row_ids(), (std::vector<Index>{2, 5, 9}));
+    EXPECT_EQ(d.row_ptr(),
+              (std::vector<Index>{0, 1, 1 + (Index{1} << 15) + 37,
+                                  2 + (Index{1} << 15) + 37}));
+  }
 }
 
 }  // namespace

@@ -188,6 +188,77 @@ TEST(MaskedMxmFused, HypersparseMaskedProduct) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Bitmap mask probe: for dense mask rows the fused kernel may arm a per-row
+// bitmap and probe O(1) instead of binary-searching — the probe choice must
+// never change results, for either sense, any strategy, any thread count.
+
+TEST(MaskedMxmBitmapProbe, ForcedProbesAgreeEverywhere) {
+  util::Xoshiro256 rng(77);
+  const Index n = 256;
+  std::vector<Triple<double>> ta, tb, tm;
+  for (int i = 0; i < 1500; ++i) {
+    ta.push_back({static_cast<Index>(rng.bounded(n)),
+                  static_cast<Index>(rng.bounded(n)), rng.uniform(-1., 1.)});
+    tb.push_back({static_cast<Index>(rng.bounded(n)),
+                  static_cast<Index>(rng.bounded(n)), rng.uniform(-1., 1.)});
+  }
+  // Dense mask (~50%): rows long enough that kAuto arms the bitmap too.
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = 0; c < n; ++c) {
+      if (rng.bounded(100) < 50) tm.push_back({r, c, 1.0});
+    }
+  }
+  const auto a = Matrix<double>::from_triples<S>(n, n, std::move(ta));
+  const auto b = Matrix<double>::from_triples<S>(n, n, std::move(tb));
+  const auto m = Matrix<double>::from_triples<S>(n, n, std::move(tm));
+  for (const int nt : {1, 8}) {
+    hyperspace::testing::ThreadGuard guard(nt);
+    for (const bool comp : {false, true}) {
+      MxmMaskStats bin_st, bit_st, auto_st;
+      const auto binary = mxm_masked<S>(
+          a, b, m, {.complement = comp, .probe = MaskProbe::kBinary},
+          &bin_st);
+      for (const auto strat : {MxmStrategy::kGustavson, MxmStrategy::kHash,
+                               MxmStrategy::kSorted}) {
+        EXPECT_EQ(mxm_masked<S>(
+                      a, b, m,
+                      {.complement = comp, .probe = MaskProbe::kBitmap},
+                      &bit_st, strat),
+                  binary)
+            << "threads=" << nt << " complement=" << comp;
+        EXPECT_EQ(mxm_masked<S>(
+                      a, b, m,
+                      {.complement = comp, .probe = MaskProbe::kAuto},
+                      &auto_st, strat),
+                  binary);
+      }
+      // The probe never changes the kept/skipped split either.
+      EXPECT_EQ(bit_st.flops_kept, 3 * bin_st.flops_kept);
+      EXPECT_EQ(bit_st.flops_skipped, 3 * bin_st.flops_skipped);
+    }
+  }
+}
+
+TEST(MaskedMxmBitmapProbe, HypersparseMaskFallsBackToBinary) {
+  // A 2^40-wide mask cannot allocate a bitmap; forcing kBitmap must fall
+  // back to the binary probe, not crash or misbehave.
+  const Index huge = Index{1} << 40;
+  const auto a = Matrix<double>::from_unique_triples(
+      huge, huge, {{5, 7, 2.0}, {Index{1} << 30, 7, 3.0}});
+  const auto b = Matrix<double>::from_unique_triples(
+      huge, huge, {{7, 9, 10.0}, {7, Index{1} << 35, 20.0}});
+  const auto m = Matrix<double>::from_unique_triples(
+      huge, huge, {{5, 9, 1.0}, {Index{1} << 30, Index{1} << 35, 1.0}});
+  for (const bool comp : {false, true}) {
+    EXPECT_EQ(
+        mxm_masked<S>(a, b, m,
+                      {.complement = comp, .probe = MaskProbe::kBitmap}),
+        mxm_masked<S>(a, b, m,
+                      {.complement = comp, .probe = MaskProbe::kBinary}));
+  }
+}
+
 TEST(MaskedEwiseMult, MatchesMaskAsThirdFactor) {
   // C⟨M⟩ = A ⊗ B equals A ⊗ B ⊗ |M|₀ for structural masks.
   const auto a = sample();
