@@ -5,10 +5,12 @@
 #     mask-probe sweep (flat open-addressing hash vs the unordered_map
 #     baseline, mask-density × strategy × fused/unfused, binary vs bitmap
 #     probe)
-#   BENCH_serve.json    — batch-throughput sweep (K=1/8/64 queries, batched
-#     block-diagonal serving vs per-query dispatch, plus the executor path)
+#   BENCH_serve.json    — serving-throughput sweep (K=1/8/64 queries,
+#     batched block-diagonal serving vs per-query dispatch, sync + async
+#     executor paths, and multi-base cross-base vs per-base dispatch)
 # Used locally via the `run_benches` CMake target and in CI, where the
 # JSONs are uploaded as artifacts to track the perf trajectory across PRs.
+# Schemas and row-reading guide: docs/BENCHMARKS.md.
 #
 # Usage: BENCH_BUILD_DIR=<build dir> bench/run_benches.sh [parallel.json] [spgemm.json] [serve.json]
 set -euo pipefail

@@ -175,6 +175,94 @@ void bm_serve_executor(benchmark::State& state) {
 }
 BENCHMARK(bm_serve_executor)->Arg(8)->Arg(64);
 
+void bm_serve_executor_async(benchmark::State& state) {
+  // Async executor: the background thread flushes on queue depth while the
+  // caller submits, then every ticket is awaited. Measures the futures
+  // round trip (submit → background coalesced launch → wait) against the
+  // synchronous path above; answers are bit-identical by contract.
+  const int k = static_cast<int>(state.range(0));
+  const Index n = 4096;
+  auto base = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto qs = make_queries(0, k, n, 4);
+  for (auto _ : state) {
+    serve::Executor<S> ex(base, {.async = true,
+                                 .flush_queue_depth = 16,
+                                 .flush_interval =
+                                     std::chrono::milliseconds(1)});
+    std::vector<std::size_t> tickets;
+    tickets.reserve(qs.size());
+    for (const auto& q : qs) tickets.push_back(ex.submit(q));
+    for (const auto t : tickets) benchmark::DoNotOptimize(ex.wait(t));
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel("async executor submit+wait, K=" + std::to_string(k));
+}
+BENCHMARK(bm_serve_executor_async)->Arg(8)->Arg(64);
+
+void bm_serve_multibase(benchmark::State& state) {
+  // K point queries spread round-robin over G=4 bases. Arg1 selects the
+  // dispatch: 0 = ONE cross-base block-diagonal launch on the stack a
+  // long-lived server caches at startup (run_batch_on_stack — the
+  // executor's steady-state path; stacking the bases is a one-time cost
+  // outside the measurement), 1 = one coalesced batch per base
+  // (G launches), 2 = per-query dispatch (K launches). The 0-vs-1 gap is
+  // what stacking the bases themselves buys once per-launch costs
+  // dominate.
+  const int k = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  const Index n = 2048;
+  constexpr std::size_t kBases = 4;
+  std::vector<sparse::Matrix<double>> bases;
+  for (std::size_t g = 0; g < kBases; ++g) {
+    bases.push_back(
+        er_matrix(n, static_cast<std::size_t>(n) * 16, 10 + g));
+  }
+  std::vector<const sparse::Matrix<double>*> bptrs;
+  for (const auto& b : bases) bptrs.push_back(&b);
+  const auto stack = sparse::stack_bases<double>(bptrs);
+  const auto qs = make_queries(0, k, n, 5);
+  std::vector<std::size_t> ids(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) ids[i] = i % kBases;
+  serve::ServeStats stats;
+  for (auto _ : state) {
+    if (mode == 0) {
+      benchmark::DoNotOptimize(serve::run_batch_on_stack<S>(
+          stack, qs, ids, sparse::MxmStrategy::kAuto, &stats));
+    } else if (mode == 1) {
+      for (std::size_t g = 0; g < kBases; ++g) {
+        std::vector<serve::Query<S>> group;
+        for (std::size_t i = g; i < qs.size(); i += kBases) {
+          group.push_back(qs[i]);
+        }
+        benchmark::DoNotOptimize(serve::run_batch(
+            bases[g], group, sparse::MxmStrategy::kAuto, &stats));
+      }
+    } else {
+      for (std::size_t i = 0; i < qs.size(); ++i) {
+        benchmark::DoNotOptimize(serve::run_single(bases[ids[i]], qs[i]));
+      }
+    }
+  }
+  if (mode == 0 && stats.batches > 0) {
+    state.counters["launches_saved_per_flush"] = static_cast<double>(
+        stats.launches_saved / stats.batches);
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(std::string(mode == 0   ? "cross-base batched"
+                             : mode == 1 ? "per-base batched"
+                                         : "per-query") +
+                 ", K=" + std::to_string(k) + ", G=4 bases");
+}
+BENCHMARK(bm_serve_multibase)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2});
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -1,14 +1,20 @@
-// Batched query serving — the millions-of-concurrent-users loop in
-// miniature.
+// Async multi-tenant query serving — the millions-of-concurrent-users
+// loop in miniature.
 //
-// A follower graph is the shared base array; a stream of simulated users
-// issues neighbor expansions (mtimes), filtered expansions (fused output
-// masks, both senses), and profile lookups (select). The executor queues
-// them, its admission policy slices the queue into coalesced batches, and
-// each batch runs as ONE block-diagonal masked product — bit-identical to
-// answering every user alone, but paying the runtime overhead once per
-// batch instead of once per query. ServeStats shows what coalescing saved.
+// A follower graph is the shared base array; three tenants (a recommender,
+// a feed filter, and a profile service) issue neighbor expansions
+// (mtimes), filtered expansions (fused output masks, both senses), and
+// profile lookups (select). Nobody calls flush(): the executor's
+// BACKGROUND thread drains the queue whenever the queue depth or the
+// flush deadline says so, coalescing each slice into ONE block-diagonal
+// masked product under the admission policy — including the per-tenant
+// flop quota that keeps the heavy recommender from starving the profile
+// service's point lookups. Callers submit() and later wait() their
+// ticket, exactly like a future. Answers are bit-identical to serving
+// every query alone, synchronously; ServeStats shows what coalescing
+// saved and TenantStats breaks the accounting down per tenant.
 
+#include <cstdio>
 #include <iostream>
 
 #include "semiring/all.hpp"
@@ -33,48 +39,68 @@ int main() {
   std::cout << "base graph: " << n << " users, " << base.nnz()
             << " follow edges\n";
 
-  serve::Executor<S> ex(base, {.max_batch_queries = 64});
+  // Tenants: 0 = recommender (heavy expansions), 1 = feed filter (masked
+  // expansions), 2 = profile service (point lookups). The quota bounds how
+  // many flops any one tenant may occupy per batch, so tenant 2's lookups
+  // never queue behind tenant 0's fan-outs.
+  constexpr serve::TenantId kRecommender = 0;
+  constexpr serve::TenantId kFeedFilter = 1;
+  constexpr serve::TenantId kProfiles = 2;
+  serve::Executor<S> ex(base, {.max_batch_queries = 64,
+                               .tenant_flop_quota = std::uint64_t{1} << 16,
+                               .async = true,
+                               .flush_queue_depth = 48,
+                               .flush_interval =
+                                   std::chrono::milliseconds(1)});
   util::Xoshiro256 rng(42);
   auto random_vertex = [&] {
     return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
   };
 
-  // One "tick" of traffic: 256 concurrent requests of mixed kinds.
+  // One "tick" of traffic: 256 concurrent requests of mixed kinds. The
+  // background flush thread is already draining while these land.
   std::vector<std::size_t> tickets;
   for (int u = 0; u < 256; ++u) {
     switch (u % 3) {
-      case 0: {  // who do my follows follow? (1-row frontier expansion)
-        tickets.push_back(
-            ex.submit(Q::mtimes(sparse::Matrix<double>::from_unique_triples(
-                1, n, {{0, random_vertex(), 1.0}}))));
+      case 0: {  // recommender: who do my follows follow? (8-seed fan-out)
+        std::vector<sparse::Triple<double>> seeds;
+        for (int i = 0; i < 8; ++i) seeds.push_back({0, random_vertex(), 1.0});
+        tickets.push_back(ex.submit(
+            kRecommender,
+            Q::mtimes(sparse::Matrix<double>::from_triples<S>(
+                1, n, std::move(seeds)))));
         break;
       }
-      case 1: {  // same, but exclude already-seen users (¬visited mask)
+      case 1: {  // feed filter: expand, but exclude already-seen users
         std::vector<sparse::Triple<double>> seen;
         for (int i = 0; i < 32; ++i) seen.push_back({0, random_vertex(), 1.0});
-        tickets.push_back(ex.submit(Q::mtimes_masked(
-            sparse::Matrix<double>::from_unique_triples(
-                1, n, {{0, random_vertex(), 1.0}}),
-            sparse::Matrix<double>::from_triples<S>(1, n, std::move(seen)),
-            {.complement = true})));
+        tickets.push_back(ex.submit(
+            kFeedFilter,
+            Q::mtimes_masked(sparse::Matrix<double>::from_unique_triples(
+                                 1, n, {{0, random_vertex(), 1.0}}),
+                             sparse::Matrix<double>::from_triples<S>(
+                                 1, n, std::move(seen)),
+                             {.complement = true})));
         break;
       }
-      default: {  // profile lookup: raw adjacency rows for 4 users
-        tickets.push_back(
-            ex.submit(Q::select({random_vertex(), random_vertex(),
-                                 random_vertex(), random_vertex()},
-                                n)));
+      default: {  // profile service: raw adjacency rows for 4 users
+        tickets.push_back(ex.submit(
+            kProfiles, Q::select({random_vertex(), random_vertex(),
+                                  random_vertex(), random_vertex()},
+                                 n)));
       }
     }
   }
-  ex.flush();
 
+  // Redeem the futures — wait() nudges the flusher for anything still
+  // queued, so no explicit flush() appears anywhere in this program.
   std::size_t answered = 0, nonempty = 0;
   for (const auto tk : tickets) {
     ++answered;
-    nonempty += ex.result(tk).nnz() > 0;
+    nonempty += ex.wait(tk).nnz() > 0;
   }
-  const auto& st = ex.stats();
+
+  const auto st = ex.stats();
   std::cout << "answered " << answered << " queries (" << nonempty
             << " with hits)\n"
             << "batches flushed:      " << st.batches << '\n'
@@ -83,5 +109,23 @@ int main() {
             << "rows coalesced:       " << st.rows_coalesced << '\n'
             << "mask flops kept:      " << st.flops_kept << '\n'
             << "mask flops skipped:   " << st.flops_skipped << '\n';
+
+  // Per-tenant breakdown — the TenantStats counters in action. queries /
+  // rows / flops are exact and timing-invariant; batches / deferrals show
+  // how the quota actually sliced this run's traffic.
+  const char* names[] = {"recommender", "feed filter", "profiles"};
+  std::printf("\n%-12s %8s %6s %10s %8s %10s\n", "tenant", "queries",
+              "rows", "flops", "batches", "deferrals");
+  for (const auto tenant : ex.tenants()) {
+    const auto ts = ex.tenant_stats(tenant);
+    std::printf("%-12s %8llu %6llu %10llu %8llu %10llu\n",
+                names[tenant % 3],
+                static_cast<unsigned long long>(ts.queries),
+                static_cast<unsigned long long>(ts.rows),
+                static_cast<unsigned long long>(ts.flops),
+                static_cast<unsigned long long>(ts.batches),
+                static_cast<unsigned long long>(ts.deferrals));
+  }
+  ex.shutdown();  // drains anything left; also what ~Executor would do
   return 0;
 }

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "array/assoc_array.hpp"
@@ -109,6 +111,36 @@ array::AssocArray<S> planned_mult_of_product(const array::AssocArray<S>& a,
   return planned_mult(a, planned_mtimes(b, c, stats), stats);
 }
 
+namespace detail {
+
+enum class BatchRoute { kAnnihilated, kCoalesce, kFallback };
+
+/// The one copy of the batch routers' per-query precheck: §IV inner-key
+/// annihilation, §V-B mask annihilation (plain sense), then the key-space
+/// batchability split. Annihilated queries count as skipped products.
+template <semiring::Semiring S>
+BatchRoute route_batch_query(const array::AssocArray<S>& base,
+                             const array::BatchQuery<S>& q,
+                             PlanStats* stats) {
+  // §IV inner-key annihilation: col(lhs) ∩ row(base) = ∅ ⇒ 0.
+  if (array::disjoint(q.lhs.col(), base.row())) {
+    if (stats) ++stats->products_skipped;
+    return BatchRoute::kAnnihilated;
+  }
+  // §V-B mask annihilation (plain sense): a provably-empty output mask
+  // skips the product entirely.
+  if (q.mask && !q.desc.complement &&
+      (q.mask->empty() || array::disjoint(q.lhs.row(), q.mask->row()) ||
+       array::disjoint(base.col(), q.mask->col()))) {
+    if (stats) ++stats->products_skipped;
+    return BatchRoute::kAnnihilated;
+  }
+  return array::batchable(base, q) ? BatchRoute::kCoalesce
+                                   : BatchRoute::kFallback;
+}
+
+}  // namespace detail
+
 /// Serve K concurrent queries against one base array — the §V-B "parallel
 /// query execution" story batched. Each query gets the same §IV inner-key
 /// and §V-B mask-annihilation prechecks as planned_mtimes(_masked); the
@@ -132,26 +164,18 @@ std::vector<array::AssocArray<S>> planned_batch(
   std::vector<std::size_t> coalesce;
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const auto& q = queries[i];
-    // §IV inner-key annihilation: col(lhs) ∩ row(base) = ∅ ⇒ 0.
-    if (array::disjoint(q.lhs.col(), base.row())) {
-      if (stats) ++stats->products_skipped;
-      continue;
-    }
-    // §V-B mask annihilation (plain sense): a provably-empty output mask
-    // skips the product entirely.
-    if (q.mask && !q.desc.complement &&
-        (q.mask->empty() || array::disjoint(q.lhs.row(), q.mask->row()) ||
-         array::disjoint(base.col(), q.mask->col()))) {
-      if (stats) ++stats->products_skipped;
-      continue;
-    }
-    if (array::batchable(base, q)) {
-      coalesce.push_back(i);
-    } else {
-      out[i] = q.mask ? planned_mtimes_masked(q.lhs, base, *q.mask, q.desc,
-                                              stats)
-                      : planned_mtimes(q.lhs, base, stats);
-      if (stats) ++stats->queries_fallback;
+    switch (detail::route_batch_query(base, q, stats)) {
+      case detail::BatchRoute::kAnnihilated:
+        break;  // out[i] stays the empty array, exactly as planned_mtimes
+      case detail::BatchRoute::kCoalesce:
+        coalesce.push_back(i);
+        break;
+      case detail::BatchRoute::kFallback:
+        out[i] = q.mask ? planned_mtimes_masked(q.lhs, base, *q.mask, q.desc,
+                                                stats)
+                        : planned_mtimes(q.lhs, base, stats);
+        if (stats) ++stats->queries_fallback;
+        break;
     }
   }
   if (!coalesce.empty()) {
@@ -161,6 +185,72 @@ std::vector<array::AssocArray<S>> planned_batch(
     for (const auto i : coalesce) group.push_back(&queries[i]);
     serve::ServeStats ss;
     auto rs = array::mtimes_batched<S>(base, group, &ss);
+    for (std::size_t k = 0; k < coalesce.size(); ++k) {
+      out[coalesce[k]] = std::move(rs[k]);
+    }
+    if (stats) {
+      ++stats->batches;
+      stats->queries_batched += static_cast<int>(coalesce.size());
+      stats->products_evaluated += static_cast<int>(coalesce.size());
+      stats->mask_flops_kept += ss.flops_kept;
+      stats->mask_flops_skipped += ss.flops_skipped;
+    }
+    if (serve_stats) *serve_stats += ss;
+  }
+  return out;
+}
+
+/// Multi-base planned serving: K concurrent queries, each routed at one of
+/// SEVERAL base arrays. Every query gets the same §IV inner-key and §V-B
+/// mask-annihilation prechecks against its own base; the survivors split:
+///
+///   * batchable against their base — coalesced into ONE cross-base
+///     block-diagonal launch (serve::run_batch_multi stacks the bases
+///     themselves);
+///   * incompatible key spaces — per-query planned fallback against their
+///     base, exactly as the single-base router falls back.
+///
+/// Results are returned in query order, entry-identical to routing each
+/// query through planned_mtimes(_masked) against its base alone.
+template <semiring::Semiring S>
+std::vector<array::AssocArray<S>> planned_multi_batch(
+    const std::vector<const array::AssocArray<S>*>& bases,
+    const std::vector<array::MultiBatchQuery<S>>& queries,
+    PlanStats* stats = nullptr, serve::ServeStats* serve_stats = nullptr) {
+  std::vector<array::AssocArray<S>> out(queries.size());
+  std::vector<std::size_t> coalesce;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& mq = queries[i];
+    if (mq.base >= bases.size() || bases[mq.base] == nullptr) {
+      throw std::invalid_argument("planned_multi_batch: bad base index");
+    }
+    const auto& base = *bases[mq.base];
+    const auto& q = mq.q;
+    switch (detail::route_batch_query(base, q, stats)) {
+      case detail::BatchRoute::kAnnihilated:
+        break;  // out[i] stays the empty array, exactly as planned_mtimes
+      case detail::BatchRoute::kCoalesce:
+        coalesce.push_back(i);
+        break;
+      case detail::BatchRoute::kFallback:
+        out[i] = q.mask ? planned_mtimes_masked(q.lhs, base, *q.mask, q.desc,
+                                                stats)
+                        : planned_mtimes(q.lhs, base, stats);
+        if (stats) ++stats->queries_fallback;
+        break;
+    }
+  }
+  if (!coalesce.empty()) {
+    std::vector<const array::MultiBatchQuery<S>*> group;
+    group.reserve(coalesce.size());
+    for (const auto i : coalesce) group.push_back(&queries[i]);
+    serve::ServeStats ss;
+    auto rs = array::mtimes_batched_multi<S>(
+        std::span<const array::AssocArray<S>* const>(bases.data(),
+                                                     bases.size()),
+        std::span<const array::MultiBatchQuery<S>* const>(group.data(),
+                                                          group.size()),
+        &ss);
     for (std::size_t k = 0; k < coalesce.size(); ++k) {
       out[coalesce[k]] = std::move(rs[k]);
     }

@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -122,6 +123,85 @@ void validate_query(const sparse::Matrix<typename S::value_type>& base,
   }
 }
 
+/// The shared coalesced core behind run_batch and run_batch_on_stack: run
+/// the stacked operand against B under the per-query zero-copy mask
+/// policy, then scatter per-query results straight from the driver's row
+/// slices. `qcol_off` empty ⇒ one shared column space (single base);
+/// otherwise query i's result columns rebase by qcol_off[i] into a
+/// qncols[i]-wide matrix. Each row is computed with exactly the
+/// accumulation the per-query kernel would run and assembled through the
+/// same canonical-triple path, so every result is bit-identical to
+/// run_single's — the one copy of the serving determinism contract.
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_stacked(
+    const sparse::Matrix<typename S::value_type>& stacked,
+    const sparse::Matrix<typename S::value_type>& B,
+    std::span<const Query<S>* const> queries,
+    std::span<const sparse::Index> offsets,
+    std::span<const sparse::Index> qcol_off,
+    std::span<const sparse::Index> qncols, sparse::MxmStrategy strategy,
+    sparse::MxmMaskStats* ms) {
+  using T = typename S::value_type;
+  bool any_mask = false;
+  for (const auto* q : queries) any_mask |= q->mask.has_value();
+
+  std::vector<sparse::detail::RowSlice<T>> rows;
+  if (!any_mask) {
+    rows = sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy,
+                                                sparse::detail::NoMask{}, ms);
+  } else {
+    // Zero-copy mask path: each query block probes its own mask view in
+    // local row (and, multi-base, local column) coordinates; unmasked
+    // blocks get an empty view under a complement sense (absent ⇒ all
+    // allowed). No mask entry is copied.
+    std::vector<sparse::SparseView<T>> mviews(queries.size());
+    std::vector<sparse::MaskDesc> descs(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i]->mask) {
+        descs[i] = queries[i]->desc;
+        mviews[i] = queries[i]->mask->view();
+      } else {
+        descs[i] = {.complement = true};
+      }
+    }
+    const sparse::detail::MultiMask<T> policy{mviews, offsets, descs,
+                                              qcol_off};
+    rows = sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy, policy,
+                                                ms);
+  }
+
+  // Scatter: slices are sorted by stacked row, so query q owns the
+  // contiguous run in [offsets[q], offsets[q+1]); rows rebase by the
+  // query's block offset, columns by its base's column offset.
+  const auto nq = static_cast<std::ptrdiff_t>(queries.size());
+  std::vector<sparse::Matrix<T>> results(queries.size());
+  util::parallel_for(0, nq, 1, [&](std::ptrdiff_t q) {
+    const auto qi = static_cast<std::size_t>(q);
+    const sparse::Index lo = offsets[qi];
+    const sparse::Index hi = offsets[qi + 1];
+    const sparse::Index coff = qcol_off.empty() ? 0 : qcol_off[qi];
+    const auto first = std::lower_bound(
+        rows.begin(), rows.end(), lo,
+        [](const auto& r, sparse::Index v) { return r.row < v; });
+    const auto last = std::lower_bound(
+        first, rows.end(), hi,
+        [](const auto& r, sparse::Index v) { return r.row < v; });
+    std::size_t total = 0;
+    for (auto it = first; it != last; ++it) total += it->cols.size();
+    std::vector<sparse::Triple<T>> t;
+    t.reserve(total);
+    for (auto it = first; it != last; ++it) {
+      for (std::size_t j = 0; j < it->cols.size(); ++j) {
+        t.push_back({it->row - lo, it->cols[j] - coff,
+                     std::move(it->vals[j])});
+      }
+    }
+    results[qi] = sparse::Matrix<T>::from_canonical_triples(
+        hi - lo, qncols[qi], t, S::zero());
+  });
+  return results;
+}
+
 }  // namespace detail
 
 /// Reference single-query execution — exactly what a batch must reproduce.
@@ -138,89 +218,44 @@ sparse::Matrix<typename S::value_type> run_single(
 }
 
 /// Execute every query against `base` as one coalesced launch; results are
-/// returned in submission order, each bit-identical to run_single's.
+/// returned in submission order, each bit-identical to run_single's. The
+/// span-of-pointers overload is the core — callers that route a larger
+/// query list (the per-base fallback, db::planned_batch via the array
+/// layer) coalesce a subset without copying any operand.
 template <semiring::Semiring S>
 std::vector<sparse::Matrix<typename S::value_type>> run_batch(
     const sparse::Matrix<typename S::value_type>& base,
-    const std::vector<Query<S>>& queries,
+    std::span<const Query<S>* const> queries,
     sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
     ServeStats* stats = nullptr) {
   using T = typename S::value_type;
   if (queries.empty()) return {};
-  for (const auto& q : queries) detail::validate_query(base, q);
+  for (const auto* q : queries) detail::validate_query(base, *q);
 
   std::vector<sparse::Index> offsets(queries.size() + 1, 0);
-  bool any_mask = false;
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    offsets[i + 1] = offsets[i] + queries[i].lhs.nrows();
-    any_mask |= queries[i].mask.has_value();
+    offsets[i + 1] = offsets[i] + queries[i]->lhs.nrows();
   }
 
   sparse::MxmMaskStats ms;
   std::vector<sparse::Matrix<T>> results;
   if (queries.size() == 1) {
     // A batch of one skips the stack/scatter copies.
-    results.push_back(run_single(base, queries.front(), strategy, &ms));
+    results.push_back(run_single(base, *queries.front(), strategy, &ms));
   } else {
     std::vector<sparse::Block<T>> ablocks;
     ablocks.reserve(queries.size());
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      ablocks.push_back({&queries[i].lhs, offsets[i], 0});
+      ablocks.push_back({&queries[i]->lhs, offsets[i], 0});
     }
     const auto stacked = sparse::concat_blocks(offsets.back(), base.nrows(),
                                                std::move(ablocks), S::zero());
-    // Run the ONE coalesced product, keeping the driver's per-row output
-    // slices so per-query results assemble straight from them — no stacked
-    // result matrix is ever materialized or re-split.
-    std::vector<sparse::detail::RowSlice<T>> rows;
-    if (!any_mask) {
-      rows = sparse::detail::mxm_dispatch_rows<S>(
-          stacked, base, strategy, sparse::detail::NoMask{}, &ms);
-    } else {
-      // Zero-copy mask path: each query block probes its own mask view in
-      // local row coordinates; unmasked blocks get an empty view under a
-      // complement sense (absent ⇒ all allowed). No mask entry is copied.
-      std::vector<sparse::SparseView<T>> mviews(queries.size());
-      std::vector<sparse::MaskDesc> descs(queries.size());
-      for (std::size_t i = 0; i < queries.size(); ++i) {
-        if (queries[i].mask) {
-          descs[i] = queries[i].desc;
-          mviews[i] = queries[i].mask->view();
-        } else {
-          descs[i] = {.complement = true};
-        }
-      }
-      const sparse::detail::MultiMask<T> policy{mviews, offsets, descs};
-      rows = sparse::detail::mxm_dispatch_rows<S>(stacked, base, strategy,
-                                                  policy, &ms);
-    }
-    // Scatter: slices are sorted by stacked row, so query q owns the
-    // contiguous run in [offsets[q], offsets[q+1]). Each result is built
-    // through the same canonical-triple path the per-query kernel uses.
-    const auto nq = static_cast<std::ptrdiff_t>(queries.size());
-    results.resize(queries.size());
-    util::parallel_for(0, nq, 1, [&](std::ptrdiff_t q) {
-      const sparse::Index lo = offsets[static_cast<std::size_t>(q)];
-      const sparse::Index hi = offsets[static_cast<std::size_t>(q) + 1];
-      const auto first = std::lower_bound(
-          rows.begin(), rows.end(), lo,
-          [](const auto& r, sparse::Index v) { return r.row < v; });
-      const auto last = std::lower_bound(
-          first, rows.end(), hi,
-          [](const auto& r, sparse::Index v) { return r.row < v; });
-      std::size_t total = 0;
-      for (auto it = first; it != last; ++it) total += it->cols.size();
-      std::vector<sparse::Triple<T>> t;
-      t.reserve(total);
-      for (auto it = first; it != last; ++it) {
-        for (std::size_t j = 0; j < it->cols.size(); ++j) {
-          t.push_back({it->row - lo, it->cols[j], std::move(it->vals[j])});
-        }
-      }
-      results[static_cast<std::size_t>(q)] =
-          sparse::Matrix<T>::from_canonical_triples(hi - lo, base.ncols(), t,
-                                                    S::zero());
-    });
+    // Run the ONE coalesced product and scatter per-query results straight
+    // from the driver's row slices — no stacked result matrix is ever
+    // materialized or re-split (detail::run_stacked).
+    const std::vector<sparse::Index> qncols(queries.size(), base.ncols());
+    results = detail::run_stacked<S>(stacked, base, queries, offsets, {},
+                                     qncols, strategy, &ms);
   }
 
   if (stats) {
@@ -233,6 +268,217 @@ std::vector<sparse::Matrix<typename S::value_type>> run_batch(
     stats->flops_skipped += ms.flops_skipped;
   }
   return results;
+}
+
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch(
+    const sparse::Matrix<typename S::value_type>& base,
+    const std::vector<Query<S>>& queries,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  std::vector<const Query<S>*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const auto& q : queries) ptrs.push_back(&q);
+  return run_batch<S>(base, ptrs, strategy, stats);
+}
+
+namespace detail {
+
+/// The per-base fallback shared by run_batch_multi and the executor: group
+/// (queries, ids) per base and run each group as its own coalesced batch —
+/// still batched within a base, never stacked across bases, no operand
+/// copied (groups are pointer spans). Results return in input order.
+/// `base_of(id)` resolves a base id to its matrix.
+template <semiring::Semiring S, typename GetBase>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch_per_base(
+    GetBase&& base_of, std::span<const Query<S>* const> queries,
+    std::span<const std::size_t> ids, sparse::MxmStrategy strategy,
+    ServeStats* stats) {
+  using T = typename S::value_type;
+  std::vector<std::size_t> used(ids.begin(), ids.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  std::vector<sparse::Matrix<T>> out(queries.size());
+  for (const auto id : used) {
+    std::vector<const Query<S>*> group;
+    std::vector<std::size_t> where;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (ids[i] == id) {
+        group.push_back(queries[i]);
+        where.push_back(i);
+      }
+    }
+    auto rs = run_batch<S>(base_of(id), group, strategy, stats);
+    for (std::size_t k = 0; k < where.size(); ++k) {
+      out[where[k]] = std::move(rs[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Execute queries against a PREBUILT block-diagonal base stack as one
+/// coalesced launch: block_of[i] names the stack block (base) query i
+/// runs against. This is the steady-state serving path — a long-lived
+/// executor stacks its bases ONCE and reuses the stack every flush, so a
+/// batch pays O(queries), never O(nnz(bases)). Each query's lhs lands at
+/// the column offset of its base's ROW band (lhs columns index base
+/// rows), and per-query masks probe in their base's local column space
+/// through the two-sided MultiMask — so queries against different bases
+/// share ONE fused kernel launch. Results come back in submission order,
+/// each in its own base's column space, bit-identical to run_single
+/// against that base.
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch_on_stack(
+    const sparse::BaseStack<typename S::value_type>& stack,
+    std::span<const Query<S>* const> queries,
+    std::span<const std::size_t> block_of,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  using T = typename S::value_type;
+  if (queries.size() != block_of.size()) {
+    throw std::invalid_argument("run_batch_on_stack: one block per query");
+  }
+  if (queries.empty()) return {};
+  const std::size_t nblocks = stack.row_offsets.size() - 1;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (block_of[i] >= nblocks) {
+      throw std::invalid_argument("run_batch_on_stack: bad block index");
+    }
+  }
+
+  std::vector<sparse::Index> offsets(queries.size() + 1, 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    offsets[i + 1] = offsets[i] + queries[i]->lhs.nrows();
+  }
+
+  // Stack the lhs operands: query i's columns shift into its base's row
+  // band of the block-diagonal base stack.
+  std::vector<sparse::Block<T>> ablocks;
+  ablocks.reserve(queries.size());
+  std::vector<sparse::Index> qcol_off(queries.size(), 0);
+  std::vector<sparse::Index> qncols(queries.size(), 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto g = block_of[i];
+    if (queries[i]->lhs.ncols() !=
+        stack.row_offsets[g + 1] - stack.row_offsets[g]) {
+      throw std::invalid_argument(
+          "run_batch_on_stack: query inner dimension mismatch");
+    }
+    qncols[i] = stack.col_offsets[g + 1] - stack.col_offsets[g];
+    if (queries[i]->mask &&
+        (queries[i]->mask->nrows() != queries[i]->lhs.nrows() ||
+         queries[i]->mask->ncols() != qncols[i])) {
+      throw std::invalid_argument("run_batch_on_stack: mask shape mismatch");
+    }
+    ablocks.push_back({&queries[i]->lhs, offsets[i], stack.row_offsets[g]});
+    qcol_off[i] = stack.col_offsets[g];  // result-column rebase per query
+  }
+  const auto stacked = sparse::concat_blocks(
+      offsets.back(), stack.stacked.nrows(), std::move(ablocks), S::zero());
+
+  sparse::MxmMaskStats ms;
+  // The two-sided coalesced core: block i probes its own mask view in
+  // local row AND column coordinates, and results scatter back into each
+  // base's own column space (detail::run_stacked).
+  auto results = detail::run_stacked<S>(stacked, stack.stacked, queries,
+                                        offsets, qcol_off, qncols, strategy,
+                                        &ms);
+
+  if (stats) {
+    stats->queries += queries.size();
+    stats->batches += 1;
+    stats->kernel_launches += 1;
+    stats->launches_saved += queries.size() - 1;
+    stats->rows_coalesced += static_cast<std::uint64_t>(offsets.back());
+    stats->flops_kept += ms.flops_kept;
+    stats->flops_skipped += ms.flops_skipped;
+  }
+  return results;
+}
+
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch_on_stack(
+    const sparse::BaseStack<typename S::value_type>& stack,
+    const std::vector<Query<S>>& queries,
+    std::span<const std::size_t> block_of,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  std::vector<const Query<S>*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const auto& q : queries) ptrs.push_back(&q);
+  return run_batch_on_stack<S>(stack, ptrs, block_of, strategy, stats);
+}
+
+/// Execute queries routed at SEVERAL bases as one coalesced launch:
+/// base_ids[i] names the base query i runs against. The used bases stack
+/// block-diagonally (sparse::stack_bases) and the batch runs through
+/// run_batch_on_stack. This one-shot entry point pays the O(nnz(bases))
+/// stacking per call — a long-lived server should stack once and call
+/// run_batch_on_stack per flush, which is exactly what the Executor's
+/// cached-stack path does.
+///
+/// Fallback: a forced kGustavson strategy whose dense scratch fits each
+/// base alone but not the stacked column space falls back to one coalesced
+/// batch PER base (still batched within each base) — mirroring how
+/// db::planned_batch falls back per-query on incompatible key spaces.
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch_multi(
+    std::span<const sparse::Matrix<typename S::value_type>* const> bases,
+    const std::vector<Query<S>>& queries,
+    std::span<const std::size_t> base_ids,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  using T = typename S::value_type;
+  if (queries.size() != base_ids.size()) {
+    throw std::invalid_argument("run_batch_multi: one base id per query");
+  }
+  if (queries.empty()) return {};
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (base_ids[i] >= bases.size() || bases[base_ids[i]] == nullptr) {
+      throw std::invalid_argument("run_batch_multi: bad base id");
+    }
+    detail::validate_query(*bases[base_ids[i]], queries[i]);
+  }
+
+  // Used bases in ascending id order; position of each id in the stack.
+  std::vector<std::size_t> used(base_ids.begin(), base_ids.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  if (used.size() == 1) {
+    // One base after all — the single-base path, bit for bit.
+    return run_batch(*bases[used.front()], queries, strategy, stats);
+  }
+
+  std::vector<const sparse::Matrix<T>*> base_ptrs;
+  base_ptrs.reserve(used.size());
+  sparse::Index stacked_cols = 0;
+  for (const auto id : used) {
+    base_ptrs.push_back(bases[id]);
+    stacked_cols += bases[id]->ncols();
+  }
+  if (strategy == sparse::MxmStrategy::kGustavson &&
+      stacked_cols > sparse::kMaxGustavsonWidth) {
+    // The dense scratch fits per base but not stacked: batch per base.
+    std::vector<const Query<S>*> ptrs;
+    ptrs.reserve(queries.size());
+    for (const auto& q : queries) ptrs.push_back(&q);
+    return detail::run_batch_per_base<S>(
+        [&bases](std::size_t id) -> const sparse::Matrix<T>& {
+          return *bases[id];
+        },
+        ptrs, base_ids, strategy, stats);
+  }
+
+  const auto stack = sparse::stack_bases<T>(base_ptrs, S::zero());
+  std::vector<std::size_t> block_of(queries.size(), 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    block_of[i] = static_cast<std::size_t>(
+        std::lower_bound(used.begin(), used.end(), base_ids[i]) -
+        used.begin());
+  }
+  return run_batch_on_stack<S>(stack, queries, block_of, strategy, stats);
 }
 
 }  // namespace hyperspace::serve

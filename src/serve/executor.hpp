@@ -1,33 +1,72 @@
 #pragma once
-// Executor — the serving loop's front door over run_batch.
+// Executor — the serving loop's front door over run_batch /
+// run_batch_on_stack.
 //
-// Queries are submitted against one shared base matrix and queued; flush()
-// slices the queue (in submission order) into coalesced batches under a
-// configurable admission policy and runs each batch as a single launch:
+// Queries are submitted against one of several base matrices the executor
+// owns, tagged with a tenant id, and queued per tenant. A flush drains the
+// queues into coalesced batches under the admission policy and runs each
+// batch as a single launch — queries against *different* bases still share
+// one launch via the block-diagonal base stack built ONCE at construction
+// (run_batch_on_stack, so a flush pays O(queries), never O(nnz(bases))):
 //
-//   * max_batch_queries — close a batch after this many queries (bounds
+//   * max_batch_queries  — close a batch after this many queries (bounds
 //     result latency and stacked-operand size);
-//   * max_batch_flops   — close a batch when its accumulated flop count
-//     would exceed this budget (bounds time-to-first-result under heavy
-//     queries). Flops are counted exactly — the sum over lhs entries of
-//     the matching base-row length — not estimated, so admission is
-//     deterministic.
+//   * max_batch_flops    — close a batch when its accumulated flop count
+//     would exceed this budget. Flops are counted exactly — the sum over
+//     lhs entries of the matching base-row length — so admission is
+//     deterministic;
+//   * tenant_flop_quota  — per-tenant flop budget *within one batch*.
+//     Admission drains tenants round-robin (ascending tenant id, rotating
+//     the starting tenant batch to batch), and a tenant whose next query
+//     would blow its quota is deferred to a later batch while other
+//     tenants keep flowing — one heavy tenant cannot starve point lookups.
+//     The first query of a batch is always admitted, so a zero quota (and
+//     a zero batch budget) still makes progress, one query per batch.
 //
-// The executor is synchronous and deterministic by design: results are
-// bit-identical to per-query execution regardless of batch boundaries,
-// thread count, or flush timing, so serving-layer batching never changes
-// answers. ServeStats aggregates what coalescing saved.
+// Synchronous mode (default): the caller drives flush() (or lets wait()
+// do it). Async mode (`Config.async`): a dedicated background thread
+// drains the queue whenever the queue depth reaches `flush_queue_depth`
+// or the `flush_interval` deadline passes, so callers submit() and later
+// wait()/poll() a ticket — results are futures backed by the ticketed
+// deque. shutdown() (also run by the destructor) retires the flush
+// thread and, by default, drains every queued-but-unflushed ticket.
+//
+// Whatever the mode, batch boundaries, tenant mix, flush timing, and
+// thread count NEVER change an answer: every result is bit-identical to
+// running its query alone, synchronously. ServeStats aggregates what
+// coalescing saved; TenantStats splits the accounting per tenant.
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "serve/batch.hpp"
 
 namespace hyperspace::serve {
+
+using TenantId = std::uint32_t;
+
+/// Per-tenant split of the serving accounting. queries/rows/flops are
+/// exact and independent of flush timing and thread count; batches and
+/// deferrals describe how admission actually sliced the queue (they depend
+/// on flush timing in async mode).
+struct TenantStats {
+  std::uint64_t queries = 0;    ///< queries executed for this tenant
+  std::uint64_t rows = 0;       ///< lhs rows executed
+  std::uint64_t flops = 0;      ///< exact flops admitted (Σ base-row lengths)
+  std::uint64_t batches = 0;    ///< batches this tenant participated in
+  std::uint64_t deferrals = 0;  ///< batches where the quota deferred this tenant
+};
 
 template <semiring::Semiring S>
 class Executor {
@@ -37,78 +76,271 @@ class Executor {
   struct Config {
     int max_batch_queries = 64;
     std::uint64_t max_batch_flops = std::uint64_t{1} << 32;
+    /// Per-tenant flop budget within one batch (~0 = unlimited).
+    std::uint64_t tenant_flop_quota = ~std::uint64_t{0};
     sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto;
+    /// Spawn the background flush thread. Leave false for single-threaded
+    /// (no-extra-thread) builds: every API below then runs synchronously
+    /// on the calling thread, same results bit for bit.
+    bool async = false;
+    int flush_queue_depth = 64;  ///< async: flush when this many are queued
+    std::chrono::milliseconds flush_interval{2};  ///< async: flush deadline
   };
 
   explicit Executor(sparse::Matrix<T> base, Config cfg = {})
-      : base_(std::move(base)), cfg_(cfg) {
+      : Executor(make_one(std::move(base)), cfg) {}
+
+  explicit Executor(std::vector<sparse::Matrix<T>> bases, Config cfg = {})
+      : bases_(std::move(bases)), cfg_(cfg) {
+    if (bases_.empty()) {
+      throw std::invalid_argument("Executor: at least one base required");
+    }
     if (cfg_.max_batch_queries < 1) {
       throw std::invalid_argument("Executor: max_batch_queries must be >= 1");
     }
+    if (cfg_.async && cfg_.flush_queue_depth < 1) {
+      throw std::invalid_argument("Executor: flush_queue_depth must be >= 1");
+    }
+    if (cfg_.strategy == sparse::MxmStrategy::kGustavson) {
+      // Fail fast: a base too wide for the dense scratch would otherwise
+      // only surface as a kernel throw at flush time.
+      for (const auto& b : bases_) {
+        if (b.ncols() > sparse::kMaxGustavsonWidth) {
+          throw std::invalid_argument(
+              "Executor: base too wide for the kGustavson dense scratch");
+        }
+      }
+    }
+    // Pre-warm every base's view cache on this thread: submit() computes
+    // admission flops and the flush thread runs kernels concurrently, and
+    // the lazily materialized row-id cache must not be built under a race.
+    for (const auto& b : bases_) (void)b.view();
+    if (bases_.size() > 1) {
+      // Stack the bases block-diagonally ONCE: every mixed-base flush then
+      // runs on the cached stack (run_batch_on_stack), paying O(queries)
+      // per batch instead of O(nnz(bases)).
+      std::vector<const sparse::Matrix<T>*> ptrs;
+      ptrs.reserve(bases_.size());
+      for (const auto& b : bases_) {
+        ptrs.push_back(&b);
+        stacked_cols_ += b.ncols();
+      }
+      stack_ = sparse::stack_bases<T>(ptrs, S::zero());
+      (void)stack_.stacked.view();
+    }
+    if (cfg_.async) {
+      flusher_running_ = true;
+      flusher_ = std::thread([this] { flush_loop(); });
+    }
   }
 
-  const sparse::Matrix<T>& base() const { return base_; }
+  ~Executor() { shutdown(); }
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  const sparse::Matrix<T>& base(std::size_t i = 0) const {
+    return bases_.at(i);
+  }
+  std::size_t n_bases() const { return bases_.size(); }
   const Config& config() const { return cfg_; }
-  const ServeStats& stats() const { return stats_; }
-  std::size_t pending() const { return pending_.size(); }
 
-  /// Enqueue a query; returns the ticket redeemable via result(). Shape
-  /// mismatches throw here — at admission, not at flush.
-  std::size_t submit(Query<S> q) {
-    detail::validate_query(base_, q);
-    pending_flops_.push_back(query_flops(q));
-    pending_tickets_.push_back(results_.size());
-    pending_.push_back(std::move(q));
+  /// Aggregate accounting snapshot (safe against a concurrent flush).
+  ServeStats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+  /// Per-tenant accounting snapshot; default-constructed for an unknown id.
+  TenantStats tenant_stats(TenantId tenant) const {
+    std::lock_guard lock(mu_);
+    const auto it = tstats_.find(tenant);
+    return it == tstats_.end() ? TenantStats{} : it->second;
+  }
+
+  /// Every tenant that has ever submitted, ascending.
+  std::vector<TenantId> tenants() const {
+    std::lock_guard lock(mu_);
+    std::vector<TenantId> out;
+    out.reserve(tstats_.size());
+    for (const auto& [t, _] : tstats_) out.push_back(t);
+    return out;
+  }
+
+  /// Queries queued but not yet admitted to a batch.
+  std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    return n_pending_;
+  }
+
+  /// Enqueue a query for `tenant` against base `base`; returns the ticket
+  /// redeemable via wait()/result()/poll(). Shape mismatches throw here —
+  /// at admission, not at flush.
+  std::size_t submit(TenantId tenant, std::size_t base, Query<S> q) {
+    if (base >= bases_.size()) {
+      throw std::out_of_range("Executor: unknown base index");
+    }
+    detail::validate_query(bases_[base], q);
+    const std::uint64_t flops = query_flops(base, q);
+    const auto rows = static_cast<std::uint64_t>(q.lhs.nrows());
+    std::unique_lock lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("Executor: submit after shutdown");
+    }
+    const std::size_t ticket = results_.size();
     results_.emplace_back();
-    return results_.size() - 1;
+    queues_[tenant].push_back(
+        Pending{std::move(q), base, ticket, flops, rows, tenant});
+    ++n_pending_;
+    (void)tstats_[tenant];  // tenant becomes visible on first submit
+    const bool trigger =
+        flusher_running_ &&
+        n_pending_ >= static_cast<std::size_t>(cfg_.flush_queue_depth);
+    lock.unlock();
+    if (trigger) queue_cv_.notify_all();
+    return ticket;
   }
 
-  /// Drain the queue: admission slices pending queries, in submission
-  /// order, into batches; each batch is one coalesced launch.
+  std::size_t submit(TenantId tenant, Query<S> q) {
+    return submit(tenant, 0, std::move(q));
+  }
+  std::size_t submit(Query<S> q) { return submit(0, 0, std::move(q)); }
+
+  /// Drain the whole queue now, on the calling thread. In async mode this
+  /// is also what the background thread runs on its triggers; concurrent
+  /// drains serialize, so calling it alongside the flusher is safe.
   void flush() {
-    std::size_t i = 0;
-    while (i < pending_.size()) {
-      std::size_t j = i;
-      std::uint64_t flops = 0;
-      while (j < pending_.size() &&
-             j - i < static_cast<std::size_t>(cfg_.max_batch_queries) &&
-             (j == i || flops + pending_flops_[j] <= cfg_.max_batch_flops)) {
-        flops += pending_flops_[j];
-        ++j;
-      }
-      std::vector<Query<S>> batch;
-      batch.reserve(j - i);
-      for (std::size_t k = i; k < j; ++k) {
-        batch.push_back(std::move(pending_[k]));
-      }
-      auto rs = run_batch(base_, batch, cfg_.strategy, &stats_);
-      for (std::size_t k = i; k < j; ++k) {
-        results_[pending_tickets_[k]] = std::move(rs[k - i]);
-      }
-      i = j;
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) return;  // shutdown owns the final drain decision
     }
-    pending_.clear();
-    pending_flops_.clear();
-    pending_tickets_.clear();
+    flush_impl();
   }
 
-  /// The result for a ticket; flushes pending work if it is not ready yet.
-  /// The reference stays valid across later submit()/flush() calls
-  /// (results live in a deque, which never relocates settled elements).
-  const sparse::Matrix<T>& result(std::size_t ticket) {
-    if (ticket >= results_.size()) {
-      throw std::out_of_range("Executor: unknown ticket");
+  /// Block until the ticket's result exists and return it. The reference
+  /// stays valid across later submit()/flush() calls (results live in a
+  /// deque, which never relocates settled elements). In sync mode this
+  /// flushes on the calling thread; in async mode it nudges the flush
+  /// thread and waits. Throws if the ticket was dropped by a non-draining
+  /// shutdown.
+  const sparse::Matrix<T>& wait(std::size_t ticket) {
+    {
+      std::unique_lock lock(mu_);
+      if (ticket >= results_.size()) {
+        throw std::out_of_range("Executor: unknown ticket");
+      }
+      if (results_[ticket]) return *results_[ticket];
+      rethrow_if_failed_locked(ticket);
+      if (terminated_) {
+        throw std::runtime_error("Executor: ticket dropped at shutdown");
+      }
+      if (flusher_running_) {
+        force_flush_ = true;
+        queue_cv_.notify_all();
+        done_cv_.wait(lock, [&] {
+          return results_[ticket].has_value() || failed_.count(ticket) > 0 ||
+                 terminated_ || !flusher_running_;
+        });
+        if (results_[ticket]) return *results_[ticket];
+        rethrow_if_failed_locked(ticket);
+        if (terminated_) {
+          throw std::runtime_error("Executor: ticket dropped at shutdown");
+        }
+        // Flusher retired mid-wait (shutdown in flight): fall through and
+        // resolve synchronously.
+      }
     }
-    if (!results_[ticket]) flush();
+    flush();
+    std::unique_lock lock(mu_);
+    // An in-flight drain on another thread may still be writing results.
+    done_cv_.wait(lock, [&] {
+      return results_[ticket].has_value() || failed_.count(ticket) > 0 ||
+             terminated_;
+    });
+    if (!results_[ticket]) {
+      rethrow_if_failed_locked(ticket);
+      throw std::runtime_error("Executor: ticket dropped at shutdown");
+    }
     return *results_[ticket];
   }
 
+  /// Back-compat alias for wait(): the result for a ticket, flushing /
+  /// blocking as needed.
+  const sparse::Matrix<T>& result(std::size_t ticket) { return wait(ticket); }
+
+  /// Non-blocking probe: the settled result, or nullptr while pending.
+  const sparse::Matrix<T>* poll(std::size_t ticket) const {
+    std::lock_guard lock(mu_);
+    if (ticket >= results_.size()) {
+      throw std::out_of_range("Executor: unknown ticket");
+    }
+    rethrow_if_failed_locked(ticket);
+    return results_[ticket] ? &*results_[ticket] : nullptr;
+  }
+
+  /// Retire the flush thread (async mode) and finalize the executor. With
+  /// drain = true (the default, and what the destructor runs) every
+  /// queued-but-unflushed ticket is resolved first; with drain = false
+  /// unflushed queries are dropped and their wait() throws. Idempotent;
+  /// submit() after shutdown throws.
+  void shutdown(bool drain = true) {
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    if (flusher_.joinable()) flusher_.join();
+    if (drain) {
+      // Exception-safe drain: a batch that throws has already routed its
+      // failure to its tickets, so swallow it and keep draining the rest —
+      // the epilogue below must always run (a throw escaping here would
+      // std::terminate from the destructor and strand every waiter short
+      // of the terminated_ signal).
+      for (;;) {
+        try {
+          flush_impl();
+          break;  // queue fully drained
+        } catch (...) {
+          // The failed batch left the queue; retry the remainder.
+        }
+      }
+    }
+    {
+      std::lock_guard lock(mu_);
+      queues_.clear();
+      n_pending_ = 0;
+      terminated_ = true;
+    }
+    done_cv_.notify_all();
+  }
+
  private:
-  /// Exact flop count of q against the base: Σ over lhs entries of the
+  struct Pending {
+    Query<S> q;
+    std::size_t base = 0;
+    std::size_t ticket = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t rows = 0;
+    TenantId tenant = 0;
+  };
+
+  /// Rethrow the flush failure owned by `ticket`, if any (mu_ held).
+  void rethrow_if_failed_locked(std::size_t ticket) const {
+    const auto it = failed_.find(ticket);
+    if (it != failed_.end()) std::rethrow_exception(it->second);
+  }
+
+  static std::vector<sparse::Matrix<T>> make_one(sparse::Matrix<T> base) {
+    std::vector<sparse::Matrix<T>> v;
+    v.push_back(std::move(base));
+    return v;
+  }
+
+  /// Exact flop count of q against base `bi`: Σ over lhs entries of the
   /// matching base-row length. O(nnz(lhs) · log) — cheap next to the
   /// product itself, and what makes the flop-budget admission exact.
-  std::uint64_t query_flops(const Query<S>& q) const {
-    const auto b = base_.view();
+  std::uint64_t query_flops(std::size_t bi, const Query<S>& q) const {
+    const auto b = bases_[bi].view();
     const bool b_full = b.n_nonempty_rows() == b.nrows;
     const auto a = q.lhs.view();
     std::uint64_t flops = 0;
@@ -123,13 +355,190 @@ class Executor {
     return flops;
   }
 
-  sparse::Matrix<T> base_;
+  /// Admission under mu_: one batch, drained round-robin across tenants in
+  /// ascending id order starting after the last tenant served, each pass
+  /// taking at most one query per tenant. Closes on max_batch_queries /
+  /// max_batch_flops / quota exhaustion; the first query of a batch is
+  /// always admitted so zero budgets still make progress.
+  std::vector<Pending> next_batch_locked() {
+    std::vector<Pending> batch;
+    if (n_pending_ == 0) return batch;
+    std::vector<TenantId> ids;
+    ids.reserve(queues_.size());
+    for (const auto& [t, dq] : queues_) {
+      if (!dq.empty()) ids.push_back(t);
+    }
+    if (ids.empty()) return batch;
+    std::size_t start = 0;
+    while (start < ids.size() && ids[start] < rr_cursor_) ++start;
+    if (start == ids.size()) start = 0;
+
+    const auto maxq = static_cast<std::size_t>(cfg_.max_batch_queries);
+    std::uint64_t batch_flops = 0;
+    std::map<TenantId, std::uint64_t> used;
+    std::map<TenantId, bool> quota_deferred;
+    bool progress = true;
+    while (progress && batch.size() < maxq) {
+      progress = false;
+      for (std::size_t k = 0; k < ids.size() && batch.size() < maxq; ++k) {
+        const TenantId t = ids[(start + k) % ids.size()];
+        auto& dq = queues_[t];
+        if (dq.empty()) continue;
+        const auto& head = dq.front();
+        if (!batch.empty()) {
+          const bool over_quota =
+              used[t] + head.flops > cfg_.tenant_flop_quota;
+          if (over_quota) quota_deferred[t] = true;
+          if (over_quota ||
+              batch_flops + head.flops > cfg_.max_batch_flops) {
+            continue;
+          }
+        }
+        batch_flops += head.flops;
+        used[t] += head.flops;
+        batch.push_back(std::move(dq.front()));
+        dq.pop_front();
+        --n_pending_;
+        rr_cursor_ = t + 1;
+        progress = true;
+      }
+    }
+    for (const auto& [t, _] : quota_deferred) {
+      if (!queues_[t].empty()) ++tstats_[t].deferrals;
+    }
+    return batch;
+  }
+
+  /// One full drain: admit → run (kernel outside mu_, so submits keep
+  /// flowing) → settle results, repeated until the queue is empty. Whole
+  /// drains serialize on flush_mu_.
+  void flush_impl() {
+    std::lock_guard flush_lock(flush_mu_);
+    while (true) {
+      std::vector<Pending> batch;
+      {
+        std::lock_guard lock(mu_);
+        batch = next_batch_locked();
+      }
+      if (batch.empty()) return;
+      try {
+        run_admitted(batch);
+      } catch (...) {
+        // Route the failure to the batch's tickets so their wait()/poll()
+        // rethrows it, then propagate: synchronous callers see the throw,
+        // the background loop catches it and keeps serving later batches.
+        {
+          std::lock_guard lock(mu_);
+          for (const auto& p : batch) {
+            failed_.emplace(p.ticket, std::current_exception());
+          }
+        }
+        done_cv_.notify_all();
+        throw;
+      }
+    }
+  }
+
+  void run_admitted(std::vector<Pending>& batch) {
+    std::vector<Query<S>> qs;
+    std::vector<std::size_t> ids;
+    qs.reserve(batch.size());
+    ids.reserve(batch.size());
+    bool mixed = false;
+    for (auto& p : batch) {
+      qs.push_back(std::move(p.q));
+      ids.push_back(p.base);
+      mixed |= p.base != batch.front().base;
+    }
+    ServeStats ss;
+    std::vector<sparse::Matrix<T>> rs;
+    if (!mixed) {
+      // Single-base batch: the plain coalesced path, bit for bit.
+      rs = run_batch(bases_[ids.front()], qs, cfg_.strategy, &ss);
+    } else if (cfg_.strategy == sparse::MxmStrategy::kGustavson &&
+               stacked_cols_ > sparse::kMaxGustavsonWidth) {
+      // Forced dense scratch that fits per base (checked at construction)
+      // but not stacked: group the batch per base and run each group as
+      // its own coalesced launch — never restack, never widen the scratch.
+      std::vector<const Query<S>*> ptrs;
+      ptrs.reserve(qs.size());
+      for (const auto& q : qs) ptrs.push_back(&q);
+      rs = detail::run_batch_per_base<S>(
+          [this](std::size_t id) -> const sparse::Matrix<T>& {
+            return bases_[id];
+          },
+          ptrs, ids, cfg_.strategy, &ss);
+    } else {
+      // Mixed-base batch on the stack cached at construction: ONE launch.
+      rs = run_batch_on_stack<S>(stack_, qs, ids, cfg_.strategy, &ss);
+    }
+    {
+      std::lock_guard lock(mu_);
+      std::map<TenantId, bool> seen;
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        results_[batch[k].ticket] = std::move(rs[k]);
+        auto& ts = tstats_[batch[k].tenant];
+        ++ts.queries;
+        ts.rows += batch[k].rows;
+        ts.flops += batch[k].flops;
+        if (!seen[batch[k].tenant]) {
+          seen[batch[k].tenant] = true;
+          ++ts.batches;
+        }
+      }
+      stats_ += ss;
+    }
+    done_cv_.notify_all();
+  }
+
+  /// Background flush loop (async mode): wake on queue depth, an explicit
+  /// nudge (wait()/shutdown), or the flush_interval deadline.
+  void flush_loop() {
+    std::unique_lock lock(mu_);
+    while (!stopping_) {
+      queue_cv_.wait_for(lock, cfg_.flush_interval, [&] {
+        return stopping_ || force_flush_ ||
+               n_pending_ >= static_cast<std::size_t>(cfg_.flush_queue_depth);
+      });
+      if (stopping_) break;
+      force_flush_ = false;
+      if (n_pending_ == 0) continue;
+      lock.unlock();
+      try {
+        flush_impl();
+      } catch (...) {
+        // Already routed to the failed tickets; the loop keeps serving.
+      }
+      lock.lock();
+    }
+    flusher_running_ = false;
+    lock.unlock();
+    done_cv_.notify_all();
+  }
+
+  std::vector<sparse::Matrix<T>> bases_;
   Config cfg_;
+  sparse::BaseStack<T> stack_;    ///< cached blkdiag stack (≥ 2 bases only)
+  sparse::Index stacked_cols_ = 0;
+
+  mutable std::mutex mu_;       ///< queues, results, stats, lifecycle flags
+  std::mutex flush_mu_;         ///< serializes whole-queue drains
+  std::condition_variable queue_cv_;  ///< wakes the flush thread
+  std::condition_variable done_cv_;   ///< wakes wait()ers
+
   ServeStats stats_;
-  std::vector<Query<S>> pending_;
-  std::vector<std::uint64_t> pending_flops_;
-  std::vector<std::size_t> pending_tickets_;
+  std::map<TenantId, TenantStats> tstats_;
+  std::map<TenantId, std::deque<Pending>> queues_;
+  std::size_t n_pending_ = 0;
+  TenantId rr_cursor_ = 0;  ///< round-robin resumes at the first id >= this
   std::deque<std::optional<sparse::Matrix<T>>> results_;
+  std::map<std::size_t, std::exception_ptr> failed_;  ///< ticket → flush error
+
+  std::thread flusher_;
+  bool flusher_running_ = false;
+  bool force_flush_ = false;
+  bool stopping_ = false;    ///< refuses new submits; flusher exits
+  bool terminated_ = false;  ///< results are final; absent ⇒ dropped
 };
 
 }  // namespace hyperspace::serve

@@ -346,17 +346,30 @@ struct MaskBitmapScratch {
 
 /// One resolved mask row: a sorted column span, the sense, and (optionally)
 /// an armed bitmap for O(1) probes. Shared by every masked policy.
+/// `col_shift` supports two-sided batched blocks (multi-base serving):
+/// the mask's columns live in its query's LOCAL column space, so a stacked
+/// output column j probes at j − col_shift. Probes that fall outside the
+/// local space miss structurally (hit = false).
 struct MaskRow {
   std::span<const Index> cols;
   bool complement = false;
   const std::uint64_t* bits = nullptr;
+  Index col_shift = 0;  ///< stacked column j probes local column j − shift
+  Index bit_limit = 0;  ///< armed bitmap width (meaningful iff bits != null)
 
   bool all_blocked() const { return !complement && cols.empty(); }
   bool all_allowed() const { return complement && cols.empty(); }
   bool allowed(Index j) const {
-    const bool hit =
-        bits ? ((bits[static_cast<std::size_t>(j >> 6)] >> (j & 63)) & 1) != 0
-             : std::binary_search(cols.begin(), cols.end(), j);
+    const Index c = j - col_shift;
+    bool hit;
+    if (c < 0) {
+      hit = false;
+    } else if (bits) {
+      hit = c < bit_limit &&
+            ((bits[static_cast<std::size_t>(c >> 6)] >> (c & 63)) & 1) != 0;
+    } else {
+      hit = std::binary_search(cols.begin(), cols.end(), c);
+    }
     return hit != complement;
   }
 };
@@ -367,16 +380,19 @@ struct MaskRow {
 /// whole-row fast paths.
 template <typename U>
 MaskRow mask_row_lookup(const SparseView<U>& m, Index r, MaskDesc desc,
-                        std::size_t flops_hint, MaskBitmapScratch& scratch) {
+                        std::size_t flops_hint, MaskBitmapScratch& scratch,
+                        Index col_shift = 0) {
   const auto it = std::lower_bound(m.row_ids.begin(), m.row_ids.end(), r);
-  if (it == m.row_ids.end() || *it != r) return {{}, desc.complement, nullptr};
+  if (it == m.row_ids.end() || *it != r) {
+    return {{}, desc.complement, nullptr, col_shift, 0};
+  }
   const auto ri = static_cast<std::size_t>(it - m.row_ids.begin());
   const auto cols = m.row_cols(ri);
   const std::uint64_t* bits = nullptr;
   if (use_bitmap_probe(desc.probe, cols.size(), flops_hint, m.ncols)) {
     bits = scratch.arm(cols, m.ncols);
   }
-  return {cols, desc.complement, bits};
+  return {cols, desc.complement, bits, col_shift, bits ? m.ncols : Index{0}};
 }
 
 /// No-mask policy: every column is allowed; compiles out of the driver.
@@ -418,6 +434,10 @@ struct BatchMask {
   SparseView<U> m;
   std::span<const Index> row_offsets;  ///< size K+1, ascending
   std::span<const MaskDesc> descs;     ///< size K, one per query block
+  /// Two-sided blocks (multi-base serving): block q's mask columns are in
+  /// its base's local column space, so stacked column j probes j −
+  /// col_offsets[q]. Empty ⇒ one shared column space (no shift).
+  std::span<const Index> col_offsets{};
 
   using Scratch = MaskBitmapScratch;
   using Row = MaskRow;
@@ -426,7 +446,8 @@ struct BatchMask {
     const auto q = static_cast<std::size_t>(
         std::upper_bound(row_offsets.begin(), row_offsets.end(), r) -
         row_offsets.begin() - 1);
-    return mask_row_lookup(m, r, descs[q], flops_hint, s);
+    const Index shift = col_offsets.empty() ? Index{0} : col_offsets[q];
+    return mask_row_lookup(m, r, descs[q], flops_hint, s, shift);
   }
 };
 
@@ -442,6 +463,10 @@ struct MultiMask {
   std::span<const SparseView<U>> views;  ///< size K, one per query block
   std::span<const Index> row_offsets;    ///< size K+1, ascending
   std::span<const MaskDesc> descs;       ///< size K
+  /// Per-block column shift for two-sided (multi-base) stacks: block q's
+  /// mask addresses its own base's column space, so stacked column j
+  /// probes local column j − col_offsets[q]. Empty ⇒ no shift.
+  std::span<const Index> col_offsets{};
 
   using Scratch = MaskBitmapScratch;
   using Row = MaskRow;
@@ -450,8 +475,9 @@ struct MultiMask {
     const auto q = static_cast<std::size_t>(
         std::upper_bound(row_offsets.begin(), row_offsets.end(), r) -
         row_offsets.begin() - 1);
+    const Index shift = col_offsets.empty() ? Index{0} : col_offsets[q];
     return mask_row_lookup(views[q], r - row_offsets[q], descs[q],
-                           flops_hint, s);
+                           flops_hint, s, shift);
   }
 };
 

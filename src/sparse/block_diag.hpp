@@ -42,9 +42,20 @@ struct Block {
 template <typename T>
 Matrix<T> concat_blocks(Index nrows, Index ncols, std::vector<Block<T>> blocks,
                         T implicit_zero = T{}) {
+  for (const auto& b : blocks) {
+    if (b.m == nullptr) throw std::invalid_argument("concat_blocks: null block");
+  }
+  // Zero-row blocks share their row_offset with the block that follows
+  // them; ties break on height so empty blocks sort FIRST and the overlap
+  // validation below (row_offset < prev_end) doesn't reject a valid
+  // batch. Equal (offset, height) pairs are both empty and interchangeable,
+  // so the unstable sort is still deterministic in its output.
   std::sort(blocks.begin(), blocks.end(),
             [](const Block<T>& a, const Block<T>& b) {
-              return a.row_offset < b.row_offset;
+              if (a.row_offset != b.row_offset) {
+                return a.row_offset < b.row_offset;
+              }
+              return a.m->nrows() < b.m->nrows();
             });
   // Views are gathered serially: CSR's view() materializes its row-id cache
   // on first use and must not race.
@@ -187,6 +198,42 @@ Matrix<T> block_diag(const std::vector<const Matrix<T>*>& parts,
   }
   return concat_blocks(nrows, ncols, std::move(blocks),
                        std::move(implicit_zero));
+}
+
+/// A block-diagonal stack of base matrices plus the offset bookkeeping the
+/// multi-base serving engine needs: base g occupies rows
+/// [row_offsets[g], row_offsets[g+1]) and columns
+/// [col_offsets[g], col_offsets[g+1]) of `stacked`. A query against base g
+/// coalesces by placing its lhs at column offset row_offsets[g] (lhs
+/// columns index base rows) and reading its result columns rebased by
+/// col_offsets[g].
+template <typename T>
+struct BaseStack {
+  Matrix<T> stacked;               ///< blkdiag(B_0 .. B_{G-1})
+  std::vector<Index> row_offsets;  ///< size G+1
+  std::vector<Index> col_offsets;  ///< size G+1
+};
+
+/// Stack bases block-diagonally, in the given order, returning the stack
+/// and both offset tables. Same deterministic parallel assembly as
+/// block_diag — this is block_diag with the offsets kept.
+template <typename T>
+BaseStack<T> stack_bases(std::span<const Matrix<T>* const> bases,
+                         T implicit_zero = T{}) {
+  BaseStack<T> s;
+  s.row_offsets.assign(1, 0);
+  s.col_offsets.assign(1, 0);
+  std::vector<Block<T>> blocks;
+  blocks.reserve(bases.size());
+  for (const auto* b : bases) {
+    if (b == nullptr) throw std::invalid_argument("stack_bases: null base");
+    blocks.push_back({b, s.row_offsets.back(), s.col_offsets.back()});
+    s.row_offsets.push_back(s.row_offsets.back() + b->nrows());
+    s.col_offsets.push_back(s.col_offsets.back() + b->ncols());
+  }
+  s.stacked = concat_blocks(s.row_offsets.back(), s.col_offsets.back(),
+                            std::move(blocks), std::move(implicit_zero));
+  return s;
 }
 
 /// Scatter — the inverse of concat_rows: split rows [offsets[q],

@@ -302,4 +302,34 @@ Matrix<typename S::value_type> mxm_masked_batched(
   return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
 }
 
+/// Two-sided batched masked product — the multi-base serving kernel. As
+/// above, rows of A are partitioned into K query blocks by `row_offsets`;
+/// additionally each block's OUTPUT columns are offset: block q's slice of
+/// B is a diagonal block starting at column col_offsets[q] (B is typically
+/// sparse::block_diag of per-query bases), while the stacked mask M keeps
+/// each block's mask rows in the block's LOCAL column space. A product
+/// landing at stacked column j therefore probes M at (r, j −
+/// col_offsets[q]). With col_offsets all zero this degenerates to the
+/// one-sided overload. M's column count is the widest local block, so no
+/// shape identity with B is required — only M.nrows() == A.nrows().
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> mxm_masked_batched(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, const Matrix<U>& M,
+    std::span<const Index> row_offsets, std::span<const Index> col_offsets,
+    std::span<const MaskDesc> descs, MxmMaskStats* stats = nullptr,
+    MxmStrategy strategy = MxmStrategy::kAuto) {
+  if (M.nrows() != A.nrows()) {
+    throw std::invalid_argument("mxm_masked_batched: mask shape mismatch");
+  }
+  if (row_offsets.size() != descs.size() + 1 || descs.empty() ||
+      col_offsets.size() != descs.size() || row_offsets.front() != 0 ||
+      row_offsets.back() != A.nrows() ||
+      !std::is_sorted(row_offsets.begin(), row_offsets.end())) {
+    throw std::invalid_argument("mxm_masked_batched: bad block offsets");
+  }
+  const detail::BatchMask<U> mask{M.view(), row_offsets, descs, col_offsets};
+  return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
+}
+
 }  // namespace hyperspace::sparse

@@ -88,9 +88,19 @@ class ThreadPool {
   /// `job` must not throw (callers wrap bodies in try/catch).
   /// Reentrant calls (a worker body spawning another region) run the inner
   /// job inline on the calling thread — mirroring OpenMP's default
-  /// serialized nested regions — since the pool has one job slot.
+  /// serialized nested regions — since the pool has one job slot. For the
+  /// same reason, a second OS thread arriving while the pool is busy (the
+  /// serving executor's background flush thread racing the submitting
+  /// thread) runs its job inline instead of queueing: single-threaded
+  /// execution is always bit-identical, so contention costs parallelism,
+  /// never correctness.
   void run(int nthreads, const std::function<void(int)>& job) {
     if (nthreads <= 1 || inside_region()) {
+      job(0);
+      return;
+    }
+    std::unique_lock region(region_mu_, std::try_to_lock);
+    if (!region.owns_lock()) {
       job(0);
       return;
     }
@@ -155,6 +165,7 @@ class ThreadPool {
     }
   }
 
+  std::mutex region_mu_;  ///< one region at a time; losers run inline
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

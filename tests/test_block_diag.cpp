@@ -177,4 +177,61 @@ TEST(ConcatBlocks, ThreadCountInvariant) {
   }
 }
 
+TEST(ConcatBlocks, ManyZeroRowBlocksAtSharedOffsetsSortStably) {
+  // Zero-row blocks share their row offset with the following block; with
+  // enough blocks to leave std::sort's insertion-sort regime, an
+  // offset-only comparator could order an empty block AFTER its
+  // equal-offset neighbor and make validation reject a valid batch. The
+  // height tie-break must keep this assembling — in any input order.
+  const int kPairs = 48;
+  std::vector<Matrix<double>> mats;
+  std::vector<Block<double>> blocks;
+  Index off = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    mats.push_back(Matrix<double>(0, 4));  // zero-row block
+    mats.push_back(make_matrix<S>(1, 4, {{0, i % 4, 1.0 + i}}));
+  }
+  for (int i = 0; i < kPairs; ++i) {
+    blocks.push_back({&mats[static_cast<std::size_t>(2 * i)], off, 0});
+    blocks.push_back({&mats[static_cast<std::size_t>(2 * i + 1)], off, 0});
+    off += 1;
+  }
+  // Reversed input order: every empty block now ARRIVES after its
+  // equal-offset neighbor.
+  std::reverse(blocks.begin(), blocks.end());
+  const auto c = concat_blocks<double>(off, 4, blocks);
+  EXPECT_EQ(c.nrows(), static_cast<Index>(kPairs));
+  EXPECT_EQ(c.nnz(), static_cast<std::size_t>(kPairs));
+  for (int i = 0; i < kPairs; ++i) {
+    EXPECT_EQ(c.get(i, i % 4), 1.0 + i) << "row=" << i;
+  }
+  // Genuinely overlapping non-empty blocks must still throw.
+  const auto a = make_matrix<S>(2, 4, {{0, 0, 1.0}});
+  const auto b = make_matrix<S>(2, 4, {{1, 1, 2.0}});
+  EXPECT_THROW(concat_blocks<double>(3, 4, {{&a, 0, 0}, {&b, 1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(StackBases, OffsetsAndBlockDiagPlacement) {
+  const auto b0 = random_matrix(4, 3, 8, 1);
+  const auto b1 = random_matrix(2, 5, 6, 2);
+  const auto b2 = Matrix<double>(3, 2);  // empty base
+  const auto st =
+      stack_bases<double>(std::vector<const Matrix<double>*>{&b0, &b1, &b2});
+  EXPECT_EQ(st.row_offsets, (std::vector<Index>{0, 4, 6, 9}));
+  EXPECT_EQ(st.col_offsets, (std::vector<Index>{0, 3, 8, 10}));
+  EXPECT_EQ(st.stacked.nrows(), 9);
+  EXPECT_EQ(st.stacked.ncols(), 10);
+  EXPECT_EQ(st.stacked.nnz(), b0.nnz() + b1.nnz());
+  // Spot-check placement: every b1 entry lands offset by (4, 3).
+  const auto v = b1.view();
+  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+    const auto rc = v.row_cols(ri);
+    const auto rv = v.row_vals(ri);
+    for (std::size_t j = 0; j < rc.size(); ++j) {
+      EXPECT_EQ(st.stacked.get(v.row_ids[ri] + 4, rc[j] + 3), rv[j]);
+    }
+  }
+}
+
 }  // namespace

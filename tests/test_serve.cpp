@@ -203,6 +203,256 @@ TEST(MxmMaskedBatched, BadOffsetsThrow) {
 }
 
 // --------------------------------------------------------------------------
+// Multi-base coalescing: queries against different bases share one launch.
+
+/// Ragged queries against one (nrows × ncols) base: unmasked, plain- and
+/// complement-masked, select, and empty.
+template <semiring::Semiring Sr, typename Gen>
+std::vector<serve::Query<Sr>> base_queries(Index nrows, Index ncols,
+                                           std::uint64_t seed, Gen&& entry) {
+  using Q = serve::Query<Sr>;
+  std::vector<Q> qs;
+  qs.push_back(Q::mtimes(random_matrix<Sr>(5, nrows, 30, seed + 1, entry)));
+  qs.push_back(
+      Q::mtimes_masked(random_matrix<Sr>(4, nrows, 24, seed + 2, entry),
+                       random_matrix<Sr>(4, ncols, 40, seed + 3, entry)));
+  qs.push_back(
+      Q::mtimes_masked(random_matrix<Sr>(3, nrows, 18, seed + 4, entry),
+                       random_matrix<Sr>(3, ncols, 12, seed + 5, entry),
+                       {.complement = true}));
+  qs.push_back(Q::select({0, nrows - 1}, nrows));
+  qs.push_back(Q::mtimes(random_matrix<Sr>(2, nrows, 0, seed + 6, entry)));
+  return qs;
+}
+
+template <semiring::Semiring Sr, typename Gen>
+void expect_multi_batched_equals_sequential(std::uint64_t seed, Gen&& entry) {
+  using T = typename Sr::value_type;
+  // Bases of different shapes AND column spaces — the two-sided case.
+  const auto b0 = random_matrix<Sr>(48, 48, 280, seed, entry);
+  const auto b1 = random_matrix<Sr>(32, 20, 180, seed + 50, entry);
+  const auto b2 = random_matrix<Sr>(16, 64, 100, seed + 90, entry);
+  const std::vector<const Matrix<T>*> bases{&b0, &b1, &b2};
+
+  // Interleave per-base query mixes so no base's queries are contiguous.
+  std::vector<serve::Query<Sr>> qs;
+  std::vector<std::size_t> ids;
+  auto q0 = base_queries<Sr>(48, 48, seed + 11, entry);
+  auto q1 = base_queries<Sr>(32, 20, seed + 22, entry);
+  auto q2 = base_queries<Sr>(16, 64, seed + 33, entry);
+  for (std::size_t i = 0; i < q0.size(); ++i) {
+    qs.push_back(std::move(q0[i]));
+    ids.push_back(0);
+    qs.push_back(std::move(q2[i]));
+    ids.push_back(2);
+    qs.push_back(std::move(q1[i]));
+    ids.push_back(1);
+  }
+
+  for (const int nt : {1, 2, 8}) {
+    ThreadGuard guard(nt);
+    serve::ServeStats stats;
+    const auto batched = serve::run_batch_multi<Sr>(
+        bases, qs, ids, MxmStrategy::kAuto, &stats);
+    ASSERT_EQ(batched.size(), qs.size());
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_EQ(batched[i], serve::run_single(*bases[ids[i]], qs[i]))
+          << "threads=" << nt << " query=" << i << " base=" << ids[i];
+    }
+    EXPECT_EQ(stats.queries, qs.size());
+    EXPECT_EQ(stats.kernel_launches, 1u);
+    EXPECT_EQ(stats.launches_saved, qs.size() - 1);
+  }
+}
+
+TEST(ServeMultiBase, ArithmeticSemiringAllThreadCounts) {
+  expect_multi_batched_equals_sequential<semiring::PlusTimes<double>>(
+      401, dbl_entry);
+}
+
+TEST(ServeMultiBase, TropicalSemiringAllThreadCounts) {
+  expect_multi_batched_equals_sequential<semiring::MinPlus<double>>(
+      502, [](util::Xoshiro256& r) { return r.uniform(0.0, 10.0); });
+}
+
+TEST(ServeMultiBase, SetSemiringAllThreadCounts) {
+  expect_multi_batched_equals_sequential<semiring::UnionIntersect>(
+      603, [](util::Xoshiro256& r) {
+        return semiring::ValueSet{static_cast<std::int64_t>(r.bounded(16)),
+                                  static_cast<std::int64_t>(r.bounded(16))};
+      });
+}
+
+TEST(ServeMultiBase, EveryStrategyBitIdentical) {
+  const auto b0 = random_matrix<S>(40, 40, 240, 71, dbl_entry);
+  const auto b1 = random_matrix<S>(24, 32, 150, 72, dbl_entry);
+  const std::vector<const Matrix<double>*> bases{&b0, &b1};
+  std::vector<serve::Query<S>> qs;
+  std::vector<std::size_t> ids;
+  auto q0 = base_queries<S>(40, 40, 73, dbl_entry);
+  auto q1 = base_queries<S>(24, 32, 74, dbl_entry);
+  for (auto& q : q0) {
+    qs.push_back(std::move(q));
+    ids.push_back(0);
+  }
+  for (auto& q : q1) {
+    qs.push_back(std::move(q));
+    ids.push_back(1);
+  }
+  // kGustavson included: both bases fit a dense scratch, and so does the
+  // stacked column space — the coalesced path, not the per-base fallback.
+  for (const auto strat : {MxmStrategy::kGustavson, MxmStrategy::kHash,
+                           MxmStrategy::kSorted}) {
+    const auto batched = serve::run_batch_multi<S>(bases, qs, ids, strat);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_EQ(batched[i], serve::run_single(*bases[ids[i]], qs[i], strat))
+          << "strategy=" << static_cast<int>(strat) << " query=" << i;
+    }
+  }
+}
+
+TEST(ServeMultiBase, SingleBaseIdsDelegateToSingleBasePath) {
+  const auto b0 = random_matrix<S>(32, 32, 200, 81, dbl_entry);
+  const std::vector<const Matrix<double>*> bases{&b0};
+  const auto qs = ragged_batch<S>(32, 82, dbl_entry);
+  const std::vector<std::size_t> ids(qs.size(), 0);
+  serve::ServeStats st;
+  const auto multi =
+      serve::run_batch_multi<S>(bases, qs, ids, MxmStrategy::kAuto, &st);
+  const auto single = serve::run_batch(b0, qs);
+  ASSERT_EQ(multi.size(), single.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(multi[i], single[i]) << "query=" << i;
+  }
+  EXPECT_EQ(st.kernel_launches, 1u);
+}
+
+TEST(ServeMultiBase, HypersparseBasesCoalesce) {
+  // Stacked column space far beyond the dense-accumulator cap: the
+  // coalesced product must route through the flat hash and stay exact.
+  const Index huge = Index{1} << 30;
+  const auto b0 = random_matrix<S>(64, huge, 120, 91, dbl_entry);
+  const auto b1 = random_matrix<S>(32, 32, 150, 92, dbl_entry);
+  const std::vector<const Matrix<double>*> bases{&b0, &b1};
+  std::vector<serve::Query<S>> qs;
+  std::vector<std::size_t> ids;
+  qs.push_back(serve::Query<S>::mtimes(
+      random_matrix<S>(3, 64, 12, 93, dbl_entry)));
+  ids.push_back(0);
+  qs.push_back(serve::Query<S>::mtimes(
+      random_matrix<S>(2, 32, 10, 94, dbl_entry)));
+  ids.push_back(1);
+  for (const int nt : {1, 8}) {
+    ThreadGuard guard(nt);
+    const auto batched = serve::run_batch_multi<S>(bases, qs, ids);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_EQ(batched[i], serve::run_single(*bases[ids[i]], qs[i]))
+          << "query=" << i;
+    }
+  }
+}
+
+TEST(ServeMultiBase, GustavsonTooWideForStackFallsBackPerBase) {
+  // Each base alone fits the dense scratch, the stack would not: forced
+  // kGustavson must fall back to one batch per base and stay exact.
+  const Index wide = (Index{1} << 23) + 8;  // 2 × wide > kMaxGustavsonWidth
+  const auto b0 = random_matrix<S>(16, wide, 60, 95, dbl_entry);
+  const auto b1 = random_matrix<S>(16, wide, 60, 96, dbl_entry);
+  ASSERT_GT(2 * wide, kMaxGustavsonWidth);
+  const std::vector<const Matrix<double>*> bases{&b0, &b1};
+  std::vector<serve::Query<S>> qs;
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    qs.push_back(serve::Query<S>::mtimes(random_matrix<S>(
+        2, 16, 8, 97 + static_cast<std::uint64_t>(i), dbl_entry)));
+    ids.push_back(static_cast<std::size_t>(i % 2));
+  }
+  serve::ServeStats st;
+  const auto batched = serve::run_batch_multi<S>(
+      bases, qs, ids, MxmStrategy::kGustavson, &st);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(batched[i], serve::run_single(*bases[ids[i]], qs[i],
+                                            MxmStrategy::kGustavson))
+        << "query=" << i;
+  }
+  EXPECT_EQ(st.kernel_launches, 2u);  // one per base, still batched within
+  EXPECT_EQ(st.queries, 4u);
+}
+
+TEST(ServeMultiBase, BadBaseIdsThrow) {
+  const auto b0 = random_matrix<S>(8, 8, 20, 99, dbl_entry);
+  const std::vector<const Matrix<double>*> bases{&b0};
+  const std::vector<serve::Query<S>> qs{
+      serve::Query<S>::mtimes(random_matrix<S>(1, 8, 4, 100, dbl_entry))};
+  EXPECT_THROW(serve::run_batch_multi<S>(bases, qs,
+                                         std::vector<std::size_t>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(serve::run_batch_multi<S>(bases, qs,
+                                         std::vector<std::size_t>{}),
+               std::invalid_argument);
+}
+
+TEST(MxmMaskedBatched, TwoSidedBlocksMatchPerBlockMasked) {
+  // The public two-sided kernel: stacked lhs against block_diag(B0, B1),
+  // with each block's mask kept in its base's LOCAL column space.
+  const Index n0 = 24, c0 = 20, n1 = 16, c1 = 40;
+  const auto b0 = random_matrix<S>(n0, c0, 120, 111, dbl_entry);
+  const auto b1 = random_matrix<S>(n1, c1, 140, 112, dbl_entry);
+  const auto a0 = random_matrix<S>(5, n0, 30, 113, dbl_entry);
+  const auto a1 = random_matrix<S>(4, n1, 24, 114, dbl_entry);
+  const auto m0 = random_matrix<S>(5, c0, 40, 115, dbl_entry);
+  const auto m1 = random_matrix<S>(4, c1, 30, 116, dbl_entry);
+
+  const auto stack =
+      sparse::stack_bases<double>(std::vector<const Matrix<double>*>{&b0, &b1});
+  // Stacked lhs: block q's columns shift into base q's row band.
+  const auto A = sparse::concat_blocks<double>(
+      9, stack.stacked.nrows(),
+      {{&a0, 0, stack.row_offsets[0]}, {&a1, 5, stack.row_offsets[1]}});
+  // Stacked mask: per-block rows, columns left LOCAL (ncols = widest).
+  std::vector<Triple<double>> mt;
+  for (const auto& t : m0.to_triples()) mt.push_back(t);
+  for (const auto& t : m1.to_triples()) mt.push_back({t.row + 5, t.col, t.val});
+  const auto M = Matrix<double>::from_canonical_triples(9, c1, mt);
+
+  const std::vector<Index> row_offsets{0, 5, 9};
+  const std::vector<Index> col_offsets{stack.col_offsets[0],
+                                       stack.col_offsets[1]};
+  const std::vector<MaskDesc> descs{{}, {.complement = true}};
+
+  for (const int nt : {1, 8}) {
+    ThreadGuard guard(nt);
+    MxmMaskStats ms;
+    const auto C = mxm_masked_batched<S>(A, stack.stacked, M, row_offsets,
+                                         col_offsets, descs, &ms);
+    const auto c0_want = mxm_masked<S>(a0, b0, m0, descs[0]);
+    const auto c1_want = mxm_masked<S>(a1, b1, m1, descs[1]);
+    // Expected stack: per-block results at their (row, col) offsets.
+    const auto want = sparse::concat_blocks<double>(
+        9, stack.col_offsets.back(),
+        {{&c0_want, 0, col_offsets[0]}, {&c1_want, 5, col_offsets[1]}});
+    EXPECT_EQ(C, want) << "threads=" << nt;
+    // Exact per-flop accounting survives the two-sided probe.
+    MxmMaskStats ms0, ms1;
+    (void)mxm_masked<S>(a0, b0, m0, descs[0], &ms0);
+    (void)mxm_masked<S>(a1, b1, m1, descs[1], &ms1);
+    EXPECT_EQ(ms.flops_kept, ms0.flops_kept + ms1.flops_kept);
+    EXPECT_EQ(ms.flops_skipped, ms0.flops_skipped + ms1.flops_skipped);
+  }
+}
+
+TEST(MxmMaskedBatched, TwoSidedBadOffsetsThrow) {
+  const auto a = random_matrix<S>(4, 4, 8, 121, dbl_entry);
+  const auto m = random_matrix<S>(4, 4, 8, 122, dbl_entry);
+  const std::vector<MaskDesc> descs(2);
+  // col_offsets size must match descs.
+  EXPECT_THROW(
+      mxm_masked_batched<S>(a, a, m, std::vector<Index>{0, 2, 4},
+                            std::vector<Index>{0}, descs),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
 // Executor: queue, admission policy, stats.
 
 TEST(Executor, TicketsResolveInSubmissionOrder) {
@@ -404,6 +654,71 @@ TEST(PlannedBatch, RoutesCoalescesAndFallsBack) {
   EXPECT_EQ(ps.products_skipped, 2);
   EXPECT_EQ(ss.kernel_launches, 1u);
   EXPECT_EQ(ss.queries, 2u);
+}
+
+TEST(ArrayMultiBatch, MatchesSequentialAcrossBases) {
+  const auto base0 = entity_array({"a", "b", "c"}, {"x", "y"}, 71, 100);
+  const auto base1 = entity_array({"p", "q"}, {"u", "v", "w"}, 72, 100);
+  const std::vector<const array::AssocArray<S>*> bases{&base0, &base1};
+  std::vector<array::MultiBatchQuery<S>> qs;
+  qs.push_back({0, {entity_array({"k0"}, {"a", "c"}, 73, 100), std::nullopt, {}}});
+  qs.push_back({1, {entity_array({"k1"}, {"p", "q"}, 74, 100), std::nullopt, {}}});
+  qs.push_back({1,
+                {entity_array({"k2"}, {"q"}, 75, 100),
+                 entity_array({"k2"}, {"u", "w"}, 76, 100),
+                 {}}});
+  qs.push_back({0,
+                {entity_array({"k3"}, {"b"}, 77, 100),
+                 entity_array({"k3"}, {"y"}, 78, 100),
+                 {.complement = true}}});
+  serve::ServeStats st;
+  const auto rs = array::mtimes_batched_multi(bases, qs, &st);
+  ASSERT_EQ(rs.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto& base = *bases[qs[i].base];
+    const auto want =
+        qs[i].q.mask
+            ? array::mtimes_masked(qs[i].q.lhs, base, *qs[i].q.mask,
+                                   qs[i].q.desc)
+            : array::mtimes(qs[i].q.lhs, base);
+    EXPECT_EQ(rs[i], want) << "query=" << i;
+  }
+  EXPECT_EQ(st.kernel_launches, 1u);  // one launch across BOTH bases
+  EXPECT_EQ(st.launches_saved, 3u);
+}
+
+TEST(PlannedMultiBatch, RoutesCoalescesAndFallsBackPerBase) {
+  const auto base0 = entity_array({"a", "b", "c"}, {"x", "y"}, 81, 100);
+  const auto base1 = entity_array({"p", "q"}, {"u", "v"}, 82, 100);
+  const std::vector<const array::AssocArray<S>*> bases{&base0, &base1};
+  std::vector<array::MultiBatchQuery<S>> qs;
+  // Batchable against base 0.
+  qs.push_back({0, {entity_array({"k0"}, {"a", "b"}, 83, 100), std::nullopt, {}}});
+  // Batchable against base 1.
+  qs.push_back({1, {entity_array({"k1"}, {"p"}, 84, 100), std::nullopt, {}}});
+  // Fallback: inner keys reach outside base 1's row key space.
+  qs.push_back(
+      {1, {entity_array({"k2"}, {"q", "stray"}, 85, 100), std::nullopt, {}}});
+  // Annihilated by §IV against base 0.
+  qs.push_back(
+      {0, {entity_array({"k3"}, {"nowhere"}, 86, 100), std::nullopt, {}}});
+  db::PlanStats ps;
+  serve::ServeStats ss;
+  const auto rs = db::planned_multi_batch(bases, qs, &ps, &ss);
+  ASSERT_EQ(rs.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto& base = *bases[qs[i].base];
+    const auto want =
+        qs[i].q.mask ? db::planned_mtimes_masked(qs[i].q.lhs, base,
+                                                 *qs[i].q.mask, qs[i].q.desc)
+                     : db::planned_mtimes(qs[i].q.lhs, base);
+    EXPECT_EQ(rs[i], want) << "query=" << i;
+  }
+  EXPECT_EQ(ps.batches, 1);
+  EXPECT_EQ(ps.queries_batched, 2);  // one per base, ONE cross-base launch
+  EXPECT_EQ(ps.queries_fallback, 1);
+  EXPECT_EQ(ps.products_skipped, 1);
+  EXPECT_EQ(ss.kernel_launches, 1u);
 }
 
 TEST(PlannedBatch, EmptyQueryListIsANoOp) {

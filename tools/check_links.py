@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links.
+
+Scans the given markdown files (and directories, recursively) for inline
+links/images `[text](target)` and reference definitions `[id]: target`,
+and fails if a relative target does not exist on disk. External links
+(http/https/mailto) are ignored — CI must not flake on the network — and
+pure in-page anchors (`#section`) are ignored; `file.md#anchor` checks
+that `file.md` exists and contains a heading matching `#anchor`.
+
+Usage: tools/check_links.py README.md ROADMAP.md docs
+Exit status: 0 when every intra-repo link resolves, 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+INLINE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def heading_anchors(md_path: pathlib.Path) -> set[str]:
+    """GitHub-style anchors for every heading in the file.
+
+    Mirrors GitHub's algorithm: markdown links collapse to their text,
+    formatting markers drop, then the heading lowercases, loses everything
+    but word characters / spaces / hyphens (parenthesized text KEEPS its
+    words — only the punctuation goes), and spaces become hyphens.
+    """
+    anchors = set()
+    text = FENCE.sub("", md_path.read_text(encoding="utf-8"))
+    for line in text.splitlines():
+        m = re.match(r"\s{0,3}#{1,6}\s+(.*)", line)
+        if not m:
+            continue
+        title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", m.group(1))
+        title = re.sub(r"[`*_]", "", title).strip()
+        anchor = re.sub(r"[^\w\s-]", "", title.lower())
+        anchor = re.sub(r"\s+", "-", anchor.strip())
+        anchors.add(anchor)
+    return anchors
+
+
+def collect_targets(md_path: pathlib.Path):
+    text = md_path.read_text(encoding="utf-8")
+    text = FENCE.sub("", text)  # links inside code fences are examples
+    for pattern in (INLINE, IMAGE, REFDEF):
+        for m in pattern.finditer(text):
+            yield m.group(1)
+
+
+def check_file(md_path: pathlib.Path) -> list[str]:
+    errors = []
+    for target in collect_targets(md_path):
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor; heading drift is a review concern
+        path_part, _, anchor = target.partition("#")
+        resolved = (md_path.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_path}: dead link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_anchors(resolved):
+                errors.append(
+                    f"{md_path}: missing anchor #{anchor} in {path_part}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files: list[pathlib.Path] = []
+    for arg in argv[1:]:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"check_links: no such file: {arg}", file=sys.stderr)
+            return 1
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {len(files)} files, {len(errors)} dead links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
