@@ -215,6 +215,7 @@ void bm_masked_probe(benchmark::State& state) {
       n, static_cast<std::size_t>(n) * n * density_tenths / 1000, 3);
   const auto probe = state.range(1) == 0   ? sparse::MaskProbe::kBinary
                      : state.range(1) == 1 ? sparse::MaskProbe::kBitmap
+                     : state.range(1) == 3 ? sparse::MaskProbe::kMerge
                                            : sparse::MaskProbe::kAuto;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -222,6 +223,7 @@ void bm_masked_probe(benchmark::State& state) {
   }
   state.SetLabel(std::string(state.range(1) == 0   ? "binary-search"
                              : state.range(1) == 1 ? "bitmap"
+                             : state.range(1) == 3 ? "merge"
                                                    : "auto") +
                  " probe, mask " + std::to_string(density_tenths / 10.0) +
                  "%");
@@ -230,9 +232,57 @@ BENCHMARK(bm_masked_probe)
     ->Args({100, 0})
     ->Args({100, 1})
     ->Args({100, 2})
+    ->Args({100, 3})
     ->Args({500, 0})
     ->Args({500, 1})
-    ->Args({500, 2});
+    ->Args({500, 2})
+    ->Args({500, 3});
+
+void bm_masked_probe_hypersparse(benchmark::State& state) {
+  // The band the merge probe exists for: long mask rows over a column
+  // space far too wide to arm a bitmap (2^40 — inadmissible outright), so
+  // the contest is binary search's O(log len) per product vs the merge's
+  // amortized cursor walk. Arg: 0 = kBinary forced, 1 = kMerge forced,
+  // 2 = kAuto (must pick the merge here).
+  const Index huge = Index{1} << 40;
+  const int rows = 256;
+  std::vector<sparse::Triple<double>> ta, tb, tm;
+  for (int r = 0; r < rows; ++r) {
+    ta.push_back({r, 7, 1.0});
+    ta.push_back({r, 11, 2.0});
+  }
+  // Two long B rows and a long mask row per output row: every product
+  // probes a 4096-entry sorted mask row in ascending column order.
+  for (int j = 0; j < 4096; ++j) {
+    const Index col = (Index{1} << 30) + j * (Index{1} << 18);
+    tb.push_back({7, col, 1.0 + j});
+    tb.push_back({11, col + 1, 2.0 + j});
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < 4096; j += 2) {
+      const Index col = (Index{1} << 30) + j * (Index{1} << 18);
+      tm.push_back({r, col, 1.0});
+    }
+  }
+  const auto a = sparse::Matrix<double>::from_unique_triples(rows, huge,
+                                                             std::move(ta));
+  const auto b = sparse::Matrix<double>::from_unique_triples(huge, huge,
+                                                             std::move(tb));
+  const auto m = sparse::Matrix<double>::from_unique_triples(rows, huge,
+                                                             std::move(tm));
+  const auto probe = state.range(0) == 0   ? sparse::MaskProbe::kBinary
+                     : state.range(0) == 1 ? sparse::MaskProbe::kMerge
+                                           : sparse::MaskProbe::kAuto;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::mxm_masked<S>(a, b, m, {.complement = false, .probe = probe}));
+  }
+  state.SetLabel(std::string(state.range(0) == 0   ? "binary-search"
+                             : state.range(0) == 1 ? "merge"
+                                                   : "auto") +
+                 " probe, hypersparse 2^40 column space");
+}
+BENCHMARK(bm_masked_probe_hypersparse)->Arg(0)->Arg(1)->Arg(2);
 
 void bm_masked_complement_bfs_style(benchmark::State& state) {
   // The BFS shape: thin frontier row-vector × adjacency with a dense

@@ -75,10 +75,17 @@ merge_reports "${TMPDIR_BENCH}/parallel" "${OUT_PARALLEL}"
 # SpGEMM accumulator + mask-fusion ablation: the flat-hash-vs-unordered_map,
 # fused-vs-unfused, and binary-vs-bitmap-probe acceptance numbers live here.
 run_bench spgemm ablation_spgemm \
-  "--benchmark_filter=(bm_hash_flat_vs_stdmap/.*|bm_sorted_accumulator/.*|bm_masked/.*|bm_masked_probe/.*|bm_masked_complement_bfs_style/.*|bm_hash_hypersparse/.*)"
+  "--benchmark_filter=(bm_hash_flat_vs_stdmap/.*|bm_sorted_accumulator/.*|bm_masked/.*|bm_masked_probe/.*|bm_masked_probe_hypersparse/.*|bm_masked_complement_bfs_style/.*|bm_hash_hypersparse/.*)"
 merge_reports "${TMPDIR_BENCH}/spgemm" "${OUT_SPGEMM}"
 
-# Batch-throughput sweep: K=1/8/64 queries, batched vs per-query dispatch —
-# the serving engine's acceptance numbers (launches saved, queries/s).
+# Batch-throughput sweep: K=1/8/64 queries, batched vs per-query dispatch,
+# plus the sharded-vs-unsharded router rows (N=1/2/4 at K=8/64) — the
+# serving engine's acceptance numbers (launches saved, queries/s).
 run_bench serve serve_throughput
 merge_reports "${TMPDIR_BENCH}/serve" "${OUT_SERVE}"
+
+# Schema sanity: a malformed artifact (truncated report, crashed binary,
+# renamed field) fails the run — and CI with it — instead of uploading a
+# file that silently breaks cross-PR comparisons.
+python3 "$(dirname "$0")/../tools/check_bench_json.py" \
+  "${OUT_PARALLEL}" "${OUT_SPGEMM}" "${OUT_SERVE}"

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "serve/executor.hpp"
+#include "serve/router.hpp"
 
 namespace {
 
@@ -106,6 +107,20 @@ void print_preamble() {
     }
     std::cout << "batched == per-query on 16-query "
               << (kind == 0 ? "point" : "mixed") << " mix: "
+              << (same ? "yes" : "NO") << "\n";
+  }
+  // Sharded correctness gate: a fast wrong number must fail loudly here.
+  for (const int shards : {2, 4}) {
+    serve::Router<S> router(base, {.n_shards = shards});
+    const auto qs = make_queries(1, 16, 1024, 2);
+    bool same = true;
+    std::vector<std::size_t> tickets;
+    for (const auto& q : qs) tickets.push_back(router.submit(q));
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      same &= router.wait(tickets[i]) == serve::run_single(base, qs[i]);
+    }
+    std::cout << "sharded(N=" << shards
+              << ") == unsharded on 16-query mixed mix: "
               << (same ? "yes" : "NO") << "\n";
   }
 }
@@ -262,6 +277,48 @@ BENCHMARK(bm_serve_multibase)
     ->Args({64, 0})
     ->Args({64, 1})
     ->Args({64, 2});
+
+void bm_serve_sharded(benchmark::State& state) {
+  // Sharded vs unsharded serving: K queries through a Router over N
+  // row-range shards (N=1 is the unsharded executor path, verbatim — the
+  // baseline row). The point mix draws 4 random keys per query, so at
+  // N>1 nearly every query straddles shards — the worst case for the
+  // scatter + carry-merge machinery, which the straddling_merges counter
+  // makes visible; the sharded win on multi-core runners is per-shard
+  // admission and flush independence. Answers are bit-identical across N
+  // by contract (see the preamble check).
+  const int k = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const Index n = 4096;
+  const auto base = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto qs = make_queries(0, k, n, 6);
+  serve::Router<S> router(base, {.n_shards = shards});
+  std::uint64_t merges = 0;
+  for (auto _ : state) {
+    std::vector<std::size_t> tickets;
+    tickets.reserve(qs.size());
+    for (const auto& q : qs) tickets.push_back(router.submit(q));
+    router.flush();
+    for (const auto t : tickets) benchmark::DoNotOptimize(router.wait(t));
+  }
+  merges = router.router_stats().merges;
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["straddling_merges"] = static_cast<double>(merges);
+  state.SetLabel("sharded router, N=" + std::to_string(shards) +
+                 ", K=" + std::to_string(k) + ", point lookups");
+}
+// Iterations are pinned: the router is a long-lived server (the shard
+// split is a one-time cost outside the loop, as in bm_serve_multibase) and
+// its ticket ledger grows per submit, so the iteration count bounds memory.
+BENCHMARK(bm_serve_sharded)
+    ->Iterations(256)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4});
 
 }  // namespace
 

@@ -1,24 +1,29 @@
-// Async multi-tenant query serving — the millions-of-concurrent-users
-// loop in miniature.
+// Sharded async multi-tenant query serving — the millions-of-concurrent-
+// users loop in miniature.
 //
-// A follower graph is the shared base array; three tenants (a recommender,
-// a feed filter, and a profile service) issue neighbor expansions
-// (mtimes), filtered expansions (fused output masks, both senses), and
-// profile lookups (select). Nobody calls flush(): the executor's
-// BACKGROUND thread drains the queue whenever the queue depth or the
-// flush deadline says so, coalescing each slice into ONE block-diagonal
-// masked product under the admission policy — including the per-tenant
-// flop quota that keeps the heavy recommender from starving the profile
-// service's point lookups. Callers submit() and later wait() their
-// ticket, exactly like a future. Answers are bit-identical to serving
-// every query alone, synchronously; ServeStats shows what coalescing
-// saved and TenantStats breaks the accounting down per tenant.
+// A follower graph is the shared base array, partitioned by the shard map
+// into four row-range shards, each owned by its own executor with its own
+// background flush thread and admission budget. Three tenants (a
+// recommender, a feed filter, and a profile service) issue neighbor
+// expansions (mtimes), filtered expansions (fused output masks, both
+// senses), and profile lookups (select) through the ROUTER, which
+// scatters each query to the shard(s) its key range touches and gathers
+// per-shard partials with the deterministic carry fold. Nobody calls
+// flush(): the shard flush threads drain their queues on queue depth or
+// deadline, coalescing each slice into ONE block-diagonal masked product
+// under the admission policy — including the per-tenant flop quota that
+// keeps the heavy recommender from starving the profile service's point
+// lookups. Callers submit() and later wait() their ticket, exactly like a
+// future. Answers are bit-identical to serving every query alone,
+// synchronously, unsharded; ServeStats shows what coalescing saved,
+// RouterStats how the scatter split the traffic, and TenantStats breaks
+// the accounting down per tenant.
 
 #include <cstdio>
 #include <iostream>
 
 #include "semiring/all.hpp"
-#include "serve/executor.hpp"
+#include "serve/router.hpp"
 #include "util/generators.hpp"
 #include "util/rng.hpp"
 
@@ -46,12 +51,15 @@ int main() {
   constexpr serve::TenantId kRecommender = 0;
   constexpr serve::TenantId kFeedFilter = 1;
   constexpr serve::TenantId kProfiles = 2;
-  serve::Executor<S> ex(base, {.max_batch_queries = 64,
-                               .tenant_flop_quota = std::uint64_t{1} << 16,
-                               .async = true,
-                               .flush_queue_depth = 48,
-                               .flush_interval =
-                                   std::chrono::milliseconds(1)});
+  serve::Router<S> ex(
+      base, {.executor = {.max_batch_queries = 64,
+                          .tenant_flop_quota = std::uint64_t{1} << 16,
+                          .async = true,
+                          .flush_queue_depth = 48,
+                          .flush_interval = std::chrono::milliseconds(1)},
+             .n_shards = 4});
+  std::cout << "router: " << ex.n_shards() << " row-range shards of "
+            << ex.map().height(0) << " users each\n";
   util::Xoshiro256 rng(42);
   auto random_vertex = [&] {
     return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
@@ -101,8 +109,13 @@ int main() {
   }
 
   const auto st = ex.stats();
+  const auto rs = ex.router_stats();
   std::cout << "answered " << answered << " queries (" << nonempty
             << " with hits)\n"
+            << "single-shard queries: " << rs.single_shard << '\n'
+            << "straddling queries:   " << rs.straddling << " (" << rs.merges
+            << " carry merges)\n"
+            << "shard sub-queries:    " << rs.stage_submits << '\n'
             << "batches flushed:      " << st.batches << '\n'
             << "kernel launches:      " << st.kernel_launches << '\n'
             << "launches saved:       " << st.launches_saved << '\n'

@@ -17,6 +17,7 @@
 
 #include "array/assoc_array.hpp"
 #include "array/batch.hpp"
+#include "array/shard.hpp"
 #include "semilink/identities.hpp"
 
 namespace hyperspace::db {
@@ -34,6 +35,13 @@ struct PlanStats {
   int batches = 0;            ///< coalesced launches issued
   int queries_batched = 0;    ///< queries served inside a coalesced batch
   int queries_fallback = 0;   ///< queries routed to per-query execution
+  // Sharded-serving accounting (planned_sharded_batch): how the shard map
+  // scattered the coalesced survivors. shard_subqueries < queries ×
+  // n_shards is the shard-level §IV win — sub-queries never issued because
+  // a query's key range provably misses those shards.
+  int queries_single_shard = 0;  ///< served entirely by one shard
+  int queries_straddling = 0;    ///< scattered across ≥ 2 shards
+  int shard_subqueries = 0;      ///< per-shard sub-queries actually issued
 };
 
 /// A ⊕.⊗ B with the inner-key precheck: col(A) ∩ row(B) = ∅ ⇒ 0.
@@ -196,6 +204,91 @@ std::vector<array::AssocArray<S>> planned_batch(
       stats->mask_flops_skipped += ss.flops_skipped;
     }
     if (serve_stats) *serve_stats += ss;
+  }
+  return out;
+}
+
+/// Shard-aware planned serving: K concurrent queries against one base held
+/// by an N-shard ShardedServer. Every query gets the same §IV inner-key
+/// and §V-B mask-annihilation prechecks as planned_batch; the survivors
+/// split the same two ways (batchable → the sharded router, incompatible
+/// key spaces → per-query planned fallback against `base`). On the sharded
+/// path the key-space precheck extends to the SHARD level: the scatter
+/// routes a query only to the shards its inner key range actually touches,
+/// so disjoint shards never see a sub-query — the per-shard §IV
+/// annihilation, visible as shard_subqueries in the stats. Results are
+/// entry-identical to planned_batch against the unsharded base.
+///
+/// `base` must be the array `server` was built from (same key spaces); it
+/// is needed here for the per-query fallback path.
+template <semiring::Semiring S>
+std::vector<array::AssocArray<S>> planned_sharded_batch(
+    const array::AssocArray<S>& base, array::ShardedServer<S>& server,
+    const std::vector<array::BatchQuery<S>>& queries,
+    PlanStats* stats = nullptr, serve::ServeStats* serve_stats = nullptr) {
+  if (server.row_keys() != base.row_keys() ||
+      server.col_keys() != base.col_keys()) {
+    throw std::invalid_argument(
+        "planned_sharded_batch: server/base key spaces differ");
+  }
+  std::vector<array::AssocArray<S>> out(queries.size());
+  std::vector<std::size_t> coalesce;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& q = queries[i];
+    switch (detail::route_batch_query(base, q, stats)) {
+      case detail::BatchRoute::kAnnihilated:
+        break;  // out[i] stays the empty array, exactly as planned_mtimes
+      case detail::BatchRoute::kCoalesce:
+        coalesce.push_back(i);
+        break;
+      case detail::BatchRoute::kFallback:
+        out[i] = q.mask ? planned_mtimes_masked(q.lhs, base, *q.mask, q.desc,
+                                                stats)
+                        : planned_mtimes(q.lhs, base, stats);
+        if (stats) ++stats->queries_fallback;
+        break;
+    }
+  }
+  if (!coalesce.empty()) {
+    const auto before = server.router_stats();
+    const auto sbefore = server.stats();
+    std::vector<std::size_t> tickets;
+    tickets.reserve(coalesce.size());
+    for (const auto i : coalesce) tickets.push_back(server.submit(queries[i]));
+    server.flush();
+    for (std::size_t k = 0; k < coalesce.size(); ++k) {
+      out[coalesce[k]] = server.wait(tickets[k]);
+    }
+    const auto after = server.router_stats();
+    const auto safter = server.stats();
+    if (stats) {
+      ++stats->batches;
+      stats->queries_batched += static_cast<int>(coalesce.size());
+      stats->products_evaluated += static_cast<int>(coalesce.size());
+      stats->mask_flops_kept += safter.flops_kept - sbefore.flops_kept;
+      stats->mask_flops_skipped +=
+          safter.flops_skipped - sbefore.flops_skipped;
+      stats->queries_single_shard +=
+          static_cast<int>(after.single_shard - before.single_shard);
+      stats->queries_straddling +=
+          static_cast<int>(after.straddling - before.straddling);
+      stats->shard_subqueries +=
+          static_cast<int>(after.stage_submits - before.stage_submits);
+    }
+    if (serve_stats) {
+      // Add only this call's delta: the server may be long-lived.
+      serve_stats->queries += safter.queries - sbefore.queries;
+      serve_stats->batches += safter.batches - sbefore.batches;
+      serve_stats->kernel_launches +=
+          safter.kernel_launches - sbefore.kernel_launches;
+      serve_stats->launches_saved +=
+          safter.launches_saved - sbefore.launches_saved;
+      serve_stats->rows_coalesced +=
+          safter.rows_coalesced - sbefore.rows_coalesced;
+      serve_stats->flops_kept += safter.flops_kept - sbefore.flops_kept;
+      serve_stats->flops_skipped +=
+          safter.flops_skipped - sbefore.flops_skipped;
+    }
   }
   return out;
 }

@@ -1,0 +1,130 @@
+#pragma once
+// Adaptive admission — derive the executor's batch budgets online.
+//
+// The executor's admission policy is governed by two knobs that PR 4 left
+// static: `max_batch_flops` (close a batch at this flop budget) and
+// `flush_queue_depth` (async: flush at this queue depth). Because the
+// serving engine counts flops EXACTLY (Σ base-row lengths per lhs entry —
+// no estimation), every flushed batch yields one exact (flops, latency)
+// sample, and a latency target translates directly into a flop budget:
+//
+//   latency ≈ fixed_cost + ns_per_flop · flops
+//   ⇒ max_batch_flops = (target − fixed_cost) / ns_per_flop
+//
+// This controller is that translation, first cut: EWMA over the per-batch
+// ns-per-flop (batches large enough that the fixed cost is noise) plus an
+// EWMA of the per-query flop mass to derive a matching queue depth. It is
+// a PURE component — observe() takes the sample, limits() returns the
+// recommendation, nothing reads a clock — so tests drive it with injected
+// timings and assert exact convergence. The executor wires real batch
+// timings in when `Config.latency_target` is set; with the target unset
+// (the default) admission stays fully static.
+//
+// Adaptivity never touches results: admission only decides how the queue
+// is SLICED into batches, and batching is answer-invariant by the serving
+// determinism contract.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace hyperspace::serve {
+
+class AdmissionController {
+ public:
+  struct Config {
+    /// Per-batch latency to converge toward. Zero disables the controller.
+    std::chrono::microseconds latency_target{0};
+    /// Clamp bounds for the derived flop budget: the controller must not
+    /// starve admission to nothing on a latency spike nor open the flood
+    /// gates on one lucky fast batch.
+    std::uint64_t min_batch_flops = 1u << 10;
+    std::uint64_t max_batch_flops = std::uint64_t{1} << 40;
+    int min_queue_depth = 1;
+    int max_queue_depth = 1 << 16;
+    /// EWMA smoothing weight of a new sample, in [0, 1].
+    double gain = 0.25;
+    /// Ignore batches below this flop mass when estimating ns/flop: tiny
+    /// batches measure the fixed launch cost, not the marginal flop cost.
+    std::uint64_t min_sample_flops = 256;
+  };
+
+  /// The two live admission limits the executor consumes.
+  struct Limits {
+    std::uint64_t max_batch_flops;
+    int flush_queue_depth;
+  };
+
+  AdmissionController() = default;
+  explicit AdmissionController(Config cfg, Limits initial)
+      : cfg_(cfg), limits_(clamp(initial)) {}
+
+  bool enabled() const { return cfg_.latency_target.count() > 0; }
+
+  /// Feed one flushed batch's exact sample: its admitted flop mass, its
+  /// measured wall latency, and how many queries it served.
+  void observe(std::uint64_t flops, std::chrono::nanoseconds latency,
+               std::size_t queries) {
+    if (!enabled()) return;
+    if (queries > 0 && flops > 0) {
+      const double fpq = static_cast<double>(flops) /
+                         static_cast<double>(queries);
+      flops_per_query_ = flops_per_query_ <= 0.0
+                             ? fpq
+                             : ewma(flops_per_query_, fpq);
+    }
+    if (flops < cfg_.min_sample_flops) return;  // fixed-cost noise
+    const double sample = static_cast<double>(latency.count()) /
+                          static_cast<double>(flops);
+    if (sample <= 0.0) return;
+    ns_per_flop_ = ns_per_flop_ <= 0.0 ? sample : ewma(ns_per_flop_, sample);
+    const double target_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            cfg_.latency_target)
+            .count());
+    const double want = target_ns / ns_per_flop_;
+    Limits next;
+    next.max_batch_flops =
+        want >= static_cast<double>(cfg_.max_batch_flops)
+            ? cfg_.max_batch_flops
+            : static_cast<std::uint64_t>(want);
+    // Queue depth: how many average queries fill the flop budget. Without
+    // a flop estimate yet, leave the configured depth alone.
+    next.flush_queue_depth =
+        flops_per_query_ > 0.0
+            ? static_cast<int>(std::min<double>(
+                  static_cast<double>(cfg_.max_queue_depth),
+                  static_cast<double>(next.max_batch_flops) /
+                      flops_per_query_))
+            : limits_.flush_queue_depth;
+    limits_ = clamp(next);
+  }
+
+  Limits limits() const { return limits_; }
+  const Config& config() const { return cfg_; }
+
+  /// Current ns-per-flop estimate (0 until the first usable sample).
+  double ns_per_flop() const { return ns_per_flop_; }
+  double flops_per_query() const { return flops_per_query_; }
+
+ private:
+  double ewma(double prev, double sample) const {
+    return prev + cfg_.gain * (sample - prev);
+  }
+
+  Limits clamp(Limits l) const {
+    l.max_batch_flops = std::clamp(l.max_batch_flops, cfg_.min_batch_flops,
+                                   cfg_.max_batch_flops);
+    l.flush_queue_depth = std::clamp(l.flush_queue_depth,
+                                     cfg_.min_queue_depth,
+                                     cfg_.max_queue_depth);
+    return l;
+  }
+
+  Config cfg_{};
+  Limits limits_{std::uint64_t{1} << 32, 64};
+  double ns_per_flop_ = 0.0;
+  double flops_per_query_ = 0.0;
+};
+
+}  // namespace hyperspace::serve

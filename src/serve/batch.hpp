@@ -43,9 +43,10 @@ namespace hyperspace::serve {
 
 /// Coalescing accounting. All counters are exact and thread-count
 /// invariant (the flop counts aggregate the kernel's deterministic
-/// MxmMaskStats). In a batch that mixes masked and unmasked queries,
-/// flops_kept counts every product that reached an accumulator — unmasked
-/// queries' flops included.
+/// MxmMaskStats). flops_kept counts every product that reached an
+/// accumulator — unmasked queries' (and unmasked batches') flops included
+/// — so the totals are also independent of how admission happened to
+/// slice masked and unmasked queries into batches.
 struct ServeStats {
   std::uint64_t queries = 0;          ///< queries executed
   std::uint64_t batches = 0;          ///< coalesced batches flushed
@@ -78,6 +79,13 @@ struct Query {
   sparse::Matrix<T> lhs;                  ///< m_q × n
   std::optional<sparse::Matrix<T>> mask;  ///< m_q × c output mask
   sparse::MaskDesc desc{};
+  /// Fold carry (m_q × c): a partial result from an earlier launch over a
+  /// PREFIX of the inner dimension. It seeds every row's accumulator before
+  /// any product folds, so this launch continues the carry's flat left fold
+  /// — the sharded router's gather chains shard launches through this field
+  /// and stays bit-identical to one unsharded launch (floats included).
+  /// Carry entries are never mask-probed and add no flops to the stats.
+  std::optional<sparse::Matrix<T>> carry;
 
   /// C_q = lhs ⊕.⊗ B.
   static Query mtimes(sparse::Matrix<T> a) {
@@ -121,6 +129,10 @@ void validate_query(const sparse::Matrix<typename S::value_type>& base,
                  q.mask->ncols() != base.ncols())) {
     throw std::invalid_argument("serve: query mask shape mismatch");
   }
+  if (q.carry && (q.carry->nrows() != q.lhs.nrows() ||
+                  q.carry->ncols() != base.ncols())) {
+    throw std::invalid_argument("serve: query carry shape mismatch");
+  }
 }
 
 /// The shared coalesced core behind run_batch and run_batch_on_stack: run
@@ -143,12 +155,34 @@ std::vector<sparse::Matrix<typename S::value_type>> run_stacked(
     sparse::MxmMaskStats* ms) {
   using T = typename S::value_type;
   bool any_mask = false;
-  for (const auto* q : queries) any_mask |= q->mask.has_value();
+  bool any_carry = false;
+  for (const auto* q : queries) {
+    any_mask |= q->mask.has_value();
+    any_carry |= q->carry.has_value();
+  }
+
+  // Zero-copy carry path: each query block seeds its rows from its own
+  // carry view (the shard chain's fold continuation), addressed in local
+  // row space, columns shifted into the block's output band. Queries
+  // without a carry keep the default (empty) view — no seed.
+  std::vector<sparse::SparseView<T>> cviews;
+  sparse::detail::MultiCarry<T> cpolicy;
+  if (any_carry) {
+    cviews.resize(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i]->carry) cviews[i] = queries[i]->carry->view();
+    }
+    cpolicy = {cviews, offsets, qcol_off};
+  }
 
   std::vector<sparse::detail::RowSlice<T>> rows;
   if (!any_mask) {
-    rows = sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy,
-                                                sparse::detail::NoMask{}, ms);
+    const sparse::detail::NoMask nomask{};
+    rows = any_carry
+               ? sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy,
+                                                      nomask, ms, cpolicy)
+               : sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy,
+                                                      nomask, ms);
   } else {
     // Zero-copy mask path: each query block probes its own mask view in
     // local row (and, multi-base, local column) coordinates; unmasked
@@ -166,13 +200,19 @@ std::vector<sparse::Matrix<typename S::value_type>> run_stacked(
     }
     const sparse::detail::MultiMask<T> policy{mviews, offsets, descs,
                                               qcol_off};
-    rows = sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy, policy,
-                                                ms);
+    rows = any_carry
+               ? sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy,
+                                                      policy, ms, cpolicy)
+               : sparse::detail::mxm_dispatch_rows<S>(stacked, B, strategy,
+                                                      policy, ms);
   }
 
   // Scatter: slices are sorted by stacked row, so query q owns the
   // contiguous run in [offsets[q], offsets[q+1]); rows rebase by the
-  // query's block offset, columns by its base's column offset.
+  // query's block offset, columns by its base's column offset. Carry rows
+  // whose lhs row the driver never visited (no lhs entries in this launch)
+  // pass through verbatim — rows the driver DID visit already contain
+  // their carry via the in-kernel seed.
   const auto nq = static_cast<std::ptrdiff_t>(queries.size());
   std::vector<sparse::Matrix<T>> results(queries.size());
   util::parallel_for(0, nq, 1, [&](std::ptrdiff_t q) {
@@ -186,15 +226,37 @@ std::vector<sparse::Matrix<typename S::value_type>> run_stacked(
     const auto last = std::lower_bound(
         first, rows.end(), hi,
         [](const auto& r, sparse::Index v) { return r.row < v; });
+    const sparse::SparseView<T>* cv =
+        any_carry && queries[qi]->carry ? &cviews[qi] : nullptr;
     std::size_t total = 0;
     for (auto it = first; it != last; ++it) total += it->cols.size();
+    if (cv) total += static_cast<std::size_t>(cv->nnz());  // upper bound
     std::vector<sparse::Triple<T>> t;
     t.reserve(total);
-    for (auto it = first; it != last; ++it) {
-      for (std::size_t j = 0; j < it->cols.size(); ++j) {
-        t.push_back({it->row - lo, it->cols[j] - coff,
-                     std::move(it->vals[j])});
+    std::size_t ci = 0;  // next unmerged carry row
+    const auto emit_carry_row = [&](std::size_t ri) {
+      const auto rc = cv->row_cols(ri);
+      const auto rv = cv->row_vals(ri);
+      for (std::size_t j = 0; j < rc.size(); ++j) {
+        t.push_back({cv->row_ids[ri], rc[j], rv[j]});
       }
+    };
+    for (auto it = first; it != last; ++it) {
+      const sparse::Index local = it->row - lo;
+      if (cv) {
+        while (ci < cv->row_ids.size() && cv->row_ids[ci] < local) {
+          emit_carry_row(ci);
+          ++ci;
+        }
+        // The driver seeded this row's carry in-kernel; don't re-emit.
+        if (ci < cv->row_ids.size() && cv->row_ids[ci] == local) ++ci;
+      }
+      for (std::size_t j = 0; j < it->cols.size(); ++j) {
+        t.push_back({local, it->cols[j] - coff, std::move(it->vals[j])});
+      }
+    }
+    if (cv) {
+      for (; ci < cv->row_ids.size(); ++ci) emit_carry_row(ci);
     }
     results[qi] = sparse::Matrix<T>::from_canonical_triples(
         hi - lo, qncols[qi], t, S::zero());
@@ -211,10 +273,25 @@ sparse::Matrix<typename S::value_type> run_single(
     sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
     sparse::MxmMaskStats* ms = nullptr) {
   detail::validate_query(base, q);
+  if (q.carry) {
+    // Seeded product — the shard chain's merge step: the carry continues
+    // its fold through this launch. One query, no stacking: the lhs is its
+    // own "stacked" operand; the shared core handles seed + pass-through.
+    const Query<S>* qp = &q;
+    const std::vector<sparse::Index> offsets{0, q.lhs.nrows()};
+    const std::vector<sparse::Index> qncols{base.ncols()};
+    auto rs = detail::run_stacked<S>(q.lhs, base, std::span(&qp, 1), offsets,
+                                     {}, qncols, strategy, ms);
+    return std::move(rs.front());
+  }
   if (q.mask) {
     return sparse::mxm_masked<S>(q.lhs, base, *q.mask, q.desc, ms, strategy);
   }
-  return sparse::mxm<S>(q.lhs, base, strategy);
+  // Thread the stats through even unmasked: flops_kept counts every
+  // product that reached an accumulator, so a batch of one reports the
+  // same flops its query would contribute to any larger batch.
+  return sparse::detail::mxm_dispatch<S>(q.lhs, base, strategy,
+                                         sparse::detail::NoMask{}, ms);
 }
 
 /// Execute every query against `base` as one coalesced launch; results are
@@ -371,6 +448,11 @@ std::vector<sparse::Matrix<typename S::value_type>> run_batch_on_stack(
         (queries[i]->mask->nrows() != queries[i]->lhs.nrows() ||
          queries[i]->mask->ncols() != qncols[i])) {
       throw std::invalid_argument("run_batch_on_stack: mask shape mismatch");
+    }
+    if (queries[i]->carry &&
+        (queries[i]->carry->nrows() != queries[i]->lhs.nrows() ||
+         queries[i]->carry->ncols() != qncols[i])) {
+      throw std::invalid_argument("run_batch_on_stack: carry shape mismatch");
     }
     ablocks.push_back({&queries[i]->lhs, offsets[i], stack.row_offsets[g]});
     qcol_off[i] = stack.col_offsets[g];  // result-column rebase per query

@@ -50,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/admission.hpp"
 #include "serve/batch.hpp"
 
 namespace hyperspace::serve {
@@ -85,6 +86,12 @@ class Executor {
     bool async = false;
     int flush_queue_depth = 64;  ///< async: flush when this many are queued
     std::chrono::milliseconds flush_interval{2};  ///< async: flush deadline
+    /// Adaptive admission (serve/admission.hpp): when set, every flushed
+    /// batch's exact (flops, latency) sample drives `max_batch_flops` and
+    /// `flush_queue_depth` toward this per-batch latency target. Zero (the
+    /// default) keeps both limits static. Results are unaffected either
+    /// way — admission only re-slices the queue.
+    std::chrono::microseconds latency_target{0};
   };
 
   explicit Executor(sparse::Matrix<T> base, Config cfg = {})
@@ -110,6 +117,11 @@ class Executor {
               "Executor: base too wide for the kGustavson dense scratch");
         }
       }
+    }
+    live_ = {cfg_.max_batch_flops, cfg_.flush_queue_depth};
+    if (cfg_.latency_target.count() > 0) {
+      ctrl_ = AdmissionController({.latency_target = cfg_.latency_target},
+                                  live_);
     }
     // Pre-warm every base's view cache on this thread: submit() computes
     // admission flops and the flush thread runs kernels concurrently, and
@@ -172,6 +184,13 @@ class Executor {
     return n_pending_;
   }
 
+  /// The admission limits currently in force. Equal to the configured
+  /// statics unless `latency_target` enabled the adaptive controller.
+  AdmissionController::Limits admission_limits() const {
+    std::lock_guard lock(mu_);
+    return live_;
+  }
+
   /// Enqueue a query for `tenant` against base `base`; returns the ticket
   /// redeemable via wait()/result()/poll(). Shape mismatches throw here —
   /// at admission, not at flush.
@@ -194,7 +213,7 @@ class Executor {
     (void)tstats_[tenant];  // tenant becomes visible on first submit
     const bool trigger =
         flusher_running_ &&
-        n_pending_ >= static_cast<std::size_t>(cfg_.flush_queue_depth);
+        n_pending_ >= static_cast<std::size_t>(live_.flush_queue_depth);
     lock.unlock();
     if (trigger) queue_cv_.notify_all();
     return ticket;
@@ -390,7 +409,7 @@ class Executor {
               used[t] + head.flops > cfg_.tenant_flop_quota;
           if (over_quota) quota_deferred[t] = true;
           if (over_quota ||
-              batch_flops + head.flops > cfg_.max_batch_flops) {
+              batch_flops + head.flops > live_.max_batch_flops) {
             continue;
           }
         }
@@ -445,11 +464,15 @@ class Executor {
     qs.reserve(batch.size());
     ids.reserve(batch.size());
     bool mixed = false;
+    std::uint64_t batch_flops = 0;
     for (auto& p : batch) {
       qs.push_back(std::move(p.q));
       ids.push_back(p.base);
+      batch_flops += p.flops;
       mixed |= p.base != batch.front().base;
     }
+    const auto t0 = ctrl_.enabled() ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
     ServeStats ss;
     std::vector<sparse::Matrix<T>> rs;
     if (!mixed) {
@@ -472,8 +495,19 @@ class Executor {
       // Mixed-base batch on the stack cached at construction: ONE launch.
       rs = run_batch_on_stack<S>(stack_, qs, ids, cfg_.strategy, &ss);
     }
+    const auto dt = ctrl_.enabled()
+                        ? std::chrono::steady_clock::now() - t0
+                        : std::chrono::steady_clock::duration{};
     {
       std::lock_guard lock(mu_);
+      if (ctrl_.enabled()) {
+        // One exact (flops, latency) sample per flushed batch; the derived
+        // limits govern the NEXT admission round.
+        ctrl_.observe(batch_flops,
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(dt),
+                      batch.size());
+        live_ = ctrl_.limits();
+      }
       std::map<TenantId, bool> seen;
       for (std::size_t k = 0; k < batch.size(); ++k) {
         results_[batch[k].ticket] = std::move(rs[k]);
@@ -498,7 +532,7 @@ class Executor {
     while (!stopping_) {
       queue_cv_.wait_for(lock, cfg_.flush_interval, [&] {
         return stopping_ || force_flush_ ||
-               n_pending_ >= static_cast<std::size_t>(cfg_.flush_queue_depth);
+               n_pending_ >= static_cast<std::size_t>(live_.flush_queue_depth);
       });
       if (stopping_) break;
       force_flush_ = false;
@@ -520,6 +554,8 @@ class Executor {
   Config cfg_;
   sparse::BaseStack<T> stack_;    ///< cached blkdiag stack (≥ 2 bases only)
   sparse::Index stacked_cols_ = 0;
+  AdmissionController ctrl_;      ///< adaptive admission (off by default)
+  AdmissionController::Limits live_{};  ///< limits in force (under mu_)
 
   mutable std::mutex mu_;       ///< queues, results, stats, lifecycle flags
   std::mutex flush_mu_;         ///< serializes whole-queue drains

@@ -1,0 +1,378 @@
+#pragma once
+// Router — the scatter-gather front end of the sharded serving stack.
+//
+// The stack has three explicit layers:
+//
+//   ShardMap   (shard_map.hpp)  — partitions ONE logical base into N
+//     contiguous row-range shards, each a standalone base; owns the
+//     local↔global translation and the lhs column-split scatter.
+//   Router     (this header)    — accepts the PR 4 async serving API
+//     (submit(tenant, q) → ticket, wait/poll/flush/shutdown), consults the
+//     shard map to scatter each query to the shard(s) its key space
+//     touches, and fans out to per-shard Executor instances — each with
+//     its own flush thread, admission budget, and TenantStats. Key
+//     realignment happens ONCE here (ShardMap::scatter); shard executors
+//     only ever see operands in their own local coordinates.
+//   Gather                      — merges per-shard partials back into one
+//     per-query result via a deterministic shard-order fold: stage s+1's
+//     launch is SEEDED with stage s's partial (Query::carry), so the
+//     accumulator continues the same flat left fold the unsharded kernel
+//     runs over the full inner dimension. That makes sharded execution
+//     bit-identical to the unsharded executor for every semiring,
+//     strategy, and thread count — floats included — because the fold is
+//     never regrouped, only resumed. (An ⊕-merge of independently folded
+//     partials would regroup the fold tree and drift in the last ulp.)
+//
+// Queries touching a single shard — the common point-lookup shape — are
+// pure pass-through: one sub-query, no carry, no merge step, resolved
+// entirely by that shard's executor (its background flush thread included).
+// Straddling queries form a CHAIN of sub-queries, one per touched shard in
+// ascending shard order; the chain advances when wait()/poll()/flush()
+// observes a settled stage and submits the next one with the partial as
+// its carry. Chains across DIFFERENT queries proceed concurrently.
+//
+// The 1-shard Router is the unsharded executor, verbatim: the map moves
+// the base through untouched, every query is single-shard pass-through,
+// and all launches run the same Executor/run_batch path — the single-base
+// Executor is the 1-shard instantiation of this stack, not a parallel
+// code path.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "serve/executor.hpp"
+#include "serve/shard_map.hpp"
+
+namespace hyperspace::serve {
+
+/// Router-level accounting: logical queries and how the scatter split
+/// them. Per-shard ServeStats/TenantStats live in the shard executors
+/// (a straddling query counts once per touched shard there).
+struct RouterStats {
+  std::uint64_t queries = 0;        ///< logical queries submitted
+  std::uint64_t single_shard = 0;   ///< resolved by one shard, no merge
+  std::uint64_t straddling = 0;     ///< scattered across ≥ 2 shards
+  std::uint64_t stage_submits = 0;  ///< sub-queries handed to shard executors
+  std::uint64_t merges = 0;         ///< carry folds (straddle stages ≥ 1)
+};
+
+template <semiring::Semiring S>
+class Router {
+  using T = typename S::value_type;
+
+ public:
+  struct Config {
+    typename Executor<S>::Config executor{};  ///< per-shard executor config
+    int n_shards = 1;
+    /// Explicit row cuts (size N+1, 0 → nrows); overrides n_shards.
+    std::vector<sparse::Index> cuts;
+  };
+
+  explicit Router(sparse::Matrix<T> base, Config cfg = {})
+      : Router(cfg.cuts.empty()
+                   ? ShardMap<T>::split(std::move(base), cfg.n_shards)
+                   : ShardMap<T>::with_cuts(std::move(base), cfg.cuts),
+               cfg) {}
+
+  Router(ShardMap<T> map, Config cfg = {}) : map_(std::move(map)), cfg_(cfg) {
+    execs_.reserve(map_.n_shards());
+    for (std::size_t s = 0; s < map_.n_shards(); ++s) {
+      execs_.push_back(std::make_unique<Executor<S>>(map_.take_shard(s),
+                                                     cfg_.executor));
+    }
+  }
+
+  ~Router() { shutdown(); }
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  std::size_t n_shards() const { return execs_.size(); }
+  const ShardMap<T>& map() const { return map_; }
+  const Config& config() const { return cfg_; }
+  /// Shard s's executor (its base() is the shard in LOCAL row space).
+  const Executor<S>& shard_executor(std::size_t s) const {
+    return *execs_.at(s);
+  }
+
+  /// Scatter `q` and enqueue its per-shard chain; returns the router-level
+  /// ticket redeemable via wait()/result()/poll(). Shape mismatches throw
+  /// here, at admission. The lhs split — the only key realignment in the
+  /// whole sharded path — happens now, once.
+  std::size_t submit(TenantId tenant, Query<S> q) {
+    if (q.lhs.ncols() != map_.nrows()) {
+      throw std::invalid_argument("Router: query inner dimension mismatch");
+    }
+    if (q.mask && (q.mask->nrows() != q.lhs.nrows() ||
+                   q.mask->ncols() != map_.ncols())) {
+      throw std::invalid_argument("Router: query mask shape mismatch");
+    }
+    if (q.carry && (q.carry->nrows() != q.lhs.nrows() ||
+                    q.carry->ncols() != map_.ncols())) {
+      throw std::invalid_argument("Router: query carry shape mismatch");
+    }
+    Chain c;
+    if (map_.n_shards() == 1) {
+      // 1-shard pass-through: the executor path verbatim — the lhs moves
+      // through unsplit, uncopied, untranslated.
+      c.shards.push_back(0);
+      c.lhs.push_back(std::move(q.lhs));
+    } else {
+      auto sc = map_.scatter(q.lhs);
+      if (sc.shards.empty()) {
+        // No shard touched (all-empty lhs): route an empty sub-operand to
+        // shard 0 so the query flows the uniform path — with a carry, the
+        // kernel passes it through; without one the result is empty.
+        sc.shards.push_back(0);
+        sc.lhs.emplace_back(q.lhs.nrows(), map_.height(0), S::zero());
+      }
+      c.shards = std::move(sc.shards);
+      c.lhs = std::move(sc.lhs);
+    }
+    c.mask = std::move(q.mask);
+    c.desc = q.desc;
+    c.tenant = tenant;
+    std::lock_guard lock(rmu_);
+    if (stopping_) {
+      throw std::runtime_error("Router: submit after shutdown");
+    }
+    const std::size_t ticket = chains_.size();
+    chains_.push_back(std::move(c));
+    ++rstats_.queries;
+    if (chains_.back().shards.size() > 1) {
+      ++rstats_.straddling;
+    } else {
+      ++rstats_.single_shard;
+    }
+    submit_stage_locked(chains_.back(), std::move(q.carry));
+    return ticket;
+  }
+
+  std::size_t submit(Query<S> q) { return submit(0, std::move(q)); }
+
+  /// Block until the query's chain completes and return its final result.
+  /// The reference lives in the LAST touched shard's executor and stays
+  /// valid for the router's lifetime. Advances the chain stage by stage:
+  /// each settled partial is folded forward as the next stage's carry.
+  const sparse::Matrix<T>& wait(std::size_t ticket) {
+    for (;;) {
+      Executor<S>* exec;
+      std::size_t sticket;
+      std::size_t stage;
+      bool final_stage;
+      {
+        std::lock_guard lock(rmu_);
+        Chain& ch = chain_at_locked(ticket);
+        exec = execs_[ch.shards[ch.stage]].get();
+        sticket = ch.stage_ticket;
+        stage = ch.stage;
+        final_stage = ch.stage + 1 == ch.shards.size();
+      }
+      const auto& r = exec->wait(sticket);  // blocks outside the router lock
+      std::lock_guard lock(rmu_);
+      Chain& ch = chain_at_locked(ticket);
+      if (ch.stage != stage) continue;  // another waiter advanced the chain
+      if (final_stage) return r;
+      ch.stage += 1;
+      ++rstats_.merges;
+      submit_stage_locked(ch, r);  // the partial seeds the next shard
+    }
+  }
+
+  /// Back-compat alias for wait().
+  const sparse::Matrix<T>& result(std::size_t ticket) { return wait(ticket); }
+
+  /// Non-blocking probe: the settled final result, or nullptr while any
+  /// stage is pending. Opportunistically advances the chain when the
+  /// current stage has settled (submitting the next stage's sub-query),
+  /// so background flush threads keep multi-shard chains moving between
+  /// polls.
+  const sparse::Matrix<T>* poll(std::size_t ticket) {
+    std::lock_guard lock(rmu_);
+    Chain& ch = chain_at_locked(ticket);
+    for (;;) {
+      auto* exec = execs_[ch.shards[ch.stage]].get();
+      const auto* r = exec->poll(ch.stage_ticket);
+      if (r == nullptr) return nullptr;
+      if (ch.stage + 1 == ch.shards.size()) return r;
+      ch.stage += 1;
+      ++rstats_.merges;
+      submit_stage_locked(ch, *r);
+    }
+  }
+
+  /// Drain everything on the calling thread: flush every shard executor
+  /// and advance every chain until all queues are empty and every chain is
+  /// at its final, settled stage.
+  void flush() {
+    for (;;) {
+      for (auto& e : execs_) e->flush();
+      bool advanced = false;
+      {
+        std::lock_guard lock(rmu_);
+        for (auto& ch : chains_) {
+          while (ch.stage + 1 < ch.shards.size()) {
+            const sparse::Matrix<T>* r = nullptr;
+            try {
+              r = execs_[ch.shards[ch.stage]]->poll(ch.stage_ticket);
+            } catch (...) {
+              break;  // failed stage: wait() rethrows it to the caller
+            }
+            if (r == nullptr) break;
+            ch.stage += 1;
+            ++rstats_.merges;
+            submit_stage_locked(ch, *r);
+            advanced = true;
+          }
+        }
+      }
+      if (!advanced) return;
+    }
+  }
+
+  /// Retire every shard executor. With drain = true (default, and the
+  /// destructor's behavior) all chains are driven to completion first;
+  /// with drain = false unflushed sub-queries are dropped and their
+  /// wait() throws.
+  void shutdown(bool drain = true) {
+    {
+      std::lock_guard lock(rmu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    if (drain) {
+      // A failing batch routes its error to its tickets and leaves the
+      // queue; retrying the drain terminates (mirrors Executor::shutdown).
+      for (;;) {
+        try {
+          flush();
+          break;
+        } catch (...) {
+        }
+      }
+    }
+    for (auto& e : execs_) e->shutdown(drain);
+  }
+
+  /// Aggregate kernel-level accounting across the shard executors. Note:
+  /// `queries` here counts SUB-queries (one per touched shard); the
+  /// logical count is router_stats().queries. The flop totals partition
+  /// the unsharded executor's exactly, for masked and unmasked traffic
+  /// alike — every product is counted in exactly one stage (flops_kept
+  /// counts every product that reaches an accumulator, mask or no mask)
+  /// and the carry adds none.
+  ServeStats stats() const {
+    ServeStats out;
+    for (const auto& e : execs_) out += e->stats();
+    return out;
+  }
+
+  RouterStats router_stats() const {
+    std::lock_guard lock(rmu_);
+    return rstats_;
+  }
+
+  /// Per-tenant accounting summed across shards (sub-query granularity).
+  TenantStats tenant_stats(TenantId tenant) const {
+    TenantStats out;
+    for (const auto& e : execs_) {
+      const auto ts = e->tenant_stats(tenant);
+      out.queries += ts.queries;
+      out.rows += ts.rows;
+      out.flops += ts.flops;
+      out.batches += ts.batches;
+      out.deferrals += ts.deferrals;
+    }
+    return out;
+  }
+
+  /// Every tenant that has ever submitted, ascending, across all shards.
+  std::vector<TenantId> tenants() const {
+    std::map<TenantId, bool> seen;
+    for (const auto& e : execs_) {
+      for (const auto t : e->tenants()) seen[t] = true;
+    }
+    std::vector<TenantId> out;
+    out.reserve(seen.size());
+    for (const auto& [t, _] : seen) out.push_back(t);
+    return out;
+  }
+
+  /// Sub-queries queued but not yet admitted, across all shards.
+  std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& e : execs_) n += e->pending();
+    return n;
+  }
+
+ private:
+  /// One scattered query: sub-lhs operands for the touched shards, run in
+  /// ascending shard order with the partial folded forward as a carry.
+  struct Chain {
+    std::vector<std::size_t> shards;      ///< touched shards, ascending
+    std::vector<sparse::Matrix<T>> lhs;   ///< per-stage sub-lhs (consumed)
+    std::optional<sparse::Matrix<T>> mask;
+    sparse::MaskDesc desc{};
+    TenantId tenant = 0;
+    std::size_t stage = 0;         ///< currently submitted stage
+    std::size_t stage_ticket = 0;  ///< ticket within shards[stage]'s executor
+  };
+
+  Chain& chain_at_locked(std::size_t ticket) {
+    if (ticket >= chains_.size()) {
+      throw std::out_of_range("Router: unknown ticket");
+    }
+    return chains_[ticket];
+  }
+
+  /// Submit chain stage `ch.stage` to its shard executor (rmu_ held).
+  /// `carry` is the previous stage's partial (or the caller's seed for
+  /// stage 0); the mask rides along on every stage — output columns are
+  /// not sharded, so it applies unchanged. Known cost: non-final stages
+  /// deep-copy the mask and every merge copies its partial into the next
+  /// stage's Query (queries own their operands by value). Straddle stages
+  /// are O(partial) work anyway, so this is a constant factor, but a
+  /// shared mask view across chain stages is a ROADMAP follow-on.
+  template <typename CarryArg>
+  void submit_stage_locked(Chain& ch, CarryArg&& carry) {
+    Query<S> sq;
+    sq.lhs = std::move(ch.lhs[ch.stage]);
+    if (ch.mask) {
+      sq.kind = QueryKind::kMtimesMasked;
+      sq.desc = ch.desc;
+      // The last stage may consume the mask; earlier stages copy it.
+      if (ch.stage + 1 == ch.shards.size()) {
+        sq.mask = std::move(ch.mask);
+      } else {
+        sq.mask = *ch.mask;
+      }
+    }
+    if constexpr (std::is_same_v<std::decay_t<CarryArg>,
+                                 std::optional<sparse::Matrix<T>>>) {
+      sq.carry = std::forward<CarryArg>(carry);
+    } else {
+      sq.carry = carry;  // a settled partial: copied into the next stage
+    }
+    ch.stage_ticket =
+        execs_[ch.shards[ch.stage]]->submit(ch.tenant, 0, std::move(sq));
+    ++rstats_.stage_submits;
+  }
+
+  ShardMap<T> map_;
+  Config cfg_;
+  std::vector<std::unique_ptr<Executor<S>>> execs_;
+
+  mutable std::mutex rmu_;     ///< chains + router stats + lifecycle
+  std::deque<Chain> chains_;   ///< ticket-indexed
+  RouterStats rstats_;
+  bool stopping_ = false;
+};
+
+}  // namespace hyperspace::serve

@@ -54,9 +54,16 @@ namespace hyperspace::sparse {
 ///     product. Wins for dense mask rows probed many times (late-BFS
 ///     ¬visited); impossible when the mask's column space is hypersparse-
 ///     huge (the bitmap would be O(ncols) bits).
+///   * kMerge  — two-pointer merge of the mask row against B's sorted row:
+///     probes within one B-row scan arrive in ascending column order, so a
+///     cursor walks the mask row once per scan — O(len + probes) amortized,
+///     no arming pass and no O(ncols) allocation, so it stays admissible in
+///     hypersparse column spaces where the bitmap is not.
 ///   * kAuto   — bitmap iff the row is dense enough and probed enough to
-///     amortize arming (see detail::use_bitmap_probe).
-enum class MaskProbe : unsigned char { kAuto, kBinary, kBitmap };
+///     amortize arming (see detail::use_bitmap_probe); else the merge for
+///     the mid-density band (long mask rows, enough probes to amortize the
+///     walk — detail::use_merge_probe); else binary search.
+enum class MaskProbe : unsigned char { kAuto, kBinary, kBitmap, kMerge };
 
 /// Structural mask descriptor: which positions of M count, whether the
 /// sense is complemented, and how rows are probed.
@@ -315,11 +322,26 @@ inline constexpr std::size_t kMaskBitmapMinRowLen = 64;
 inline bool use_bitmap_probe(MaskProbe probe, std::size_t row_len,
                              std::size_t flops_hint, Index ncols) {
   if (row_len == 0 || ncols > kMaxMaskBitmapWidth) return false;
-  if (probe == MaskProbe::kBinary) return false;
+  if (probe == MaskProbe::kBinary || probe == MaskProbe::kMerge) return false;
   if (probe == MaskProbe::kBitmap) return true;
   return row_len >= kMaskBitmapMinRowLen &&
          row_len * 8 >= static_cast<std::size_t>(ncols) &&
          flops_hint * 4 >= row_len;
+}
+
+/// kAuto merge gate: rows long enough that the per-probe log factor of the
+/// binary search hurts, probed often enough to amortize one O(len) cursor
+/// walk per B-row scan. Consulted only after use_bitmap_probe declined, so
+/// kAuto resolves bitmap > merge > binary — the merge owns the mid-density
+/// band (too sparse in its column space to arm a bitmap, too long to
+/// binary-search per product) and the hypersparse column spaces where the
+/// bitmap is inadmissible outright.
+inline bool use_merge_probe(MaskProbe probe, std::size_t row_len,
+                            std::size_t flops_hint) {
+  if (row_len == 0) return false;
+  if (probe == MaskProbe::kMerge) return true;
+  if (probe != MaskProbe::kAuto) return false;
+  return row_len >= kMaskBitmapMinRowLen && flops_hint * 4 >= row_len;
 }
 
 /// Per-worker bitmap scratch for the mask probe. Armed lazily per mask row;
@@ -356,6 +378,11 @@ struct MaskRow {
   const std::uint64_t* bits = nullptr;
   Index col_shift = 0;  ///< stacked column j probes local column j − shift
   Index bit_limit = 0;  ///< armed bitmap width (meaningful iff bits != null)
+  mutable bool merge = false;  ///< two-pointer merge probe (mid-density)
+  mutable std::size_t cursor = 0;  ///< merge probe: first mask col ≥ last c
+  mutable std::size_t steps = 0;   ///< merge probe: cursor work spent so far
+  mutable std::size_t probes = 0;  ///< merge probe: probes answered so far
+  mutable Index last_c = -1;       ///< merge probe: previous probed column
 
   bool all_blocked() const { return !complement && cols.empty(); }
   bool all_allowed() const { return complement && cols.empty(); }
@@ -367,6 +394,25 @@ struct MaskRow {
     } else if (bits) {
       hit = c < bit_limit &&
             ((bits[static_cast<std::size_t>(c >> 6)] >> (c & 63)) & 1) != 0;
+    } else if (merge) {
+      // Probes within one B-row scan come in ascending column order, so
+      // the cursor only moves forward; a descending probe marks a new
+      // scan (next A-entry's B row) and rewinds it. On the sorted scans
+      // the SpGEMM driver issues the total cursor work per mask row is
+      // O(len + probes) — but many scans that each land deep in the mask
+      // row would re-walk it per rewind, so once the cursor work stops
+      // amortizing against what binary search would have cost (~log per
+      // probe) the row retires to binary search for its remaining probes.
+      // Answers are identical either way; the cap just bounds the worst
+      // case, so kAuto can never lose more than a constant factor.
+      if (c < last_c) cursor = 0;
+      last_c = c;
+      const std::size_t start = cursor;
+      while (cursor < cols.size() && cols[cursor] < c) ++cursor;
+      hit = cursor < cols.size() && cols[cursor] == c;
+      steps += cursor - start;
+      ++probes;
+      if (steps > probes * 16 + 64) merge = false;
     } else {
       hit = std::binary_search(cols.begin(), cols.end(), c);
     }
@@ -392,7 +438,10 @@ MaskRow mask_row_lookup(const SparseView<U>& m, Index r, MaskDesc desc,
   if (use_bitmap_probe(desc.probe, cols.size(), flops_hint, m.ncols)) {
     bits = scratch.arm(cols, m.ncols);
   }
-  return {cols, desc.complement, bits, col_shift, bits ? m.ncols : Index{0}};
+  const bool merge =
+      !bits && use_merge_probe(desc.probe, cols.size(), flops_hint);
+  return {cols,      desc.complement, bits, col_shift,
+          bits ? m.ncols : Index{0}, merge};
 }
 
 /// No-mask policy: every column is allowed; compiles out of the driver.
@@ -448,6 +497,63 @@ struct BatchMask {
         row_offsets.begin() - 1);
     const Index shift = col_offsets.empty() ? Index{0} : col_offsets[q];
     return mask_row_lookup(m, r, descs[q], flops_hint, s, shift);
+  }
+};
+
+/// No-carry policy: accumulators start empty; compiles out of the driver.
+struct NoCarry {
+  static constexpr bool kCarry = false;
+  struct Row {
+    std::span<const Index> cols;
+    bool empty() const { return true; }
+  };
+  Row row(Index) const { return {}; }
+};
+
+/// Carry (seed) policy — the shard-chain gather's fold-continuation hook.
+/// Before any product of stacked row r is accumulated, the driver seeds the
+/// row's accumulator with the carry row's entries: the carry is a partial
+/// result from an earlier launch (an earlier shard's fold over a prefix of
+/// the inner dimension), and seeding it as the accumulator's initial values
+/// makes the current launch CONTINUE that flat left fold — so chaining
+/// launches over an ordered partition of the inner dimension is
+/// bit-identical to one unsharded launch, floats included. Carry entries
+/// are seeds, not products: they are never mask-probed (they were produced
+/// under the same mask) and add no flops to MxmMaskStats.
+///
+/// Rows are partitioned into K contiguous query blocks by `row_offsets`
+/// (the serving batcher's layout); block q's rows seed from its own carry
+/// view, addressed in the query's local row space. A default (empty) view
+/// means no carry for that block. `col_offsets` (two-sided stacks) shifts
+/// block q's carry columns — stored in the query's LOCAL column space —
+/// into the stacked output column space.
+template <typename T>
+struct MultiCarry {
+  static constexpr bool kCarry = true;
+  std::span<const SparseView<T>> views;  ///< size K, one per query block
+  std::span<const Index> row_offsets;    ///< size K+1, ascending
+  /// Per-block column shift: local carry column c seeds stacked column
+  /// c + col_offsets[q]. Empty ⇒ no shift (one shared column space).
+  std::span<const Index> col_offsets{};
+
+  struct Row {
+    std::span<const Index> cols;
+    std::span<const T> vals;
+    Index col_shift = 0;
+    bool empty() const { return cols.empty(); }
+  };
+
+  Row row(Index r) const {
+    const auto q = static_cast<std::size_t>(
+        std::upper_bound(row_offsets.begin(), row_offsets.end(), r) -
+        row_offsets.begin() - 1);
+    const auto& v = views[q];
+    const Index local = r - row_offsets[q];
+    const auto it = std::lower_bound(v.row_ids.begin(), v.row_ids.end(), local);
+    if (it == v.row_ids.end() || *it != local) return {};
+    const auto ri = static_cast<std::size_t>(it - v.row_ids.begin());
+    return {v.row_cols(ri), v.row_vals(ri),
+            col_offsets.empty() ? Index{0} : col_offsets[q]};
   }
 };
 

@@ -65,11 +65,19 @@ inline std::ptrdiff_t find_row(const SparseView<T>& v, Index k, bool is_full) {
 /// slices (sorted by row) rather than a matrix, so callers that scatter
 /// rows elsewhere — the batched serving engine splits one product into K
 /// per-query results — skip a stacked-matrix round trip.
-template <semiring::Semiring S, typename MakeAcc, typename Mask>
+///
+/// The Carry policy (default: none) seeds each row's accumulator with a
+/// prior partial result BEFORE any product folds, making this launch
+/// continue that partial's flat left fold — the sharded serving gather
+/// (serve/router.hpp) chains launches over an ordered row partition of B
+/// this way and stays bit-identical to one unsharded launch. Carry entries
+/// are never mask-probed and add no flops.
+template <semiring::Semiring S, typename MakeAcc, typename Mask,
+          typename Carry = detail::NoCarry>
 std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B, MakeAcc&& make_acc,
-    const Mask& mask, MxmMaskStats* stats) {
+    const Mask& mask, MxmMaskStats* stats, const Carry& carry = {}) {
   using T = typename S::value_type;
   if (A.ncols() != B.nrows()) {
     throw std::invalid_argument("mxm: inner dimension mismatch");
@@ -108,11 +116,19 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
             row_flops += b.row_cols(static_cast<std::size_t>(bk)).size();
           }
         }
-        if (row_flops == 0) return;
+        [[maybe_unused]] typename Carry::Row crow{};
+        bool has_carry = false;
+        if constexpr (Carry::kCarry) {
+          crow = carry.row(out.row);
+          has_carry = !crow.empty();
+        }
+        if (row_flops == 0 && !has_carry) return;
 
         const auto mrow = mask.row(out.row, row_flops, s.mask);
         if constexpr (Mask::kMasked) {
           if (mrow.all_blocked()) {
+            // A blocked row emits nothing; its carry — produced under the
+            // same mask — is empty by construction.
             skipped.fetch_add(row_flops, std::memory_order_relaxed);
             return;
           }
@@ -123,7 +139,17 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
         // Distinct output columns are bounded by both the row's flops and
         // B's column count — the tight reserve that stops hypersparse rows
         // paying rehash/allocation churn.
-        acc.reserve(std::min(row_flops, b_ncols));
+        std::size_t expected = std::min(row_flops, b_ncols);
+        if constexpr (Carry::kCarry) expected += crow.cols.size();
+        acc.reserve(expected);
+        if constexpr (Carry::kCarry) {
+          // Seed the prior partial first: first-encounter inserts make it
+          // the accumulator's initial value, so the products below CONTINUE
+          // its fold rather than regrouping it.
+          for (std::size_t j = 0; j < crow.cols.size(); ++j) {
+            acc.accumulate(crow.cols[j] + crow.col_shift, crow.vals[j]);
+          }
+        }
 
         std::uint64_t row_kept = 0, row_skipped = 0;
         for (std::size_t p = 0; p < acols.size(); ++p) {
@@ -146,6 +172,12 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
         if constexpr (Mask::kMasked) {
           kept.fetch_add(row_kept, std::memory_order_relaxed);
           skipped.fetch_add(row_skipped, std::memory_order_relaxed);
+        } else if (stats) {
+          // Unmasked rows accumulate every product, so flops_kept means
+          // the same thing with or without a mask policy — which keeps
+          // batch-level flop accounting (ServeStats) independent of how
+          // admission happened to group masked and unmasked queries.
+          kept.fetch_add(row_flops, std::memory_order_relaxed);
         }
       });
 
@@ -170,11 +202,12 @@ Matrix<typename S::value_type> mxm_driver(
 
 /// Strategy switch over mxm_rows. kAuto prefers the dense scratch while it
 /// fits, else the flat hash.
-template <semiring::Semiring S, typename Mask>
+template <semiring::Semiring S, typename Mask,
+          typename Carry = detail::NoCarry>
 std::vector<detail::RowSlice<typename S::value_type>> mxm_dispatch_rows(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B, MxmStrategy strategy,
-    const Mask& mask, MxmMaskStats* stats) {
+    const Mask& mask, MxmMaskStats* stats, const Carry& carry = {}) {
   if (strategy == MxmStrategy::kAuto) {
     strategy = B.ncols() <= kMaxGustavsonWidth ? MxmStrategy::kGustavson
                                                : MxmStrategy::kHash;
@@ -186,18 +219,21 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_dispatch_rows(
       }
       return mxm_rows<S>(
           A, B, [w = B.ncols()] { return DenseAccumulator<S>(w); }, mask,
-          stats);
+          stats, carry);
     case MxmStrategy::kSorted:
       return mxm_rows<S>(
-          A, B, [] { return SortedMergeAccumulator<S>{}; }, mask, stats);
+          A, B, [] { return SortedMergeAccumulator<S>{}; }, mask, stats,
+          carry);
     default:
       return mxm_rows<S>(
-          A, B, [] { return FlatHashAccumulator<S>{}; }, mask, stats);
+          A, B, [] { return FlatHashAccumulator<S>{}; }, mask, stats, carry);
   }
 }
 
 /// Dispatch a (possibly masked) product to the accumulator the strategy
-/// names and assemble the canonical result matrix.
+/// names and assemble the canonical result matrix. (No carry here: a carry
+/// can hold rows absent from A, which need the caller-side merge the serve
+/// layer performs — see serve::detail::run_stacked.)
 template <semiring::Semiring S, typename Mask>
 Matrix<typename S::value_type> mxm_dispatch(
     const Matrix<typename S::value_type>& A,

@@ -1,0 +1,92 @@
+#pragma once
+// Shard-partition primitives for the sharded serving stack (serve/).
+//
+// A shard map partitions a base matrix by contiguous ROW ranges: shard s
+// owns base rows [cuts[s], cuts[s+1]) as a standalone matrix with local
+// rows 0..height and the base's full column space (sparse::split_rows is
+// the builder). Queries multiply FROM the left, so their lhs operands are
+// partitioned the dual way — by COLUMN ranges (lhs columns index base
+// rows): split_cols slices an lhs into per-shard sub-operands with columns
+// rebased to each shard's local row space. Both splits are offset
+// arithmetic on sorted data, so they are deterministic at any thread count
+// and their concatenation reconstructs the input exactly.
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/block_diag.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/slices.hpp"
+#include "util/parallel.hpp"
+
+namespace hyperspace::sparse {
+
+/// Even row cuts: N contiguous ranges covering [0, nrows), heights differing
+/// by at most one (the remainder spreads over the leading shards).
+inline std::vector<Index> even_cuts(Index nrows, int n_shards) {
+  if (n_shards < 1) {
+    throw std::invalid_argument("even_cuts: need at least one shard");
+  }
+  std::vector<Index> cuts(static_cast<std::size_t>(n_shards) + 1, 0);
+  const Index q = nrows / n_shards;
+  const Index r = nrows % n_shards;
+  for (int s = 0; s < n_shards; ++s) {
+    cuts[static_cast<std::size_t>(s) + 1] =
+        cuts[static_cast<std::size_t>(s)] + q + (s < r ? 1 : 0);
+  }
+  return cuts;
+}
+
+/// Validate a cut vector against a row count: ascending, 0-anchored, ending
+/// at nrows. Equal consecutive cuts (zero-height shards) are legal.
+inline void validate_cuts(std::span<const Index> cuts, Index nrows) {
+  if (cuts.size() < 2 || cuts.front() != 0 || cuts.back() != nrows ||
+      !std::is_sorted(cuts.begin(), cuts.end())) {
+    throw std::invalid_argument("shard cuts: must ascend from 0 to nrows");
+  }
+}
+
+/// Shard index owning row `r`: the last cut ≤ r (zero-height shards never
+/// own a row).
+inline std::size_t shard_of(std::span<const Index> cuts, Index r) {
+  return static_cast<std::size_t>(
+      std::upper_bound(cuts.begin(), cuts.end(), r) - cuts.begin() - 1);
+}
+
+/// Split A by COLUMN ranges: part s holds A's columns
+/// [cuts[s], cuts[s+1]) rebased to zero, all rows kept. The dual of
+/// split_rows — the scatter that carves a query's lhs into per-shard
+/// sub-operands. Column order within a row is preserved, so chaining the
+/// parts in cut order visits A's entries in exactly A's own encounter
+/// order (the sharded-fold determinism hinges on this).
+template <typename T>
+std::vector<Matrix<T>> split_cols(const Matrix<T>& A,
+                                  std::span<const Index> cuts,
+                                  T implicit_zero = T{}) {
+  validate_cuts(cuts, A.ncols());
+  const SparseView<T> v = A.view();
+  const auto nparts = static_cast<std::ptrdiff_t>(cuts.size() - 1);
+  std::vector<Matrix<T>> out(static_cast<std::size_t>(nparts));
+  util::parallel_for(0, nparts, 1, [&](std::ptrdiff_t p) {
+    const Index lo = cuts[static_cast<std::size_t>(p)];
+    const Index hi = cuts[static_cast<std::size_t>(p) + 1];
+    std::vector<Triple<T>> t;
+    for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+      const auto rc = v.row_cols(ri);
+      const auto rv = v.row_vals(ri);
+      const auto first = std::lower_bound(rc.begin(), rc.end(), lo);
+      const auto last = std::lower_bound(first, rc.end(), hi);
+      for (auto it = first; it != last; ++it) {
+        const auto j = static_cast<std::size_t>(it - rc.begin());
+        t.push_back({v.row_ids[ri], *it - lo, rv[j]});
+      }
+    }
+    out[static_cast<std::size_t>(p)] = Matrix<T>::from_canonical_triples(
+        v.nrows, hi - lo, t, implicit_zero);
+  });
+  return out;
+}
+
+}  // namespace hyperspace::sparse

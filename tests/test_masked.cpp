@@ -219,12 +219,19 @@ TEST(MaskedMxmBitmapProbe, ForcedProbesAgreeEverywhere) {
       const auto binary = mxm_masked<S>(
           a, b, m, {.complement = comp, .probe = MaskProbe::kBinary},
           &bin_st);
+      MxmMaskStats merge_st;
       for (const auto strat : {MxmStrategy::kGustavson, MxmStrategy::kHash,
                                MxmStrategy::kSorted}) {
         EXPECT_EQ(mxm_masked<S>(
                       a, b, m,
                       {.complement = comp, .probe = MaskProbe::kBitmap},
                       &bit_st, strat),
+                  binary)
+            << "threads=" << nt << " complement=" << comp;
+        EXPECT_EQ(mxm_masked<S>(
+                      a, b, m,
+                      {.complement = comp, .probe = MaskProbe::kMerge},
+                      &merge_st, strat),
                   binary)
             << "threads=" << nt << " complement=" << comp;
         EXPECT_EQ(mxm_masked<S>(
@@ -236,7 +243,44 @@ TEST(MaskedMxmBitmapProbe, ForcedProbesAgreeEverywhere) {
       // The probe never changes the kept/skipped split either.
       EXPECT_EQ(bit_st.flops_kept, 3 * bin_st.flops_kept);
       EXPECT_EQ(bit_st.flops_skipped, 3 * bin_st.flops_skipped);
+      EXPECT_EQ(merge_st.flops_kept, 3 * bin_st.flops_kept);
+      EXPECT_EQ(merge_st.flops_skipped, 3 * bin_st.flops_skipped);
     }
+  }
+}
+
+TEST(MaskedMxmMergeProbe, AdmissibleWhereTheBitmapIsNot) {
+  // A 2^40-wide mask row cannot arm a bitmap, but the two-pointer merge
+  // needs no O(ncols) state at all — it must serve the hypersparse column
+  // space exactly, both senses. The mask row is long (128 entries) and the
+  // probing B-row interleaves hits and misses in ascending column order,
+  // exercising the cursor walk; a second A-entry re-scans the same B row,
+  // exercising the cursor rewind between scans.
+  const Index huge = Index{1} << 40;
+  std::vector<Triple<double>> ta{{0, 7, 2.0}, {0, 9, 3.0}};
+  std::vector<Triple<double>> tb, tm;
+  for (int j = 0; j < 96; ++j) {
+    const Index col = (Index{1} << 30) + j * (Index{1} << 22);
+    tb.push_back({7, col, 1.0 + j});
+    if (j % 3 != 0) tm.push_back({0, col, 1.0});  // hit 2 of every 3
+  }
+  tb.push_back({9, Index{1} << 30, 5.0});  // second scan restarts low
+  for (int j = 0; j < 40; ++j) {
+    tm.push_back({0, (Index{1} << 36) + j, 1.0});  // mask tail past B's cols
+  }
+  const auto a = Matrix<double>::from_unique_triples(1, huge, std::move(ta));
+  const auto b = Matrix<double>::from_unique_triples(huge, huge,
+                                                     std::move(tb));
+  const auto m = Matrix<double>::from_unique_triples(1, huge, std::move(tm));
+  for (const bool comp : {false, true}) {
+    MxmMaskStats merge_st, bin_st;
+    const auto merged = mxm_masked<S>(
+        a, b, m, {.complement = comp, .probe = MaskProbe::kMerge}, &merge_st);
+    const auto binary = mxm_masked<S>(
+        a, b, m, {.complement = comp, .probe = MaskProbe::kBinary}, &bin_st);
+    EXPECT_EQ(merged, binary) << "complement=" << comp;
+    EXPECT_EQ(merge_st.flops_kept, bin_st.flops_kept);
+    EXPECT_EQ(merge_st.flops_skipped, bin_st.flops_skipped);
   }
 }
 

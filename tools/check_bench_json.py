@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Schema sanity check for the BENCH_*.json artifacts (stdlib only).
+
+Each artifact is a merge of per-binary Google Benchmark reports keyed by
+binary name (see docs/BENCHMARKS.md):
+
+    { "<binary>": { "context": {...}, "benchmarks": [ {row...}, ... ] } }
+
+and every row must carry the fields the cross-PR trajectory tooling reads:
+a string `name`, numeric `real_time`/`cpu_time`, a string `time_unit`, and
+(optionally) a string `label` plus numeric counters. A malformed artifact
+— truncated JSON, a benchmark binary that crashed mid-report, a renamed
+field — should fail the bench CI job loudly instead of uploading a file
+that silently breaks comparisons later.
+
+Usage: python3 tools/check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+Exit status: 0 if every file conforms, 1 otherwise.
+
+An empty top-level object ({}) is accepted with a warning: run_benches.sh
+writes it when a bench binary was not built (e.g. no libbenchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import sys
+
+# Row fields that must be present, with their expected kinds.
+REQUIRED_ROW_FIELDS = {
+    "name": str,
+    "real_time": numbers.Real,
+    "cpu_time": numbers.Real,
+    "time_unit": str,
+}
+# Optional row fields whose kind is still enforced when present.
+OPTIONAL_ROW_FIELDS = {
+    "label": str,
+    "run_type": str,
+}
+
+
+def fail(path: str, message: str) -> str:
+    return f"{path}: {message}"
+
+
+def check_row(path: str, binary: str, i: int, row: object) -> list[str]:
+    errors = []
+    where = f"{binary}.benchmarks[{i}]"
+    if not isinstance(row, dict):
+        return [fail(path, f"{where} is not an object")]
+    for field, kind in REQUIRED_ROW_FIELDS.items():
+        if field not in row:
+            errors.append(fail(path, f"{where} is missing '{field}'"))
+        elif not isinstance(row[field], kind) or isinstance(row[field], bool):
+            errors.append(
+                fail(path, f"{where}.{field} is not a {kind.__name__}"))
+    for field, kind in OPTIONAL_ROW_FIELDS.items():
+        if field in row and not isinstance(row[field], kind):
+            errors.append(
+                fail(path, f"{where}.{field} is not a {kind.__name__}"))
+    # Counters: any other scalar field the bench attached must be numeric
+    # or string — nested structures in a row mean a corrupted merge.
+    for field, value in row.items():
+        if isinstance(value, (dict, list)):
+            errors.append(
+                fail(path, f"{where}.{field} is unexpectedly nested"))
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return [fail(path, f"unreadable: {e}")]
+    except json.JSONDecodeError as e:
+        return [fail(path, f"invalid JSON: {e}")]
+    if not isinstance(doc, dict):
+        return [fail(path, "top level is not an object")]
+    if not doc:
+        print(f"warning: {path} is empty (bench binary not built?)",
+              file=sys.stderr)
+        return []
+    errors = []
+    for binary, report in doc.items():
+        if not isinstance(report, dict):
+            errors.append(fail(path, f"'{binary}' report is not an object"))
+            continue
+        if "benchmarks" not in report:
+            errors.append(fail(path, f"'{binary}' has no 'benchmarks' list"))
+            continue
+        rows = report["benchmarks"]
+        if not isinstance(rows, list):
+            errors.append(fail(path, f"'{binary}'.benchmarks is not a list"))
+            continue
+        if not rows:
+            errors.append(fail(path, f"'{binary}'.benchmarks is empty"))
+        for i, row in enumerate(rows):
+            errors.extend(check_row(path, binary, i, row))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_file(path))
+    for e in all_errors:
+        print(f"error: {e}", file=sys.stderr)
+    checked = len(argv) - 1
+    if not all_errors:
+        print(f"ok: {checked} bench artifact(s) conform")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
