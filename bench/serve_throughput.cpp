@@ -10,6 +10,7 @@
 
 #include "serve/executor.hpp"
 #include "serve/router.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -37,7 +38,7 @@ std::vector<serve::Query<S>> point_queries(int k, Index n,
                        rng.bounded(static_cast<std::uint64_t>(n))),
                    rng.uniform(0.5, 1.5)});
     }
-    qs.push_back(Q::mtimes(
+    qs.push_back(Q::analytic(
         sparse::Matrix<double>::from_triples<S>(1, n, std::move(t))));
   }
   return qs;
@@ -81,10 +82,10 @@ std::vector<serve::Query<S>> mixed_queries(int k, Index n,
       }
       auto mask = sparse::Matrix<double>::from_triples<S>(8, n,
                                                           std::move(mt));
-      qs.push_back(Q::mtimes_masked(std::move(lhs), std::move(mask),
+      qs.push_back(Q::masked(std::move(lhs), std::move(mask),
                                     {.complement = i % 8 == 7}));
     } else {
-      qs.push_back(Q::mtimes(std::move(lhs)));
+      qs.push_back(Q::analytic(std::move(lhs)));
     }
   }
   return qs;
@@ -182,7 +183,7 @@ void bm_serve_executor(benchmark::State& state) {
     serve::Executor<S> ex(base);
     std::size_t last = 0;
     for (const auto& q : qs) last = ex.submit(q);
-    benchmark::DoNotOptimize(ex.result(last));
+    benchmark::DoNotOptimize(ex.wait(last));
   }
   state.counters["queries_per_s"] = benchmark::Counter(
       static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
@@ -319,6 +320,71 @@ BENCHMARK(bm_serve_sharded)
     ->Args({64, 1})
     ->Args({64, 2})
     ->Args({64, 4});
+
+void bm_serve_mixed_rw(benchmark::State& state) {
+  // Mixed read/write serving through the Service interface: each tick
+  // interleaves K point queries with M mutation batches (32 updates each,
+  // 3:1 assigns to erases) against a live delta base, then redeems every
+  // ticket. Arg0 = K (query rate per tick), Arg1 = M (mutation rate per
+  // tick), Arg2 = shard count (1 = plain executor path). The M=0 rows are
+  // the read-only baseline; the grid shows what live writes cost the read
+  // path (delta-overlay probes + stale-stack fallbacks) at each rate.
+  const int k = static_cast<int>(state.range(0));
+  const int muts = static_cast<int>(state.range(1));
+  const int shards = static_cast<int>(state.range(2));
+  const Index n = 4096;
+  const auto base = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  serve::Router<S> router(base, {.n_shards = shards});
+  serve::Service<S>& svc = router;
+  const auto qs = make_queries(0, k, n, 7);
+  util::Xoshiro256 rng(8);
+  auto random_vertex = [&] {
+    return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
+  };
+  const int gap = muts > 0 ? std::max(1, k / muts) : 0;
+  for (auto _ : state) {
+    std::vector<std::size_t> tickets;
+    tickets.reserve(qs.size());
+    for (int i = 0; i < k; ++i) {
+      tickets.push_back(svc.submit(qs[static_cast<std::size_t>(i)]));
+      if (gap > 0 && i % gap == gap - 1) {
+        sparse::UpdateBatch<double> ops;
+        ops.reserve(32);
+        for (int u = 0; u < 32; ++u) {
+          if (u % 4 == 3) {
+            ops.push_back(sparse::Update<double>::erased(random_vertex(),
+                                                         random_vertex()));
+          } else {
+            ops.push_back(sparse::Update<double>::assign(
+                random_vertex(), random_vertex(), rng.uniform(0.5, 1.5)));
+          }
+        }
+        svc.mutate(ops);
+      }
+    }
+    svc.flush();
+    for (const auto t : tickets) benchmark::DoNotOptimize(svc.wait(t));
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["mutations_per_s"] = benchmark::Counter(
+      static_cast<double>(muts > 0 ? k / gap : 0),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["final_epoch"] = static_cast<double>(svc.epoch());
+  state.SetLabel("mixed r/w, K=" + std::to_string(k) + " reads, M=" +
+                 std::to_string(muts) + " writes/tick, N=" +
+                 std::to_string(shards) + " shards");
+}
+// Iterations pinned for the same reason as bm_serve_sharded: long-lived
+// server, ticket ledger and delta epochs grow per tick.
+BENCHMARK(bm_serve_mixed_rw)
+    ->Iterations(64)
+    ->Args({64, 0, 1})
+    ->Args({64, 4, 1})
+    ->Args({64, 16, 1})
+    ->Args({8, 4, 1})
+    ->Args({64, 0, 4})
+    ->Args({64, 4, 4});
 
 }  // namespace
 

@@ -1,38 +1,117 @@
-// Sharded async multi-tenant query serving — the millions-of-concurrent-
-// users loop in miniature.
+// Sharded async multi-tenant query serving WITH live mutation — the
+// millions-of-concurrent-users loop in miniature.
 //
 // A follower graph is the shared base array, partitioned by the shard map
 // into four row-range shards, each owned by its own executor with its own
 // background flush thread and admission budget. Three tenants (a
 // recommender, a feed filter, and a profile service) issue neighbor
-// expansions (mtimes), filtered expansions (fused output masks, both
-// senses), and profile lookups (select) through the ROUTER, which
-// scatters each query to the shard(s) its key range touches and gathers
-// per-shard partials with the deterministic carry fold. Nobody calls
-// flush(): the shard flush threads drain their queues on queue depth or
-// deadline, coalescing each slice into ONE block-diagonal masked product
-// under the admission policy — including the per-tenant flop quota that
-// keeps the heavy recommender from starving the profile service's point
-// lookups. Callers submit() and later wait() their ticket, exactly like a
-// future. Answers are bit-identical to serving every query alone,
-// synchronously, unsharded; ServeStats shows what coalescing saved,
-// RouterStats how the scatter split the traffic, and TenantStats breaks
-// the accounting down per tenant.
+// expansions (analytic), filtered expansions (fused output masks, both
+// senses), and profile lookups (select) — and between traffic ticks the
+// graph itself CHANGES: users follow and unfollow, applied live through
+// mutate() as delta-base epochs, no rebuild, no downtime.
+//
+// Everything below the construction line drives the engine through ONE
+// interface: serve::Service<S> — submit / mutate / wait / poll / flush /
+// shutdown / stats. The traffic loop takes a Service& and never learns it
+// is talking to a sharded router; swap in a plain Executor and the same
+// code runs unchanged (and answers bit-identically, per the Service
+// contract). Nobody calls flush(): the shard flush threads drain their
+// queues on queue depth or deadline, coalescing each slice into ONE
+// block-diagonal masked product under the admission policy. Callers
+// submit() and later wait() their ticket, exactly like a future. In-flight
+// batches finish on the epoch they started on; batches flushed after a
+// mutate() serve the new epoch.
 
 #include <cstdio>
 #include <iostream>
 
 #include "semiring/all.hpp"
 #include "serve/router.hpp"
+#include "serve/service.hpp"
 #include "util/generators.hpp"
 #include "util/rng.hpp"
 
-int main() {
-  using namespace hyperspace;
-  using sparse::Index;
-  using S = semiring::PlusTimes<double>;
-  using Q = serve::Query<S>;
+namespace {
 
+using namespace hyperspace;
+using sparse::Index;
+using S = semiring::PlusTimes<double>;
+using Q = serve::Query<S>;
+
+// Tenants: 0 = recommender (heavy expansions), 1 = feed filter (masked
+// expansions), 2 = profile service (point lookups). The quota bounds how
+// many flops any one tenant may occupy per batch, so tenant 2's lookups
+// never queue behind tenant 0's fan-outs.
+constexpr serve::TenantId kRecommender = 0;
+constexpr serve::TenantId kFeedFilter = 1;
+constexpr serve::TenantId kProfiles = 2;
+
+/// One "tick" of traffic against ANY serving engine: `count` concurrent
+/// requests of mixed kinds, submitted through the Service interface.
+std::vector<std::size_t> run_tick(serve::Service<S>& svc, Index n,
+                                  util::Xoshiro256& rng, int count) {
+  auto random_vertex = [&] {
+    return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
+  };
+  std::vector<std::size_t> tickets;
+  tickets.reserve(static_cast<std::size_t>(count));
+  for (int u = 0; u < count; ++u) {
+    switch (u % 3) {
+      case 0: {  // recommender: who do my follows follow? (8-seed fan-out)
+        std::vector<sparse::Triple<double>> seeds;
+        for (int i = 0; i < 8; ++i) seeds.push_back({0, random_vertex(), 1.0});
+        tickets.push_back(svc.submit(
+            kRecommender,
+            Q::analytic(sparse::Matrix<double>::from_triples<S>(
+                1, n, std::move(seeds)))));
+        break;
+      }
+      case 1: {  // feed filter: expand, but exclude already-seen users
+        std::vector<sparse::Triple<double>> seen;
+        for (int i = 0; i < 32; ++i) seen.push_back({0, random_vertex(), 1.0});
+        tickets.push_back(svc.submit(
+            kFeedFilter,
+            Q::masked(sparse::Matrix<double>::from_unique_triples(
+                          1, n, {{0, random_vertex(), 1.0}}),
+                      sparse::Matrix<double>::from_triples<S>(
+                          1, n, std::move(seen)),
+                      {.complement = true})));
+        break;
+      }
+      default: {  // profile service: raw adjacency rows for 4 users
+        tickets.push_back(svc.submit(
+            kProfiles, Q::select({random_vertex(), random_vertex(),
+                                  random_vertex(), random_vertex()},
+                                 n)));
+      }
+    }
+  }
+  return tickets;
+}
+
+/// The graph changes between ticks: `follows` new edges land, `unfollows`
+/// existing-or-not edges drop. One mutate() call, one new epoch, applied
+/// live while the flush threads keep serving.
+std::uint64_t churn(serve::Service<S>& svc, Index n, util::Xoshiro256& rng,
+                    int follows, int unfollows) {
+  auto random_vertex = [&] {
+    return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
+  };
+  sparse::UpdateBatch<double> ops;
+  for (int i = 0; i < follows; ++i) {
+    ops.push_back(
+        sparse::Update<double>::assign(random_vertex(), random_vertex(), 1.0));
+  }
+  for (int i = 0; i < unfollows; ++i) {
+    ops.push_back(
+        sparse::Update<double>::erased(random_vertex(), random_vertex()));
+  }
+  return svc.mutate(ops);
+}
+
+}  // namespace
+
+int main() {
   const int scale = 12;
   const Index n = Index{1} << scale;
   const auto edges = util::rmat_edges({.scale = scale, .edge_factor = 16,
@@ -44,74 +123,46 @@ int main() {
   std::cout << "base graph: " << n << " users, " << base.nnz()
             << " follow edges\n";
 
-  // Tenants: 0 = recommender (heavy expansions), 1 = feed filter (masked
-  // expansions), 2 = profile service (point lookups). The quota bounds how
-  // many flops any one tenant may occupy per batch, so tenant 2's lookups
-  // never queue behind tenant 0's fan-outs.
-  constexpr serve::TenantId kRecommender = 0;
-  constexpr serve::TenantId kFeedFilter = 1;
-  constexpr serve::TenantId kProfiles = 2;
-  serve::Router<S> ex(
+  serve::Router<S> router(
       base, {.executor = {.max_batch_queries = 64,
                           .tenant_flop_quota = std::uint64_t{1} << 16,
                           .async = true,
                           .flush_queue_depth = 48,
                           .flush_interval = std::chrono::milliseconds(1)},
              .n_shards = 4});
-  std::cout << "router: " << ex.n_shards() << " row-range shards of "
-            << ex.map().height(0) << " users each\n";
-  util::Xoshiro256 rng(42);
-  auto random_vertex = [&] {
-    return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
-  };
+  std::cout << "router: " << router.n_shards() << " row-range shards of "
+            << router.map().height(0) << " users each\n";
 
-  // One "tick" of traffic: 256 concurrent requests of mixed kinds. The
-  // background flush thread is already draining while these land.
-  std::vector<std::size_t> tickets;
-  for (int u = 0; u < 256; ++u) {
-    switch (u % 3) {
-      case 0: {  // recommender: who do my follows follow? (8-seed fan-out)
-        std::vector<sparse::Triple<double>> seeds;
-        for (int i = 0; i < 8; ++i) seeds.push_back({0, random_vertex(), 1.0});
-        tickets.push_back(ex.submit(
-            kRecommender,
-            Q::mtimes(sparse::Matrix<double>::from_triples<S>(
-                1, n, std::move(seeds)))));
-        break;
-      }
-      case 1: {  // feed filter: expand, but exclude already-seen users
-        std::vector<sparse::Triple<double>> seen;
-        for (int i = 0; i < 32; ++i) seen.push_back({0, random_vertex(), 1.0});
-        tickets.push_back(ex.submit(
-            kFeedFilter,
-            Q::mtimes_masked(sparse::Matrix<double>::from_unique_triples(
-                                 1, n, {{0, random_vertex(), 1.0}}),
-                             sparse::Matrix<double>::from_triples<S>(
-                                 1, n, std::move(seen)),
-                             {.complement = true})));
-        break;
-      }
-      default: {  // profile service: raw adjacency rows for 4 users
-        tickets.push_back(ex.submit(
-            kProfiles, Q::select({random_vertex(), random_vertex(),
-                                  random_vertex(), random_vertex()},
-                                 n)));
-      }
+  // Everything from here down holds the ENGINE-AGNOSTIC interface.
+  serve::Service<S>& ex = router;
+  util::Xoshiro256 rng(42);
+
+  // Three ticks of traffic with live graph churn in between: 128 new
+  // follows and 64 unfollows per gap, each batch a new epoch served
+  // without a rebuild. Queries in flight at mutate() time finish on the
+  // epoch they started on.
+  std::size_t answered = 0, nonempty = 0;
+  for (int tick = 0; tick < 3; ++tick) {
+    const auto tickets = run_tick(ex, n, rng, 256);
+    // Redeem the futures — wait() nudges the flushers for anything still
+    // queued, so no explicit flush() appears anywhere in this program.
+    for (const auto tk : tickets) {
+      ++answered;
+      nonempty += ex.wait(tk).nnz() > 0;
+    }
+    if (tick + 1 < 3) {
+      const auto epoch = churn(ex, n, rng, 128, 64);
+      std::cout << "tick " << tick << ": graph churn applied, epoch "
+                << epoch << '\n';
     }
   }
 
-  // Redeem the futures — wait() nudges the flusher for anything still
-  // queued, so no explicit flush() appears anywhere in this program.
-  std::size_t answered = 0, nonempty = 0;
-  for (const auto tk : tickets) {
-    ++answered;
-    nonempty += ex.wait(tk).nnz() > 0;
-  }
-
   const auto st = ex.stats();
-  const auto rs = ex.router_stats();
+  const auto rs = router.router_stats();
   std::cout << "answered " << answered << " queries (" << nonempty
             << " with hits)\n"
+            << "mutation batches:     " << st.mutations << " (router epoch "
+            << ex.epoch() << ")\n"
             << "single-shard queries: " << rs.single_shard << '\n'
             << "straddling queries:   " << rs.straddling << " (" << rs.merges
             << " carry merges)\n"
@@ -129,8 +180,8 @@ int main() {
   const char* names[] = {"recommender", "feed filter", "profiles"};
   std::printf("\n%-12s %8s %6s %10s %8s %10s\n", "tenant", "queries",
               "rows", "flops", "batches", "deferrals");
-  for (const auto tenant : ex.tenants()) {
-    const auto ts = ex.tenant_stats(tenant);
+  for (const auto tenant : router.tenants()) {
+    const auto ts = router.tenant_stats(tenant);
     std::printf("%-12s %8llu %6llu %10llu %8llu %10llu\n",
                 names[tenant % 3],
                 static_cast<unsigned long long>(ts.queries),
@@ -139,6 +190,6 @@ int main() {
                 static_cast<unsigned long long>(ts.batches),
                 static_cast<unsigned long long>(ts.deferrals));
   }
-  ex.shutdown();  // drains anything left; also what ~Executor would do
+  ex.shutdown();  // drains anything left; also what ~Router would do
   return 0;
 }

@@ -61,10 +61,10 @@ std::vector<AssocArray<S>> mtimes_batched(
     if (q->mask) {
       auto mask =
           q->mask->realign(q->lhs.row_keys(), base.col_keys()).matrix();
-      qs.push_back(serve::Query<S>::mtimes_masked(std::move(lhs),
+      qs.push_back(serve::Query<S>::masked(std::move(lhs),
                                                   std::move(mask), q->desc));
     } else {
-      qs.push_back(serve::Query<S>::mtimes(std::move(lhs)));
+      qs.push_back(serve::Query<S>::analytic(std::move(lhs)));
     }
   }
   auto rs = serve::run_batch(base.matrix(), qs, sparse::MxmStrategy::kAuto,
@@ -124,11 +124,11 @@ std::vector<AssocArray<S>> mtimes_batched_multi(
     if (mq->q.mask) {
       auto mask =
           mq->q.mask->realign(mq->q.lhs.row_keys(), base.col_keys()).matrix();
-      qs.push_back(serve::Query<S>::mtimes_masked(std::move(lhs),
+      qs.push_back(serve::Query<S>::masked(std::move(lhs),
                                                   std::move(mask),
                                                   mq->q.desc));
     } else {
-      qs.push_back(serve::Query<S>::mtimes(std::move(lhs)));
+      qs.push_back(serve::Query<S>::analytic(std::move(lhs)));
     }
     base_ids.push_back(mq->base);
   }

@@ -26,6 +26,18 @@
 
 namespace hyperspace::array {
 
+/// One key-addressed mutation: assign (insert-or-update) or erase at
+/// (row key, col key). The keys must already exist in the base's key
+/// sets — live mutation changes VALUES under fixed key spaces; growing a
+/// key space is a rebuild (ROADMAP).
+template <typename T>
+struct KeyUpdate {
+  Key row;
+  Key col;
+  T val{};
+  bool erase = false;
+};
+
 /// A sharded serving front end over one base array: serve::Router plus the
 /// key spaces needed to realign queries on the way in and label results on
 /// the way out. Results are entry-identical to mtimes / mtimes_masked
@@ -76,6 +88,34 @@ class ShardedServer {
   }
 
   std::size_t submit(const BatchQuery<S>& q) { return submit(0, q); }
+
+  /// Key-aligned live mutation: translate each (row key, col key) through
+  /// the base's key sets and forward the batch to the router, which
+  /// scatters every update to the shard owning its row. In-order,
+  /// last-write-per-key-wins, and served results at the new epoch are
+  /// entry-identical to rebuilding the array from scratch with these
+  /// writes applied. Unknown keys throw before anything is applied.
+  std::uint64_t mutate(serve::TenantId tenant,
+                       const std::vector<KeyUpdate<T>>& ops) {
+    sparse::UpdateBatch<T> mops;
+    mops.reserve(ops.size());
+    for (const auto& u : ops) {
+      const auto r = rows_.find(u.row);
+      const auto c = cols_.find(u.col);
+      if (!r || !c) {
+        throw std::out_of_range(
+            "ShardedServer: mutation key outside the base key space");
+      }
+      mops.push_back({static_cast<sparse::Index>(*r),
+                      static_cast<sparse::Index>(*c), u.val, u.erase});
+    }
+    return router_.mutate(tenant, mops);
+  }
+  std::uint64_t mutate(const std::vector<KeyUpdate<T>>& ops) {
+    return mutate(serve::TenantId{0}, ops);
+  }
+  /// The router-level epoch (logical mutation batches accepted).
+  std::uint64_t epoch() const { return router_.epoch(); }
 
   /// Block for the chain's final result and wrap it back into key space.
   AssocArray<S> wait(std::size_t ticket) {

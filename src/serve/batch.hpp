@@ -34,6 +34,7 @@
 
 #include "semiring/concepts.hpp"
 #include "sparse/block_diag.hpp"
+#include "sparse/delta.hpp"
 #include "sparse/masked.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/mxm.hpp"
@@ -55,6 +56,10 @@ struct ServeStats {
   std::uint64_t rows_coalesced = 0;   ///< stacked rows across all batches
   std::uint64_t flops_kept = 0;       ///< products that ran
   std::uint64_t flops_skipped = 0;    ///< products the masks dropped
+  std::uint64_t mutations = 0;        ///< mutation batches applied
+  /// Highest base epoch any batch in this row was served at (0 = every
+  /// batch ran against pristine, never-mutated bases).
+  std::uint64_t epoch = 0;
 
   ServeStats& operator+=(const ServeStats& o) {
     queries += o.queries;
@@ -64,6 +69,8 @@ struct ServeStats {
     rows_coalesced += o.rows_coalesced;
     flops_kept += o.flops_kept;
     flops_skipped += o.flops_skipped;
+    mutations += o.mutations;
+    epoch = std::max(epoch, o.epoch);
     return *this;
   }
 };
@@ -87,25 +94,49 @@ struct Query {
   /// Carry entries are never mask-probed and add no flops to the stats.
   std::optional<sparse::Matrix<T>> carry;
 
-  /// C_q = lhs ⊕.⊗ B.
-  static Query mtimes(sparse::Matrix<T> a) {
+  /// Analytic query: the full product C_q = lhs ⊕.⊗ B.
+  static Query analytic(sparse::Matrix<T> a) {
+    if (a.ncols() <= 0) {
+      throw std::invalid_argument("Query::analytic: lhs has no columns");
+    }
     return {QueryKind::kMtimes, std::move(a), std::nullopt, {}};
   }
 
-  /// C_q⟨M⟩ = lhs ⊕.⊗ B with a per-query fused output mask.
-  static Query mtimes_masked(sparse::Matrix<T> a, sparse::Matrix<T> m,
-                             sparse::MaskDesc d = {}) {
+  /// Masked query: C_q⟨M⟩ = lhs ⊕.⊗ B with a per-query fused output mask.
+  /// The mask's sense (keep / complement, value vs structural probe) rides
+  /// in `d`. Validated here — mask height must match the lhs — instead of
+  /// deep inside run_batch.
+  static Query masked(sparse::Matrix<T> a, sparse::Matrix<T> m,
+                      sparse::MaskDesc d = {}) {
+    if (a.ncols() <= 0) {
+      throw std::invalid_argument("Query::masked: lhs has no columns");
+    }
+    if (m.nrows() != a.nrows()) {
+      throw std::invalid_argument("Query::masked: mask height mismatch");
+    }
     return {QueryKind::kMtimesMasked, std::move(a), std::move(m), d};
   }
 
+  /// Point lookup: the single base row `key`, as a 1-row selector product
+  /// — coalesces with every other query kind.
+  static Query point(sparse::Index key, sparse::Index base_nrows) {
+    if (key < 0 || key >= base_nrows) {
+      throw std::invalid_argument("Query::point: key out of range");
+    }
+    return select({key}, base_nrows);
+  }
+
   /// Row-extraction query: result row i = base row rows[i]. Compiles to an
-  /// mtimes whose lhs is a selector (one S::one() per requested row), so
-  /// it coalesces with every other query kind.
+  /// analytic product whose lhs is a selector (one S::one() per requested
+  /// row). Keys are validated at construction.
   static Query select(const std::vector<sparse::Index>& rows,
                       sparse::Index base_nrows) {
     std::vector<sparse::Triple<T>> t;
     t.reserve(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] < 0 || rows[i] >= base_nrows) {
+        throw std::invalid_argument("Query::select: row key out of range");
+      }
       t.push_back({static_cast<sparse::Index>(i), rows[i], S::one()});
     }
     return {QueryKind::kSelect,
@@ -115,24 +146,40 @@ struct Query {
             std::nullopt,
             {}};
   }
+
+  /// Deprecated pre-PR-6 spellings, kept one PR as thin shims.
+  [[deprecated("use Query::analytic")]] static Query mtimes(
+      sparse::Matrix<T> a) {
+    return analytic(std::move(a));
+  }
+  [[deprecated("use Query::masked")]] static Query mtimes_masked(
+      sparse::Matrix<T> a, sparse::Matrix<T> m, sparse::MaskDesc d = {}) {
+    return masked(std::move(a), std::move(m), d);
+  }
 };
 
 namespace detail {
 
 template <semiring::Semiring S>
-void validate_query(const sparse::Matrix<typename S::value_type>& base,
+void validate_query(sparse::Index base_nrows, sparse::Index base_ncols,
                     const Query<S>& q) {
-  if (q.lhs.ncols() != base.nrows()) {
+  if (q.lhs.ncols() != base_nrows) {
     throw std::invalid_argument("serve: query inner dimension mismatch");
   }
   if (q.mask && (q.mask->nrows() != q.lhs.nrows() ||
-                 q.mask->ncols() != base.ncols())) {
+                 q.mask->ncols() != base_ncols)) {
     throw std::invalid_argument("serve: query mask shape mismatch");
   }
   if (q.carry && (q.carry->nrows() != q.lhs.nrows() ||
-                  q.carry->ncols() != base.ncols())) {
+                  q.carry->ncols() != base_ncols)) {
     throw std::invalid_argument("serve: query carry shape mismatch");
   }
+}
+
+template <semiring::Semiring S>
+void validate_query(const sparse::Matrix<typename S::value_type>& base,
+                    const Query<S>& q) {
+  validate_query<S>(base.nrows(), base.ncols(), q);
 }
 
 /// The shared coalesced core behind run_batch and run_batch_on_stack: run
@@ -147,7 +194,7 @@ void validate_query(const sparse::Matrix<typename S::value_type>& base,
 template <semiring::Semiring S>
 std::vector<sparse::Matrix<typename S::value_type>> run_stacked(
     const sparse::Matrix<typename S::value_type>& stacked,
-    const sparse::Matrix<typename S::value_type>& B,
+    const sparse::detail::BaseView<typename S::value_type>& B,
     std::span<const Query<S>* const> queries,
     std::span<const sparse::Index> offsets,
     std::span<const sparse::Index> qcol_off,
@@ -267,25 +314,32 @@ std::vector<sparse::Matrix<typename S::value_type>> run_stacked(
 }  // namespace detail
 
 /// Reference single-query execution — exactly what a batch must reproduce.
+/// The BaseView overload is the core; a delta snapshot's patched rows and
+/// a plain matrix serve through identical code.
 template <semiring::Semiring S>
 sparse::Matrix<typename S::value_type> run_single(
-    const sparse::Matrix<typename S::value_type>& base, const Query<S>& q,
+    const sparse::detail::BaseView<typename S::value_type>& base,
+    const Query<S>& q,
     sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
     sparse::MxmMaskStats* ms = nullptr) {
-  detail::validate_query(base, q);
+  detail::validate_query<S>(base.nrows, base.ncols, q);
   if (q.carry) {
     // Seeded product — the shard chain's merge step: the carry continues
     // its fold through this launch. One query, no stacking: the lhs is its
     // own "stacked" operand; the shared core handles seed + pass-through.
     const Query<S>* qp = &q;
     const std::vector<sparse::Index> offsets{0, q.lhs.nrows()};
-    const std::vector<sparse::Index> qncols{base.ncols()};
+    const std::vector<sparse::Index> qncols{base.ncols};
     auto rs = detail::run_stacked<S>(q.lhs, base, std::span(&qp, 1), offsets,
                                      {}, qncols, strategy, ms);
     return std::move(rs.front());
   }
   if (q.mask) {
-    return sparse::mxm_masked<S>(q.lhs, base, *q.mask, q.desc, ms, strategy);
+    // The fused masked product (sparse::mxm_masked), routed through the
+    // view-aware dispatch so patched rows are consulted.
+    const sparse::detail::StructuralMask<typename S::value_type> mask{
+        q.mask->view(), q.desc};
+    return sparse::detail::mxm_dispatch<S>(q.lhs, base, strategy, mask, ms);
   }
   // Thread the stats through even unmasked: flops_kept counts every
   // product that reached an accumulator, so a batch of one reports the
@@ -294,20 +348,41 @@ sparse::Matrix<typename S::value_type> run_single(
                                          sparse::detail::NoMask{}, ms);
 }
 
+template <semiring::Semiring S>
+sparse::Matrix<typename S::value_type> run_single(
+    const sparse::Matrix<typename S::value_type>& base, const Query<S>& q,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    sparse::MxmMaskStats* ms = nullptr) {
+  const sparse::detail::BaseView<typename S::value_type> bv(base);
+  return run_single<S>(bv, q, strategy, ms);
+}
+
+template <semiring::Semiring S>
+sparse::Matrix<typename S::value_type> run_single(
+    const sparse::DeltaSnapshot<typename S::value_type>& snap,
+    const Query<S>& q,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    sparse::MxmMaskStats* ms = nullptr) {
+  return run_single<S>(snap.base_view(), q, strategy, ms);
+}
+
 /// Execute every query against `base` as one coalesced launch; results are
 /// returned in submission order, each bit-identical to run_single's. The
-/// span-of-pointers overload is the core — callers that route a larger
-/// query list (the per-base fallback, db::planned_batch via the array
-/// layer) coalesce a subset without copying any operand.
+/// BaseView span-of-pointers overload is the core — callers that route a
+/// larger query list (the per-base fallback, db::planned_batch via the
+/// array layer) coalesce a subset without copying any operand, and a delta
+/// snapshot's patched base serves through the identical path.
 template <semiring::Semiring S>
 std::vector<sparse::Matrix<typename S::value_type>> run_batch(
-    const sparse::Matrix<typename S::value_type>& base,
+    const sparse::detail::BaseView<typename S::value_type>& base,
     std::span<const Query<S>* const> queries,
     sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
     ServeStats* stats = nullptr) {
   using T = typename S::value_type;
   if (queries.empty()) return {};
-  for (const auto* q : queries) detail::validate_query(base, *q);
+  for (const auto* q : queries) {
+    detail::validate_query<S>(base.nrows, base.ncols, *q);
+  }
 
   std::vector<sparse::Index> offsets(queries.size() + 1, 0);
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -325,12 +400,12 @@ std::vector<sparse::Matrix<typename S::value_type>> run_batch(
     for (std::size_t i = 0; i < queries.size(); ++i) {
       ablocks.push_back({&queries[i]->lhs, offsets[i], 0});
     }
-    const auto stacked = sparse::concat_blocks(offsets.back(), base.nrows(),
+    const auto stacked = sparse::concat_blocks(offsets.back(), base.nrows,
                                                std::move(ablocks), S::zero());
     // Run the ONE coalesced product and scatter per-query results straight
     // from the driver's row slices — no stacked result matrix is ever
     // materialized or re-split (detail::run_stacked).
-    const std::vector<sparse::Index> qncols(queries.size(), base.ncols());
+    const std::vector<sparse::Index> qncols(queries.size(), base.ncols);
     results = detail::run_stacked<S>(stacked, base, queries, offsets, {},
                                      qncols, strategy, &ms);
   }
@@ -350,6 +425,27 @@ std::vector<sparse::Matrix<typename S::value_type>> run_batch(
 template <semiring::Semiring S>
 std::vector<sparse::Matrix<typename S::value_type>> run_batch(
     const sparse::Matrix<typename S::value_type>& base,
+    std::span<const Query<S>* const> queries,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  const sparse::detail::BaseView<typename S::value_type> bv(base);
+  return run_batch<S>(bv, queries, strategy, stats);
+}
+
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch(
+    const sparse::DeltaSnapshot<typename S::value_type>& snap,
+    std::span<const Query<S>* const> queries,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  auto out = run_batch<S>(snap.base_view(), queries, strategy, stats);
+  if (stats) stats->epoch = std::max(stats->epoch, snap.epoch);
+  return out;
+}
+
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch(
+    const sparse::Matrix<typename S::value_type>& base,
     const std::vector<Query<S>>& queries,
     sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
     ServeStats* stats = nullptr) {
@@ -357,6 +453,18 @@ std::vector<sparse::Matrix<typename S::value_type>> run_batch(
   ptrs.reserve(queries.size());
   for (const auto& q : queries) ptrs.push_back(&q);
   return run_batch<S>(base, ptrs, strategy, stats);
+}
+
+template <semiring::Semiring S>
+std::vector<sparse::Matrix<typename S::value_type>> run_batch(
+    const sparse::DeltaSnapshot<typename S::value_type>& snap,
+    const std::vector<Query<S>>& queries,
+    sparse::MxmStrategy strategy = sparse::MxmStrategy::kAuto,
+    ServeStats* stats = nullptr) {
+  std::vector<const Query<S>*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const auto& q : queries) ptrs.push_back(&q);
+  return run_batch<S>(snap, ptrs, strategy, stats);
 }
 
 namespace detail {
@@ -464,9 +572,9 @@ std::vector<sparse::Matrix<typename S::value_type>> run_batch_on_stack(
   // The two-sided coalesced core: block i probes its own mask view in
   // local row AND column coordinates, and results scatter back into each
   // base's own column space (detail::run_stacked).
-  auto results = detail::run_stacked<S>(stacked, stack.stacked, queries,
-                                        offsets, qcol_off, qncols, strategy,
-                                        &ms);
+  const sparse::detail::BaseView<T> bview(stack.stacked);
+  auto results = detail::run_stacked<S>(stacked, bview, queries, offsets,
+                                        qcol_off, qncols, strategy, &ms);
 
   if (stats) {
     stats->queries += queries.size();

@@ -31,6 +31,13 @@
 // deque. shutdown() (also run by the destructor) retires the flush
 // thread and, by default, drains every queued-but-unflushed ticket.
 //
+// Bases are updatable (sparse/delta.hpp): mutate(tenant, base, ops)
+// applies an UpdateBatch to a base's delta and publishes the next epoch.
+// Every flushed batch pins the snapshots of the bases it touches FIRST,
+// then runs — so an in-flight batch finishes on the epoch it started on
+// while later submits see the new one, and a query's answer is always
+// bit-identical to a from-scratch rebuild of its base at that epoch.
+//
 // Whatever the mode, batch boundaries, tenant mix, flush timing, and
 // thread count NEVER change an answer: every result is bit-identical to
 // running its query alone, synchronously. ServeStats aggregates what
@@ -43,6 +50,7 @@
 #include <deque>
 #include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -52,10 +60,9 @@
 
 #include "serve/admission.hpp"
 #include "serve/batch.hpp"
+#include "serve/service.hpp"
 
 namespace hyperspace::serve {
-
-using TenantId = std::uint32_t;
 
 /// Per-tenant split of the serving accounting. queries/rows/flops are
 /// exact and independent of flush timing and thread count; batches and
@@ -67,10 +74,11 @@ struct TenantStats {
   std::uint64_t flops = 0;      ///< exact flops admitted (Σ base-row lengths)
   std::uint64_t batches = 0;    ///< batches this tenant participated in
   std::uint64_t deferrals = 0;  ///< batches where the quota deferred this tenant
+  std::uint64_t mutations = 0;  ///< mutation batches this tenant applied
 };
 
 template <semiring::Semiring S>
-class Executor {
+class Executor : public Service<S> {
   using T = typename S::value_type;
 
  public:
@@ -92,14 +100,17 @@ class Executor {
     /// default) keeps both limits static. Results are unaffected either
     /// way — admission only re-slices the queue.
     std::chrono::microseconds latency_target{0};
+    /// Delta-base tuning (buffer size, cascade fanout, compaction
+    /// threshold, background compactor). Applied to every base.
+    sparse::DeltaConfig delta{};
   };
 
   explicit Executor(sparse::Matrix<T> base, Config cfg = {})
       : Executor(make_one(std::move(base)), cfg) {}
 
   explicit Executor(std::vector<sparse::Matrix<T>> bases, Config cfg = {})
-      : bases_(std::move(bases)), cfg_(cfg) {
-    if (bases_.empty()) {
+      : cfg_(cfg) {
+    if (bases.empty()) {
       throw std::invalid_argument("Executor: at least one base required");
     }
     if (cfg_.max_batch_queries < 1) {
@@ -111,7 +122,7 @@ class Executor {
     if (cfg_.strategy == sparse::MxmStrategy::kGustavson) {
       // Fail fast: a base too wide for the dense scratch would otherwise
       // only surface as a kernel throw at flush time.
-      for (const auto& b : bases_) {
+      for (const auto& b : bases) {
         if (b.ncols() > sparse::kMaxGustavsonWidth) {
           throw std::invalid_argument(
               "Executor: base too wide for the kGustavson dense scratch");
@@ -123,19 +134,26 @@ class Executor {
       ctrl_ = AdmissionController({.latency_target = cfg_.latency_target},
                                   live_);
     }
-    // Pre-warm every base's view cache on this thread: submit() computes
-    // admission flops and the flush thread runs kernels concurrently, and
-    // the lazily materialized row-id cache must not be built under a race.
-    for (const auto& b : bases_) (void)b.view();
+    // Wrap every base in a DeltaBase: the ctor warms the view cache on
+    // this thread (submit() computes admission flops and the flush thread
+    // runs kernels concurrently, so the lazily materialized row-id cache
+    // must not be built under a race) and publishes the epoch-0 snapshot.
+    bases_.reserve(bases.size());
+    for (auto& b : bases) {
+      bases_.push_back(std::make_unique<sparse::DeltaBase<S>>(std::move(b),
+                                                              cfg_.delta));
+    }
     if (bases_.size() > 1) {
-      // Stack the bases block-diagonally ONCE: every mixed-base flush then
-      // runs on the cached stack (run_batch_on_stack), paying O(queries)
-      // per batch instead of O(nnz(bases)).
+      // Stack the bases block-diagonally ONCE: every mixed-base flush at
+      // epoch 0 then runs on the cached stack (run_batch_on_stack), paying
+      // O(queries) per batch instead of O(nnz(bases)). Once a base has
+      // been mutated its stacked block is stale, so mixed batches touching
+      // a mutated base fall back to per-base launches (run_admitted).
       std::vector<const sparse::Matrix<T>*> ptrs;
       ptrs.reserve(bases_.size());
       for (const auto& b : bases_) {
-        ptrs.push_back(&b);
-        stacked_cols_ += b.ncols();
+        ptrs.push_back(&b->main_matrix());
+        stacked_cols_ += b->ncols();
       }
       stack_ = sparse::stack_bases<T>(ptrs, S::zero());
       (void)stack_.stacked.view();
@@ -150,16 +168,32 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
+  /// Base `i`'s compacted main matrix (the delta is not folded in). The
+  /// reference is valid until the base's next compaction.
   const sparse::Matrix<T>& base(std::size_t i = 0) const {
-    return bases_.at(i);
+    return bases_.at(i)->main_matrix();
+  }
+  /// Base `i`'s delta wrapper — snapshot()/epoch()/compact() live there.
+  sparse::DeltaBase<S>& delta_base(std::size_t i = 0) {
+    return *bases_.at(i);
+  }
+  const sparse::DeltaBase<S>& delta_base(std::size_t i = 0) const {
+    return *bases_.at(i);
   }
   std::size_t n_bases() const { return bases_.size(); }
   const Config& config() const { return cfg_; }
 
   /// Aggregate accounting snapshot (safe against a concurrent flush).
-  ServeStats stats() const {
+  ServeStats stats() const override {
     std::lock_guard lock(mu_);
     return stats_;
+  }
+
+  /// Base 0's current published epoch (0 = never mutated).
+  std::uint64_t epoch() const override { return bases_.front()->epoch(); }
+  /// Base `i`'s current published epoch.
+  std::uint64_t base_epoch(std::size_t i) const {
+    return bases_.at(i)->epoch();
   }
 
   /// Per-tenant accounting snapshot; default-constructed for an unknown id.
@@ -179,7 +213,7 @@ class Executor {
   }
 
   /// Queries queued but not yet admitted to a batch.
-  std::size_t pending() const {
+  std::size_t pending() const override {
     std::lock_guard lock(mu_);
     return n_pending_;
   }
@@ -198,7 +232,7 @@ class Executor {
     if (base >= bases_.size()) {
       throw std::out_of_range("Executor: unknown base index");
     }
-    detail::validate_query(bases_[base], q);
+    detail::validate_query<S>(bases_[base]->nrows(), bases_[base]->ncols(), q);
     const std::uint64_t flops = query_flops(base, q);
     const auto rows = static_cast<std::uint64_t>(q.lhs.nrows());
     std::unique_lock lock(mu_);
@@ -219,15 +253,46 @@ class Executor {
     return ticket;
   }
 
-  std::size_t submit(TenantId tenant, Query<S> q) {
+  std::size_t submit(TenantId tenant, Query<S> q) override {
     return submit(tenant, 0, std::move(q));
   }
   std::size_t submit(Query<S> q) { return submit(0, 0, std::move(q)); }
 
+  /// Apply `ops` to base `base_idx` (in order, last write per key wins)
+  /// and return the epoch the batch created. Publication is atomic:
+  /// batches flushed before this call serve the old epoch, batches
+  /// flushed after serve the new one, and a flush racing this call gets
+  /// exactly one of the two — never a half-applied batch.
+  std::uint64_t mutate(TenantId tenant, std::size_t base_idx,
+                       const sparse::UpdateBatch<T>& ops) {
+    if (base_idx >= bases_.size()) {
+      throw std::out_of_range("Executor: unknown base index");
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("Executor: mutate after shutdown");
+      }
+    }
+    const std::uint64_t e = bases_[base_idx]->mutate(ops);
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.mutations;
+      ++tstats_[tenant].mutations;
+    }
+    return e;
+  }
+
+  std::uint64_t mutate(TenantId tenant,
+                       const sparse::UpdateBatch<T>& ops) override {
+    return mutate(tenant, std::size_t{0}, ops);
+  }
+  using Service<S>::mutate;  // mutate(ops) → anonymous tenant
+
   /// Drain the whole queue now, on the calling thread. In async mode this
   /// is also what the background thread runs on its triggers; concurrent
   /// drains serialize, so calling it alongside the flusher is safe.
-  void flush() {
+  void flush() override {
     {
       std::lock_guard lock(mu_);
       if (stopping_) return;  // shutdown owns the final drain decision
@@ -241,7 +306,7 @@ class Executor {
   /// flushes on the calling thread; in async mode it nudges the flush
   /// thread and waits. Throws if the ticket was dropped by a non-draining
   /// shutdown.
-  const sparse::Matrix<T>& wait(std::size_t ticket) {
+  const sparse::Matrix<T>& wait(std::size_t ticket) override {
     {
       std::unique_lock lock(mu_);
       if (ticket >= results_.size()) {
@@ -284,7 +349,10 @@ class Executor {
 
   /// Back-compat alias for wait(): the result for a ticket, flushing /
   /// blocking as needed.
-  const sparse::Matrix<T>& result(std::size_t ticket) { return wait(ticket); }
+  [[deprecated("use wait()")]] const sparse::Matrix<T>& result(
+      std::size_t ticket) {
+    return wait(ticket);
+  }
 
   /// Non-blocking probe: the settled result, or nullptr while pending.
   const sparse::Matrix<T>* poll(std::size_t ticket) const {
@@ -295,13 +363,16 @@ class Executor {
     rethrow_if_failed_locked(ticket);
     return results_[ticket] ? &*results_[ticket] : nullptr;
   }
+  const sparse::Matrix<T>* poll(std::size_t ticket) override {
+    return std::as_const(*this).poll(ticket);
+  }
 
   /// Retire the flush thread (async mode) and finalize the executor. With
   /// drain = true (the default, and what the destructor runs) every
   /// queued-but-unflushed ticket is resolved first; with drain = false
   /// unflushed queries are dropped and their wait() throws. Idempotent;
   /// submit() after shutdown throws.
-  void shutdown(bool drain = true) {
+  void shutdown(bool drain = true) override {
     {
       std::lock_guard lock(mu_);
       if (stopping_) return;
@@ -355,20 +426,18 @@ class Executor {
     return v;
   }
 
-  /// Exact flop count of q against base `bi`: Σ over lhs entries of the
-  /// matching base-row length. O(nnz(lhs) · log) — cheap next to the
-  /// product itself, and what makes the flop-budget admission exact.
+  /// Exact flop count of q against base `bi` at its current epoch: Σ over
+  /// lhs entries of the matching base-row length (delta overlay included).
+  /// O(nnz(lhs) · log) — cheap next to the product itself, and what makes
+  /// the flop-budget admission exact.
   std::uint64_t query_flops(std::size_t bi, const Query<S>& q) const {
-    const auto b = bases_[bi].view();
-    const bool b_full = b.n_nonempty_rows() == b.nrows;
+    const auto snap = bases_[bi]->snapshot();
+    const auto bv = snap->base_view();
     const auto a = q.lhs.view();
     std::uint64_t flops = 0;
     for (std::size_t ri = 0; ri < a.row_ids.size(); ++ri) {
       for (const sparse::Index k : a.row_cols(ri)) {
-        const auto bk = sparse::detail::find_row(b, k, b_full);
-        if (bk >= 0) {
-          flops += b.row_cols(static_cast<std::size_t>(bk)).size();
-        }
+        flops += static_cast<std::uint64_t>(bv.row_nnz(k));
       }
     }
     return flops;
@@ -471,30 +540,49 @@ class Executor {
       batch_flops += p.flops;
       mixed |= p.base != batch.front().base;
     }
+    // Pin the involved bases' snapshots FIRST: the whole batch runs on
+    // the epochs captured here even if mutations land mid-run, and the
+    // shared_ptrs keep those epochs alive past any concurrent compaction.
+    std::vector<std::shared_ptr<const sparse::DeltaSnapshot<T>>> snaps(
+        bases_.size());
+    std::uint64_t max_epoch = 0;
+    bool all_epoch0 = true;
+    for (const auto id : ids) {
+      if (!snaps[id]) {
+        snaps[id] = bases_[id]->snapshot();
+        max_epoch = std::max(max_epoch, snaps[id]->epoch);
+        all_epoch0 &= snaps[id]->epoch == 0;
+      }
+    }
     const auto t0 = ctrl_.enabled() ? std::chrono::steady_clock::now()
                                     : std::chrono::steady_clock::time_point{};
     ServeStats ss;
     std::vector<sparse::Matrix<T>> rs;
     if (!mixed) {
       // Single-base batch: the plain coalesced path, bit for bit.
-      rs = run_batch(bases_[ids.front()], qs, cfg_.strategy, &ss);
-    } else if (cfg_.strategy == sparse::MxmStrategy::kGustavson &&
-               stacked_cols_ > sparse::kMaxGustavsonWidth) {
-      // Forced dense scratch that fits per base (checked at construction)
-      // but not stacked: group the batch per base and run each group as
-      // its own coalesced launch — never restack, never widen the scratch.
+      rs = run_batch(*snaps[ids.front()], qs, cfg_.strategy, &ss);
+    } else if (!all_epoch0 ||
+               (cfg_.strategy == sparse::MxmStrategy::kGustavson &&
+                stacked_cols_ > sparse::kMaxGustavsonWidth)) {
+      // Per-base fallback: either an involved base has been mutated (the
+      // construction-time stack is stale for it), or a forced dense
+      // scratch fits per base (checked at construction) but not stacked.
+      // Group the batch per base and run each group as its own coalesced
+      // launch — never restack, never widen the scratch.
       std::vector<const Query<S>*> ptrs;
       ptrs.reserve(qs.size());
       for (const auto& q : qs) ptrs.push_back(&q);
       rs = detail::run_batch_per_base<S>(
-          [this](std::size_t id) -> const sparse::Matrix<T>& {
-            return bases_[id];
+          [&snaps](std::size_t id) -> const sparse::DeltaSnapshot<T>& {
+            return *snaps[id];
           },
           ptrs, ids, cfg_.strategy, &ss);
     } else {
-      // Mixed-base batch on the stack cached at construction: ONE launch.
+      // Mixed-base batch, every involved base still at epoch 0: run on
+      // the stack cached at construction — ONE launch.
       rs = run_batch_on_stack<S>(stack_, qs, ids, cfg_.strategy, &ss);
     }
+    ss.epoch = std::max(ss.epoch, max_epoch);
     const auto dt = ctrl_.enabled()
                         ? std::chrono::steady_clock::now() - t0
                         : std::chrono::steady_clock::duration{};
@@ -550,7 +638,7 @@ class Executor {
     done_cv_.notify_all();
   }
 
-  std::vector<sparse::Matrix<T>> bases_;
+  std::vector<std::unique_ptr<sparse::DeltaBase<S>>> bases_;
   Config cfg_;
   sparse::BaseStack<T> stack_;    ///< cached blkdiag stack (≥ 2 bases only)
   sparse::Index stacked_cols_ = 0;

@@ -6,10 +6,11 @@
 //   ShardMap   (shard_map.hpp)  — partitions ONE logical base into N
 //     contiguous row-range shards, each a standalone base; owns the
 //     local↔global translation and the lhs column-split scatter.
-//   Router     (this header)    — accepts the PR 4 async serving API
-//     (submit(tenant, q) → ticket, wait/poll/flush/shutdown), consults the
+//   Router     (this header)    — implements serve::Service (submit /
+//     mutate / wait / poll / flush / shutdown / stats), consults the
 //     shard map to scatter each query to the shard(s) its key space
-//     touches, and fans out to per-shard Executor instances — each with
+//     touches — and each mutation to the shard owning its row — and
+//     fans out to per-shard Executor instances, each with
 //     its own flush thread, admission budget, and TenantStats. Key
 //     realignment happens ONCE here (ShardMap::scatter); shard executors
 //     only ever see operands in their own local coordinates.
@@ -49,6 +50,7 @@
 #include <vector>
 
 #include "serve/executor.hpp"
+#include "serve/service.hpp"
 #include "serve/shard_map.hpp"
 
 namespace hyperspace::serve {
@@ -62,10 +64,12 @@ struct RouterStats {
   std::uint64_t straddling = 0;     ///< scattered across ≥ 2 shards
   std::uint64_t stage_submits = 0;  ///< sub-queries handed to shard executors
   std::uint64_t merges = 0;         ///< carry folds (straddle stages ≥ 1)
+  std::uint64_t mutations = 0;      ///< logical mutation batches accepted
+  std::uint64_t epoch = 0;          ///< router-level epoch (= mutations)
 };
 
 template <semiring::Semiring S>
-class Router {
+class Router : public Service<S> {
   using T = typename S::value_type;
 
  public:
@@ -106,7 +110,7 @@ class Router {
   /// ticket redeemable via wait()/result()/poll(). Shape mismatches throw
   /// here, at admission. The lhs split — the only key realignment in the
   /// whole sharded path — happens now, once.
-  std::size_t submit(TenantId tenant, Query<S> q) {
+  std::size_t submit(TenantId tenant, Query<S> q) override {
     if (q.lhs.ncols() != map_.nrows()) {
       throw std::invalid_argument("Router: query inner dimension mismatch");
     }
@@ -157,11 +161,48 @@ class Router {
 
   std::size_t submit(Query<S> q) { return submit(0, std::move(q)); }
 
+  /// Apply `ops` to the logical base: scatter each update to the shard
+  /// owning its row (ShardMap::scatter_updates — local row r − cuts[s],
+  /// columns untouched) and forward every non-empty slice to that shard
+  /// executor's delta base. Returns the router-level epoch: the count of
+  /// logical mutation batches accepted, which advances once per call
+  /// regardless of how many shards the batch straddled. Known limitation:
+  /// a straddling chain in flight can observe MIXED epochs if a mutation
+  /// lands between its stages — quiesce (flush) around mutations when
+  /// chain-level epoch stability matters; epoch-pinned chains are a
+  /// ROADMAP follow-on.
+  std::uint64_t mutate(TenantId tenant,
+                       const sparse::UpdateBatch<T>& ops) override {
+    auto slices = map_.scatter_updates(ops);  // validates every key first
+    {
+      std::lock_guard lock(rmu_);
+      if (stopping_) {
+        throw std::runtime_error("Router: mutate after shutdown");
+      }
+    }
+    for (std::size_t s = 0; s < slices.size(); ++s) {
+      if (!slices[s].empty()) {
+        execs_[s]->mutate(tenant, std::size_t{0}, slices[s]);
+      }
+    }
+    std::lock_guard lock(rmu_);
+    ++rstats_.mutations;
+    rstats_.epoch += 1;
+    return rstats_.epoch;
+  }
+  using Service<S>::mutate;  // mutate(ops) → anonymous tenant
+
+  /// The router-level epoch: logical mutation batches accepted so far.
+  std::uint64_t epoch() const override {
+    std::lock_guard lock(rmu_);
+    return rstats_.epoch;
+  }
+
   /// Block until the query's chain completes and return its final result.
   /// The reference lives in the LAST touched shard's executor and stays
   /// valid for the router's lifetime. Advances the chain stage by stage:
   /// each settled partial is folded forward as the next stage's carry.
-  const sparse::Matrix<T>& wait(std::size_t ticket) {
+  const sparse::Matrix<T>& wait(std::size_t ticket) override {
     for (;;) {
       Executor<S>* exec;
       std::size_t sticket;
@@ -187,14 +228,17 @@ class Router {
   }
 
   /// Back-compat alias for wait().
-  const sparse::Matrix<T>& result(std::size_t ticket) { return wait(ticket); }
+  [[deprecated("use wait()")]] const sparse::Matrix<T>& result(
+      std::size_t ticket) {
+    return wait(ticket);
+  }
 
   /// Non-blocking probe: the settled final result, or nullptr while any
   /// stage is pending. Opportunistically advances the chain when the
   /// current stage has settled (submitting the next stage's sub-query),
   /// so background flush threads keep multi-shard chains moving between
   /// polls.
-  const sparse::Matrix<T>* poll(std::size_t ticket) {
+  const sparse::Matrix<T>* poll(std::size_t ticket) override {
     std::lock_guard lock(rmu_);
     Chain& ch = chain_at_locked(ticket);
     for (;;) {
@@ -211,7 +255,7 @@ class Router {
   /// Drain everything on the calling thread: flush every shard executor
   /// and advance every chain until all queues are empty and every chain is
   /// at its final, settled stage.
-  void flush() {
+  void flush() override {
     for (;;) {
       for (auto& e : execs_) e->flush();
       bool advanced = false;
@@ -241,7 +285,7 @@ class Router {
   /// destructor's behavior) all chains are driven to completion first;
   /// with drain = false unflushed sub-queries are dropped and their
   /// wait() throws.
-  void shutdown(bool drain = true) {
+  void shutdown(bool drain = true) override {
     {
       std::lock_guard lock(rmu_);
       if (stopping_) return;
@@ -268,7 +312,7 @@ class Router {
   /// alike — every product is counted in exactly one stage (flops_kept
   /// counts every product that reaches an accumulator, mask or no mask)
   /// and the carry adds none.
-  ServeStats stats() const {
+  ServeStats stats() const override {
     ServeStats out;
     for (const auto& e : execs_) out += e->stats();
     return out;
@@ -289,6 +333,7 @@ class Router {
       out.flops += ts.flops;
       out.batches += ts.batches;
       out.deferrals += ts.deferrals;
+      out.mutations += ts.mutations;
     }
     return out;
   }
@@ -306,7 +351,7 @@ class Router {
   }
 
   /// Sub-queries queued but not yet admitted, across all shards.
-  std::size_t pending() const {
+  std::size_t pending() const override {
     std::size_t n = 0;
     for (const auto& e : execs_) n += e->pending();
     return n;

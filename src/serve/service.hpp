@@ -1,0 +1,84 @@
+#pragma once
+// serve::Service — the ONE serving submit surface.
+//
+// PR 4 gave the Executor an async ticketed API and PR 5 wrapped it in a
+// sharded Router, but each engine grew its own spelling of the same verbs
+// and every example/bench/test special-cased which engine it drove. This
+// interface is the redesign that closes that gap: anything that serves
+// queries — the single-process Executor, the sharded Router, whatever
+// comes next — implements
+//
+//   submit(tenant, query)  → ticket      enqueue a read
+//   mutate(tenant, batch)  → epoch       apply writes (delta bases)
+//   wait(ticket)           → result      block until settled
+//   poll(ticket)           → result|null non-blocking probe
+//   flush()                              drain on the calling thread
+//   shutdown(drain)                      retire the engine
+//   stats() / epoch() / pending()        accounting
+//
+// so callers hold a Service<S>& and never name the engine. The contract
+// every implementation must keep: results are bit-identical to running
+// each query alone against a from-scratch rebuild of its base at the
+// epoch the query's batch was served — batching, sharding, asynchrony,
+// mutation interleaving, and thread count never change an answer.
+
+#include <cstdint>
+
+#include "serve/batch.hpp"
+#include "sparse/delta.hpp"
+
+namespace hyperspace::serve {
+
+using TenantId = std::uint32_t;
+
+template <semiring::Semiring S>
+class Service {
+ public:
+  using T = typename S::value_type;
+
+  virtual ~Service() = default;
+
+  /// Enqueue `q` for `tenant`; returns the ticket redeemable via
+  /// wait()/poll(). Shape mismatches throw here, at admission.
+  virtual std::size_t submit(TenantId tenant, Query<S> q) = 0;
+
+  /// Apply a batch of mutations (in order, last write per key wins) to the
+  /// engine's primary base and return the epoch the batch created.
+  /// In-flight query batches finish on the epoch they started on; later
+  /// flushes serve the new one.
+  virtual std::uint64_t mutate(TenantId tenant,
+                               const sparse::UpdateBatch<T>& ops) = 0;
+
+  /// Block until the ticket's result exists and return it. The reference
+  /// stays valid for the engine's lifetime.
+  virtual const sparse::Matrix<T>& wait(std::size_t ticket) = 0;
+
+  /// Non-blocking probe: the settled result, or nullptr while pending.
+  virtual const sparse::Matrix<T>* poll(std::size_t ticket) = 0;
+
+  /// Drain all queued work on the calling thread.
+  virtual void flush() = 0;
+
+  /// Retire the engine. drain = true resolves queued tickets first;
+  /// drain = false drops them (their wait() throws). Idempotent.
+  virtual void shutdown(bool drain) = 0;
+
+  /// Aggregate kernel-level accounting, including the highest epoch any
+  /// flushed batch was served at.
+  virtual ServeStats stats() const = 0;
+
+  /// The primary base's current published epoch (0 = never mutated).
+  virtual std::uint64_t epoch() const = 0;
+
+  /// Queries queued but not yet admitted to a batch.
+  virtual std::size_t pending() const = 0;
+
+  /// Anonymous-tenant conveniences.
+  std::size_t submit(Query<S> q) { return submit(TenantId{0}, std::move(q)); }
+  std::uint64_t mutate(const sparse::UpdateBatch<T>& ops) {
+    return mutate(TenantId{0}, ops);
+  }
+  void shutdown() { shutdown(true); }
+};
+
+}  // namespace hyperspace::serve

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "sparse/delta.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/shard.hpp"
 
@@ -105,6 +106,29 @@ class ShardMap {
       }
     }
     return sc;
+  }
+
+  /// Scatter a mutation batch: update (r, c) lands on shard_of(r) as
+  /// local row r − cuts[s] (columns are untouched — shards keep the full
+  /// column space). Relative order within each shard's slice is preserved,
+  /// so per-key last-wins semantics survive the split. Out-of-range keys
+  /// throw before anything is scattered. Returns one (possibly empty)
+  /// batch per shard, indexed by shard id.
+  std::vector<sparse::UpdateBatch<T>> scatter_updates(
+      const sparse::UpdateBatch<T>& ops) const {
+    for (const auto& u : ops) {
+      if (u.row < 0 || u.row >= nrows() || u.col < 0 || u.col >= ncols_) {
+        throw std::out_of_range("ShardMap: update key out of range");
+      }
+    }
+    std::vector<sparse::UpdateBatch<T>> out(n_shards());
+    for (const auto& u : ops) {
+      const std::size_t s = shard_of(u.row);
+      auto local = u;
+      local.row = u.row - cuts_[s];
+      out[s].push_back(std::move(local));
+    }
+    return out;
   }
 
  private:

@@ -1,0 +1,427 @@
+#pragma once
+// Updatable serving base: immutable main + small delta, epoch-versioned.
+//
+// The paper's associative arrays are *updatable* — insert, update, and
+// delete are first-class (Section II) — but a sorted CSR main is exactly
+// the structure you must never touch per write. DeltaBase<S> reproduces
+// the hierarchical-hypersparse answer ([8], sparse/stream.hpp) at the
+// serving layer:
+//
+//   main   — an immutable Matrix (CSR/DCSR), shared_ptr-held, only ever
+//            REPLACED wholesale by compaction;
+//   delta  — a StreamingMatrix over "last-wins" slots: an assign overwrites
+//            the key's prior value, an erase is a tombstone. The ⊕ of this
+//            log is newer-wins, which streams through the same buffered
+//            cascade as any Table I semiring now that stream.hpp folds
+//            older ⊕ newer everywhere;
+//   overlay — every delta-touched main row, fully patched (two-pointer
+//            merge of the main row with the delta row: tombstones drop
+//            entries, assigns replace or insert). Queries resolve B-rows
+//            through the overlay first (sparse::detail::BaseView), so the
+//            kernel sees EXACTLY the rows a from-scratch rebuild would
+//            hold — results are byte-identical, floats included, for every
+//            semiring, strategy, and thread count. No value ever passes
+//            through an extra ⊕, so there is no fold regrouping to drift.
+//
+// Epochs and snapshots: every mutate() batch bumps the epoch and publishes
+// a new shared_ptr<const DeltaSnapshot> — readers grab the pointer under a
+// mutex held only for the copy, so a reader never blocks on a writer's
+// merge work, and an in-flight batch holding a snapshot keeps serving the
+// epoch it started on even while newer epochs publish. Compaction (inline
+// or on the background thread) freezes the delta, merges it into a new
+// main OFF-lock, and republishes the SAME epoch with an emptier overlay:
+// compaction changes representation, never results.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "semiring/concepts.hpp"
+#include "sparse/ewise.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/mxm.hpp"
+#include "sparse/stream.hpp"
+
+namespace hyperspace::sparse {
+
+/// One mutation: assign (insert-or-update) or erase at (row, col).
+template <typename T>
+struct Update {
+  Index row = 0;
+  Index col = 0;
+  T val{};
+  bool erase = false;
+
+  static Update assign(Index r, Index c, T v) {
+    return {r, c, std::move(v), false};
+  }
+  static Update erased(Index r, Index c) { return {r, c, T{}, true}; }
+};
+
+/// A batch of mutations, applied in order, last write per key wins.
+template <typename T>
+using UpdateBatch = std::vector<Update<T>>;
+
+/// One delta cell: the latest operation that touched a key. `op` kNone is
+/// the slot's implicit zero — never produced by an update — so an assign
+/// of the value T{} survives format conversion (matrices drop entries
+/// equal to their implicit zero, and an assign must still overwrite main).
+template <typename T>
+struct DeltaSlot {
+  enum class Op : unsigned char { kNone = 0, kAssign = 1, kErase = 2 };
+  T val{};
+  Op op = Op::kNone;
+  bool operator==(const DeltaSlot&) const = default;
+};
+
+/// The delta log's "semiring": ⊕ = newer wins. Folded older ⊕ newer by
+/// StreamingMatrix / Coo (stable sort, insertion order), add(a, b) = b is
+/// exactly per-key overwrite. ⊗ and one() exist only to satisfy the
+/// Semiring concept; nothing multiplies slots.
+template <typename T>
+struct LastWins {
+  using value_type = DeltaSlot<T>;
+  static value_type zero() { return {}; }
+  static value_type one() { return {T{}, DeltaSlot<T>::Op::kAssign}; }
+  static value_type add(const value_type&, const value_type& b) { return b; }
+  static value_type mul(const value_type&, const value_type& b) { return b; }
+  static const char* name() { return "last_wins"; }
+};
+
+/// An immutable, epoch-stamped view of a DeltaBase: the shared main plus
+/// the patched-row overlay. Queries run against base_view(); the snapshot
+/// keeps `main` alive for as long as any reader holds the shared_ptr, so
+/// in-flight batches finish on the epoch they started on no matter how
+/// many mutations or compactions publish behind them.
+template <typename T>
+struct DeltaSnapshot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const Matrix<T>> main;
+
+  /// Patched rows, sorted by row id. Row i spans [optr[i], optr[i+1]) of
+  /// ocols/ovals and REPLACES the main row wholesale — an empty span
+  /// shadows a fully deleted row.
+  std::vector<Index> orows;
+  std::vector<Index> optr{0};
+  std::vector<Index> ocols;
+  std::vector<T> ovals;
+
+  Index nrows() const { return main->nrows(); }
+  Index ncols() const { return main->ncols(); }
+  bool plain() const { return orows.empty(); }
+
+  /// The kernel-facing row resolver: overlay first, then main.
+  detail::BaseView<T> base_view() const {
+    detail::BaseView<T> bv(*main);
+    bv.orows = orows;
+    bv.optr = optr;
+    bv.ocols = ocols;
+    bv.ovals = ovals;
+    return bv;
+  }
+
+  /// Rebuild the full logical matrix (what a from-scratch rebuild at this
+  /// epoch would construct). Compaction's merge step, and the referee the
+  /// bit-identity tests compare against.
+  Matrix<T> materialize() const {
+    const auto bv = base_view();
+    const auto& mv = bv.b;
+    // Union of main's row list and the overlay's, overlay replacing.
+    struct Src {
+      Index row;
+      std::ptrdiff_t im, io;
+    };
+    std::vector<Src> srcs;
+    srcs.reserve(mv.row_ids.size() + orows.size());
+    std::size_t im = 0, io = 0;
+    while (im < mv.row_ids.size() || io < orows.size()) {
+      const Index rm = im < mv.row_ids.size()
+                           ? mv.row_ids[im]
+                           : std::numeric_limits<Index>::max();
+      const Index ro = io < orows.size() ? orows[io]
+                                         : std::numeric_limits<Index>::max();
+      if (rm < ro) {
+        srcs.push_back({rm, static_cast<std::ptrdiff_t>(im++), -1});
+      } else if (ro < rm) {
+        srcs.push_back({ro, -1, static_cast<std::ptrdiff_t>(io++)});
+      } else {
+        srcs.push_back({rm, static_cast<std::ptrdiff_t>(im++),
+                        static_cast<std::ptrdiff_t>(io++)});
+      }
+    }
+    std::vector<detail::RowSlice<T>> rows(srcs.size());
+    util::parallel_for(
+        0, static_cast<std::ptrdiff_t>(srcs.size()), 64,
+        [&](std::ptrdiff_t i) {
+          const auto& s = srcs[static_cast<std::size_t>(i)];
+          auto& out = rows[static_cast<std::size_t>(i)];
+          out.row = s.row;
+          if (s.io >= 0) {  // patched row replaces the main row
+            const auto i0 = static_cast<std::size_t>(optr[s.io]);
+            const auto i1 = static_cast<std::size_t>(optr[s.io + 1]);
+            out.cols.assign(ocols.begin() + i0, ocols.begin() + i1);
+            out.vals.assign(ovals.begin() + i0, ovals.begin() + i1);
+          } else {
+            const auto c = mv.row_cols(static_cast<std::size_t>(s.im));
+            const auto v = mv.row_vals(static_cast<std::size_t>(s.im));
+            out.cols.assign(c.begin(), c.end());
+            out.vals.assign(v.begin(), v.end());
+          }
+        });
+    const auto t = detail::splice_row_slices(rows);
+    return Matrix<T>::from_canonical_triples(nrows(), ncols(), t,
+                                             main->implicit_zero());
+  }
+};
+
+/// Tuning knobs for a DeltaBase (a plain struct so serving configs can
+/// embed it without naming the semiring).
+struct DeltaConfig {
+  std::size_t delta_buffer = 1 << 10;  ///< StreamingMatrix level-0 size
+  int delta_fanout = 4;
+  /// Pending delta entries that arm the background compactor (ignored
+  /// without `background`; compact() always runs on demand).
+  std::size_t compact_threshold = 1 << 14;
+  bool background = false;  ///< spawn the compaction thread
+};
+
+/// The updatable serving base. Writers (mutate / compact) serialize on one
+/// writer lock; readers only ever touch the publish lock, held for a
+/// shared_ptr copy — never for merge work — so readers never block on
+/// writers. See the header comment for the main/delta/overlay design.
+template <semiring::Semiring S>
+class DeltaBase {
+ public:
+  using T = typename S::value_type;
+
+  explicit DeltaBase(Matrix<T> main, DeltaConfig cfg = {})
+      : cfg_(cfg),
+        main_(std::make_shared<const Matrix<T>>(std::move(main))),
+        delta_(main_->nrows(), main_->ncols(), cfg_.delta_buffer,
+               cfg_.delta_fanout) {
+    (void)main_->view();  // warm the row cache before any concurrent reader
+    auto snap = std::make_shared<DeltaSnapshot<T>>();
+    snap->main = main_;
+    {
+      std::lock_guard plock(pub_mu_);
+      published_ = std::move(snap);
+    }
+    if (cfg_.background) {
+      compactor_ = std::thread([this] { compact_loop(); });
+    }
+  }
+
+  ~DeltaBase() {
+    {
+      std::lock_guard lock(wmu_);
+      stop_ = true;
+    }
+    ccv_.notify_all();
+    if (compactor_.joinable()) compactor_.join();
+  }
+  DeltaBase(const DeltaBase&) = delete;
+  DeltaBase& operator=(const DeltaBase&) = delete;
+
+  Index nrows() const { return main_->nrows(); }
+  Index ncols() const { return main_->ncols(); }
+
+  /// The published snapshot. A pointer copy under pub_mu_ — wait-free in
+  /// practice; the snapshot stays queryable for as long as the caller
+  /// holds it, regardless of later mutations or compactions.
+  std::shared_ptr<const DeltaSnapshot<T>> snapshot() const {
+    std::lock_guard lock(pub_mu_);
+    return published_;
+  }
+
+  std::uint64_t epoch() const { return snapshot()->epoch; }
+  std::uint64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+  /// The current main matrix (the pre-compaction original until the first
+  /// compaction). The reference is stable until the NEXT compaction.
+  const Matrix<T>& main_matrix() const { return *snapshot()->main; }
+  std::shared_ptr<const Matrix<T>> main_shared() const {
+    return snapshot()->main;
+  }
+
+  /// Apply a batch of mutations (in order, last write per key wins) and
+  /// publish the next epoch. Returns the new epoch. Out-of-range keys
+  /// throw before anything is applied.
+  std::uint64_t mutate(const UpdateBatch<T>& ops) {
+    for (const auto& op : ops) {
+      if (op.row < 0 || op.row >= nrows() || op.col < 0 ||
+          op.col >= ncols()) {
+        throw std::out_of_range("DeltaBase: update key out of range");
+      }
+    }
+    std::unique_lock lock(wmu_);
+    for (const auto& op : ops) {
+      delta_.insert(op.row, op.col,
+                    DeltaSlot<T>{op.val, op.erase ? DeltaSlot<T>::Op::kErase
+                                                  : DeltaSlot<T>::Op::kAssign});
+    }
+    ++epoch_;
+    publish_locked();
+    const auto e = epoch_;
+    const bool kick =
+        cfg_.background && delta_.pending_updates() >= cfg_.compact_threshold;
+    lock.unlock();
+    if (kick) ccv_.notify_all();
+    return e;
+  }
+
+  /// Delta entries not yet folded into main (active + frozen).
+  std::size_t delta_entries() const {
+    std::lock_guard lock(wmu_);
+    std::size_t n = delta_.pending_updates();
+    if (frozen_) n += static_cast<std::size_t>(frozen_->nnz());
+    return n;
+  }
+
+  /// Merge the delta into a new main and republish the SAME epoch with an
+  /// empty (or emptier) overlay. The merge runs off-lock: mutations and
+  /// snapshot() proceed concurrently; mutations landing mid-merge stay in
+  /// the active delta and the republished overlay.
+  void compact() {
+    std::unique_lock lock(wmu_);
+    // A background compaction already mid-merge: wait for it to install,
+    // then fold whatever arrived meanwhile.
+    ccv_.wait(lock, [&] { return !frozen_; });
+    if (delta_.pending_updates() == 0) return;
+    compact_locked(lock);
+    ccv_.notify_all();
+  }
+
+ private:
+  /// Build and publish the snapshot for the current epoch (wmu_ held).
+  /// The effective delta folds the frozen generation (older) under the
+  /// active one, so readers mid-compaction see both.
+  void publish_locked() {
+    Matrix<DeltaSlot<T>> eff = delta_.snapshot();
+    if (frozen_) eff = ewise_add<LastWins<T>>(*frozen_, eff);
+    auto snap = std::make_shared<DeltaSnapshot<T>>(
+        build_snapshot(epoch_, main_, eff));
+    std::lock_guard plock(pub_mu_);
+    published_ = std::move(snap);
+  }
+
+  /// One compaction cycle (wmu_ held on entry and exit; UNLOCKED during
+  /// the merge so writers and readers keep flowing).
+  void compact_locked(std::unique_lock<std::mutex>& lock) {
+    frozen_ = delta_.snapshot();
+    delta_ = StreamingMatrix<LastWins<T>>(nrows(), ncols(), cfg_.delta_buffer,
+                                          cfg_.delta_fanout);
+    const auto old_main = main_;
+    const auto frozen = *frozen_;
+    const auto at_epoch = epoch_;
+    lock.unlock();
+
+    // The heavy merge, off-lock: patch main with the frozen delta. The
+    // result is exactly materialize() of the frozen snapshot — same rows,
+    // same values, no ⊕ applied — so republishing it changes the
+    // representation and nothing else.
+    auto patched = build_snapshot(at_epoch, old_main, frozen);
+    auto merged =
+        std::make_shared<const Matrix<T>>(patched.materialize());
+    (void)merged->view();  // warm before publication
+
+    lock.lock();
+    main_ = std::move(merged);
+    frozen_.reset();
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    publish_locked();  // overlay now holds only post-freeze mutations
+  }
+
+  void compact_loop() {
+    std::unique_lock lock(wmu_);
+    while (true) {
+      ccv_.wait(lock, [&] {
+        return stop_ ||
+               (!frozen_ && delta_.pending_updates() >= cfg_.compact_threshold);
+      });
+      if (stop_) return;
+      compact_locked(lock);
+      ccv_.notify_all();  // wake synchronous compact() waiters
+    }
+  }
+
+  /// Patch `main` with a canonical slot matrix: every slot row becomes an
+  /// overlay row = two-pointer merge of the main row and the slot row
+  /// (assign replaces or inserts, erase drops). O(delta + touched rows).
+  static DeltaSnapshot<T> build_snapshot(
+      std::uint64_t epoch, std::shared_ptr<const Matrix<T>> main,
+      const Matrix<DeltaSlot<T>>& slots) {
+    DeltaSnapshot<T> snap;
+    snap.epoch = epoch;
+    snap.main = std::move(main);
+    if (slots.nnz() == 0) return snap;
+
+    const auto mv = snap.main->view();
+    const bool m_full = mv.n_nonempty_rows() == mv.nrows;
+    const auto dv = slots.view();
+    snap.orows.reserve(dv.row_ids.size());
+    snap.optr.reserve(dv.row_ids.size() + 1);
+    for (std::size_t di = 0; di < dv.row_ids.size(); ++di) {
+      const Index r = dv.row_ids[di];
+      const auto dc = dv.row_cols(di);
+      const auto dval = dv.row_vals(di);
+      if (dc.empty()) continue;  // empty slot row: nothing to patch
+      snap.orows.push_back(r);
+      const auto mrow = detail::find_row(mv, r, m_full);
+      std::span<const Index> mc;
+      std::span<const T> mval;
+      if (mrow >= 0) {
+        mc = mv.row_cols(static_cast<std::size_t>(mrow));
+        mval = mv.row_vals(static_cast<std::size_t>(mrow));
+      }
+      std::size_t jm = 0, jd = 0;
+      while (jm < mc.size() || jd < dc.size()) {
+        const Index cm = jm < mc.size() ? mc[jm]
+                                        : std::numeric_limits<Index>::max();
+        const Index cd = jd < dc.size() ? dc[jd]
+                                        : std::numeric_limits<Index>::max();
+        if (cm < cd) {  // untouched main entry
+          snap.ocols.push_back(cm);
+          snap.ovals.push_back(mval[jm]);
+          ++jm;
+        } else {
+          if (cm == cd) ++jm;  // the slot overrides the main entry
+          if (dval[jd].op == DeltaSlot<T>::Op::kAssign) {
+            snap.ocols.push_back(cd);
+            snap.ovals.push_back(dval[jd].val);
+          }  // kErase: emit nothing (tombstone); kNone cannot be stored
+          ++jd;
+        }
+      }
+      snap.optr.push_back(static_cast<Index>(snap.ocols.size()));
+    }
+    return snap;
+  }
+
+  DeltaConfig cfg_;
+
+  mutable std::mutex pub_mu_;  ///< guards published_ (pointer copy only)
+  std::shared_ptr<const DeltaSnapshot<T>> published_;
+
+  mutable std::mutex wmu_;  ///< serializes writers; guards the fields below
+  std::shared_ptr<const Matrix<T>> main_;
+  StreamingMatrix<LastWins<T>> delta_;  ///< active update log
+  std::optional<Matrix<DeltaSlot<T>>> frozen_;  ///< generation mid-compaction
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> compactions_{0};
+
+  std::condition_variable ccv_;
+  std::thread compactor_;
+  bool stop_ = false;
+};
+
+}  // namespace hyperspace::sparse

@@ -56,6 +56,72 @@ inline std::ptrdiff_t find_row(const SparseView<T>& v, Index k, bool is_full) {
   return it - v.row_ids.begin();
 }
 
+/// The driver's B-operand: a plain SparseView plus an optional patched-row
+/// overlay (sparse/delta.hpp). Rows listed in `orows` (sorted) REPLACE the
+/// main row wholesale — they are the fully merged main⊕delta rows, so the
+/// kernel accumulates exactly the entries a from-scratch rebuild would
+/// hold, in the same order: delta serving is byte-identical by
+/// construction, not by reconciliation. An overlay row may be empty,
+/// shadowing a fully deleted main row. With no overlay (the default), the
+/// row resolver degenerates to find_row — one branch on an empty span.
+///
+/// Row handles returned by find(): >= 0 is a main-view row index, -1 is
+/// absent, <= -2 encodes overlay row (-h - 2).
+template <typename T>
+struct BaseView {
+  SparseView<T> b{};
+  bool b_full = false;
+  Index nrows = 0;
+  Index ncols = 0;
+  std::span<const Index> orows{};
+  std::span<const Index> optr{};  ///< size orows.size() + 1
+  std::span<const Index> ocols{};
+  std::span<const T> ovals{};
+
+  BaseView() = default;
+  explicit BaseView(const Matrix<T>& B)
+      : b(B.view()), nrows(B.nrows()), ncols(B.ncols()) {
+    b_full = b.n_nonempty_rows() == b.nrows;
+  }
+
+  bool patched() const { return !orows.empty(); }
+
+  std::ptrdiff_t find(Index k) const {
+    if (!orows.empty()) {
+      const auto it = std::lower_bound(orows.begin(), orows.end(), k);
+      if (it != orows.end() && *it == k) {
+        return -2 - (it - orows.begin());
+      }
+    }
+    return find_row(b, k, b_full);
+  }
+
+  std::span<const Index> row_cols(std::ptrdiff_t h) const {
+    if (h <= -2) {
+      const auto i = static_cast<std::size_t>(-2 - h);
+      return ocols.subspan(static_cast<std::size_t>(optr[i]),
+                           static_cast<std::size_t>(optr[i + 1] - optr[i]));
+    }
+    return b.row_cols(static_cast<std::size_t>(h));
+  }
+
+  std::span<const T> row_vals(std::ptrdiff_t h) const {
+    if (h <= -2) {
+      const auto i = static_cast<std::size_t>(-2 - h);
+      return ovals.subspan(static_cast<std::size_t>(optr[i]),
+                           static_cast<std::size_t>(optr[i + 1] - optr[i]));
+    }
+    return b.row_vals(static_cast<std::size_t>(h));
+  }
+
+  /// Stored entries of logical row k (0 when absent) — the serving
+  /// layer's exact flop accounting against a patched base.
+  std::size_t row_nnz(Index k) const {
+    const auto h = find(k);
+    return h == -1 ? 0 : row_cols(h).size();
+  }
+};
+
 /// The one SpGEMM inner loop. Each row of A resolves its B-rows once
 /// (cached in scratch so the flop count for reserve() sizing costs no
 /// second lookup), probes the mask policy per product, and folds survivors
@@ -76,16 +142,14 @@ template <semiring::Semiring S, typename MakeAcc, typename Mask,
           typename Carry = detail::NoCarry>
 std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
     const Matrix<typename S::value_type>& A,
-    const Matrix<typename S::value_type>& B, MakeAcc&& make_acc,
+    const BaseView<typename S::value_type>& bv, MakeAcc&& make_acc,
     const Mask& mask, MxmMaskStats* stats, const Carry& carry = {}) {
   using T = typename S::value_type;
-  if (A.ncols() != B.nrows()) {
+  if (A.ncols() != bv.nrows) {
     throw std::invalid_argument("mxm: inner dimension mismatch");
   }
   const SparseView<T> a = A.view();
-  const SparseView<T> b = B.view();
-  const bool b_full = b.n_nonempty_rows() == b.nrows;
-  const auto b_ncols = static_cast<std::size_t>(b.ncols);
+  const auto b_ncols = static_cast<std::size_t>(bv.ncols);
 
   const auto n_arows = a.row_ids.size();
   std::vector<detail::RowSlice<T>> rows(n_arows);
@@ -105,15 +169,16 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
         const auto acols = a.row_cols(static_cast<std::size_t>(ri));
         const auto avals = a.row_vals(static_cast<std::size_t>(ri));
 
-        // Resolve B rows once; the sum of their lengths is this row's flops.
+        // Resolve B rows once (overlay-aware); the sum of their lengths is
+        // this row's flops.
         s.b_rows.clear();
         s.b_rows.reserve(acols.size());
         std::size_t row_flops = 0;
         for (const Index k : acols) {
-          const auto bk = detail::find_row(b, k, b_full);
+          const auto bk = bv.find(k);
           s.b_rows.push_back(bk);
-          if (bk >= 0) {
-            row_flops += b.row_cols(static_cast<std::size_t>(bk)).size();
+          if (bk != -1) {
+            row_flops += bv.row_cols(bk).size();
           }
         }
         [[maybe_unused]] typename Carry::Row crow{};
@@ -154,9 +219,9 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
         std::uint64_t row_kept = 0, row_skipped = 0;
         for (std::size_t p = 0; p < acols.size(); ++p) {
           const auto bk = s.b_rows[p];
-          if (bk < 0) continue;
-          const auto bcols = b.row_cols(static_cast<std::size_t>(bk));
-          const auto bvals = b.row_vals(static_cast<std::size_t>(bk));
+          if (bk == -1) continue;
+          const auto bcols = bv.row_cols(bk);
+          const auto bvals = bv.row_vals(bk);
           for (std::size_t q = 0; q < bcols.size(); ++q) {
             if constexpr (Mask::kMasked) {
               if (!mrow.all_allowed() && !mrow.allowed(bcols[q])) {
@@ -194,7 +259,8 @@ Matrix<typename S::value_type> mxm_driver(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B, MakeAcc&& make_acc,
     const Mask& mask, MxmMaskStats* stats) {
-  auto rows = mxm_rows<S>(A, B, std::forward<MakeAcc>(make_acc), mask, stats);
+  const BaseView<typename S::value_type> bv(B);
+  auto rows = mxm_rows<S>(A, bv, std::forward<MakeAcc>(make_acc), mask, stats);
   const auto triples = detail::splice_row_slices(rows);
   return Matrix<typename S::value_type>::from_canonical_triples(
       A.nrows(), B.ncols(), triples, S::zero());
@@ -206,28 +272,38 @@ template <semiring::Semiring S, typename Mask,
           typename Carry = detail::NoCarry>
 std::vector<detail::RowSlice<typename S::value_type>> mxm_dispatch_rows(
     const Matrix<typename S::value_type>& A,
-    const Matrix<typename S::value_type>& B, MxmStrategy strategy,
+    const BaseView<typename S::value_type>& bv, MxmStrategy strategy,
     const Mask& mask, MxmMaskStats* stats, const Carry& carry = {}) {
   if (strategy == MxmStrategy::kAuto) {
-    strategy = B.ncols() <= kMaxGustavsonWidth ? MxmStrategy::kGustavson
-                                               : MxmStrategy::kHash;
+    strategy = bv.ncols <= kMaxGustavsonWidth ? MxmStrategy::kGustavson
+                                              : MxmStrategy::kHash;
   }
   switch (strategy) {
     case MxmStrategy::kGustavson:
-      if (B.ncols() > kMaxGustavsonWidth) {
+      if (bv.ncols > kMaxGustavsonWidth) {
         throw std::length_error("mxm_gustavson: accumulator too wide");
       }
       return mxm_rows<S>(
-          A, B, [w = B.ncols()] { return DenseAccumulator<S>(w); }, mask,
+          A, bv, [w = bv.ncols] { return DenseAccumulator<S>(w); }, mask,
           stats, carry);
     case MxmStrategy::kSorted:
       return mxm_rows<S>(
-          A, B, [] { return SortedMergeAccumulator<S>{}; }, mask, stats,
+          A, bv, [] { return SortedMergeAccumulator<S>{}; }, mask, stats,
           carry);
     default:
       return mxm_rows<S>(
-          A, B, [] { return FlatHashAccumulator<S>{}; }, mask, stats, carry);
+          A, bv, [] { return FlatHashAccumulator<S>{}; }, mask, stats, carry);
   }
+}
+
+template <semiring::Semiring S, typename Mask,
+          typename Carry = detail::NoCarry>
+std::vector<detail::RowSlice<typename S::value_type>> mxm_dispatch_rows(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, MxmStrategy strategy,
+    const Mask& mask, MxmMaskStats* stats, const Carry& carry = {}) {
+  const BaseView<typename S::value_type> bv(B);
+  return mxm_dispatch_rows<S>(A, bv, strategy, mask, stats, carry);
 }
 
 /// Dispatch a (possibly masked) product to the accumulator the strategy
@@ -237,13 +313,22 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_dispatch_rows(
 template <semiring::Semiring S, typename Mask>
 Matrix<typename S::value_type> mxm_dispatch(
     const Matrix<typename S::value_type>& A,
-    const Matrix<typename S::value_type>& B, MxmStrategy strategy,
+    const BaseView<typename S::value_type>& bv, MxmStrategy strategy,
     const Mask& mask, MxmMaskStats* stats) {
   using T = typename S::value_type;
-  auto rows = mxm_dispatch_rows<S>(A, B, strategy, mask, stats);
+  auto rows = mxm_dispatch_rows<S>(A, bv, strategy, mask, stats);
   const auto triples = detail::splice_row_slices(rows);
-  return Matrix<T>::from_canonical_triples(A.nrows(), B.ncols(), triples,
+  return Matrix<T>::from_canonical_triples(A.nrows(), bv.ncols, triples,
                                            S::zero());
+}
+
+template <semiring::Semiring S, typename Mask>
+Matrix<typename S::value_type> mxm_dispatch(
+    const Matrix<typename S::value_type>& A,
+    const Matrix<typename S::value_type>& B, MxmStrategy strategy,
+    const Mask& mask, MxmMaskStats* stats) {
+  const BaseView<typename S::value_type> bv(B);
+  return mxm_dispatch<S>(A, bv, strategy, mask, stats);
 }
 
 }  // namespace detail
@@ -313,41 +398,61 @@ Matrix<typename S::value_type> mxm_masked_fused(
   return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
 }
 
-/// Batched masked product — the serving engine's kernel. Rows of A are
-/// partitioned into K contiguous query blocks by `row_offsets` (size K+1,
-/// front() == 0, back() == nrows(A)); block q probes the shared stacked
-/// mask M under descs[q] (its own sense and probe). Blocks whose query has
-/// no mask simply have no mask rows and a complement sense, so every
-/// sense/probe mix coalesces into ONE launch, each row bit-identical to the
-/// per-query kernel's.
+/// Batched masked product — the serving engine's ONE kernel entry. Rows of
+/// A are partitioned into K contiguous query blocks by `row_offsets` (size
+/// K+1, front() == 0, back() == nrows(A)); block q probes the shared
+/// stacked mask M under descs[q] (its own sense and probe). Blocks whose
+/// query has no mask simply have no mask rows and a complement sense, so
+/// every sense/probe mix coalesces into ONE launch, each row bit-identical
+/// to the per-query kernel's.
+///
+/// `col_offsets` selects the sidedness. Empty (the one-sided form): one
+/// shared output column space, M.ncols() == B's. Size K (the two-sided,
+/// multi-base form): block q's slice of B is a diagonal block starting at
+/// column col_offsets[q] (B is typically sparse::block_diag of per-query
+/// bases) while M keeps each block's mask rows in the block's LOCAL column
+/// space — a product landing at stacked column j probes M at (r, j −
+/// col_offsets[q]), and M's width is the widest local block, so no shape
+/// identity with B is required.
+///
+/// B arrives as a detail::BaseView so an epoch snapshot's patched rows
+/// (sparse/delta.hpp) serve through the very same entry; the Matrix
+/// wrappers below cover the immutable-base callers.
+template <semiring::Semiring S, typename U>
+Matrix<typename S::value_type> mxm_masked_batched(
+    const Matrix<typename S::value_type>& A,
+    const detail::BaseView<typename S::value_type>& B, const Matrix<U>& M,
+    std::span<const Index> row_offsets, std::span<const Index> col_offsets,
+    std::span<const MaskDesc> descs, MxmMaskStats* stats = nullptr,
+    MxmStrategy strategy = MxmStrategy::kAuto) {
+  if (M.nrows() != A.nrows() ||
+      (col_offsets.empty() && M.ncols() != B.ncols)) {
+    throw std::invalid_argument("mxm_masked_batched: mask shape mismatch");
+  }
+  if (row_offsets.size() != descs.size() + 1 || descs.empty() ||
+      (!col_offsets.empty() && col_offsets.size() != descs.size()) ||
+      row_offsets.front() != 0 || row_offsets.back() != A.nrows() ||
+      !std::is_sorted(row_offsets.begin(), row_offsets.end())) {
+    throw std::invalid_argument("mxm_masked_batched: bad block offsets");
+  }
+  const detail::BatchMask<U> mask{M.view(), row_offsets, descs, col_offsets};
+  return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
+}
+
+/// One-sided thin wrapper over the span-based core: one shared column
+/// space (empty col_offsets ⇒ zero shift everywhere).
 template <semiring::Semiring S, typename U>
 Matrix<typename S::value_type> mxm_masked_batched(
     const Matrix<typename S::value_type>& A,
     const Matrix<typename S::value_type>& B, const Matrix<U>& M,
     std::span<const Index> row_offsets, std::span<const MaskDesc> descs,
     MxmMaskStats* stats = nullptr, MxmStrategy strategy = MxmStrategy::kAuto) {
-  if (M.nrows() != A.nrows() || M.ncols() != B.ncols()) {
-    throw std::invalid_argument("mxm_masked_batched: mask shape mismatch");
-  }
-  if (row_offsets.size() != descs.size() + 1 || descs.empty() ||
-      row_offsets.front() != 0 || row_offsets.back() != A.nrows() ||
-      !std::is_sorted(row_offsets.begin(), row_offsets.end())) {
-    throw std::invalid_argument("mxm_masked_batched: bad row offsets");
-  }
-  const detail::BatchMask<U> mask{M.view(), row_offsets, descs};
-  return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
+  const detail::BaseView<typename S::value_type> bv(B);
+  return mxm_masked_batched<S>(A, bv, M, row_offsets, {}, descs, stats,
+                               strategy);
 }
 
-/// Two-sided batched masked product — the multi-base serving kernel. As
-/// above, rows of A are partitioned into K query blocks by `row_offsets`;
-/// additionally each block's OUTPUT columns are offset: block q's slice of
-/// B is a diagonal block starting at column col_offsets[q] (B is typically
-/// sparse::block_diag of per-query bases), while the stacked mask M keeps
-/// each block's mask rows in the block's LOCAL column space. A product
-/// landing at stacked column j therefore probes M at (r, j −
-/// col_offsets[q]). With col_offsets all zero this degenerates to the
-/// one-sided overload. M's column count is the widest local block, so no
-/// shape identity with B is required — only M.nrows() == A.nrows().
+/// Two-sided thin wrapper over the span-based core (immutable base).
 template <semiring::Semiring S, typename U>
 Matrix<typename S::value_type> mxm_masked_batched(
     const Matrix<typename S::value_type>& A,
@@ -355,17 +460,9 @@ Matrix<typename S::value_type> mxm_masked_batched(
     std::span<const Index> row_offsets, std::span<const Index> col_offsets,
     std::span<const MaskDesc> descs, MxmMaskStats* stats = nullptr,
     MxmStrategy strategy = MxmStrategy::kAuto) {
-  if (M.nrows() != A.nrows()) {
-    throw std::invalid_argument("mxm_masked_batched: mask shape mismatch");
-  }
-  if (row_offsets.size() != descs.size() + 1 || descs.empty() ||
-      col_offsets.size() != descs.size() || row_offsets.front() != 0 ||
-      row_offsets.back() != A.nrows() ||
-      !std::is_sorted(row_offsets.begin(), row_offsets.end())) {
-    throw std::invalid_argument("mxm_masked_batched: bad block offsets");
-  }
-  const detail::BatchMask<U> mask{M.view(), row_offsets, descs, col_offsets};
-  return detail::mxm_dispatch<S>(A, B, strategy, mask, stats);
+  const detail::BaseView<typename S::value_type> bv(B);
+  return mxm_masked_batched<S>(A, bv, M, row_offsets, col_offsets, descs,
+                               stats, strategy);
 }
 
 }  // namespace hyperspace::sparse

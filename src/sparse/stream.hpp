@@ -10,6 +10,13 @@
 //
 // StreamingMatrix<S> reproduces that design: O(1) amortized insert, layers
 // of size buffer · fanoutᵏ, and snapshot() producing an ordinary Matrix.
+//
+// Merge orientation: ⊕ is NOT assumed commutative. Every fold — the buffer
+// canonicalization (stable sort, insertion order), the cascade, snapshot(),
+// get(), compact() — combines `older ⊕ newer` with the older operand on the
+// left. Table I semirings are commutative so this costs nothing, but it is
+// what lets a "last-wins" ⊕ (the delta-base update log, sparse/delta.hpp)
+// stream through the same cascade with per-key overwrite semantics.
 
 #include <optional>
 #include <utility>
@@ -54,32 +61,39 @@ class StreamingMatrix {
     if (buffer_.size() >= capacity_) flush_buffer();
   }
 
-  /// Merge everything into one Matrix (duplicates combined with ⊕).
+  /// Merge everything into one Matrix (duplicates combined with ⊕, oldest
+  /// layer first so the fold runs in arrival order).
   Matrix<T> snapshot() const {
-    Matrix<T> acc = buffer_matrix();
-    for (const auto& l : layers_) acc = ewise_add<S>(acc, l);
-    return acc;
+    if (layers_.empty()) return buffer_matrix();
+    Matrix<T> acc = layers_.back();  // deepest layer = oldest data
+    for (std::size_t k = layers_.size() - 1; k-- > 0;) {
+      acc = ewise_add<S>(acc, layers_[k]);
+    }
+    return ewise_add<S>(acc, buffer_matrix());
   }
 
-  /// Value at (r, c) across all layers, if any update touched it.
+  /// Value at (r, c) across all layers, if any update touched it. Folds
+  /// oldest ⊕ newest like snapshot().
   std::optional<T> get(Index r, Index c) const {
     std::optional<T> acc;
     auto fold = [&acc](const std::optional<T>& v) {
       if (!v) return;
       acc = acc ? S::add(*acc, *v) : *v;
     };
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      fold(it->get(r, c));
+    }
     fold(buffer_matrix().get(r, c));
-    for (const auto& l : layers_) fold(l.get(r, c));
     return acc;
   }
 
   /// Force all pending updates into the layer hierarchy.
   void compact() {
     if (!buffer_.empty()) flush_buffer();
-    // Fold everything into a single top layer.
+    // Fold everything into a single top layer, oldest first.
     if (layers_.size() > 1) {
-      Matrix<T> acc = layers_[0];
-      for (std::size_t i = 1; i < layers_.size(); ++i) {
+      Matrix<T> acc = layers_.back();
+      for (std::size_t i = layers_.size() - 1; i-- > 0;) {
         acc = ewise_add<S>(acc, layers_[i]);
       }
       layers_.assign(1, std::move(acc));
@@ -105,11 +119,12 @@ class StreamingMatrix {
         return;
       }
       if (static_cast<std::size_t>(layers_[k].nnz()) < level_cap) {
+        // The occupant arrived before `level`: older on the left.
         layers_[k] = ewise_add<S>(layers_[k], level);
         return;
       }
-      level = ewise_add<S>(level, std::exchange(layers_[k],
-                                                Matrix<T>(nrows_, ncols_)));
+      level = ewise_add<S>(
+          std::exchange(layers_[k], Matrix<T>(nrows_, ncols_)), level);
       level_cap *= static_cast<std::size_t>(fanout_);
     }
   }

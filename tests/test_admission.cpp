@@ -115,7 +115,7 @@ serve::Query<S> point_query(Index n, int width, std::uint64_t seed) {
                         n,
                  rng.uniform(0.5, 1.5)});
   }
-  return serve::Query<S>::mtimes(
+  return serve::Query<S>::analytic(
       Matrix<double>::from_unique_triples(1, n, std::move(t)));
 }
 

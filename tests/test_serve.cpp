@@ -46,16 +46,16 @@ std::vector<serve::Query<Sr>> ragged_batch(Index n, std::uint64_t seed,
                                            Gen&& entry) {
   using Q = serve::Query<Sr>;
   std::vector<Q> qs;
-  qs.push_back(Q::mtimes(random_matrix<Sr>(6, n, 40, seed + 1, entry)));
-  qs.push_back(Q::mtimes_masked(random_matrix<Sr>(5, n, 30, seed + 2, entry),
+  qs.push_back(Q::analytic(random_matrix<Sr>(6, n, 40, seed + 1, entry)));
+  qs.push_back(Q::masked(random_matrix<Sr>(5, n, 30, seed + 2, entry),
                                 random_matrix<Sr>(5, n, 60, seed + 3, entry)));
-  qs.push_back(Q::mtimes_masked(
+  qs.push_back(Q::masked(
       random_matrix<Sr>(4, n, 25, seed + 4, entry),
       random_matrix<Sr>(4, n, 20, seed + 5, entry), {.complement = true}));
-  qs.push_back(Q::mtimes(random_matrix<Sr>(2, n, 0, seed + 6, entry)));
+  qs.push_back(Q::analytic(random_matrix<Sr>(2, n, 0, seed + 6, entry)));
   qs.push_back(
-      Q::mtimes(random_matrix<Sr>(0, n, 0, seed + 7, entry)));  // zero rows
-  qs.push_back(Q::mtimes(random_matrix<Sr>(1, n, 8, seed + 8, entry)));
+      Q::analytic(random_matrix<Sr>(0, n, 0, seed + 7, entry)));  // zero rows
+  qs.push_back(Q::analytic(random_matrix<Sr>(1, n, 8, seed + 8, entry)));
   qs.push_back(Q::select({0, n / 2, n - 1}, n));
   return qs;
 }
@@ -141,11 +141,11 @@ TEST(ServeBatch, HypersparseQueriesCoalesce) {
   const auto base = random_matrix<S>(n, n, 300, 11, dbl_entry);
   using Q = serve::Query<S>;
   std::vector<Q> qs;
-  qs.push_back(Q::mtimes(Matrix<double>::from_unique_triples(
+  qs.push_back(Q::analytic(Matrix<double>::from_unique_triples(
       huge, n, {{5, 3, 2.0}, {Index{1} << 35, 7, 3.0}})));
-  qs.push_back(Q::mtimes(Matrix<double>::from_unique_triples(
+  qs.push_back(Q::analytic(Matrix<double>::from_unique_triples(
       huge, n, {{Index{1} << 30, 1, 4.0}})));
-  qs.push_back(Q::mtimes(random_matrix<S>(4, n, 20, 12, dbl_entry)));
+  qs.push_back(Q::analytic(random_matrix<S>(4, n, 20, 12, dbl_entry)));
   for (const int nt : {1, 8}) {
     ThreadGuard guard(nt);
     const auto batched = serve::run_batch(base, qs);
@@ -181,11 +181,11 @@ TEST(ServeBatch, ShapeMismatchesThrow) {
   using Q = serve::Query<S>;
   EXPECT_THROW(
       serve::run_batch<S>(
-          base, {Q::mtimes(random_matrix<S>(2, 8, 4, 1, dbl_entry))}),
+          base, {Q::analytic(random_matrix<S>(2, 8, 4, 1, dbl_entry))}),
       std::invalid_argument);
   EXPECT_THROW(
       serve::run_batch<S>(
-          base, {Q::mtimes_masked(random_matrix<S>(2, 16, 4, 1, dbl_entry),
+          base, {Q::masked(random_matrix<S>(2, 16, 4, 1, dbl_entry),
                                   random_matrix<S>(3, 16, 4, 2, dbl_entry))}),
       std::invalid_argument);
 }
@@ -212,16 +212,16 @@ std::vector<serve::Query<Sr>> base_queries(Index nrows, Index ncols,
                                            std::uint64_t seed, Gen&& entry) {
   using Q = serve::Query<Sr>;
   std::vector<Q> qs;
-  qs.push_back(Q::mtimes(random_matrix<Sr>(5, nrows, 30, seed + 1, entry)));
+  qs.push_back(Q::analytic(random_matrix<Sr>(5, nrows, 30, seed + 1, entry)));
   qs.push_back(
-      Q::mtimes_masked(random_matrix<Sr>(4, nrows, 24, seed + 2, entry),
+      Q::masked(random_matrix<Sr>(4, nrows, 24, seed + 2, entry),
                        random_matrix<Sr>(4, ncols, 40, seed + 3, entry)));
   qs.push_back(
-      Q::mtimes_masked(random_matrix<Sr>(3, nrows, 18, seed + 4, entry),
+      Q::masked(random_matrix<Sr>(3, nrows, 18, seed + 4, entry),
                        random_matrix<Sr>(3, ncols, 12, seed + 5, entry),
                        {.complement = true}));
   qs.push_back(Q::select({0, nrows - 1}, nrows));
-  qs.push_back(Q::mtimes(random_matrix<Sr>(2, nrows, 0, seed + 6, entry)));
+  qs.push_back(Q::analytic(random_matrix<Sr>(2, nrows, 0, seed + 6, entry)));
   return qs;
 }
 
@@ -336,10 +336,10 @@ TEST(ServeMultiBase, HypersparseBasesCoalesce) {
   const std::vector<const Matrix<double>*> bases{&b0, &b1};
   std::vector<serve::Query<S>> qs;
   std::vector<std::size_t> ids;
-  qs.push_back(serve::Query<S>::mtimes(
+  qs.push_back(serve::Query<S>::analytic(
       random_matrix<S>(3, 64, 12, 93, dbl_entry)));
   ids.push_back(0);
-  qs.push_back(serve::Query<S>::mtimes(
+  qs.push_back(serve::Query<S>::analytic(
       random_matrix<S>(2, 32, 10, 94, dbl_entry)));
   ids.push_back(1);
   for (const int nt : {1, 8}) {
@@ -363,7 +363,7 @@ TEST(ServeMultiBase, GustavsonTooWideForStackFallsBackPerBase) {
   std::vector<serve::Query<S>> qs;
   std::vector<std::size_t> ids;
   for (int i = 0; i < 4; ++i) {
-    qs.push_back(serve::Query<S>::mtimes(random_matrix<S>(
+    qs.push_back(serve::Query<S>::analytic(random_matrix<S>(
         2, 16, 8, 97 + static_cast<std::uint64_t>(i), dbl_entry)));
     ids.push_back(static_cast<std::size_t>(i % 2));
   }
@@ -383,7 +383,7 @@ TEST(ServeMultiBase, BadBaseIdsThrow) {
   const auto b0 = random_matrix<S>(8, 8, 20, 99, dbl_entry);
   const std::vector<const Matrix<double>*> bases{&b0};
   const std::vector<serve::Query<S>> qs{
-      serve::Query<S>::mtimes(random_matrix<S>(1, 8, 4, 100, dbl_entry))};
+      serve::Query<S>::analytic(random_matrix<S>(1, 8, 4, 100, dbl_entry))};
   EXPECT_THROW(serve::run_batch_multi<S>(bases, qs,
                                          std::vector<std::size_t>{1}),
                std::invalid_argument);
@@ -478,7 +478,7 @@ TEST(Executor, ResultAutoFlushes) {
   const Index n = 16;
   serve::Executor<S> ex(random_matrix<S>(n, n, 60, 22, dbl_entry));
   const auto t =
-      ex.submit(serve::Query<S>::mtimes(random_matrix<S>(2, n, 6, 23,
+      ex.submit(serve::Query<S>::analytic(random_matrix<S>(2, n, 6, 23,
                                                          dbl_entry)));
   EXPECT_EQ(ex.pending(), 1u);
   (void)ex.result(t);  // implicit flush
@@ -491,13 +491,13 @@ TEST(Executor, ResultReferenceSurvivesLaterSubmits) {
   // result() reference must stay valid across subsequent submit()/flush().
   const Index n = 16;
   serve::Executor<S> ex(random_matrix<S>(n, n, 80, 27, dbl_entry));
-  const auto q0 = serve::Query<S>::mtimes(random_matrix<S>(2, n, 6, 28,
+  const auto q0 = serve::Query<S>::analytic(random_matrix<S>(2, n, 6, 28,
                                                            dbl_entry));
   const auto t0 = ex.submit(q0);
   const auto& r0 = ex.result(t0);
   const auto snapshot = r0;  // value copy for comparison
   for (int i = 0; i < 200; ++i) {  // enough submits to force regrowth
-    ex.submit(serve::Query<S>::mtimes(
+    ex.submit(serve::Query<S>::analytic(
         random_matrix<S>(1, n, 3, 100 + static_cast<std::uint64_t>(i),
                          dbl_entry)));
   }
@@ -511,7 +511,7 @@ TEST(Executor, BatchSizeAdmissionSplitsQueue) {
   serve::Executor<S> ex(random_matrix<S>(n, n, 100, 24, dbl_entry),
                         {.max_batch_queries = 2});
   for (int i = 0; i < 5; ++i) {
-    ex.submit(serve::Query<S>::mtimes(
+    ex.submit(serve::Query<S>::analytic(
         random_matrix<S>(3, n, 10, 30 + static_cast<std::uint64_t>(i),
                          dbl_entry)));
   }
@@ -527,7 +527,7 @@ TEST(Executor, FlopBudgetAdmissionSplitsQueue) {
   serve::Executor<S> ex(random_matrix<S>(n, n, 200, 25, dbl_entry),
                         {.max_batch_flops = 1});  // nothing fits together
   for (int i = 0; i < 3; ++i) {
-    ex.submit(serve::Query<S>::mtimes(
+    ex.submit(serve::Query<S>::analytic(
         random_matrix<S>(3, n, 12, 40 + static_cast<std::uint64_t>(i),
                          dbl_entry)));
   }
@@ -544,7 +544,7 @@ TEST(Executor, InvalidConfigAndQueriesThrow) {
                std::invalid_argument);
   serve::Executor<S> ex(base);
   EXPECT_THROW(
-      ex.submit(serve::Query<S>::mtimes(random_matrix<S>(2, 4, 2, 1,
+      ex.submit(serve::Query<S>::analytic(random_matrix<S>(2, 4, 2, 1,
                                                          dbl_entry))),
       std::invalid_argument);
 }

@@ -67,7 +67,7 @@ serve::Query<S> point_query(Index n, int width, std::uint64_t seed) {
                         n,
                  rng.uniform(0.5, 1.5)});
   }
-  return serve::Query<S>::mtimes(
+  return serve::Query<S>::analytic(
       Matrix<double>::from_unique_triples(1, n, std::move(t)));
 }
 
@@ -91,13 +91,13 @@ void expect_async_equals_sync(std::uint64_t seed, Gen&& entry) {
     const Index n = b == 0 ? 40 : 24;
     const Index c = b == 0 ? 40 : 32;
     if (i % 4 == 3) {
-      qs.push_back(serve::Query<Sr>::mtimes_masked(
+      qs.push_back(serve::Query<Sr>::masked(
           random_matrix<Sr>(2, n, 12, s, entry),
           random_matrix<Sr>(2, c, 16, s + 1, entry),
           {.complement = i % 8 == 7}));
     } else {
       qs.push_back(
-          serve::Query<Sr>::mtimes(random_matrix<Sr>(2, n, 10, s, entry)));
+          serve::Query<Sr>::analytic(random_matrix<Sr>(2, n, 10, s, entry)));
     }
     base_of.push_back(b);
   }
@@ -402,7 +402,7 @@ TEST(Executor, MultiBaseSubmitMatchesPerBaseSingles) {
   std::vector<std::size_t> base_of;
   for (int i = 0; i < 10; ++i) {
     const std::size_t b = static_cast<std::size_t>(i % 2);
-    qs.push_back(serve::Query<S>::mtimes(random_matrix<S>(
+    qs.push_back(serve::Query<S>::analytic(random_matrix<S>(
         2, b == 0 ? 32 : 20, 8, 60 + static_cast<std::uint64_t>(i),
         dbl_entry)));
     base_of.push_back(b);

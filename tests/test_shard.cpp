@@ -54,16 +54,16 @@ std::vector<serve::Query<Sr>> ragged_batch(Index n, std::uint64_t seed,
                                            Gen&& entry) {
   using Q = serve::Query<Sr>;
   std::vector<Q> qs;
-  qs.push_back(Q::mtimes(random_matrix<Sr>(6, n, 40, seed + 1, entry)));
-  qs.push_back(Q::mtimes_masked(random_matrix<Sr>(5, n, 30, seed + 2, entry),
+  qs.push_back(Q::analytic(random_matrix<Sr>(6, n, 40, seed + 1, entry)));
+  qs.push_back(Q::masked(random_matrix<Sr>(5, n, 30, seed + 2, entry),
                                 random_matrix<Sr>(5, n, 60, seed + 3, entry)));
-  qs.push_back(Q::mtimes_masked(
+  qs.push_back(Q::masked(
       random_matrix<Sr>(4, n, 25, seed + 4, entry),
       random_matrix<Sr>(4, n, 20, seed + 5, entry), {.complement = true}));
-  qs.push_back(Q::mtimes(random_matrix<Sr>(2, n, 0, seed + 6, entry)));
+  qs.push_back(Q::analytic(random_matrix<Sr>(2, n, 0, seed + 6, entry)));
   qs.push_back(
-      Q::mtimes(random_matrix<Sr>(0, n, 0, seed + 7, entry)));  // zero rows
-  qs.push_back(Q::mtimes(random_matrix<Sr>(1, n, 8, seed + 8, entry)));
+      Q::analytic(random_matrix<Sr>(0, n, 0, seed + 7, entry)));  // zero rows
+  qs.push_back(Q::analytic(random_matrix<Sr>(1, n, 8, seed + 8, entry)));
   qs.push_back(Q::select({0, n / 2, n - 1}, n));
   return qs;
 }
@@ -314,11 +314,11 @@ TEST(RouterEdgeCases, StraddlingPointQueriesMergeOnce) {
   serve::Router<S> router(base, cfg);
   // One query entirely in shard 0, one entirely in shard 1, one straddling.
   std::vector<serve::Query<S>> qs;
-  qs.push_back(serve::Query<S>::mtimes(Matrix<double>::from_unique_triples(
+  qs.push_back(serve::Query<S>::analytic(Matrix<double>::from_unique_triples(
       1, n, {{0, 3, 2.0}, {0, 11, 1.0}})));
-  qs.push_back(serve::Query<S>::mtimes(Matrix<double>::from_unique_triples(
+  qs.push_back(serve::Query<S>::analytic(Matrix<double>::from_unique_triples(
       1, n, {{0, 20, 3.0}, {0, 30, 1.5}})));
-  qs.push_back(serve::Query<S>::mtimes(Matrix<double>::from_unique_triples(
+  qs.push_back(serve::Query<S>::analytic(Matrix<double>::from_unique_triples(
       1, n, {{0, 15, 2.5}, {0, 16, 0.5}})));
   std::vector<std::size_t> tickets;
   for (const auto& q : qs) tickets.push_back(router.submit(q));
@@ -365,7 +365,7 @@ TEST(RouterEdgeCases, ShardWithNoBaseEntries) {
   serve::Router<S> router(base, cfg);
   const auto lhs = Matrix<double>::from_unique_triples(
       2, 8, {{0, 1, 2.0}, {0, 4, 3.0}, {1, 4, 1.0}, {1, 7, 2.0}});
-  const auto q = serve::Query<S>::mtimes(lhs);
+  const auto q = serve::Query<S>::analytic(lhs);
   const auto t = router.submit(q);
   EXPECT_EQ(router.wait(t), serve::run_single(base, q));
 }
@@ -389,9 +389,9 @@ TEST(RouterEdgeCases, HypersparseDcsrShards) {
   }
   std::vector<serve::Query<S>> qs;
   // Straddles the first and last shard; folds two products into column 3.
-  qs.push_back(serve::Query<S>::mtimes(Matrix<double>::from_unique_triples(
+  qs.push_back(serve::Query<S>::analytic(Matrix<double>::from_unique_triples(
       1, huge, {{0, 5, 2.0}, {0, (Index{1} << 35) + 9, 3.0}})));
-  qs.push_back(serve::Query<S>::mtimes(Matrix<double>::from_unique_triples(
+  qs.push_back(serve::Query<S>::analytic(Matrix<double>::from_unique_triples(
       1, huge, {{0, Index{1} << 20, 1.5}, {0, huge - 1, 2.5}})));
   qs.push_back(serve::Query<S>::select({5, huge - 1}, huge));
   std::vector<std::size_t> tickets;
@@ -413,7 +413,7 @@ TEST(RouterEdgeCases, MaskSpanningShardBoundaries) {
   // output space (output columns are unsharded, so the same mask applies
   // at every stage).
   for (const bool comp : {false, true}) {
-    auto q = serve::Query<S>::mtimes_masked(
+    auto q = serve::Query<S>::masked(
         random_matrix<S>(3, n, 30, 62, dbl_entry),
         random_matrix<S>(3, n, 50, 63, dbl_entry), {.complement = comp});
     const auto t = router.submit(q);
@@ -480,7 +480,7 @@ TEST(Router, TenantStatsAggregateAcrossShards) {
   const Index n = 24;
   const auto base = random_matrix<S>(n, n, 150, 91, dbl_entry);
   serve::Router<S> router(base, {.n_shards = 2});
-  const auto q1 = serve::Query<S>::mtimes(Matrix<double>::from_unique_triples(
+  const auto q1 = serve::Query<S>::analytic(Matrix<double>::from_unique_triples(
       2, n, {{0, 2, 1.0}, {0, 20, 2.0}, {1, 5, 3.0}}));  // straddles the cut
   const auto q2 = serve::Query<S>::select({1}, n);        // single shard
   router.submit(1, q1);
@@ -504,11 +504,11 @@ TEST(Router, TenantStatsAggregateAcrossShards) {
 TEST(Router, ShapeMismatchesAndUnknownTicketsThrow) {
   const auto base = random_matrix<S>(16, 16, 60, 95, dbl_entry);
   serve::Router<S> router(base, {.n_shards = 2});
-  EXPECT_THROW(router.submit(serve::Query<S>::mtimes(
+  EXPECT_THROW(router.submit(serve::Query<S>::analytic(
                    random_matrix<S>(2, 8, 4, 96, dbl_entry))),
                std::invalid_argument);
   EXPECT_THROW(
-      router.submit(serve::Query<S>::mtimes_masked(
+      router.submit(serve::Query<S>::masked(
           random_matrix<S>(2, 16, 4, 97, dbl_entry),
           random_matrix<S>(3, 16, 4, 98, dbl_entry))),
       std::invalid_argument);
@@ -645,7 +645,7 @@ TEST(Router, ShutdownDrainsChains) {
   const auto base = random_matrix<S>(n, n, 140, 99, dbl_entry);
   std::vector<serve::Query<S>> qs;
   for (int i = 0; i < 5; ++i) {
-    qs.push_back(serve::Query<S>::mtimes(random_matrix<S>(
+    qs.push_back(serve::Query<S>::analytic(random_matrix<S>(
         1, n, 6, 100 + static_cast<std::uint64_t>(i), dbl_entry)));
   }
   serve::Router<S> router(base, {.executor = {.async = true,

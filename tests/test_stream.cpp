@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
 #include "semiring/all.hpp"
+#include "sparse/delta.hpp"
 #include "sparse/stream.hpp"
 #include "util/generators.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -111,6 +116,102 @@ TEST(Stream, EmptySnapshot) {
   EXPECT_EQ(sm.pending_updates(), 0u);
   sm.compact();
   EXPECT_EQ(sm.snapshot().nnz(), 0);
+}
+
+// ---- last-wins / tombstone semantics -------------------------------------
+//
+// The delta log of sparse/delta.hpp streams DeltaSlot cells through this
+// accumulator under the LastWins semiring, whose ⊕ is non-commutative
+// (a ⊕ b = b). These tests pin the ordering contract the cascade must keep
+// for that to be correct: every fold combines older ⊕ newer with older on
+// the LEFT — across the buffer, across cascade levels, and across
+// get/snapshot/compact.
+
+using Slot = DeltaSlot<double>;
+using LW = LastWins<double>;
+using Op = Slot::Op;
+
+Slot assign_slot(double v) { return {v, Op::kAssign}; }
+Slot erase_slot() { return {0.0, Op::kErase}; }
+
+TEST(Stream, LastWinsKeepsNewestWithinBuffer) {
+  StreamingMatrix<LW> sm(8, 8, /*buffer_capacity=*/64);
+  sm.insert(1, 1, assign_slot(1.0));
+  sm.insert(1, 1, assign_slot(2.0));
+  sm.insert(1, 1, assign_slot(3.0));
+  const auto got = sm.get(1, 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->op, Op::kAssign);
+  EXPECT_EQ(got->val, 3.0);
+}
+
+TEST(Stream, LastWinsKeepsNewestAcrossCascades) {
+  // buffer=2 forces a cascade every other insert, so consecutive writes to
+  // the same key land in DIFFERENT layers — the fold across layers (newest
+  // is the buffer, oldest is the deepest layer) must still resolve to the
+  // last write.
+  StreamingMatrix<LW> sm(16, 16, /*buffer_capacity=*/2, /*fanout=*/2);
+  for (int i = 1; i <= 9; ++i) {
+    sm.insert(3, 4, assign_slot(static_cast<double>(i)));
+    const auto got = sm.get(3, 4);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->val, static_cast<double>(i)) << "after write " << i;
+  }
+  EXPECT_EQ(sm.snapshot().get(3, 4)->val, 9.0);
+}
+
+TEST(Stream, TombstoneOverwritesAndIsOverwritten) {
+  StreamingMatrix<LW> sm(8, 8, 2, 2);
+  sm.insert(2, 2, assign_slot(5.0));
+  sm.insert(2, 2, erase_slot());  // delete wins over the older assign
+  ASSERT_TRUE(sm.get(2, 2).has_value());
+  EXPECT_EQ(sm.get(2, 2)->op, Op::kErase);
+  sm.insert(2, 2, assign_slot(7.0));  // resurrect: assign wins over erase
+  EXPECT_EQ(sm.get(2, 2)->op, Op::kAssign);
+  EXPECT_EQ(sm.get(2, 2)->val, 7.0);
+}
+
+TEST(Stream, CompactPreservesLastWins) {
+  StreamingMatrix<LW> sm(32, 32, 2, 2);
+  sm.insert(1, 1, assign_slot(1.0));
+  sm.insert(1, 1, assign_slot(2.0));
+  sm.insert(9, 9, erase_slot());
+  sm.insert(1, 1, erase_slot());
+  sm.insert(9, 9, assign_slot(4.0));
+  const auto before = sm.snapshot();
+  sm.compact();
+  EXPECT_LE(sm.n_layers(), 1u);
+  EXPECT_EQ(sm.snapshot(), before);
+  EXPECT_EQ(sm.get(1, 1)->op, Op::kErase);
+  EXPECT_EQ(sm.get(9, 9)->val, 4.0);
+}
+
+TEST(Stream, LastWinsRandomAgainstMapReference) {
+  // Random assign/erase traffic with a tiny buffer (maximal cascading);
+  // get/snapshot/compact must all agree with a plain map holding the last
+  // operation per key.
+  StreamingMatrix<LW> sm(64, 64, 4, 2);
+  std::map<std::pair<Index, Index>, Slot> ref;
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = static_cast<Index>(rng.bounded(64));
+    const auto c = static_cast<Index>(rng.bounded(64));
+    const Slot s = rng.bounded(4) == 0
+                       ? erase_slot()
+                       : assign_slot(static_cast<double>(i));
+    sm.insert(r, c, s);
+    ref[{r, c}] = s;
+    if (i % 500 == 499) sm.compact();  // interleave compactions
+  }
+  const auto snap = sm.snapshot();
+  ASSERT_EQ(snap.nnz(), static_cast<Index>(ref.size()));
+  for (const auto& [key, want] : ref) {
+    const auto got = sm.get(key.first, key.second);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->op, want.op);
+    EXPECT_EQ(got->val, want.val);
+    EXPECT_EQ(*snap.get(key.first, key.second), want);
+  }
 }
 
 }  // namespace

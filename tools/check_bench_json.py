@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import numbers
+import os
 import sys
 
 # Row fields that must be present, with their expected kinds.
@@ -37,6 +38,23 @@ REQUIRED_ROW_FIELDS = {
 OPTIONAL_ROW_FIELDS = {
     "label": str,
     "run_type": str,
+}
+
+# Rows the trajectory tooling depends on: per artifact (matched by file
+# name), every listed prefix must match at least one benchmark row name in
+# the file. A bench binary that silently dropped a suite (e.g. the mixed
+# read/write grid) should fail CI here, not surface as a hole in the
+# cross-PR comparison. The empty-{} escape above still applies: a file
+# whose binary was never built is warned about, not failed.
+REQUIRED_ROW_PREFIXES = {
+    "BENCH_serve.json": [
+        "bm_serve/",
+        "bm_serve_executor/",
+        "bm_serve_executor_async/",
+        "bm_serve_multibase/",
+        "bm_serve_sharded/",
+        "bm_serve_mixed_rw/",
+    ],
 }
 
 
@@ -98,6 +116,27 @@ def check_file(path: str) -> list[str]:
             errors.append(fail(path, f"'{binary}'.benchmarks is empty"))
         for i, row in enumerate(rows):
             errors.extend(check_row(path, binary, i, row))
+    errors.extend(check_required_rows(path, doc))
+    return errors
+
+
+def check_required_rows(path: str, doc: dict) -> list[str]:
+    prefixes = REQUIRED_ROW_PREFIXES.get(os.path.basename(path))
+    if not prefixes:
+        return []
+    names = []
+    for report in doc.values():
+        if isinstance(report, dict) and isinstance(
+                report.get("benchmarks"), list):
+            for row in report["benchmarks"]:
+                if isinstance(row, dict) and isinstance(row.get("name"), str):
+                    names.append(row["name"])
+    errors = []
+    for prefix in prefixes:
+        if not any(n.startswith(prefix) for n in names):
+            errors.append(
+                fail(path, f"no benchmark row matches required prefix "
+                           f"'{prefix}'"))
     return errors
 
 
