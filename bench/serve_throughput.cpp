@@ -11,6 +11,8 @@
 #include "serve/executor.hpp"
 #include "serve/router.hpp"
 #include "serve/service.hpp"
+#include "serve/trace.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -385,6 +387,73 @@ BENCHMARK(bm_serve_mixed_rw)
     ->Args({8, 4, 1})
     ->Args({64, 0, 4})
     ->Args({64, 4, 4});
+
+void bm_serve_latency(benchmark::State& state) {
+  // End-to-end query latency through the async executor, reported as
+  // nearest-rank percentiles from the process-wide telemetry histogram
+  // (serve.query_latency_ns: submit enqueue → result settled). These are
+  // the BENCH_serve.json tail-latency rows the SLO story reads; the
+  // histogram's log buckets give ≤ 2^-4 relative error per quantile.
+  const int k = static_cast<int>(state.range(0));
+  const Index n = 4096;
+  auto base = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto qs = make_queries(0, k, n, 9);
+  util::metrics::set_enabled(true);
+  util::metrics::Registry::instance().reset_values();
+  for (auto _ : state) {
+    serve::Executor<S> ex(base, {.async = true,
+                                 .flush_queue_depth = 16,
+                                 .flush_interval =
+                                     std::chrono::milliseconds(1)});
+    std::vector<std::size_t> tickets;
+    tickets.reserve(qs.size());
+    for (const auto& q : qs) tickets.push_back(ex.submit(q));
+    for (const auto t : tickets) benchmark::DoNotOptimize(ex.wait(t));
+  }
+  const auto lat = util::metrics::Registry::instance().histogram_snapshot(
+      "serve.query_latency_ns");
+  if (lat.count > 0) {
+    state.counters["p50_ns"] = static_cast<double>(lat.percentile(0.50));
+    state.counters["p95_ns"] = static_cast<double>(lat.percentile(0.95));
+    state.counters["p99_ns"] = static_cast<double>(lat.percentile(0.99));
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel("async executor tail latency, K=" + std::to_string(k));
+}
+BENCHMARK(bm_serve_latency)->Arg(8)->Arg(64);
+
+void bm_serve_telemetry_overhead(benchmark::State& state) {
+  // The telemetry guardrail: the same synchronous submit+flush+wait
+  // workload with telemetry fully off (Arg 0), counters/histograms only
+  // (Arg 1), and full per-query tracing (Arg 2). Row 0 vs row 1 is the
+  // always-on production cost and must stay in the noise; row 2 prices the
+  // clock reads + ring appends tracing adds per query.
+  const int mode = static_cast<int>(state.range(0));
+  const int k = 64;
+  const Index n = 4096;
+  auto base = er_matrix(n, static_cast<std::size_t>(n) * 16, 1);
+  const auto qs = make_queries(0, k, n, 10);
+  util::metrics::set_enabled(mode >= 1);
+  serve::trace::Tracer::instance().configure(
+      {.enabled = mode >= 2, .sample_every = 1});
+  for (auto _ : state) {
+    serve::Executor<S> ex(base);
+    std::vector<std::size_t> tickets;
+    tickets.reserve(qs.size());
+    for (const auto& q : qs) tickets.push_back(ex.submit(q));
+    for (const auto t : tickets) benchmark::DoNotOptimize(ex.wait(t));
+  }
+  serve::trace::Tracer::instance().configure({});  // restore: tracing off
+  util::metrics::set_enabled(true);                // restore: metrics on
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(std::string(mode == 0   ? "telemetry off"
+                             : mode == 1 ? "counters only"
+                                         : "full tracing") +
+                 ", K=" + std::to_string(k));
+}
+BENCHMARK(bm_serve_telemetry_overhead)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

@@ -21,6 +21,13 @@
 // submit() and later wait() their ticket, exactly like a future. In-flight
 // batches finish on the epoch they started on; batches flushed after a
 // mutate() serve the new epoch.
+//
+// The run is also OBSERVED: the tracer samples every 2nd query end to end
+// (submit → tenant queue → admission → kernel → carry → gather → wait)
+// and dumps a Chrome trace-event JSON — pass a path as argv[1], default
+// query_server_trace.json — loadable in chrome://tracing or Perfetto and
+// schema-checked in CI by tools/check_trace_json.py. The Prometheus-style
+// metrics exposition (Service::metrics_text) prints at the end.
 
 #include <cstdio>
 #include <iostream>
@@ -28,7 +35,9 @@
 #include "semiring/all.hpp"
 #include "serve/router.hpp"
 #include "serve/service.hpp"
+#include "serve/trace.hpp"
 #include "util/generators.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -111,7 +120,13 @@ std::uint64_t churn(serve::Service<S>& svc, Index n, util::Xoshiro256& rng,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Arm telemetry before any traffic: metrics are on by default; tracing
+  // is opt-in and samples 1 in 2 queries here to show sampled operation.
+  hyperspace::util::metrics::set_enabled(true);
+  serve::trace::Tracer::instance().configure(
+      {.enabled = true, .sample_every = 2});
+  const char* trace_path = argc > 1 ? argv[1] : "query_server_trace.json";
   const int scale = 12;
   const Index n = Index{1} << scale;
   const auto edges = util::rmat_edges({.scale = scale, .edge_factor = 16,
@@ -191,5 +206,18 @@ int main() {
                 static_cast<unsigned long long>(ts.deferrals));
   }
   ex.shutdown();  // drains anything left; also what ~Router would do
+
+  // Quiesced: dump the life-of-a-query trace and the metrics exposition.
+  auto& tracer = serve::trace::Tracer::instance();
+  std::cout << "\ntrace: " << tracer.recorded() << " spans recorded ("
+            << "1 in " << tracer.sample_every() << " queries traced)\n";
+  if (tracer.write_chrome_json(trace_path)) {
+    std::cout << "trace: wrote " << trace_path
+              << " (chrome://tracing / Perfetto)\n";
+  } else {
+    std::cerr << "trace: FAILED to write " << trace_path << '\n';
+    return 1;
+  }
+  std::cout << "\n--- metrics_text() ---\n" << ex.metrics_text();
   return 0;
 }

@@ -23,6 +23,7 @@
 
 #include "array/batch.hpp"
 #include "serve/router.hpp"
+#include "util/metrics.hpp"
 
 namespace hyperspace::array {
 
@@ -74,11 +75,24 @@ class ShardedServer {
           "ShardedServer: query inner keys outside base row keys");
     }
     serve::Query<S> sq;
+    const bool telemetry = util::metrics::enabled();
+    const std::uint64_t t0 = telemetry ? util::metrics::clock_ns() : 0;
     sq.lhs = q.lhs.realign(q.lhs.row_keys(), rows_).matrix();
     if (q.mask) {
       sq.kind = serve::QueryKind::kMtimesMasked;
       sq.mask = q.mask->realign(q.lhs.row_keys(), cols_).matrix();
       sq.desc = q.desc;
+    }
+    if (telemetry) {
+      // The key→coordinate realignment is the one per-query cost unique
+      // to this layer; its time distribution says whether the sharded key
+      // path is realign-bound or kernel-bound.
+      static auto& submits = util::metrics::Registry::instance().counter(
+          "array.sharded.submits", util::metrics::Stability::kInvariant);
+      static auto& realign_ns = util::metrics::Registry::instance().histogram(
+          "array.realign_ns");
+      submits.inc();
+      realign_ns.record(util::metrics::clock_ns() - t0);
     }
     std::lock_guard lock(mu_);
     const std::size_t ticket = router_.submit(tenant, std::move(sq));

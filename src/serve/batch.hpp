@@ -93,6 +93,11 @@ struct Query {
   /// and stays bit-identical to one unsharded launch (floats included).
   /// Carry entries are never mask-probed and add no flops to the stats.
   std::optional<sparse::Matrix<T>> carry;
+  /// Life-of-a-query trace id (serve/trace.hpp). 0 = untraced. Executors
+  /// draw one from Tracer::sample() at submit when the caller left it 0;
+  /// the router propagates it into every per-shard sub-query. Purely
+  /// observational — results are bit-identical for any value.
+  std::uint64_t trace = 0;
 
   /// Analytic query: the full product C_q = lhs ⊕.⊗ B.
   static Query analytic(sparse::Matrix<T> a) {
@@ -145,16 +150,6 @@ struct Query {
                 std::move(t), S::zero()),
             std::nullopt,
             {}};
-  }
-
-  /// Deprecated pre-PR-6 spellings, kept one PR as thin shims.
-  [[deprecated("use Query::analytic")]] static Query mtimes(
-      sparse::Matrix<T> a) {
-    return analytic(std::move(a));
-  }
-  [[deprecated("use Query::masked")]] static Query mtimes_masked(
-      sparse::Matrix<T> a, sparse::Matrix<T> m, sparse::MaskDesc d = {}) {
-    return masked(std::move(a), std::move(m), d);
   }
 };
 

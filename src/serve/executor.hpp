@@ -61,6 +61,8 @@
 #include "serve/admission.hpp"
 #include "serve/batch.hpp"
 #include "serve/service.hpp"
+#include "serve/trace.hpp"
+#include "util/metrics.hpp"
 
 namespace hyperspace::serve {
 
@@ -100,6 +102,15 @@ class Executor : public Service<S> {
     /// default) keeps both limits static. Results are unaffected either
     /// way — admission only re-slices the queue.
     std::chrono::microseconds latency_target{0};
+    /// Adaptive admission steers by the p95 of observed ns-per-flop
+    /// instead of the EWMA mean (see AdmissionController::Config::use_p95).
+    /// Only meaningful with latency_target set.
+    bool admission_use_p95 = false;
+    /// Draw a trace id at submit for queries that arrive without one
+    /// (serve/trace.hpp sampling). The sharded router disables this on its
+    /// shard executors so each top-level query is sampled exactly once, at
+    /// the router.
+    bool trace_sampling = true;
     /// Delta-base tuning (buffer size, cascade fanout, compaction
     /// threshold, background compactor). Applied to every base.
     sparse::DeltaConfig delta{};
@@ -131,7 +142,8 @@ class Executor : public Service<S> {
     }
     live_ = {cfg_.max_batch_flops, cfg_.flush_queue_depth};
     if (cfg_.latency_target.count() > 0) {
-      ctrl_ = AdmissionController({.latency_target = cfg_.latency_target},
+      ctrl_ = AdmissionController({.latency_target = cfg_.latency_target,
+                                   .use_p95 = cfg_.admission_use_p95},
                                   live_);
     }
     // Wrap every base in a DeltaBase: the ctor warms the view cache on
@@ -226,23 +238,33 @@ class Executor : public Service<S> {
   }
 
   /// Enqueue a query for `tenant` against base `base`; returns the ticket
-  /// redeemable via wait()/result()/poll(). Shape mismatches throw here —
-  /// at admission, not at flush.
+  /// redeemable via wait()/poll(). Shape mismatches throw here — at
+  /// admission, not at flush.
   std::size_t submit(TenantId tenant, std::size_t base, Query<S> q) {
     if (base >= bases_.size()) {
       throw std::out_of_range("Executor: unknown base index");
     }
     detail::validate_query<S>(bases_[base]->nrows(), bases_[base]->ncols(), q);
+    auto& tracer = trace::Tracer::instance();
+    if (cfg_.trace_sampling && q.trace == 0) q.trace = tracer.sample();
+    trace::ScopedSpan span(trace::Stage::kSubmit, q.trace, q.trace != 0);
     const std::uint64_t flops = query_flops(base, q);
     const auto rows = static_cast<std::uint64_t>(q.lhs.nrows());
+    span.args(flops, rows);
+    // One timestamp serves both the tenant-queue span and the query
+    // latency histogram; 0 means "don't measure this one".
+    const std::uint64_t enq_ns =
+        (q.trace != 0 || util::metrics::enabled()) ? tracer.now_ns() : 0;
+    const std::uint64_t tr = q.trace;
     std::unique_lock lock(mu_);
     if (stopping_) {
       throw std::runtime_error("Executor: submit after shutdown");
     }
     const std::size_t ticket = results_.size();
     results_.emplace_back();
+    traces_.push_back(tr);
     queues_[tenant].push_back(
-        Pending{std::move(q), base, ticket, flops, rows, tenant});
+        Pending{std::move(q), base, ticket, flops, rows, tenant, tr, enq_ns});
     ++n_pending_;
     (void)tstats_[tenant];  // tenant becomes visible on first submit
     const bool trigger =
@@ -307,11 +329,13 @@ class Executor : public Service<S> {
   /// thread and waits. Throws if the ticket was dropped by a non-draining
   /// shutdown.
   const sparse::Matrix<T>& wait(std::size_t ticket) override {
+    trace::ScopedSpan span;
     {
       std::unique_lock lock(mu_);
       if (ticket >= results_.size()) {
         throw std::out_of_range("Executor: unknown ticket");
       }
+      span.start(trace::Stage::kWait, traces_[ticket], traces_[ticket] != 0);
       if (results_[ticket]) return *results_[ticket];
       rethrow_if_failed_locked(ticket);
       if (terminated_) {
@@ -345,13 +369,6 @@ class Executor : public Service<S> {
       throw std::runtime_error("Executor: ticket dropped at shutdown");
     }
     return *results_[ticket];
-  }
-
-  /// Back-compat alias for wait(): the result for a ticket, flushing /
-  /// blocking as needed.
-  [[deprecated("use wait()")]] const sparse::Matrix<T>& result(
-      std::size_t ticket) {
-    return wait(ticket);
   }
 
   /// Non-blocking probe: the settled result, or nullptr while pending.
@@ -412,6 +429,8 @@ class Executor : public Service<S> {
     std::uint64_t flops = 0;
     std::uint64_t rows = 0;
     TenantId tenant = 0;
+    std::uint64_t trace = 0;   ///< copy of q.trace, survives the move-out
+    std::uint64_t enq_ns = 0;  ///< submit timestamp (0 = unmeasured)
   };
 
   /// Rethrow the flush failure owned by `ticket`, if any (mu_ held).
@@ -502,13 +521,36 @@ class Executor : public Service<S> {
   /// drains serialize on flush_mu_.
   void flush_impl() {
     std::lock_guard flush_lock(flush_mu_);
+    auto& tracer = trace::Tracer::instance();
+    trace::ScopedSpan flush_span(trace::Stage::kFlush, 0, tracer.enabled());
+    std::uint64_t drained = 0;
     while (true) {
       std::vector<Pending> batch;
       {
+        trace::ScopedSpan adm(trace::Stage::kAdmission, 0, tracer.enabled());
         std::lock_guard lock(mu_);
         batch = next_batch_locked();
+        adm.args(batch.size());
       }
-      if (batch.empty()) return;
+      if (batch.empty()) {
+        flush_span.args(drained);
+        return;
+      }
+      drained += batch.size();
+      if (tracer.enabled()) {
+        // The tenant-queue wait ends here, at admission. Each span lands
+        // on its query's own lane (cross-thread duration: enqueued on the
+        // submitter, admitted here). Guard against a tracer reconfigure
+        // between the two timestamps.
+        const std::uint64_t now = tracer.now_ns();
+        for (const auto& p : batch) {
+          if (p.trace != 0 && p.enq_ns != 0 && p.enq_ns <= now) {
+            tracer.record(trace::Stage::kTenantQueue, p.trace,
+                          trace::query_lane(p.trace), p.enq_ns,
+                          now - p.enq_ns, p.flops, p.tenant);
+          }
+        }
+      }
       try {
         run_admitted(batch);
       } catch (...) {
@@ -554,8 +596,13 @@ class Executor : public Service<S> {
         all_epoch0 &= snaps[id]->epoch == 0;
       }
     }
-    const auto t0 = ctrl_.enabled() ? std::chrono::steady_clock::now()
-                                    : std::chrono::steady_clock::time_point{};
+    const bool telemetry = util::metrics::enabled();
+    const bool timed = ctrl_.enabled() || telemetry;
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    trace::ScopedSpan kernel_span(trace::Stage::kKernel, 0,
+                                  trace::Tracer::instance().enabled());
+    kernel_span.args(batch_flops, batch.size());
     ServeStats ss;
     std::vector<sparse::Matrix<T>> rs;
     if (!mixed) {
@@ -583,9 +630,16 @@ class Executor : public Service<S> {
       rs = run_batch_on_stack<S>(stack_, qs, ids, cfg_.strategy, &ss);
     }
     ss.epoch = std::max(ss.epoch, max_epoch);
-    const auto dt = ctrl_.enabled()
-                        ? std::chrono::steady_clock::now() - t0
-                        : std::chrono::steady_clock::duration{};
+    kernel_span.finish();
+    const auto dt = timed ? std::chrono::steady_clock::now() - t0
+                          : std::chrono::steady_clock::duration{};
+    if (telemetry) {
+      namespace hm = util::metrics;
+      static auto& h_batch =
+          hm::Registry::instance().histogram("serve.batch_ns");
+      h_batch.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+    }
     {
       std::lock_guard lock(mu_);
       if (ctrl_.enabled()) {
@@ -596,9 +650,35 @@ class Executor : public Service<S> {
                       batch.size());
         live_ = ctrl_.limits();
       }
+      if (telemetry) {
+        // Admission state as gauges: a stuck controller (samples pinned at
+        // 0, limits never moving) is observable instead of silent. With
+        // several executors in one process (sharded router) these reflect
+        // the most recent batch anywhere — per-executor namespacing is a
+        // ROADMAP follow-on.
+        namespace hm = util::metrics;
+        static auto& g_flops = hm::Registry::instance().gauge(
+            "serve.admission.max_batch_flops", hm::Stability::kTiming);
+        static auto& g_depth = hm::Registry::instance().gauge(
+            "serve.admission.flush_queue_depth", hm::Stability::kTiming);
+        static auto& g_samples = hm::Registry::instance().gauge(
+            "serve.admission.samples", hm::Stability::kTiming);
+        g_flops.set(static_cast<double>(live_.max_batch_flops));
+        g_depth.set(static_cast<double>(live_.flush_queue_depth));
+        g_samples.set(static_cast<double>(ctrl_.samples()));
+      }
+      const std::uint64_t settle_ns =
+          telemetry ? trace::Tracer::instance().now_ns() : 0;
       std::map<TenantId, bool> seen;
       for (std::size_t k = 0; k < batch.size(); ++k) {
         results_[batch[k].ticket] = std::move(rs[k]);
+        if (telemetry && batch[k].enq_ns != 0 &&
+            batch[k].enq_ns <= settle_ns) {
+          namespace hm = util::metrics;
+          static auto& h_lat = hm::Registry::instance().histogram(
+              "serve.query_latency_ns");
+          h_lat.record(settle_ns - batch[k].enq_ns);
+        }
         auto& ts = tstats_[batch[k].tenant];
         ++ts.queries;
         ts.rows += batch[k].rows;
@@ -656,6 +736,7 @@ class Executor : public Service<S> {
   std::size_t n_pending_ = 0;
   TenantId rr_cursor_ = 0;  ///< round-robin resumes at the first id >= this
   std::deque<std::optional<sparse::Matrix<T>>> results_;
+  std::deque<std::uint64_t> traces_;  ///< ticket → trace id (0 = untraced)
   std::map<std::size_t, std::exception_ptr> failed_;  ///< ticket → flush error
 
   std::thread flusher_;

@@ -52,6 +52,7 @@
 #include "serve/executor.hpp"
 #include "serve/service.hpp"
 #include "serve/shard_map.hpp"
+#include "serve/trace.hpp"
 
 namespace hyperspace::serve {
 
@@ -87,10 +88,14 @@ class Router : public Service<S> {
                cfg) {}
 
   Router(ShardMap<T> map, Config cfg = {}) : map_(std::move(map)), cfg_(cfg) {
+    // Trace sampling happens ONCE, here at the router: shard executors
+    // must not re-sample the sub-queries of an untraced logical query.
+    auto ecfg = cfg_.executor;
+    ecfg.trace_sampling = false;
     execs_.reserve(map_.n_shards());
     for (std::size_t s = 0; s < map_.n_shards(); ++s) {
-      execs_.push_back(std::make_unique<Executor<S>>(map_.take_shard(s),
-                                                     cfg_.executor));
+      execs_.push_back(
+          std::make_unique<Executor<S>>(map_.take_shard(s), ecfg));
     }
   }
 
@@ -107,9 +112,9 @@ class Router : public Service<S> {
   }
 
   /// Scatter `q` and enqueue its per-shard chain; returns the router-level
-  /// ticket redeemable via wait()/result()/poll(). Shape mismatches throw
-  /// here, at admission. The lhs split — the only key realignment in the
-  /// whole sharded path — happens now, once.
+  /// ticket redeemable via wait()/poll(). Shape mismatches throw here, at
+  /// admission. The lhs split — the only key realignment in the whole
+  /// sharded path — happens now, once.
   std::size_t submit(TenantId tenant, Query<S> q) override {
     if (q.lhs.ncols() != map_.nrows()) {
       throw std::invalid_argument("Router: query inner dimension mismatch");
@@ -122,7 +127,16 @@ class Router : public Service<S> {
                     q.carry->ncols() != map_.ncols())) {
       throw std::invalid_argument("Router: query carry shape mismatch");
     }
+    // The router is the sampling point for the whole sharded stack: one
+    // trace id covers the logical query, and every sub-query inherits it
+    // (shard executors run with trace_sampling off).
+    auto& tracer = trace::Tracer::instance();
+    if (q.trace == 0) q.trace = tracer.sample();
     Chain c;
+    c.trace = q.trace;
+    c.start_ns = q.trace != 0 ? tracer.now_ns() : 0;
+    trace::ScopedSpan scatter_span(trace::Stage::kScatter, q.trace,
+                                   q.trace != 0);
     if (map_.n_shards() == 1) {
       // 1-shard pass-through: the executor path verbatim — the lhs moves
       // through unsplit, uncopied, untranslated.
@@ -143,6 +157,8 @@ class Router : public Service<S> {
     c.mask = std::move(q.mask);
     c.desc = q.desc;
     c.tenant = tenant;
+    scatter_span.args(c.shards.size(), c.lhs.empty() ? 0 : c.lhs[0].nrows());
+    scatter_span.finish();  // the split is done; queueing is not scatter
     std::lock_guard lock(rmu_);
     if (stopping_) {
       throw std::runtime_error("Router: submit after shutdown");
@@ -220,17 +236,14 @@ class Router : public Service<S> {
       std::lock_guard lock(rmu_);
       Chain& ch = chain_at_locked(ticket);
       if (ch.stage != stage) continue;  // another waiter advanced the chain
-      if (final_stage) return r;
+      if (final_stage) {
+        record_gather_locked(ch);
+        return r;
+      }
       ch.stage += 1;
       ++rstats_.merges;
       submit_stage_locked(ch, r);  // the partial seeds the next shard
     }
-  }
-
-  /// Back-compat alias for wait().
-  [[deprecated("use wait()")]] const sparse::Matrix<T>& result(
-      std::size_t ticket) {
-    return wait(ticket);
   }
 
   /// Non-blocking probe: the settled final result, or nullptr while any
@@ -245,7 +258,10 @@ class Router : public Service<S> {
       auto* exec = execs_[ch.shards[ch.stage]].get();
       const auto* r = exec->poll(ch.stage_ticket);
       if (r == nullptr) return nullptr;
-      if (ch.stage + 1 == ch.shards.size()) return r;
+      if (ch.stage + 1 == ch.shards.size()) {
+        record_gather_locked(ch);
+        return r;
+      }
       ch.stage += 1;
       ++rstats_.merges;
       submit_stage_locked(ch, *r);
@@ -368,6 +384,9 @@ class Router : public Service<S> {
     TenantId tenant = 0;
     std::size_t stage = 0;         ///< currently submitted stage
     std::size_t stage_ticket = 0;  ///< ticket within shards[stage]'s executor
+    std::uint64_t trace = 0;       ///< sampled trace id (0 = untraced)
+    std::uint64_t start_ns = 0;    ///< scatter time, anchors the gather span
+    bool gathered = false;         ///< gather span recorded once per chain
   };
 
   Chain& chain_at_locked(std::size_t ticket) {
@@ -375,6 +394,22 @@ class Router : public Service<S> {
       throw std::out_of_range("Router: unknown ticket");
     }
     return chains_[ticket];
+  }
+
+  /// Record the chain-level gather span — scatter to observed completion —
+  /// on the query's trace lane, once, when a straddling traced chain's
+  /// final stage is first seen settled (rmu_ held). Single-shard chains
+  /// skip it: there is nothing to gather.
+  void record_gather_locked(Chain& ch) {
+    if (ch.gathered || ch.trace == 0 || ch.shards.size() < 2) return;
+    ch.gathered = true;
+    auto& tracer = trace::Tracer::instance();
+    if (!tracer.enabled()) return;
+    const std::uint64_t now = tracer.now_ns();
+    if (ch.start_ns == 0 || ch.start_ns > now) return;  // tracer reconfigured
+    tracer.record(trace::Stage::kGather, ch.trace, trace::query_lane(ch.trace),
+                  ch.start_ns, now - ch.start_ns, ch.shards.size(),
+                  rstats_.merges);
   }
 
   /// Submit chain stage `ch.stage` to its shard executor (rmu_ held).
@@ -404,6 +439,17 @@ class Router : public Service<S> {
       sq.carry = std::forward<CarryArg>(carry);
     } else {
       sq.carry = carry;  // a settled partial: copied into the next stage
+    }
+    sq.trace = ch.trace;  // sub-queries inherit the logical query's trace
+    if (ch.trace != 0 && ch.stage > 0) {
+      // Instant carry marker on the query's lane: stage s's partial is
+      // being folded forward into shard shards[stage]'s sub-query.
+      auto& tracer = trace::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.record(trace::Stage::kChainCarry, ch.trace,
+                      trace::query_lane(ch.trace), tracer.now_ns(), 0,
+                      ch.stage, ch.shards[ch.stage]);
+      }
     }
     ch.stage_ticket =
         execs_[ch.shards[ch.stage]]->submit(ch.tenant, 0, std::move(sq));

@@ -23,9 +23,12 @@
 // mutation interleaving, and thread count never change an answer.
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 
 #include "serve/batch.hpp"
 #include "sparse/delta.hpp"
+#include "util/metrics.hpp"
 
 namespace hyperspace::serve {
 
@@ -79,6 +82,48 @@ class Service {
     return mutate(TenantId{0}, ops);
   }
   void shutdown() { shutdown(true); }
+
+  /// Prometheus-style text exposition: the engine's own ServeStats (exact,
+  /// thread-count-invariant) followed by the process-wide metrics registry
+  /// (counters, gauges, latency histograms with p50/p95/p99 quantiles).
+  /// The registry section is empty when telemetry is compiled out or
+  /// disabled; the ServeStats lines are always present.
+  std::string metrics_text() const {
+    std::ostringstream os;
+    const ServeStats ss = stats();
+    os << "# engine ServeStats (exact, thread-count-invariant)\n";
+    os << "hyperspace_serve_queries " << ss.queries << "\n";
+    os << "hyperspace_serve_batches " << ss.batches << "\n";
+    os << "hyperspace_serve_kernel_launches " << ss.kernel_launches << "\n";
+    os << "hyperspace_serve_launches_saved " << ss.launches_saved << "\n";
+    os << "hyperspace_serve_rows_coalesced " << ss.rows_coalesced << "\n";
+    os << "hyperspace_serve_flops_kept " << ss.flops_kept << "\n";
+    os << "hyperspace_serve_flops_skipped " << ss.flops_skipped << "\n";
+    os << "hyperspace_serve_mutations " << ss.mutations << "\n";
+    os << "hyperspace_serve_epoch " << epoch() << "\n";
+    os << "hyperspace_serve_pending " << pending() << "\n";
+    os << util::metrics::Registry::instance().prometheus_text();
+    return os.str();
+  }
+
+  /// The same surface as one JSON object: {"serve": {...engine stats...},
+  /// "registry": {...process-wide metrics, segregated by stability...}}.
+  std::string metrics_json() const {
+    std::ostringstream os;
+    const ServeStats ss = stats();
+    os << "{\"serve\":{\"queries\":" << ss.queries
+       << ",\"batches\":" << ss.batches
+       << ",\"kernel_launches\":" << ss.kernel_launches
+       << ",\"launches_saved\":" << ss.launches_saved
+       << ",\"rows_coalesced\":" << ss.rows_coalesced
+       << ",\"flops_kept\":" << ss.flops_kept
+       << ",\"flops_skipped\":" << ss.flops_skipped
+       << ",\"mutations\":" << ss.mutations << ",\"epoch\":" << epoch()
+       << ",\"pending\":" << pending()
+       << "},\"registry\":" << util::metrics::Registry::instance().json()
+       << "}";
+    return os.str();
+  }
 };
 
 }  // namespace hyperspace::serve

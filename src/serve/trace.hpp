@@ -1,0 +1,314 @@
+#pragma once
+// Life-of-a-query tracing for the serving stack: timestamped spans at
+// every stage a query passes through — submit → tenant queue → admission
+// → flush → lhs scatter → per-shard kernel launch → chain stage carry →
+// gather → wait — buffered in bounded per-thread rings and dumped as
+// Chrome trace-event-format JSON (chrome://tracing / Perfetto).
+//
+// Mechanics:
+//
+//  - **Sampling.** `Tracer::sample()` hands out a trace id (or 0 for
+//    "untraced") for every `sample_every`-th query; id 0 disarms every
+//    query-scope span downstream, so the cost of an untraced query is a
+//    relaxed flag load. Engine-scope spans (admission, flush, kernel
+//    launch) record whenever tracing is enabled — they are per batch,
+//    not per query.
+//  - **Rings.** Each recording thread appends to its own bounded ring
+//    (no locks, no cross-thread slot races on the hot path); the reader
+//    merges and time-sorts all rings on demand, keeping the newest
+//    `ring_capacity` spans per thread. Readers racing live writers can
+//    observe a torn span only while a ring is actively wrapping; dumps
+//    are taken at quiesce points (after flush/wait) where that cannot
+//    happen.
+//  - **Lanes.** Thread-scope spans are attributed to the recording
+//    thread's dense ordinal ("tid" in the Chrome JSON). Cross-thread
+//    stages whose duration spans threads — tenant queue wait, chain
+//    carry, gather — land on a per-query lane (kQueryLaneBase + trace
+//    id), which renders each traced query as its own row: the life of a
+//    query, literally. Spans on any one lane are properly nested, which
+//    tools/check_trace_json.py enforces.
+//  - **Determinism.** Tracing reads clocks and writes rings; it never
+//    feeds back into execution. Results are bit-identical with tracing
+//    on, off, or sampled, at any thread count (tests/test_trace.cpp
+//    sweeps exactly that).
+//
+// Compile out with HYPERSPACE_NO_TELEMETRY (shared with util/metrics.hpp):
+// `enabled()` becomes constant false and every span folds away.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace hyperspace::serve::trace {
+
+/// The span taxonomy — one stage per hop of the serving stack.
+enum class Stage : unsigned char {
+  kSubmit,       ///< Service::submit — validate, cost, enqueue (thread lane)
+  kTenantQueue,  ///< enqueue → admission wait (query lane)
+  kAdmission,    ///< round-robin batch assembly under quotas (thread lane)
+  kFlush,        ///< one flush drain: admit + run + settle (thread lane)
+  kScatter,      ///< router lhs split into per-shard sub-queries (thread lane)
+  kKernel,       ///< one coalesced kernel launch for a batch (thread lane)
+  kChainCarry,   ///< carry handoff to the next shard stage (query lane)
+  kGather,       ///< chain start → final carry settle (query lane)
+  kWait,         ///< caller blocking in wait() (thread lane)
+};
+
+inline const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kSubmit: return "submit";
+    case Stage::kTenantQueue: return "tenant_queue";
+    case Stage::kAdmission: return "admission";
+    case Stage::kFlush: return "flush";
+    case Stage::kScatter: return "scatter";
+    case Stage::kKernel: return "kernel";
+    case Stage::kChainCarry: return "chain_carry";
+    case Stage::kGather: return "gather";
+    case Stage::kWait: return "wait";
+  }
+  return "?";
+}
+
+/// Display lane for cross-thread, per-query spans. Thread lanes are small
+/// dense ordinals; query lanes start far above them.
+inline constexpr std::uint64_t kQueryLaneBase = 1'000'000;
+constexpr std::uint64_t query_lane(std::uint64_t trace_id) noexcept {
+  return kQueryLaneBase + trace_id;
+}
+
+/// One completed span. Timestamps are nanoseconds since the tracer epoch
+/// (configure time); a0/a1 are stage-specific arguments (documented in
+/// docs/ARCHITECTURE.md's span taxonomy table).
+struct Span {
+  std::uint64_t trace = 0;  ///< 0 = engine-scope (no owning query)
+  Stage stage = Stage::kSubmit;
+  std::uint64_t lane = 0;   ///< Chrome "tid": thread ordinal or query lane
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+};
+
+/// The process-wide tracer: sampling, per-thread rings, merge-and-dump.
+class Tracer {
+ public:
+  struct Config {
+    bool enabled = false;
+    std::uint64_t sample_every = 1;    ///< trace 1 in N queries (>=1)
+    std::size_t ring_capacity = 1 << 14;  ///< spans kept per thread
+  };
+
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+
+  /// (Re)arm the tracer: installs the config, drops every existing ring
+  /// and buffered span, resets the id counter and the clock epoch.
+  void configure(const Config& c) {
+    std::lock_guard lock(mu_);
+    cap_ = c.ring_capacity == 0 ? 1 : c.ring_capacity;
+    sample_every_.store(c.sample_every == 0 ? 1 : c.sample_every,
+                        std::memory_order_relaxed);
+    rings_.clear();
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    next_id_.store(0, std::memory_order_relaxed);
+    epoch_ns_ = util::metrics::clock_ns();
+    enabled_.store(c.enabled && util::metrics::kCompiledIn,
+                   std::memory_order_relaxed);
+  }
+
+  bool enabled() const noexcept {
+    if constexpr (!util::metrics::kCompiledIn) {
+      return false;
+    } else {
+      return enabled_.load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Draw the next trace id: nonzero (this query is traced) for every
+  /// sample_every-th draw, 0 (untraced) otherwise. Ids are dense and
+  /// start at 1; the id doubles as the query's display lane offset.
+  std::uint64_t sample() noexcept {
+    if (!enabled()) return 0;
+    const std::uint64_t n = next_id_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+    return (every <= 1 || n % every == 0) ? n + 1 : 0;
+  }
+
+  /// Nanoseconds since the tracer epoch, from the shared telemetry clock.
+  std::uint64_t now_ns() const noexcept {
+    return util::metrics::clock_ns() - epoch_ns_;
+  }
+
+  /// This thread's display lane (its dense ordinal).
+  static std::uint64_t thread_lane() noexcept {
+    return util::metrics::detail::thread_ordinal();
+  }
+
+  /// Append one completed span to this thread's ring (creating and
+  /// registering the ring on first use). Lock-free after the first call
+  /// per thread per configure() generation.
+  void record(Stage stage, std::uint64_t trace_id, std::uint64_t lane,
+              std::uint64_t ts_ns, std::uint64_t dur_ns, std::uint64_t a0 = 0,
+              std::uint64_t a1 = 0) {
+    if (!enabled()) return;
+    Ring& r = local_ring();
+    const std::uint64_t n = r.n.load(std::memory_order_relaxed);
+    r.slots[n % r.slots.size()] =
+        Span{trace_id, stage, lane, ts_ns, dur_ns, a0, a1};
+    r.n.store(n + 1, std::memory_order_release);
+  }
+
+  /// Merge every ring (newest `ring_capacity` spans per thread) and sort
+  /// by start time, longer spans first on ties so parents precede
+  /// children. Non-destructive.
+  std::vector<Span> snapshot() const {
+    std::vector<Span> out;
+    std::lock_guard lock(mu_);
+    for (const auto& rp : rings_) {
+      const Ring& r = *rp;
+      const std::uint64_t n = r.n.load(std::memory_order_acquire);
+      const std::uint64_t cap = r.slots.size();
+      for (std::uint64_t i = n > cap ? n - cap : 0; i < n; ++i) {
+        out.push_back(r.slots[i % cap]);
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+      return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.dur_ns > b.dur_ns;
+    });
+    return out;
+  }
+
+  /// Total spans recorded since configure() (including any that wrapped
+  /// out of their ring).
+  std::uint64_t recorded() const {
+    std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& rp : rings_) {
+      n += rp->n.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  std::uint64_t sample_every() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in
+  /// microseconds at nanosecond resolution). Loadable in chrome://tracing
+  /// and Perfetto; validated by tools/check_trace_json.py.
+  void write_chrome_json(std::ostream& os) const {
+    const auto spans = snapshot();
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    os << std::fixed << std::setprecision(3);
+    bool first = true;
+    for (const auto& s : spans) {
+      os << (first ? "\n" : ",\n") << " {\"name\":\"" << stage_name(s.stage)
+         << "\",\"cat\":\"" << (s.lane >= kQueryLaneBase ? "query" : "engine")
+         << "\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(s.ts_ns) / 1000.0
+         << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1000.0
+         << ",\"pid\":1,\"tid\":" << s.lane << ",\"args\":{\"trace\":"
+         << s.trace << ",\"a0\":" << s.a0 << ",\"a1\":" << s.a1 << "}}";
+      first = false;
+    }
+    os << "\n]}\n";
+  }
+
+  /// Convenience: dump to a file; returns false if the file won't open.
+  bool write_chrome_json(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    write_chrome_json(f);
+    return static_cast<bool>(f);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : slots(cap) {}
+    std::vector<Span> slots;
+    std::atomic<std::uint64_t> n{0};  ///< total appended; slot = n % size
+  };
+
+  Ring& local_ring() {
+    thread_local std::shared_ptr<Ring> ring;
+    thread_local std::uint64_t ring_gen = ~std::uint64_t{0};
+    const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+    if (!ring || ring_gen != gen) {
+      std::lock_guard lock(mu_);
+      ring = std::make_shared<Ring>(cap_);
+      ring_gen = generation_.load(std::memory_order_relaxed);
+      rings_.push_back(ring);
+    }
+    return *ring;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;  ///< shared so rings outlive threads
+  std::size_t cap_ = 1 << 14;
+  std::uint64_t epoch_ns_ = util::metrics::clock_ns();
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> sample_every_{1};
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII thread-lane span: arms at construction (when tracing is enabled
+/// and `when` holds — pass `trace != 0` for query-scope stages), records
+/// on destruction or explicit finish(). Zero clock reads when disarmed.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Stage stage, std::uint64_t trace_id, bool when = true) {
+    start(stage, trace_id, when);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { finish(); }
+
+  /// Arm a default-constructed span (for sites that learn the trace id
+  /// only after some locking).
+  void start(Stage stage, std::uint64_t trace_id, bool when = true) {
+    Tracer& t = Tracer::instance();
+    if (!when || !t.enabled()) return;
+    armed_ = true;
+    stage_ = stage;
+    trace_ = trace_id;
+    t0_ = t.now_ns();
+  }
+
+  /// Attach stage arguments (batch size, flops, ...) before the span ends.
+  void args(std::uint64_t a0, std::uint64_t a1 = 0) noexcept {
+    a0_ = a0;
+    a1_ = a1;
+  }
+
+  void finish() {
+    if (!armed_) return;
+    armed_ = false;
+    Tracer& t = Tracer::instance();
+    t.record(stage_, trace_, Tracer::thread_lane(), t0_, t.now_ns() - t0_,
+             a0_, a1_);
+  }
+
+ private:
+  bool armed_ = false;
+  Stage stage_ = Stage::kSubmit;
+  std::uint64_t trace_ = 0;
+  std::uint64_t t0_ = 0;
+  std::uint64_t a0_ = 0;
+  std::uint64_t a1_ = 0;
+};
+
+}  // namespace hyperspace::serve::trace

@@ -43,6 +43,7 @@
 
 #include "semiring/concepts.hpp"
 #include "sparse/types.hpp"
+#include "util/metrics.hpp"
 #include "sparse/view.hpp"
 
 namespace hyperspace::sparse {
@@ -440,6 +441,19 @@ MaskRow mask_row_lookup(const SparseView<U>& m, Index r, MaskDesc desc,
   }
   const bool merge =
       !bits && use_merge_probe(desc.probe, cols.size(), flops_hint);
+  if (util::metrics::enabled()) {
+    // Probe-strategy mix (bitmap / merge / binary), one count per mask row
+    // armed. Gate decisions depend only on shape, never on timing, so the
+    // mix is thread-count invariant.
+    namespace hm = util::metrics;
+    static auto& bitmap_rows = hm::Registry::instance().counter(
+        "mxm.probe.bitmap_rows", hm::Stability::kInvariant);
+    static auto& merge_rows = hm::Registry::instance().counter(
+        "mxm.probe.merge_rows", hm::Stability::kInvariant);
+    static auto& binary_rows = hm::Registry::instance().counter(
+        "mxm.probe.binary_rows", hm::Stability::kInvariant);
+    (bits != nullptr ? bitmap_rows : merge ? merge_rows : binary_rows).inc();
+  }
   return {cols,      desc.complement, bits, col_shift,
           bits ? m.ncols : Index{0}, merge};
 }

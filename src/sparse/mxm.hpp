@@ -35,6 +35,7 @@
 #include "sparse/accumulator.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/slices.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace hyperspace::sparse {
@@ -154,6 +155,9 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
   const auto n_arows = a.row_ids.size();
   std::vector<detail::RowSlice<T>> rows(n_arows);
   std::atomic<std::uint64_t> kept{0}, skipped{0};
+  // Sampled once outside the loop: one flag read per launch, and every row
+  // of the launch agrees on whether to count.
+  const bool telemetry = util::metrics::enabled();
 
   struct Scratch {
     decltype(make_acc()) acc;
@@ -237,7 +241,7 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
         if constexpr (Mask::kMasked) {
           kept.fetch_add(row_kept, std::memory_order_relaxed);
           skipped.fetch_add(row_skipped, std::memory_order_relaxed);
-        } else if (stats) {
+        } else if (stats || telemetry) {
           // Unmasked rows accumulate every product, so flops_kept means
           // the same thing with or without a mask policy — which keeps
           // batch-level flop accounting (ServeStats) independent of how
@@ -249,6 +253,20 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
   if (stats) {
     stats->flops_kept += kept.load();
     stats->flops_skipped += skipped.load();
+  }
+  if (telemetry) {
+    // Exact kernel-level flop accounting: relaxed-atomic sums commute, so
+    // these are identical for any thread count (Stability::kInvariant).
+    namespace hm = util::metrics;
+    static auto& c_rows = hm::Registry::instance().counter(
+        "mxm.rows", hm::Stability::kInvariant);
+    static auto& c_kept = hm::Registry::instance().counter(
+        "mxm.flops_kept", hm::Stability::kInvariant);
+    static auto& c_skipped = hm::Registry::instance().counter(
+        "mxm.flops_skipped", hm::Stability::kInvariant);
+    c_rows.add(n_arows);
+    c_kept.add(kept.load());
+    c_skipped.add(skipped.load());
   }
   return rows;
 }
@@ -278,22 +296,53 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_dispatch_rows(
     strategy = bv.ncols <= kMaxGustavsonWidth ? MxmStrategy::kGustavson
                                               : MxmStrategy::kHash;
   }
+  const bool telemetry = util::metrics::enabled();
+  if (telemetry) {
+    // Which accumulator actually ran (post-kAuto resolution) is a shape
+    // decision — invariant; the launch wall time below is not.
+    namespace hm = util::metrics;
+    static auto& c_launches = hm::Registry::instance().counter(
+        "mxm.launches", hm::Stability::kInvariant);
+    static auto& c_gustavson = hm::Registry::instance().counter(
+        "mxm.launches.gustavson", hm::Stability::kInvariant);
+    static auto& c_hash = hm::Registry::instance().counter(
+        "mxm.launches.hash", hm::Stability::kInvariant);
+    static auto& c_sorted = hm::Registry::instance().counter(
+        "mxm.launches.sorted", hm::Stability::kInvariant);
+    c_launches.inc();
+    (strategy == MxmStrategy::kGustavson
+         ? c_gustavson
+         : strategy == MxmStrategy::kSorted ? c_sorted : c_hash)
+        .inc();
+  }
+  const std::uint64_t t0 = telemetry ? util::metrics::clock_ns() : 0;
+  std::vector<detail::RowSlice<typename S::value_type>> rows;
   switch (strategy) {
     case MxmStrategy::kGustavson:
       if (bv.ncols > kMaxGustavsonWidth) {
         throw std::length_error("mxm_gustavson: accumulator too wide");
       }
-      return mxm_rows<S>(
+      rows = mxm_rows<S>(
           A, bv, [w = bv.ncols] { return DenseAccumulator<S>(w); }, mask,
           stats, carry);
+      break;
     case MxmStrategy::kSorted:
-      return mxm_rows<S>(
+      rows = mxm_rows<S>(
           A, bv, [] { return SortedMergeAccumulator<S>{}; }, mask, stats,
           carry);
+      break;
     default:
-      return mxm_rows<S>(
+      rows = mxm_rows<S>(
           A, bv, [] { return FlatHashAccumulator<S>{}; }, mask, stats, carry);
+      break;
   }
+  if (telemetry) {
+    namespace hm = util::metrics;
+    static auto& h_launch = hm::Registry::instance().histogram(
+        "mxm.launch_ns");
+    h_launch.record(util::metrics::clock_ns() - t0);
+  }
+  return rows;
 }
 
 template <semiring::Semiring S, typename Mask,

@@ -12,6 +12,7 @@
 #include "helpers.hpp"
 #include "semiring/all.hpp"
 #include "serve/executor.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -86,6 +87,66 @@ TEST(AdmissionController, TinyBatchesAreFixedCostNoiseAndIgnored) {
   c.observe(8, 10ms, 1);  // below min_sample_flops
   EXPECT_EQ(c.ns_per_flop(), 0.0);
   EXPECT_EQ(c.limits().max_batch_flops, 2048u);
+  EXPECT_EQ(c.samples(), 0u);  // a starved controller is visible
+}
+
+TEST(AdmissionController, PercentileTracksTheSampleDistribution) {
+  auto c = make_ctrl(1000us);
+  // 19 fast batches at 10 ns/flop, 1 slow at 80 ns/flop: p95 lands on the
+  // highest of the fast samples by nearest rank (rank 19 of 20), p100 on
+  // the slow one. Expected values go through the same bucket math the
+  // histogram stores (1/1024 fixed point, bucket floors).
+  for (int i = 0; i < 19; ++i) {
+    c.observe(10'000, std::chrono::nanoseconds(100'000), 1);  // 10 ns/flop
+  }
+  c.observe(10'000, std::chrono::nanoseconds(800'000), 1);  // 80 ns/flop
+  EXPECT_EQ(c.samples(), 20u);
+  const auto floor_of = [](double ns_per_flop) {
+    return static_cast<double>(util::metrics::bucket_floor(
+               util::metrics::bucket_index(static_cast<std::uint64_t>(
+                   ns_per_flop * 1024.0)))) /
+           1024.0;
+  };
+  EXPECT_EQ(c.ns_per_flop_percentile(0.5), floor_of(10.0));
+  EXPECT_EQ(c.p95_ns_per_flop(), floor_of(10.0));
+  EXPECT_EQ(c.ns_per_flop_percentile(1.0), floor_of(80.0));
+}
+
+TEST(AdmissionController, P95ModeSteersByTheTailNotTheMean) {
+  // Same traffic into a mean-steered and a tail-steered controller: 9 in
+  // 10 batches run at 10 ns/flop, 1 in 10 at 100 ns/flop. The EWMA settles
+  // near the mix; the p95 budget prices every batch at the slow cost, so
+  // the tail-aware budget is decisively smaller.
+  serve::AdmissionController mean({.latency_target = 1000us, .gain = 0.25},
+                                  {1u << 20, 64});
+  serve::AdmissionController tail(
+      {.latency_target = 1000us, .gain = 0.25, .use_p95 = true},
+      {1u << 20, 64});
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 9; ++i) {
+      mean.observe(10'000, std::chrono::nanoseconds(100'000), 1);
+      tail.observe(10'000, std::chrono::nanoseconds(100'000), 1);
+    }
+    mean.observe(10'000, std::chrono::nanoseconds(1'000'000), 1);
+    tail.observe(10'000, std::chrono::nanoseconds(1'000'000), 1);
+  }
+  // p95 of {90×10, 10×100} ns/flop is the 100 ns/flop bucket (rank 95).
+  EXPECT_GE(tail.p95_ns_per_flop(), 90.0);
+  // 1 ms / ~100 ns-per-flop ≈ 10k flops vs the mean-steered budget of
+  // roughly 1 ms / ~19 ns-per-flop ≈ 50k: the tail budget is the
+  // conservative one.
+  EXPECT_LT(tail.limits().max_batch_flops,
+            mean.limits().max_batch_flops / 2);
+  EXPECT_NEAR(static_cast<double>(tail.limits().max_batch_flops),
+              1'000'000.0 / tail.p95_ns_per_flop(), 2.0);
+}
+
+TEST(AdmissionController, P95ModeFallsBackToEwmaWhileStarved) {
+  serve::AdmissionController c(
+      {.latency_target = 1000us, .use_p95 = true}, {1u << 20, 64});
+  c.observe(8, 10ms, 1);  // below min_sample_flops: no usable sample yet
+  EXPECT_EQ(c.samples(), 0u);
+  EXPECT_EQ(c.limits().max_batch_flops, std::uint64_t{1} << 20);
 }
 
 // --------------------------------------------------------------------------
@@ -155,6 +216,29 @@ TEST(ExecutorAdaptive, LatencyTargetMovesLimitsAnswersUnchanged) {
         << "query=" << i;
   }
   EXPECT_EQ(ex.stats().queries, qs.size());
+}
+
+TEST(ExecutorAdaptive, AdmissionStateIsExportedAsGauges) {
+  namespace m = hyperspace::util::metrics;
+  if (!m::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  m::set_enabled(true);
+  const Index n = 256;
+  const auto base = uniform_base(n);
+  serve::Executor<S> ex(base, {.latency_target = 50us,
+                               .admission_use_p95 = true});
+  for (int i = 0; i < 32; ++i) {
+    ex.submit(point_query(n, 8, 300 + static_cast<std::uint64_t>(i)));
+  }
+  ex.flush();
+  auto& reg = m::Registry::instance();
+  const auto lim = ex.admission_limits();
+  EXPECT_EQ(reg.gauge_value("serve.admission.max_batch_flops"),
+            static_cast<double>(lim.max_batch_flops));
+  EXPECT_EQ(reg.gauge_value("serve.admission.flush_queue_depth"),
+            static_cast<double>(lim.flush_queue_depth));
+  // The sample-count gauge makes a starved controller visible; here the
+  // batches were big enough to count.
+  EXPECT_GE(reg.gauge_value("serve.admission.samples"), 1.0);
 }
 
 }  // namespace

@@ -508,27 +508,4 @@ TEST(DeltaServe, AsyncMutationQueryInterleavingStress) {
   EXPECT_GT(ex.delta_base().compactions(), 0u);
 }
 
-// ---- deprecated shims: unchanged behavior for one PR ---------------------
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeltaServe, DeprecatedShimsUnchangedBehavior) {
-  const auto base = random_matrix<S>(24, 24, 120, 91, dbl_entry);
-  const auto lhs = random_matrix<S>(3, 24, 15, 92, dbl_entry);
-  const auto mask = random_matrix<S>(3, 24, 20, 93, dbl_entry);
-  // Old factory spellings produce the same queries as the new ones.
-  EXPECT_EQ(serve::run_single(base, serve::Query<S>::mtimes(lhs)),
-            serve::run_single(base, serve::Query<S>::analytic(lhs)));
-  EXPECT_EQ(
-      serve::run_single(base, serve::Query<S>::mtimes_masked(
-                                  lhs, mask, {.complement = true})),
-      serve::run_single(
-          base, serve::Query<S>::masked(lhs, mask, {.complement = true})));
-  // result() is wait().
-  serve::Executor<S> ex(base);
-  const auto t = ex.submit(serve::Query<S>::analytic(lhs));
-  EXPECT_EQ(&ex.result(t), &ex.wait(t));
-}
-#pragma GCC diagnostic pop
-
 }  // namespace

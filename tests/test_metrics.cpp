@@ -1,0 +1,240 @@
+// Tests for the telemetry metrics registry (util/metrics.hpp): histogram
+// percentile exactness against a sorted-sample reference, merge-on-read
+// vs. per-thread-shard equivalence, the invariant/timing segregation
+// rule, runtime disable, and export surface shape. The registry is
+// process-global, so every test uses its own name prefix.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperspace;
+namespace m = hyperspace::util::metrics;
+using hyperspace::testing::ThreadGuard;
+
+TEST(MetricsBuckets, FloorIsInverseOfIndexOnBounds) {
+  for (std::size_t i = 0; i < m::kNumBuckets; ++i) {
+    EXPECT_EQ(m::bucket_index(m::bucket_floor(i)), i) << "bucket " << i;
+  }
+}
+
+TEST(MetricsBuckets, IndexIsMonotoneAndFloorBoundsValue) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> vs = {0, 1, 15, 16, 17, 31, 32, 1000,
+                                   (std::uint64_t{1} << 40) + 12345,
+                                   ~std::uint64_t{0}};
+  for (int i = 0; i < 4096; ++i) {
+    vs.push_back(rng() >> (rng() % 64));
+  }
+  for (const auto v : vs) {
+    const auto i = m::bucket_index(v);
+    ASSERT_LT(i, m::kNumBuckets);
+    const auto lo = m::bucket_floor(i);
+    EXPECT_LE(lo, v);
+    if (i + 1 < m::kNumBuckets) EXPECT_GT(m::bucket_floor(i + 1), v);
+    // Sub-bucketing bounds relative error by 2^-kSubBits.
+    EXPECT_LE(v - lo, v / m::kSubBuckets);
+  }
+}
+
+TEST(MetricsBuckets, ValuesBelowSubBucketsAreExact) {
+  for (std::uint64_t v = 0; v < m::kSubBuckets; ++v) {
+    EXPECT_EQ(m::bucket_floor(m::bucket_index(v)), v);
+  }
+}
+
+// The percentile contract, exactly: for any sample set, percentile(q) ==
+// bucket_floor(bucket_index(s)) where s is the sample the nearest-rank
+// definition picks from the sorted list.
+TEST(MetricsHistogram, PercentileMatchesSortedSampleReference) {
+  util::Xoshiro256 rng(42);
+  m::Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over ~9 decades, plus a dense low band.
+    const auto v = (i % 3 == 0) ? rng() % 32
+                                : rng() >> (rng() % 50);
+    samples.push_back(v);
+    h.record(v);
+  }
+  auto sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const auto rank = m::nearest_rank(q, snap.count);
+    ASSERT_GE(rank, 1u);
+    const auto ref = sorted[static_cast<std::size_t>(rank - 1)];
+    EXPECT_EQ(snap.percentile(q), m::bucket_floor(m::bucket_index(ref)))
+        << "q=" << q;
+  }
+  EXPECT_EQ(snap.max, sorted.back());
+  std::uint64_t sum = 0;
+  for (const auto v : samples) sum += v;
+  EXPECT_EQ(snap.sum, sum);
+}
+
+TEST(MetricsHistogram, SmallValuePercentilesAreExact) {
+  m::Histogram h;
+  std::vector<std::uint64_t> samples = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  for (const auto v : samples) h.record(v);
+  auto sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const auto snap = h.snapshot();
+  for (const double q : {0.25, 0.5, 0.75, 0.95, 1.0}) {
+    const auto rank = m::nearest_rank(q, snap.count);
+    EXPECT_EQ(snap.percentile(q), sorted[static_cast<std::size_t>(rank - 1)])
+        << "q=" << q;
+  }
+}
+
+TEST(MetricsHistogram, EmptyHistogramReadsZero) {
+  m::Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.percentile(0.5), 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+// Merge-on-read equivalence: recording the same multiset of samples from
+// 1 thread and from many threads yields identical merged state, and the
+// counter total is exact (per-thread shards never lose increments).
+TEST(MetricsShards, MergeOnReadMatchesSingleThread) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng() >> (rng() % 40));
+  }
+
+  m::Histogram serial;
+  for (const auto v : samples) serial.record(v);
+  const auto want = serial.snapshot();
+
+  for (const int nt : {2, 8}) {
+    ThreadGuard guard(nt);
+    m::Histogram parallel;
+    m::Counter counter;
+    util::parallel_for(0, static_cast<std::ptrdiff_t>(samples.size()), 64,
+                       [&](std::ptrdiff_t i) {
+                         parallel.record(samples[static_cast<std::size_t>(i)]);
+                         counter.inc();
+                       });
+    const auto got = parallel.snapshot();
+    EXPECT_EQ(got.count, want.count) << "threads=" << nt;
+    EXPECT_EQ(got.sum, want.sum) << "threads=" << nt;
+    EXPECT_EQ(got.max, want.max) << "threads=" << nt;
+    EXPECT_EQ(got.buckets, want.buckets) << "threads=" << nt;
+    EXPECT_EQ(counter.value(), samples.size()) << "threads=" << nt;
+  }
+}
+
+TEST(MetricsRegistry, FindOrRegisterReturnsSameEntry) {
+  auto& r = m::Registry::instance();
+  auto& c1 = r.counter("test.reg.same", m::Stability::kInvariant);
+  auto& c2 = r.counter("test.reg.same", m::Stability::kInvariant);
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  EXPECT_EQ(r.counter_value("test.reg.same"), 3u);
+}
+
+// Rule 2: invariant and timing-dependent stats never share a name, and a
+// name never changes kind. Enforced with logic_error at registration.
+TEST(MetricsRegistry, StabilityAndKindSegregationEnforced) {
+  auto& r = m::Registry::instance();
+  r.counter("test.reg.inv", m::Stability::kInvariant);
+  EXPECT_THROW(r.counter("test.reg.inv", m::Stability::kTiming),
+               std::logic_error);
+  EXPECT_THROW(r.gauge("test.reg.inv", m::Stability::kInvariant),
+               std::logic_error);
+  EXPECT_THROW(r.histogram("test.reg.inv"), std::logic_error);
+  r.histogram("test.reg.hist");  // histograms are kTiming by definition
+  EXPECT_THROW(r.counter("test.reg.hist", m::Stability::kTiming),
+               std::logic_error);
+}
+
+TEST(MetricsRegistry, RuntimeDisableStopsRecording) {
+  auto& r = m::Registry::instance();
+  auto& c = r.counter("test.reg.disable", m::Stability::kInvariant);
+  auto& h = r.histogram("test.reg.disable.hist");
+  c.add(1);
+  m::set_enabled(false);
+  c.add(100);
+  h.record(55);
+  m::set_enabled(true);
+  c.add(1);
+  h.record(7);
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(h.snapshot().count, 1u);
+  EXPECT_EQ(h.snapshot().max, 7u);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsHandlesValid) {
+  auto& r = m::Registry::instance();
+  auto& c = r.counter("test.reg.reset", m::Stability::kInvariant);
+  auto& h = r.histogram("test.reg.reset.hist");
+  c.add(9);
+  h.record(9);
+  r.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.add(2);  // the same handle still records
+  EXPECT_EQ(r.counter_value("test.reg.reset"), 2u);
+}
+
+TEST(MetricsRegistry, PrometheusTextSegregatesSections) {
+  auto& r = m::Registry::instance();
+  r.counter("test.prom.flops", m::Stability::kInvariant).add(5);
+  r.gauge("test.prom.limit", m::Stability::kTiming).set(2.5);
+  r.histogram("test.prom.lat").record(100);
+  const auto text = r.prometheus_text();
+  const auto inv = text.find("# stability: invariant");
+  const auto tim = text.find("# stability: timing");
+  ASSERT_NE(inv, std::string::npos);
+  ASSERT_NE(tim, std::string::npos);
+  EXPECT_LT(inv, tim);
+  const auto flops = text.find("hyperspace_test_prom_flops 5");
+  ASSERT_NE(flops, std::string::npos);
+  EXPECT_LT(flops, tim) << "invariant counter must render in the "
+                           "invariant section";
+  EXPECT_GT(text.find("hyperspace_test_prom_limit"), tim);
+  EXPECT_NE(text.find("hyperspace_test_prom_lat{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("hyperspace_test_prom_lat_count 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonShape) {
+  auto& r = m::Registry::instance();
+  r.counter("test.json.c", m::Stability::kInvariant).add(11);
+  r.histogram("test.json.h").record(3);
+  const auto j = r.json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"invariant\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.c\":"), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"p95\":"), std::string::npos);
+}
+
+TEST(MetricsTimer, ScopedTimerRecordsOnceWhenEnabled) {
+  m::Histogram h;
+  { m::ScopedTimer t(h); }
+  EXPECT_EQ(h.snapshot().count, 1u);
+  m::set_enabled(false);
+  { m::ScopedTimer t(h); }
+  m::set_enabled(true);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+}  // namespace

@@ -466,7 +466,7 @@ TEST(Executor, TicketsResolveInSubmissionOrder) {
   ex.flush();
   EXPECT_EQ(ex.pending(), 0u);
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(ex.result(tickets[i]), serve::run_single(base, queries[i]))
+    EXPECT_EQ(ex.wait(tickets[i]), serve::run_single(base, queries[i]))
         << "query=" << i;
   }
   EXPECT_EQ(ex.stats().queries, queries.size());
@@ -481,9 +481,9 @@ TEST(Executor, ResultAutoFlushes) {
       ex.submit(serve::Query<S>::analytic(random_matrix<S>(2, n, 6, 23,
                                                          dbl_entry)));
   EXPECT_EQ(ex.pending(), 1u);
-  (void)ex.result(t);  // implicit flush
+  (void)ex.wait(t);  // implicit flush
   EXPECT_EQ(ex.pending(), 0u);
-  EXPECT_THROW(ex.result(99), std::out_of_range);
+  EXPECT_THROW(ex.wait(99), std::out_of_range);
 }
 
 TEST(Executor, ResultReferenceSurvivesLaterSubmits) {
@@ -494,7 +494,7 @@ TEST(Executor, ResultReferenceSurvivesLaterSubmits) {
   const auto q0 = serve::Query<S>::analytic(random_matrix<S>(2, n, 6, 28,
                                                            dbl_entry));
   const auto t0 = ex.submit(q0);
-  const auto& r0 = ex.result(t0);
+  const auto& r0 = ex.wait(t0);
   const auto snapshot = r0;  // value copy for comparison
   for (int i = 0; i < 200; ++i) {  // enough submits to force regrowth
     ex.submit(serve::Query<S>::analytic(
@@ -503,7 +503,7 @@ TEST(Executor, ResultReferenceSurvivesLaterSubmits) {
   }
   ex.flush();
   EXPECT_EQ(r0, snapshot);  // same storage, unmoved and unchanged
-  EXPECT_EQ(&ex.result(t0), &r0);
+  EXPECT_EQ(&ex.wait(t0), &r0);
 }
 
 TEST(Executor, BatchSizeAdmissionSplitsQueue) {

@@ -208,7 +208,7 @@ TEST(ExecutorAsync, ResultLivenessAcrossDequeGrowthUnderConcurrentSubmits) {
   submitter.join();
   ex.flush();
   EXPECT_EQ(r0, snapshot);  // same storage, unmoved and unchanged
-  EXPECT_EQ(&ex.result(t0), &r0);
+  EXPECT_EQ(&ex.wait(t0), &r0);
   EXPECT_EQ(ex.stats().queries, 401u);
 }
 
@@ -300,7 +300,7 @@ TEST(Executor, ZeroFlopBudgetAdmitsOneQueryPerBatch) {
   EXPECT_EQ(ex.stats().batches, 4u);
   EXPECT_EQ(ex.stats().launches_saved, 0u);
   for (std::size_t i = 0; i < tickets.size(); ++i) {
-    EXPECT_EQ(ex.result(tickets[i]),
+    EXPECT_EQ(ex.wait(tickets[i]),
               serve::run_single(base, point_query(
                   32, 4, 400 + static_cast<std::uint64_t>(i))));
   }
@@ -353,12 +353,12 @@ TEST(Executor, TenantQuotaStopsAHeavyTenantStarvingPointLookups) {
   EXPECT_EQ(l.deferrals, 0u);
   // Correctness is untouched by the quota slicing.
   for (std::size_t i = 0; i < heavy.size(); ++i) {
-    EXPECT_EQ(ex.result(heavy[i]),
+    EXPECT_EQ(ex.wait(heavy[i]),
               serve::run_single(base, point_query(
                   n, 8, 700 + static_cast<std::uint64_t>(i))));
   }
   for (std::size_t i = 0; i < light.size(); ++i) {
-    EXPECT_EQ(ex.result(light[i]),
+    EXPECT_EQ(ex.wait(light[i]),
               serve::run_single(base, point_query(
                   n, 1, 800 + static_cast<std::uint64_t>(i))));
   }
@@ -411,7 +411,7 @@ TEST(Executor, MultiBaseSubmitMatchesPerBaseSingles) {
   ex.flush();
   EXPECT_EQ(ex.stats().kernel_launches, 1u);  // one cross-base launch
   for (std::size_t i = 0; i < qs.size(); ++i) {
-    EXPECT_EQ(ex.result(tickets[i]),
+    EXPECT_EQ(ex.wait(tickets[i]),
               serve::run_single(base_of[i] == 0 ? b0 : b1, qs[i]))
         << "query=" << i;
   }

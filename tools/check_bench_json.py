@@ -54,6 +54,8 @@ REQUIRED_ROW_PREFIXES = {
         "bm_serve_multibase/",
         "bm_serve_sharded/",
         "bm_serve_mixed_rw/",
+        "bm_serve_latency/",
+        "bm_serve_telemetry_overhead/",
     ],
 }
 

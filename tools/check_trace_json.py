@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Schema + nesting check for Chrome trace-event JSON dumps (stdlib only).
+
+Validates the trace files written by serve::trace::Tracer::write_chrome_json
+(see src/serve/trace.hpp), as emitted by examples/query_server.cpp in CI:
+
+  - top level is an object with a non-empty "traceEvents" list;
+  - every event is a complete ("ph": "X") event carrying a string "name",
+    a string "cat", numeric "ts" >= 0 and "dur" >= 0, integer "pid" and
+    "tid", and (optionally) an "args" object of scalars;
+  - event names belong to the serving-stack span taxonomy;
+  - timestamps are globally monotone (the tracer sorts before writing);
+  - per (pid, tid) lane, spans are properly nested: any two spans on one
+    lane are either disjoint or one contains the other. Query lanes
+    (cat == "query") render the life of one query; thread lanes hold RAII
+    scopes — overlap without containment on either means a broken span.
+
+Usage: python3 tools/check_trace_json.py TRACE.json [TRACE2.json ...]
+Exit status: 0 if every file conforms, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import sys
+
+# The span taxonomy of src/serve/trace.hpp; an unknown name means the
+# emitter and this checker have drifted apart.
+KNOWN_NAMES = {
+    "submit",
+    "tenant_queue",
+    "admission",
+    "flush",
+    "scatter",
+    "kernel",
+    "chain_carry",
+    "gather",
+    "wait",
+}
+
+# Floats in the file are microseconds at nanosecond resolution; allow one
+# nanosecond of slack in interval comparisons for float round-off.
+EPS_US = 1e-3
+
+
+def fail(path: str, message: str) -> str:
+    return f"{path}: {message}"
+
+
+def check_event(path: str, i: int, ev: object) -> list[str]:
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        return [fail(path, f"{where} is not an object")]
+    errors = []
+    if not isinstance(ev.get("name"), str):
+        errors.append(fail(path, f"{where}.name is not a string"))
+    elif ev["name"] not in KNOWN_NAMES:
+        errors.append(fail(path, f"{where}.name '{ev['name']}' is not a "
+                                 f"known span stage"))
+    if not isinstance(ev.get("cat"), str):
+        errors.append(fail(path, f"{where}.cat is not a string"))
+    if ev.get("ph") != "X":
+        errors.append(fail(path, f"{where}.ph is not 'X'"))
+    for field in ("ts", "dur"):
+        v = ev.get(field)
+        if not isinstance(v, numbers.Real) or isinstance(v, bool):
+            errors.append(fail(path, f"{where}.{field} is not a number"))
+        elif v < 0:
+            errors.append(fail(path, f"{where}.{field} is negative"))
+    for field in ("pid", "tid"):
+        v = ev.get(field)
+        if not isinstance(v, int) or isinstance(v, bool):
+            errors.append(fail(path, f"{where}.{field} is not an integer"))
+    if "args" in ev:
+        if not isinstance(ev["args"], dict):
+            errors.append(fail(path, f"{where}.args is not an object"))
+        else:
+            for k, v in ev["args"].items():
+                if isinstance(v, (dict, list)):
+                    errors.append(
+                        fail(path, f"{where}.args.{k} is unexpectedly "
+                                   f"nested"))
+    return errors
+
+
+def check_monotone(path: str, events: list[dict]) -> list[str]:
+    errors = []
+    prev = None
+    for i, ev in enumerate(events):
+        ts = ev.get("ts")
+        if not isinstance(ts, numbers.Real):
+            continue  # already reported by check_event
+        if prev is not None and ts < prev - EPS_US:
+            errors.append(
+                fail(path, f"traceEvents[{i}].ts {ts} breaks global "
+                           f"monotonicity (previous {prev})"))
+        prev = ts
+    return errors
+
+
+def check_nesting(path: str, events: list[dict]) -> list[str]:
+    """Stack check per lane: events arrive sorted by (ts, -dur), so a span
+    must either start after the lane's open span ends (disjoint) or end
+    no later than it (nested)."""
+    errors = []
+    stacks: dict[tuple, list[tuple]] = {}
+    for i, ev in enumerate(events):
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not (isinstance(ts, numbers.Real) and isinstance(dur,
+                                                            numbers.Real)):
+            continue
+        lane = (ev.get("pid"), ev.get("tid"))
+        stack = stacks.setdefault(lane, [])
+        while stack and stack[-1][1] <= ts + EPS_US:
+            stack.pop()
+        if stack and ts + dur > stack[-1][1] + EPS_US:
+            errors.append(
+                fail(path, f"traceEvents[{i}] ('{ev.get('name')}' on lane "
+                           f"{lane}) overlaps '{stack[-1][2]}' without "
+                           f"nesting: [{ts}, {ts + dur}] vs enclosing end "
+                           f"{stack[-1][1]}"))
+            continue
+        stack.append((ts, ts + dur, ev.get("name")))
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return [fail(path, f"unreadable: {e}")]
+    except json.JSONDecodeError as e:
+        return [fail(path, f"invalid JSON: {e}")]
+    if not isinstance(doc, dict):
+        return [fail(path, "top level is not an object")]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [fail(path, "'traceEvents' is missing or not a list")]
+    if not events:
+        return [fail(path, "'traceEvents' is empty — tracer not enabled?")]
+    errors = []
+    for i, ev in enumerate(events):
+        errors.extend(check_event(path, i, ev))
+    errors.extend(check_monotone(path, events))
+    errors.extend(check_nesting(path, events))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_file(path))
+    for e in all_errors:
+        print(f"error: {e}", file=sys.stderr)
+    if not all_errors:
+        total = len(argv) - 1
+        print(f"ok: {total} trace file(s) conform")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
