@@ -7,7 +7,8 @@
 #     probe)
 #   BENCH_serve.json    — serving-throughput sweep (K=1/8/64 queries,
 #     batched block-diagonal serving vs per-query dispatch, sync + async
-#     executor paths, and multi-base cross-base vs per-base dispatch)
+#     executor paths, multi-base cross-base vs per-base dispatch, and the
+#     result-cache on/off Zipf-repeat rows)
 # Used locally via the `run_benches` CMake target and in CI, where the
 # JSONs are uploaded as artifacts to track the perf trajectory across PRs.
 # Schemas and row-reading guide: docs/BENCHMARKS.md.
@@ -82,6 +83,10 @@ merge_reports "${TMPDIR_BENCH}/spgemm" "${OUT_SPGEMM}"
 # plus the sharded-vs-unsharded router rows (N=1/2/4 at K=8/64) — the
 # serving engine's acceptance numbers (launches saved, queries/s).
 run_bench serve serve_throughput
+# Result-cache sweep: Zipf-repeat point mix at K=8/64, cache on vs off,
+# hit rate as a counter — the cache acceptance rows (>= 2x on at 90%+
+# repeats).
+run_bench serve serve_cache
 merge_reports "${TMPDIR_BENCH}/serve" "${OUT_SERVE}"
 
 # Schema sanity: a malformed artifact (truncated report, crashed binary,

@@ -70,6 +70,17 @@ class ValueSet {
     return a.universe_ == b.universe_ && a.elems_ == b.elems_;
   }
 
+  /// Content-hash hook for sparse::fingerprint (the serve-layer result
+  /// cache). Templated on the hasher so this layer never depends on it;
+  /// found by ADL. The universe flag and the sorted-unique element list
+  /// together ARE the value, so hashing them is content-exact.
+  template <typename H>
+  friend void fingerprint_append(H& h, const ValueSet& s) {
+    h.u64(s.universe_ ? 1u : 0u);
+    h.u64(static_cast<std::uint64_t>(s.elems_.size()));
+    for (const element e : s.elems_) h.u64(static_cast<std::uint64_t>(e));
+  }
+
   friend std::ostream& operator<<(std::ostream& os, const ValueSet& s) {
     if (s.universe_) return os << "P(V)";
     os << '{';

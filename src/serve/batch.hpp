@@ -98,6 +98,11 @@ struct Query {
   /// the router propagates it into every per-shard sub-query. Purely
   /// observational — results are bit-identical for any value.
   std::uint64_t trace = 0;
+  /// Opt this query out of the serve-layer result cache (serve/cache.hpp):
+  /// it neither probes nor installs. Queries carrying a fold seed
+  /// (`carry`) are never cached regardless of this flag — a carry makes
+  /// the answer depend on state outside the (epoch, operands) key.
+  bool no_cache = false;
 
   /// Analytic query: the full product C_q = lhs ⊕.⊗ B.
   static Query analytic(sparse::Matrix<T> a) {

@@ -54,12 +54,14 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "serve/admission.hpp"
 #include "serve/batch.hpp"
+#include "serve/cache.hpp"
 #include "serve/service.hpp"
 #include "serve/trace.hpp"
 #include "util/metrics.hpp"
@@ -77,6 +79,12 @@ struct TenantStats {
   std::uint64_t batches = 0;    ///< batches this tenant participated in
   std::uint64_t deferrals = 0;  ///< batches where the quota deferred this tenant
   std::uint64_t mutations = 0;  ///< mutation batches this tenant applied
+  /// Result-cache split (serve/cache.hpp). A cache hit settles at submit
+  /// and never executes, so it counts here and NOT in queries/rows/flops
+  /// — those describe work the kernels actually did.
+  std::uint64_t cache_hits = 0;    ///< queries answered from the cache
+  std::uint64_t cache_misses = 0;  ///< cacheable queries that missed
+  std::uint64_t cache_bytes = 0;   ///< answer bytes served from the cache
 };
 
 template <semiring::Semiring S>
@@ -114,13 +122,25 @@ class Executor : public Service<S> {
     /// Delta-base tuning (buffer size, cascade fanout, compaction
     /// threshold, background compactor). Applied to every base.
     sparse::DeltaConfig delta{};
+    /// Result-cache byte budget (serve/cache.hpp); 0 (default) disables
+    /// caching. Entries are keyed per base epoch, so mutate() invalidates
+    /// without flushing.
+    std::size_t cache_bytes = 0;
+    /// Cache empty answers too (negative entries). Only meaningful with
+    /// cache_bytes > 0.
+    bool cache_negative = true;
+    /// Metric-name infix for this executor's admission gauges:
+    /// "serve.admission.<scope>max_batch_flops" etc. Empty (default) for
+    /// a standalone executor; the sharded router sets "shard<N>." on each
+    /// shard executor so the N gauge sets never collide.
+    std::string gauge_scope;
   };
 
   explicit Executor(sparse::Matrix<T> base, Config cfg = {})
       : Executor(make_one(std::move(base)), cfg) {}
 
   explicit Executor(std::vector<sparse::Matrix<T>> bases, Config cfg = {})
-      : cfg_(cfg) {
+      : cfg_(cfg), cache_({cfg.cache_bytes, cfg.cache_negative}) {
     if (bases.empty()) {
       throw std::invalid_argument("Executor: at least one base required");
     }
@@ -237,6 +257,9 @@ class Executor : public Service<S> {
     return live_;
   }
 
+  /// Result-cache accounting (zeroes when the cache is disabled).
+  typename ResultCache<S>::Stats cache_stats() const { return cache_.stats(); }
+
   /// Enqueue a query for `tenant` against base `base`; returns the ticket
   /// redeemable via wait()/poll(). Shape mismatches throw here — at
   /// admission, not at flush.
@@ -248,6 +271,40 @@ class Executor : public Service<S> {
     auto& tracer = trace::Tracer::instance();
     if (cfg_.trace_sampling && q.trace == 0) q.trace = tracer.sample();
     trace::ScopedSpan span(trace::Stage::kSubmit, q.trace, q.trace != 0);
+    // Result-cache probe, keyed on the base's CURRENT epoch. A hit settles
+    // the ticket right here — no queue entry, no admission, no launch; the
+    // cached bytes are what a launch would have produced (the entry was
+    // installed at this exact epoch). A mutate() racing this submit may
+    // serve the pre-mutation epoch, which is the same outcome as the query
+    // having been flushed just before the mutation — admissible under the
+    // epoch contract.
+    std::optional<typename ResultCache<S>::Key> ckey;
+    if (cache_.enabled() && ResultCache<S>::cacheable(q)) {
+      trace::ScopedSpan probe_span(trace::Stage::kCacheProbe, q.trace,
+                                   q.trace != 0);
+      auto key = ResultCache<S>::make_key(
+          bases_[base]->epoch(), base, q,
+          static_cast<unsigned char>(cfg_.strategy));
+      auto hit = cache_.probe(key, [this](const auto& k) {
+        return k.epoch != bases_[k.base]->epoch();
+      });
+      probe_span.args(hit ? 1 : 0, hit ? hit->bytes : 0);
+      if (hit) {
+        const std::uint64_t tr2 = q.trace;
+        std::lock_guard lock(mu_);
+        if (stopping_) {
+          throw std::runtime_error("Executor: submit after shutdown");
+        }
+        const std::size_t ticket = results_.size();
+        results_.emplace_back(std::move(hit->value));
+        traces_.push_back(tr2);
+        auto& ts = tstats_[tenant];
+        ++ts.cache_hits;
+        ts.cache_bytes += hit->bytes;
+        return ticket;
+      }
+      ckey = std::move(key);  // install at settle, at the served epoch
+    }
     const std::uint64_t flops = query_flops(base, q);
     const auto rows = static_cast<std::uint64_t>(q.lhs.nrows());
     span.args(flops, rows);
@@ -263,10 +320,11 @@ class Executor : public Service<S> {
     const std::size_t ticket = results_.size();
     results_.emplace_back();
     traces_.push_back(tr);
-    queues_[tenant].push_back(
-        Pending{std::move(q), base, ticket, flops, rows, tenant, tr, enq_ns});
+    queues_[tenant].push_back(Pending{std::move(q), base, ticket, flops, rows,
+                                      tenant, tr, enq_ns, std::move(ckey)});
     ++n_pending_;
     (void)tstats_[tenant];  // tenant becomes visible on first submit
+    if (queues_[tenant].back().ckey) ++tstats_[tenant].cache_misses;
     const bool trigger =
         flusher_running_ &&
         n_pending_ >= static_cast<std::size_t>(live_.flush_queue_depth);
@@ -431,6 +489,9 @@ class Executor : public Service<S> {
     TenantId tenant = 0;
     std::uint64_t trace = 0;   ///< copy of q.trace, survives the move-out
     std::uint64_t enq_ns = 0;  ///< submit timestamp (0 = unmeasured)
+    /// Probe key of a cacheable miss: the settled answer installs under
+    /// it (re-stamped with the epoch the batch actually pinned).
+    std::optional<typename ResultCache<S>::Key> ckey;
   };
 
   /// Rethrow the flush failure owned by `ticket`, if any (mu_ held).
@@ -631,6 +692,18 @@ class Executor : public Service<S> {
     }
     ss.epoch = std::max(ss.epoch, max_epoch);
     kernel_span.finish();
+    if (cache_.enabled()) {
+      // Install every cacheable answer under the epoch the batch actually
+      // pinned (a mutation may have landed between submit and flush; the
+      // snapshot epoch is the truth the bytes were computed at). Outside
+      // mu_ — the cache has its own lock and install copies the matrix.
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        if (!batch[k].ckey) continue;
+        auto key = *batch[k].ckey;
+        key.epoch = snaps[batch[k].base]->epoch;
+        cache_.install(key, rs[k]);
+      }
+    }
     const auto dt = timed ? std::chrono::steady_clock::now() - t0
                           : std::chrono::steady_clock::duration{};
     if (telemetry) {
@@ -652,20 +725,25 @@ class Executor : public Service<S> {
       }
       if (telemetry) {
         // Admission state as gauges: a stuck controller (samples pinned at
-        // 0, limits never moving) is observable instead of silent. With
-        // several executors in one process (sharded router) these reflect
-        // the most recent batch anywhere — per-executor namespacing is a
-        // ROADMAP follow-on.
+        // 0, limits never moving) is observable instead of silent. Each
+        // executor binds its OWN gauge set, namespaced by cfg_.gauge_scope
+        // ("serve.admission.shard<N>.*" under the sharded router), so N
+        // shard executors export N distinct sets instead of last-batch-
+        // wins on one. Bound lazily under mu_, once per executor.
         namespace hm = util::metrics;
-        static auto& g_flops = hm::Registry::instance().gauge(
-            "serve.admission.max_batch_flops", hm::Stability::kTiming);
-        static auto& g_depth = hm::Registry::instance().gauge(
-            "serve.admission.flush_queue_depth", hm::Stability::kTiming);
-        static auto& g_samples = hm::Registry::instance().gauge(
-            "serve.admission.samples", hm::Stability::kTiming);
-        g_flops.set(static_cast<double>(live_.max_batch_flops));
-        g_depth.set(static_cast<double>(live_.flush_queue_depth));
-        g_samples.set(static_cast<double>(ctrl_.samples()));
+        if (g_adm_flops_ == nullptr) {
+          const std::string prefix = "serve.admission." + cfg_.gauge_scope;
+          auto& reg = hm::Registry::instance();
+          g_adm_flops_ = &reg.gauge(prefix + "max_batch_flops",
+                                    hm::Stability::kTiming);
+          g_adm_depth_ = &reg.gauge(prefix + "flush_queue_depth",
+                                    hm::Stability::kTiming);
+          g_adm_samples_ =
+              &reg.gauge(prefix + "samples", hm::Stability::kTiming);
+        }
+        g_adm_flops_->set(static_cast<double>(live_.max_batch_flops));
+        g_adm_depth_->set(static_cast<double>(live_.flush_queue_depth));
+        g_adm_samples_->set(static_cast<double>(ctrl_.samples()));
       }
       const std::uint64_t settle_ns =
           telemetry ? trace::Tracer::instance().now_ns() : 0;
@@ -724,6 +802,13 @@ class Executor : public Service<S> {
   sparse::Index stacked_cols_ = 0;
   AdmissionController ctrl_;      ///< adaptive admission (off by default)
   AdmissionController::Limits live_{};  ///< limits in force (under mu_)
+  ResultCache<S> cache_;          ///< internally locked; off by default
+  /// This executor's namespaced admission gauges, bound lazily under mu_
+  /// on the first telemetered batch (registry entries are process-
+  /// lifetime, so the pointers never dangle).
+  util::metrics::Gauge* g_adm_flops_ = nullptr;
+  util::metrics::Gauge* g_adm_depth_ = nullptr;
+  util::metrics::Gauge* g_adm_samples_ = nullptr;
 
   mutable std::mutex mu_;       ///< queues, results, stats, lifecycle flags
   std::mutex flush_mu_;         ///< serializes whole-queue drains

@@ -46,9 +46,11 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "serve/cache.hpp"
 #include "serve/executor.hpp"
 #include "serve/service.hpp"
 #include "serve/shard_map.hpp"
@@ -67,6 +69,10 @@ struct RouterStats {
   std::uint64_t merges = 0;         ///< carry folds (straddle stages ≥ 1)
   std::uint64_t mutations = 0;      ///< logical mutation batches accepted
   std::uint64_t epoch = 0;          ///< router-level epoch (= mutations)
+  /// Result-cache split (serve/cache.hpp). A hit never scatters, so it
+  /// counts in queries but in neither single_shard nor straddling.
+  std::uint64_t cache_hits = 0;    ///< logical queries answered from cache
+  std::uint64_t cache_misses = 0;  ///< cacheable probes that fell through
 };
 
 template <semiring::Semiring S>
@@ -87,13 +93,24 @@ class Router : public Service<S> {
                    : ShardMap<T>::with_cuts(std::move(base), cfg.cuts),
                cfg) {}
 
-  Router(ShardMap<T> map, Config cfg = {}) : map_(std::move(map)), cfg_(cfg) {
+  Router(ShardMap<T> map, Config cfg = {})
+      : map_(std::move(map)),
+        cfg_(cfg),
+        cache_({cfg.executor.cache_bytes, cfg.executor.cache_negative}) {
     // Trace sampling happens ONCE, here at the router: shard executors
     // must not re-sample the sub-queries of an untraced logical query.
+    // The result cache likewise lives ONCE, at the router, keyed on the
+    // router-level epoch over the gathered final answer: shard-local
+    // caches would key on shard epochs a logical query never observes, so
+    // they are forced off — which is also what makes straddling chain
+    // stages bypass the cache per-stage. Each shard executor gets its own
+    // admission-gauge namespace so N shards export N distinct gauge sets.
     auto ecfg = cfg_.executor;
     ecfg.trace_sampling = false;
+    ecfg.cache_bytes = 0;
     execs_.reserve(map_.n_shards());
     for (std::size_t s = 0; s < map_.n_shards(); ++s) {
+      ecfg.gauge_scope = "shard" + std::to_string(s) + ".";
       execs_.push_back(
           std::make_unique<Executor<S>>(map_.take_shard(s), ecfg));
     }
@@ -132,6 +149,45 @@ class Router : public Service<S> {
     // (shard executors run with trace_sampling off).
     auto& tracer = trace::Tracer::instance();
     if (q.trace == 0) q.trace = tracer.sample();
+    // Result-cache probe, keyed on the router-level epoch (the count of
+    // logical mutation batches — coarser than the executor's per-base
+    // epochs: ANY mutation invalidates, because the router cannot see
+    // which shards a cached answer depended on). A hit settles the chain
+    // before it exists: no scatter, no sub-queries, no merge.
+    std::optional<typename ResultCache<S>::Key> ckey;
+    if (cache_.enabled() && ResultCache<S>::cacheable(q)) {
+      trace::ScopedSpan probe_span(trace::Stage::kCacheProbe, q.trace,
+                                   q.trace != 0);
+      std::uint64_t cur;
+      {
+        std::lock_guard lock(rmu_);
+        cur = rstats_.epoch;
+      }
+      auto key = ResultCache<S>::make_key(
+          cur, 0, q, static_cast<unsigned char>(cfg_.executor.strategy));
+      auto hit =
+          cache_.probe(key, [cur](const auto& k) { return k.epoch != cur; });
+      probe_span.args(hit ? 1 : 0, hit ? hit->bytes : 0);
+      if (hit) {
+        std::lock_guard lock(rmu_);
+        if (stopping_) {
+          throw std::runtime_error("Router: submit after shutdown");
+        }
+        const std::size_t ticket = chains_.size();
+        Chain hc;
+        hc.trace = q.trace;
+        hc.tenant = tenant;
+        hc.cached = std::move(hit->value);
+        chains_.push_back(std::move(hc));
+        ++rstats_.queries;
+        ++rstats_.cache_hits;
+        auto& ts = rtstats_[tenant];
+        ++ts.cache_hits;
+        ts.cache_bytes += hit->bytes;
+        return ticket;
+      }
+      ckey = std::move(key);  // install when the gathered answer settles
+    }
     Chain c;
     c.trace = q.trace;
     c.start_ns = q.trace != 0 ? tracer.now_ns() : 0;
@@ -157,6 +213,7 @@ class Router : public Service<S> {
     c.mask = std::move(q.mask);
     c.desc = q.desc;
     c.tenant = tenant;
+    c.ckey = std::move(ckey);
     scatter_span.args(c.shards.size(), c.lhs.empty() ? 0 : c.lhs[0].nrows());
     scatter_span.finish();  // the split is done; queueing is not scatter
     std::lock_guard lock(rmu_);
@@ -166,6 +223,10 @@ class Router : public Service<S> {
     const std::size_t ticket = chains_.size();
     chains_.push_back(std::move(c));
     ++rstats_.queries;
+    if (chains_.back().ckey) {
+      ++rstats_.cache_misses;
+      ++rtstats_[tenant].cache_misses;
+    }
     if (chains_.back().shards.size() > 1) {
       ++rstats_.straddling;
     } else {
@@ -227,6 +288,7 @@ class Router : public Service<S> {
       {
         std::lock_guard lock(rmu_);
         Chain& ch = chain_at_locked(ticket);
+        if (ch.cached) return *ch.cached;  // settled at submit by a hit
         exec = execs_[ch.shards[ch.stage]].get();
         sticket = ch.stage_ticket;
         stage = ch.stage;
@@ -238,6 +300,7 @@ class Router : public Service<S> {
       if (ch.stage != stage) continue;  // another waiter advanced the chain
       if (final_stage) {
         record_gather_locked(ch);
+        install_locked(ch, r);
         return r;
       }
       ch.stage += 1;
@@ -254,12 +317,14 @@ class Router : public Service<S> {
   const sparse::Matrix<T>* poll(std::size_t ticket) override {
     std::lock_guard lock(rmu_);
     Chain& ch = chain_at_locked(ticket);
+    if (ch.cached) return &*ch.cached;  // settled at submit by a hit
     for (;;) {
       auto* exec = execs_[ch.shards[ch.stage]].get();
       const auto* r = exec->poll(ch.stage_ticket);
       if (r == nullptr) return nullptr;
       if (ch.stage + 1 == ch.shards.size()) {
         record_gather_locked(ch);
+        install_locked(ch, *r);
         return r;
       }
       ch.stage += 1;
@@ -339,7 +404,9 @@ class Router : public Service<S> {
     return rstats_;
   }
 
-  /// Per-tenant accounting summed across shards (sub-query granularity).
+  /// Per-tenant accounting summed across shards (sub-query granularity),
+  /// plus this router's own cache hit/miss/bytes split — hits never reach
+  /// a shard, so they are accounted here and only here.
   TenantStats tenant_stats(TenantId tenant) const {
     TenantStats out;
     for (const auto& e : execs_) {
@@ -351,20 +418,35 @@ class Router : public Service<S> {
       out.deferrals += ts.deferrals;
       out.mutations += ts.mutations;
     }
+    std::lock_guard lock(rmu_);
+    const auto it = rtstats_.find(tenant);
+    if (it != rtstats_.end()) {
+      out.cache_hits += it->second.cache_hits;
+      out.cache_misses += it->second.cache_misses;
+      out.cache_bytes += it->second.cache_bytes;
+    }
     return out;
   }
 
-  /// Every tenant that has ever submitted, ascending, across all shards.
+  /// Every tenant that has ever submitted, ascending, across all shards
+  /// (cache-hit-only tenants included — they never reach a shard).
   std::vector<TenantId> tenants() const {
     std::map<TenantId, bool> seen;
     for (const auto& e : execs_) {
       for (const auto t : e->tenants()) seen[t] = true;
+    }
+    {
+      std::lock_guard lock(rmu_);
+      for (const auto& [t, _] : rtstats_) seen[t] = true;
     }
     std::vector<TenantId> out;
     out.reserve(seen.size());
     for (const auto& [t, _] : seen) out.push_back(t);
     return out;
   }
+
+  /// Result-cache accounting (zeroes when the cache is disabled).
+  typename ResultCache<S>::Stats cache_stats() const { return cache_.stats(); }
 
   /// Sub-queries queued but not yet admitted, across all shards.
   std::size_t pending() const override {
@@ -387,6 +469,13 @@ class Router : public Service<S> {
     std::uint64_t trace = 0;       ///< sampled trace id (0 = untraced)
     std::uint64_t start_ns = 0;    ///< scatter time, anchors the gather span
     bool gathered = false;         ///< gather span recorded once per chain
+    /// A cache hit settles the chain at submit: the answer lives here and
+    /// no stage is ever submitted (shards/lhs stay empty).
+    std::optional<sparse::Matrix<T>> cached;
+    /// Probe key of a cacheable miss; the gathered final answer installs
+    /// under it, once, unless a mutation moved the epoch meanwhile.
+    std::optional<typename ResultCache<S>::Key> ckey;
+    bool installed = false;        ///< install attempted (once per chain)
   };
 
   Chain& chain_at_locked(std::size_t ticket) {
@@ -394,6 +483,21 @@ class Router : public Service<S> {
       throw std::out_of_range("Router: unknown ticket");
     }
     return chains_[ticket];
+  }
+
+  /// Install a settled final answer under the chain's probe key, once
+  /// (rmu_ held). Skipped if a mutation moved the router epoch since the
+  /// probe: the answer is correct for the submit-time epoch, but keying
+  /// it under the current epoch would be wrong and under the old one
+  /// useless. (A mutate() whose shard writes landed but whose epoch bump
+  /// is still in flight can slip an old-keyed entry in — it can only be
+  /// served to submits racing that same mutate, for which either epoch's
+  /// answer is admissible, and it ages out of the LRU tail.)
+  void install_locked(Chain& ch, const sparse::Matrix<T>& r) {
+    if (!ch.ckey || ch.installed) return;
+    ch.installed = true;
+    if (rstats_.epoch != ch.ckey->epoch) return;
+    cache_.install(*ch.ckey, r);
   }
 
   /// Record the chain-level gather span — scatter to observed completion —
@@ -463,6 +567,10 @@ class Router : public Service<S> {
   mutable std::mutex rmu_;     ///< chains + router stats + lifecycle
   std::deque<Chain> chains_;   ///< ticket-indexed
   RouterStats rstats_;
+  ResultCache<S> cache_;       ///< internally locked; off by default
+  /// Router-level per-tenant cache accounting (hits never reach a shard
+  /// executor's TenantStats). Only the cache_* fields are ever nonzero.
+  std::map<TenantId, TenantStats> rtstats_;
   bool stopping_ = false;
 };
 

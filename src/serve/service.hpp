@@ -20,7 +20,13 @@
 // every implementation must keep: results are bit-identical to running
 // each query alone against a from-scratch rebuild of its base at the
 // epoch the query's batch was served — batching, sharding, asynchrony,
-// mutation interleaving, and thread count never change an answer.
+// mutation interleaving, and thread count never change an answer. The
+// result cache (serve/cache.hpp, enabled per engine via
+// Config::cache_bytes / cache_negative, default off) inherits that
+// contract wholesale: a hit is a byte-identical replay of the answer the
+// engine settled at that epoch, never a recomputation, so enabling it is
+// invisible to every caller of this interface except in latency and in
+// the serve.cache.* registry section of metrics_text()/metrics_json().
 
 #include <cstdint>
 #include <sstream>

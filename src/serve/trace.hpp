@@ -62,6 +62,7 @@ enum class Stage : unsigned char {
   kChainCarry,   ///< carry handoff to the next shard stage (query lane)
   kGather,       ///< chain start → final carry settle (query lane)
   kWait,         ///< caller blocking in wait() (thread lane)
+  kCacheProbe,   ///< result-cache lookup at submit (thread lane)
 };
 
 inline const char* stage_name(Stage s) noexcept {
@@ -75,6 +76,7 @@ inline const char* stage_name(Stage s) noexcept {
     case Stage::kChainCarry: return "chain_carry";
     case Stage::kGather: return "gather";
     case Stage::kWait: return "wait";
+    case Stage::kCacheProbe: return "cache_probe";
   }
   return "?";
 }

@@ -52,6 +52,108 @@
 
 namespace hyperspace::sparse {
 
+// ---- content fingerprints -------------------------------------------------
+//
+// The serve-layer result cache (serve/cache.hpp) keys answers on the exact
+// CONTENT of their operands: two lhs matrices with the same stored triples
+// — same rows, same columns, same value bit patterns — must produce the
+// same key, and any differing bit must produce a different one. The
+// fingerprint hashes the canonical row/col/value sequence of a SparseView,
+// so it is format-independent (a CSR and a DCSR holding the same entries
+// fingerprint identically) and value-bit-exact (it hashes value BYTES, so
+// -0.0 and +0.0 key differently — a cache hit must be a byte-identical
+// replay, never a "close enough" one).
+
+namespace detail {
+
+/// FNV-1a, the classic 64-bit fold. Two independently seeded lanes give
+/// the 128-bit fingerprint; together with the stored shape/nnz a collision
+/// needs ~2^128 adversarial luck, which the cache treats as impossible.
+class Fnv1a {
+ public:
+  explicit constexpr Fnv1a(std::uint64_t seed) : h_(seed) {}
+
+  void bytes(const void* p, std::size_t n) noexcept {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void u64(std::uint64_t v) noexcept { bytes(&v, sizeof v); }
+  std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
+/// Hash one stored value: trivially copyable types hash their bytes;
+/// anything else (e.g. semiring::ValueSet) must provide an ADL-visible
+/// `fingerprint_append(hasher, value)` hook, templated on the hasher so
+/// the value's layer never depends on this header.
+template <typename H, typename T>
+void fp_value(H& h, const T& v) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    h.bytes(&v, sizeof(T));
+  } else {
+    fingerprint_append(h, v);
+  }
+}
+
+}  // namespace detail
+
+/// 128-bit content fingerprint of a matrix view plus its exact shape and
+/// nnz. Equality of fingerprints is what the result cache treats as
+/// equality of operands.
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  Index nrows = 0;
+  Index ncols = 0;
+  Index nnz = 0;
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Fingerprint the canonical content of `v`: shape, then per non-empty row
+/// the row id, its column ids, and its value bytes (or ADL hook), in
+/// storage order. O(nnz) — the same order of work as the executor's exact
+/// admission flop count.
+template <typename T>
+Fingerprint fingerprint(const SparseView<T>& v) {
+  detail::Fnv1a a(0xcbf29ce484222325ULL);
+  detail::Fnv1a b(0x9e3779b97f4a7c15ULL);
+  const auto mix = [&](auto&& fold) {
+    fold(a);
+    fold(b);
+  };
+  mix([&](detail::Fnv1a& h) {
+    h.u64(static_cast<std::uint64_t>(v.nrows));
+    h.u64(static_cast<std::uint64_t>(v.ncols));
+  });
+  for (std::size_t ri = 0; ri < v.row_ids.size(); ++ri) {
+    const auto rc = v.row_cols(ri);
+    const auto rv = v.row_vals(ri);
+    mix([&](detail::Fnv1a& h) {
+      h.u64(static_cast<std::uint64_t>(v.row_ids[ri]));
+      h.u64(static_cast<std::uint64_t>(rc.size()));
+    });
+    for (std::size_t j = 0; j < rc.size(); ++j) {
+      mix([&](detail::Fnv1a& h) {
+        h.u64(static_cast<std::uint64_t>(rc[j]));
+        detail::fp_value(h, rv[j]);
+      });
+    }
+  }
+  return {a.value(), b.value(), v.nrows, v.ncols, v.nnz()};
+}
+
+/// Fingerprint a matrix through its uniform compute view (materializes the
+/// CSR mirror for COO/bitmap/dense payloads, exactly as a kernel would).
+template <typename T>
+Fingerprint fingerprint(const Matrix<T>& m) {
+  return fingerprint(m.view());
+}
+
 /// One mutation: assign (insert-or-update) or erase at (row, col).
 template <typename T>
 struct Update {

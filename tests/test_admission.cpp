@@ -8,10 +8,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 #include "helpers.hpp"
 #include "semiring/all.hpp"
 #include "serve/executor.hpp"
+#include "serve/router.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -239,6 +241,44 @@ TEST(ExecutorAdaptive, AdmissionStateIsExportedAsGauges) {
   // The sample-count gauge makes a starved controller visible; here the
   // batches were big enough to count.
   EXPECT_GE(reg.gauge_value("serve.admission.samples"), 1.0);
+}
+
+TEST(ExecutorAdaptive, ShardedRouterExportsOneGaugeSetPerShard) {
+  // Regression: the admission gauges used to be a single static unscoped
+  // set, so a 4-shard router's executors fought last-batch-wins over one
+  // "serve.admission.*" triple. Each shard executor now binds its own
+  // "serve.admission.shard<N>.*" set.
+  namespace m = hyperspace::util::metrics;
+  if (!m::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  m::set_enabled(true);
+  auto& reg = m::Registry::instance();
+  reg.reset_values();
+  const Index n = 256;
+  const auto base = uniform_base(n);
+  serve::Router<S> router(base, {.n_shards = 4});
+  // Width-8 point queries straddle shards, so every shard executor runs
+  // telemetered batches and binds its own gauges.
+  for (int i = 0; i < 32; ++i) {
+    router.submit(point_query(n, 8, 500 + static_cast<std::uint64_t>(i)));
+  }
+  router.flush();
+  ASSERT_EQ(router.n_shards(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::string prefix =
+        "serve.admission.shard" + std::to_string(s) + ".";
+    const auto lim = router.shard_executor(s).admission_limits();
+    EXPECT_EQ(reg.gauge_value(prefix + "max_batch_flops"),
+              static_cast<double>(lim.max_batch_flops))
+        << prefix;
+    EXPECT_EQ(reg.gauge_value(prefix + "flush_queue_depth"),
+              static_cast<double>(lim.flush_queue_depth))
+        << prefix;
+  }
+  // The four sets are distinct registry entries, not one shared set: the
+  // legacy unscoped names were never touched by the router (reset to 0
+  // above, still 0 now).
+  EXPECT_EQ(reg.gauge_value("serve.admission.max_batch_flops"), 0.0);
+  EXPECT_EQ(reg.gauge_value("serve.admission.flush_queue_depth"), 0.0);
 }
 
 }  // namespace

@@ -56,6 +56,7 @@ REQUIRED_ROW_PREFIXES = {
         "bm_serve_mixed_rw/",
         "bm_serve_latency/",
         "bm_serve_telemetry_overhead/",
+        "bm_serve_cache/",
     ],
 }
 

@@ -37,6 +37,7 @@ KNOWN_NAMES = {
     "chain_carry",
     "gather",
     "wait",
+    "cache_probe",
 }
 
 # Floats in the file are microseconds at nanosecond resolution; allow one
