@@ -8,6 +8,9 @@
 
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "hypergraph/bfs.hpp"
 #include "sparse/ewise.hpp"
 #include "sparse/kron.hpp"
@@ -16,6 +19,7 @@
 #include "sparse/reduce.hpp"
 #include "sparse/transpose.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -114,6 +118,67 @@ void bm_kron(benchmark::State& state) {
   util::set_num_threads(0);
 }
 BENCHMARK(bm_kron)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- skewed-SpGEMM steal suite
+//
+// Rows: bm_steal_skew/<dist>/<threads>/<sched> where <sched> is 0 for the
+// static chunk scheduler and 1 for work-stealing. The three distributions
+// bracket the load-balance spectrum: uniform (static chunking is already
+// fair — work-steal must not regress), hub (one row holds ~95% of the
+// flops), and zipf (power-law row lengths). On a multi-core host the hub
+// and zipf rows show the steal win; on a 1-core CI container every pair
+// should be parity.
+
+enum class Dist { kUniform, kHub, kZipf };
+
+sparse::Matrix<double> skew_matrix(Dist d, Index n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<sparse::Triple<double>> t;
+  const auto rand_col = [&] {
+    return static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n)));
+  };
+  switch (d) {
+    case Dist::kUniform:
+      for (Index i = 0; i < n; ++i) {
+        for (int e = 0; e < 16; ++e) t.push_back({i, rand_col(), 1.0});
+      }
+      break;
+    case Dist::kHub: {
+      const std::size_t hub = static_cast<std::size_t>(n) * 15;  // ~95% of nnz
+      for (std::size_t e = 0; e < hub; ++e) t.push_back({0, rand_col(), 1.0});
+      for (Index i = 1; i < n; ++i) t.push_back({i, rand_col(), 1.0});
+      break;
+    }
+    case Dist::kZipf:
+      for (Index i = 0; i < n; ++i) {
+        const std::size_t len = std::max<std::size_t>(
+            1, static_cast<std::size_t>(n) / (static_cast<std::size_t>(i) + 1));
+        for (std::size_t e = 0; e < len; ++e) t.push_back({i, rand_col(), 1.0});
+      }
+      break;
+  }
+  return sparse::Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+void bm_steal_skew(benchmark::State& state, Dist d) {
+  with_threads(state);
+  util::set_scheduler(state.range(1) == 0 ? util::Scheduler::kStatic
+                                          : util::Scheduler::kWorkSteal);
+  const auto a = skew_matrix(d, 2048, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mxm<S>(a, a));
+  }
+  util::reset_scheduler();
+  util::set_num_threads(0);
+}
+#define STEAL_SKEW_ARGS                                               \
+  Args({1, 0})->Args({1, 1})->Args({2, 0})->Args({2, 1})->Args({4, 0}) \
+      ->Args({4, 1})->Args({8, 0})->Args({8, 1})                       \
+      ->Unit(benchmark::kMillisecond)
+BENCHMARK_CAPTURE(bm_steal_skew, uniform, Dist::kUniform)->STEAL_SKEW_ARGS;
+BENCHMARK_CAPTURE(bm_steal_skew, hub, Dist::kHub)->STEAL_SKEW_ARGS;
+BENCHMARK_CAPTURE(bm_steal_skew, zipf, Dist::kZipf)->STEAL_SKEW_ARGS;
+#undef STEAL_SKEW_ARGS
 
 void bm_bfs(benchmark::State& state) {
   with_threads(state);

@@ -216,13 +216,24 @@ struct DeltaSnapshot {
   std::vector<Index> ocols;
   std::vector<T> ovals;
 
-  Index nrows() const { return main->nrows(); }
-  Index ncols() const { return main->ncols(); }
+  /// LOGICAL shape — ≥ main's shape when mutations landed beyond the
+  /// constructed key space. Until the next compaction the grown region
+  /// lives only in the overlay; the compaction swap materializes at this
+  /// shape, folding the growth into the new main.
+  Index shape_rows = 0;
+  Index shape_cols = 0;
+
+  Index nrows() const { return shape_rows > 0 ? shape_rows : main->nrows(); }
+  Index ncols() const { return shape_cols > 0 ? shape_cols : main->ncols(); }
   bool plain() const { return orows.empty(); }
 
-  /// The kernel-facing row resolver: overlay first, then main.
+  /// The kernel-facing row resolver: overlay first, then main. The view
+  /// advertises the LOGICAL shape, so queries address grown keys the same
+  /// way a from-scratch rebuild at this shape would.
   detail::BaseView<T> base_view() const {
     detail::BaseView<T> bv(*main);
+    bv.nrows = nrows();
+    bv.ncols = ncols();
     bv.orows = orows;
     bv.optr = optr;
     bv.ocols = ocols;
@@ -307,11 +318,15 @@ class DeltaBase {
   explicit DeltaBase(Matrix<T> main, DeltaConfig cfg = {})
       : cfg_(cfg),
         main_(std::make_shared<const Matrix<T>>(std::move(main))),
+        nrows_(main_->nrows()),
+        ncols_(main_->ncols()),
         delta_(main_->nrows(), main_->ncols(), cfg_.delta_buffer,
                cfg_.delta_fanout) {
     (void)main_->view();  // warm the row cache before any concurrent reader
     auto snap = std::make_shared<DeltaSnapshot<T>>();
     snap->main = main_;
+    snap->shape_rows = nrows_;
+    snap->shape_cols = ncols_;
     {
       std::lock_guard plock(pub_mu_);
       published_ = std::move(snap);
@@ -332,8 +347,11 @@ class DeltaBase {
   DeltaBase(const DeltaBase&) = delete;
   DeltaBase& operator=(const DeltaBase&) = delete;
 
-  Index nrows() const { return main_->nrows(); }
-  Index ncols() const { return main_->ncols(); }
+  /// Logical shape (grows when a mutation lands beyond the constructed key
+  /// space). Read through the published snapshot, so it is safe against a
+  /// concurrent compaction swapping main_.
+  Index nrows() const { return snapshot()->nrows(); }
+  Index ncols() const { return snapshot()->ncols(); }
 
   /// The published snapshot. A pointer copy under pub_mu_ — wait-free in
   /// practice; the snapshot stays queryable for as long as the caller
@@ -356,16 +374,22 @@ class DeltaBase {
   }
 
   /// Apply a batch of mutations (in order, last write per key wins) and
-  /// publish the next epoch. Returns the new epoch. Out-of-range keys
-  /// throw before anything is applied.
+  /// publish the next epoch. Returns the new epoch. Negative keys throw
+  /// before anything is applied; keys BEYOND the constructed shape grow
+  /// the key space — the grown region serves from the overlay until the
+  /// next compaction folds it into the swapped-in main, so growth never
+  /// requires a manual rebuild.
   std::uint64_t mutate(const UpdateBatch<T>& ops) {
+    Index need_r = 0, need_c = 0;
     for (const auto& op : ops) {
-      if (op.row < 0 || op.row >= nrows() || op.col < 0 ||
-          op.col >= ncols()) {
+      if (op.row < 0 || op.col < 0) {
         throw std::out_of_range("DeltaBase: update key out of range");
       }
+      need_r = std::max(need_r, op.row + 1);
+      need_c = std::max(need_c, op.col + 1);
     }
     std::unique_lock lock(wmu_);
+    if (need_r > nrows_ || need_c > ncols_) grow_locked(lock, need_r, need_c);
     for (const auto& op : ops) {
       delta_.insert(op.row, op.col,
                     DeltaSlot<T>{op.val, op.erase ? DeltaSlot<T>::Op::kErase
@@ -404,6 +428,34 @@ class DeltaBase {
   }
 
  private:
+  /// Grow the logical key space to cover (need_r, need_c) (wmu_ held).
+  /// Waits out an in-flight background compaction — the frozen generation
+  /// and the active delta must agree on shape for the publish-time fold —
+  /// then rebuilds the active delta log at the grown shape by replaying
+  /// its folded slots (one slot per key, so replay order is immaterial).
+  /// main_ is untouched: the growth itself reaches main at the next
+  /// compaction swap, which materializes at the logical shape.
+  void grow_locked(std::unique_lock<std::mutex>& lock, Index need_r,
+                   Index need_c) {
+    ccv_.wait(lock, [&] { return !frozen_; });
+    const Index nr = std::max(nrows_, need_r);
+    const Index nc = std::max(ncols_, need_c);
+    if (nr == nrows_ && nc == ncols_) return;  // raced with another grower
+    const Matrix<DeltaSlot<T>> folded = delta_.snapshot();
+    delta_ = StreamingMatrix<LastWins<T>>(nr, nc, cfg_.delta_buffer,
+                                          cfg_.delta_fanout);
+    const auto fv = folded.view();
+    for (std::size_t ri = 0; ri < fv.row_ids.size(); ++ri) {
+      const auto cols = fv.row_cols(ri);
+      const auto vals = fv.row_vals(ri);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        delta_.insert(fv.row_ids[ri], cols[j], vals[j]);
+      }
+    }
+    nrows_ = nr;
+    ncols_ = nc;
+  }
+
   /// Build and publish the snapshot for the current epoch (wmu_ held).
   /// The effective delta folds the frozen generation (older) under the
   /// active one, so readers mid-compaction see both.
@@ -411,7 +463,7 @@ class DeltaBase {
     Matrix<DeltaSlot<T>> eff = delta_.snapshot();
     if (frozen_) eff = ewise_add<LastWins<T>>(*frozen_, eff);
     auto snap = std::make_shared<DeltaSnapshot<T>>(
-        build_snapshot(epoch_, main_, eff));
+        build_snapshot(epoch_, main_, eff, nrows_, ncols_));
     std::lock_guard plock(pub_mu_);
     published_ = std::move(snap);
   }
@@ -420,18 +472,22 @@ class DeltaBase {
   /// the merge so writers and readers keep flowing).
   void compact_locked(std::unique_lock<std::mutex>& lock) {
     frozen_ = delta_.snapshot();
-    delta_ = StreamingMatrix<LastWins<T>>(nrows(), ncols(), cfg_.delta_buffer,
+    delta_ = StreamingMatrix<LastWins<T>>(nrows_, ncols_, cfg_.delta_buffer,
                                           cfg_.delta_fanout);
     const auto old_main = main_;
     const auto frozen = *frozen_;
     const auto at_epoch = epoch_;
+    const auto at_rows = nrows_;
+    const auto at_cols = ncols_;
     lock.unlock();
 
     // The heavy merge, off-lock: patch main with the frozen delta. The
     // result is exactly materialize() of the frozen snapshot — same rows,
     // same values, no ⊕ applied — so republishing it changes the
-    // representation and nothing else.
-    auto patched = build_snapshot(at_epoch, old_main, frozen);
+    // representation and nothing else. Materializing at the LOGICAL shape
+    // is where key-space growth folds into the swap: the new main covers
+    // every grown key from here on.
+    auto patched = build_snapshot(at_epoch, old_main, frozen, at_rows, at_cols);
     auto merged =
         std::make_shared<const Matrix<T>>(patched.materialize());
     (void)merged->view();  // warm before publication
@@ -461,10 +517,12 @@ class DeltaBase {
   /// (assign replaces or inserts, erase drops). O(delta + touched rows).
   static DeltaSnapshot<T> build_snapshot(
       std::uint64_t epoch, std::shared_ptr<const Matrix<T>> main,
-      const Matrix<DeltaSlot<T>>& slots) {
+      const Matrix<DeltaSlot<T>>& slots, Index shape_rows, Index shape_cols) {
     DeltaSnapshot<T> snap;
     snap.epoch = epoch;
     snap.main = std::move(main);
+    snap.shape_rows = shape_rows;
+    snap.shape_cols = shape_cols;
     if (slots.nnz() == 0) return snap;
 
     const auto mv = snap.main->view();
@@ -516,6 +574,8 @@ class DeltaBase {
 
   mutable std::mutex wmu_;  ///< serializes writers; guards the fields below
   std::shared_ptr<const Matrix<T>> main_;
+  Index nrows_ = 0;  ///< logical shape; ≥ main_'s until the next compaction
+  Index ncols_ = 0;
   StreamingMatrix<LastWins<T>> delta_;  ///< active update log
   std::optional<Matrix<DeltaSlot<T>>> frozen_;  ///< generation mid-compaction
   std::uint64_t epoch_ = 0;

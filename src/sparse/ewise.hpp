@@ -154,6 +154,14 @@ Matrix<typename S::value_type> ewise_add(
             ++jb;
           }
         }
+      },
+      // Cost hint: the merge walks both operand rows once.
+      [&](std::ptrdiff_t mi) -> std::uint64_t {
+        const auto& m = merged[static_cast<std::size_t>(mi)];
+        std::uint64_t c = 1;
+        if (m.ia >= 0) c += a.row_cols(static_cast<std::size_t>(m.ia)).size();
+        if (m.ib >= 0) c += b.row_cols(static_cast<std::size_t>(m.ib)).size();
+        return c;
       });
 
   const auto out = detail::splice_row_slices(rows);
@@ -198,6 +206,12 @@ Matrix<typename S::value_type> ewise_mult(
             ++jb;
           }
         }
+      },
+      // Cost hint: the intersection walks both operand rows once.
+      [&](std::ptrdiff_t mi) -> std::uint64_t {
+        const auto& m = merged[static_cast<std::size_t>(mi)];
+        return a.row_cols(static_cast<std::size_t>(m.ia)).size() +
+               b.row_cols(static_cast<std::size_t>(m.ib)).size() + 1;
       });
 
   const auto out = detail::splice_row_slices(rows);

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -70,8 +71,17 @@ class Matrix {
     mirror_.reset();
     return *this;
   }
-  Matrix(Matrix&&) noexcept = default;
-  Matrix& operator=(Matrix&&) noexcept = default;
+  // Hand-written moves: the mirror mutex is per-object and never moves.
+  Matrix(Matrix&& other) noexcept
+      : payload_(std::move(other.payload_)),
+        zero_(std::move(other.zero_)),
+        mirror_(std::move(other.mirror_)) {}
+  Matrix& operator=(Matrix&& other) noexcept {
+    payload_ = std::move(other.payload_);
+    zero_ = std::move(other.zero_);
+    mirror_ = std::move(other.mirror_);
+    return *this;
+  }
 
   /// Empty matrix of the given shape (CSR or DCSR per the switch rule).
   Matrix(Index nrows, Index ncols, T implicit_zero = T{})
@@ -304,6 +314,11 @@ class Matrix {
   SparseView<T> view() const {
     if (const auto* c = std::get_if<Csr<T>>(&payload_)) return c->view();
     if (const auto* d = std::get_if<Dcsr<T>>(&payload_)) return d->view();
+    // Concurrent readers may share one matrix (snapshot overlays under the
+    // async executor), so first-call materialization must be guarded; after
+    // it, the pointer is stable until a mutation (which readers must not
+    // overlap anyway) resets it.
+    std::lock_guard lock(mirror_mu_);
     if (!mirror_) {
       auto triples = to_triples_nonview();
       mirror_ = std::make_unique<Csr<T>>(nrows(), ncols(), triples);
@@ -432,6 +447,7 @@ class Matrix {
   std::variant<Coo<T>, Csr<T>, Dcsr<T>, Bitmap<T>, DenseMat<T>> payload_;
   T zero_{};
   mutable std::unique_ptr<Csr<T>> mirror_;
+  mutable std::mutex mirror_mu_;
 };
 
 }  // namespace hyperspace::sparse

@@ -51,7 +51,12 @@ namespace detail {
 /// is the identity so this is O(1); for DCSR it is a binary search.
 template <typename T>
 inline std::ptrdiff_t find_row(const SparseView<T>& v, Index k, bool is_full) {
-  if (is_full) return k;
+  // A full view still bounds-checks: a delta base whose key space GREW
+  // advertises a logical shape larger than the stored view, so rows beyond
+  // it are absent, not resolvable by direct index.
+  if (is_full) {
+    return k < static_cast<Index>(v.row_ids.size()) ? k : -1;
+  }
   const auto it = std::lower_bound(v.row_ids.begin(), v.row_ids.end(), k);
   if (it == v.row_ids.end() || *it != k) return -1;
   return it - v.row_ids.begin();
@@ -248,6 +253,13 @@ std::vector<detail::RowSlice<typename S::value_type>> mxm_rows(
           // admission happened to group masked and unmasked queries.
           kept.fetch_add(row_flops, std::memory_order_relaxed);
         }
+      },
+      // Cost hint for the steal scheduler's tiler: the A-row extent (free
+      // from the row pointers) is the flop-count proxy, so a hub row tiles
+      // alone instead of dragging its neighbours. Steers tiling only —
+      // results are bit-identical with or without it.
+      [&a](std::ptrdiff_t ri) -> std::uint64_t {
+        return a.row_cols(static_cast<std::size_t>(ri)).size() + 1;
       });
 
   if (stats) {

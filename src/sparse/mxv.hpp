@@ -86,6 +86,10 @@ std::vector<typename S::value_type> mxv_pull(
         }
         y[static_cast<std::size_t>(a.row_ids[static_cast<std::size_t>(ri)])] =
             std::move(acc);
+      },
+      // Cost hint: row extent, so a hub row becomes its own tile.
+      [&a](std::ptrdiff_t ri) -> std::uint64_t {
+        return a.row_cols(static_cast<std::size_t>(ri)).size() + 1;
       });
   return y;
 }

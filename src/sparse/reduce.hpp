@@ -47,6 +47,10 @@ Matrix<typename M::value_type> reduce_rows(
         for (std::size_t j = 1; j < vals.size(); ++j) acc = M::op(acc, vals[j]);
         out.cols.push_back(0);
         out.vals.push_back(std::move(acc));
+      },
+      // Cost hint: row extent, so a hub row becomes its own tile.
+      [&v](std::ptrdiff_t ri) -> std::uint64_t {
+        return v.row_vals(static_cast<std::size_t>(ri)).size() + 1;
       });
   const auto out = detail::splice_row_slices(rows);
   return Matrix<T>::from_canonical_triples(A.nrows(), 1, out, M::identity());
@@ -118,7 +122,12 @@ typename M::value_type reduce_all(const Matrix<typename M::value_type>& A) {
         }
         return acc;
       },
-      [](T a, T b) { return M::op(std::move(a), std::move(b)); });
+      [](T a, T b) { return M::op(std::move(a), std::move(b)); },
+      // Cost hint: row extent. Weights tiling only — chunk boundaries and
+      // the combine order (hence the result bits) are fixed by the grain.
+      [&v](std::ptrdiff_t ri) -> std::uint64_t {
+        return v.row_vals(static_cast<std::size_t>(ri)).size() + 1;
+      });
 }
 
 }  // namespace hyperspace::sparse

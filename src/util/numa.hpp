@@ -1,0 +1,130 @@
+#pragma once
+// NUMA topology probe + worker→node pinning for the parallel runtime.
+//
+// On multi-socket machines the accumulator scratch a worker allocates
+// should live on the worker's own node, and the worker should stay there.
+// Both fall out of two primitives:
+//
+//   * topology()            — node count and each node's CPU list, parsed
+//     once from /sys/devices/system/node/node*/cpulist (Linux). Anywhere
+//     that sysfs layout is absent (non-Linux, containers with masked /sys,
+//     single-socket boxes) the probe reports ONE node and everything below
+//     becomes a no-op.
+//   * pin_worker(worker_id) — pin the calling thread to the CPUs of node
+//     `worker_id % nodes` via pthread_setaffinity_np. The thread-pool
+//     backend calls this once per worker at spawn; combined with the pool
+//     constructing per-worker scratch ON the worker (first-touch), scratch
+//     pages land node-local without any explicit NUMA allocator.
+//
+// Pinning is only attempted when the probe sees >1 node and the
+// HYPERSPACE_NUMA env var is not "0"; it never affects results, only
+// memory placement — the determinism contract is untouched.
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <fstream>
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hyperspace::util::numa {
+
+struct Topology {
+  /// One entry per NUMA node: the node's online CPU ids.
+  std::vector<std::vector<int>> node_cpus;
+  int nodes() const { return static_cast<int>(node_cpus.size()); }
+};
+
+namespace detail {
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids.
+inline std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    const int lo = std::stoi(s.substr(i), &end);
+    i += end;
+    int hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      const int h = std::stoi(s.substr(i + 1), &end);
+      i += end + 1;
+      hi = h;
+    }
+    for (int c = lo; c <= hi && hi - lo < 4096; ++c) cpus.push_back(c);
+  }
+  return cpus;
+}
+
+inline Topology probe() {
+  Topology t;
+#if defined(__linux__)
+  for (int node = 0; node < 256; ++node) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(node) +
+                    "/cpulist");
+    if (!f.is_open()) break;
+    std::string line;
+    std::getline(f, line);
+    auto cpus = parse_cpulist(line);
+    if (!cpus.empty()) t.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (t.node_cpus.empty()) t.node_cpus.push_back({});  // single-node fallback
+  return t;
+}
+
+}  // namespace detail
+
+/// The machine topology, probed once per process.
+inline const Topology& topology() {
+  static const Topology t = detail::probe();
+  return t;
+}
+
+/// True when pinning would do anything: >1 node and not disabled by
+/// HYPERSPACE_NUMA=0.
+inline bool pinning_enabled() {
+  static const bool on = [] {
+    if (const char* env = std::getenv("HYPERSPACE_NUMA")) {
+      if (env[0] == '0' && env[1] == '\0') return false;
+    }
+    return topology().nodes() > 1;
+  }();
+  return on;
+}
+
+/// Node a given pool worker maps to (round-robin across nodes, so any
+/// worker-count prefix spreads evenly over sockets).
+inline int node_of_worker(int worker_id) {
+  const int n = topology().nodes();
+  return n > 0 ? worker_id % n : 0;
+}
+
+/// Pin the calling thread to its worker's node. Returns true on success;
+/// a portable no-op (false) when pinning is disabled or unsupported.
+inline bool pin_worker([[maybe_unused]] int worker_id) {
+  if (!pinning_enabled()) return false;
+#if defined(__linux__)
+  const auto& cpus = topology().node_cpus[static_cast<std::size_t>(
+      node_of_worker(worker_id))];
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace hyperspace::util::numa

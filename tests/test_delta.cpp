@@ -64,6 +64,11 @@ struct RefModel {
     for (const auto& t : base.to_triples()) cells[{t.row, t.col}] = t.val;
   }
 
+  void grow(Index r, Index c) {
+    nrows = std::max(nrows, r);
+    ncols = std::max(ncols, c);
+  }
+
   void apply(const UpdateBatch<T>& ops) {
     for (const auto& op : ops) {
       if (op.erase) {
@@ -185,16 +190,105 @@ TEST(DeltaBase, IntraBatchLastWins) {
   EXPECT_EQ(db.snapshot()->materialize().get(1, 1), std::nullopt);
 }
 
-TEST(DeltaBase, OutOfRangeKeyThrowsBeforeApplying) {
+TEST(DeltaBase, NegativeKeyThrowsBeforeApplying) {
   auto base = Matrix<double>::from_triples<S>(4, 4, {{0, 0, 1.0}});
   DeltaBase<S> db(base);
   // A batch with a bad key must not half-apply its good prefix.
   EXPECT_THROW(db.mutate({Update<double>::assign(1, 1, 2.0),
-                          Update<double>::assign(4, 0, 3.0)}),
+                          Update<double>::assign(-1, 0, 3.0)}),
                std::out_of_range);
   EXPECT_THROW(db.mutate({Update<double>::erased(0, -1)}), std::out_of_range);
   EXPECT_EQ(db.epoch(), 0u);
   EXPECT_EQ(db.snapshot()->materialize(), base);
+}
+
+// ---- key-space growth: mutations beyond the constructed shape ------------
+
+TEST(DeltaBase, MutationBeyondShapeGrowsKeySpace) {
+  auto base = Matrix<double>::from_triples<S>(4, 4, {{0, 0, 1.0}, {2, 3, 5.0}});
+  DeltaBase<S> db(base);
+  // One batch mixing in-shape and beyond-shape keys: no rebuild needed.
+  db.mutate({Update<double>::assign(1, 1, 2.0),
+             Update<double>::assign(6, 9, 7.0)});
+  EXPECT_EQ(db.nrows(), 7);
+  EXPECT_EQ(db.ncols(), 10);
+  const auto snap = db.snapshot();
+  EXPECT_EQ(snap->nrows(), 7);
+  EXPECT_EQ(snap->ncols(), 10);
+  // The kernel-facing view advertises the grown shape too.
+  EXPECT_EQ(snap->base_view().nrows, 7);
+  EXPECT_EQ(snap->base_view().ncols, 10);
+  // materialize() == a from-scratch rebuild at the grown shape.
+  const auto ref = Matrix<double>::from_triples<S>(
+      7, 10, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 3, 5.0}, {6, 9, 7.0}});
+  EXPECT_EQ(snap->materialize(), ref);
+  // Until compaction the grown region lives in the overlay; main still has
+  // the constructed shape.
+  EXPECT_EQ(snap->main->nrows(), 4);
+  // The compaction swap folds growth into the new main.
+  db.compact();
+  EXPECT_EQ(db.main_matrix().nrows(), 7);
+  EXPECT_EQ(db.main_matrix().ncols(), 10);
+  EXPECT_EQ(db.snapshot()->materialize(), ref);
+  // And mutations keep composing after the swap.
+  db.mutate({Update<double>::erased(6, 9), Update<double>::assign(8, 2, 3.0)});
+  const auto ref2 = Matrix<double>::from_triples<S>(
+      9, 10, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 3, 5.0}, {8, 2, 3.0}});
+  EXPECT_EQ(db.snapshot()->materialize(), ref2);
+}
+
+TEST(DeltaBase, GrowthPreservesPinnedSnapshotsAndQueries) {
+  auto base = Matrix<double>::from_triples<S>(3, 3, {{0, 1, 2.0}, {2, 2, 4.0}});
+  DeltaBase<S> db(base);
+  const auto pinned = db.snapshot();  // epoch 0, 3×3
+  db.mutate({Update<double>::assign(5, 5, 9.0)});
+  // The pinned reader keeps its epoch's shape and answers.
+  EXPECT_EQ(pinned->nrows(), 3);
+  EXPECT_EQ(pinned->materialize(), base);
+  // Queries against the grown snapshot match a from-scratch rebuild.
+  const auto grown = db.snapshot();
+  const auto rebuild = Matrix<double>::from_triples<S>(
+      6, 6, {{0, 1, 2.0}, {2, 2, 4.0}, {5, 5, 9.0}});
+  auto probe = Matrix<double>::from_triples<S>(1, 6, {{0, 5, 1.0}});
+  const auto q = serve::Query<S>::analytic(probe);
+  const auto got = serve::run_single<S>(grown->base_view(), q);
+  const auto want = serve::run_single<S>(
+      sparse::detail::BaseView<double>(rebuild), q);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got.get(0, 5), 9.0);
+}
+
+TEST(DeltaBase, GrowthWithBackgroundCompactionStaysConsistent) {
+  // Growth must serialize with the background compactor (the frozen
+  // generation and the active delta have to agree on shape); interleaving
+  // growing batches with threshold-armed compactions must end bit-identical
+  // to a from-scratch rebuild.
+  auto base = Matrix<double>::from_triples<S>(4, 4, {{0, 0, 1.0}});
+  RefModel<double> ref(base);
+  DeltaBase<S> db(base, {.delta_buffer = 8,
+                         .delta_fanout = 2,
+                         .compact_threshold = 16,
+                         .background = true});
+  util::Xoshiro256 rng(77);
+  Index rows = 4, cols = 4;
+  for (int round = 0; round < 8; ++round) {
+    UpdateBatch<double> ops;
+    for (int k = 0; k < 12; ++k) {
+      const auto r = static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(rows) + 2));
+      const auto c = static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(cols) + 2));
+      ops.push_back(Update<double>::assign(
+          r, c, static_cast<double>(1 + rng.bounded(97))));
+      rows = std::max(rows, r + 1);
+      cols = std::max(cols, c + 1);
+    }
+    db.mutate(ops);
+    ref.grow(rows, cols);
+    ref.apply(ops);
+  }
+  db.compact();
+  EXPECT_EQ(db.nrows(), rows);
+  EXPECT_EQ(db.ncols(), cols);
+  EXPECT_EQ(db.snapshot()->materialize(), ref.rebuild(0.0));
 }
 
 TEST(DeltaBase, CompactionChangesRepresentationNeverResults) {

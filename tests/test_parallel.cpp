@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "hypergraph/bfs.hpp"
@@ -302,6 +304,191 @@ TEST(ParallelKernels, SetAlgebraSemiring) {
     return reduce_all<semiring::AddMonoidOf<S>>(a);
   });
   require_thread_invariant([&] { return transpose(a); });
+}
+
+// --------------------------------------------------------- graph algorithms
+
+// ------------------------------------------------- adversarial skew sweep
+//
+// The work-stealing scheduler moves whole chunks between workers, so steal
+// order may change timing but never bytes. These inputs are chosen to make
+// the steal path hot: a hub row holding ~95% of the flops (one singleton
+// tile dwarfs everything), a matrix with no stored entries at all (every
+// tile is trivially cheap), and a power-law row-length profile (tiles of
+// wildly different weight). Each kernel must stay bit-identical across
+// thread counts and across repeated runs at the same thread count.
+
+/// Row 0 carries ~95% of the entries; the rest are scattered thinly.
+Matrix<double> hub_matrix(Index n, std::uint64_t seed) {
+  using S = semiring::PlusTimes<double>;
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> t;
+  const std::size_t hub = static_cast<std::size_t>(n) * 19;  // ~95% of nnz
+  const std::size_t tail = static_cast<std::size_t>(n);
+  t.reserve(hub + tail);
+  for (std::size_t e = 0; e < hub; ++e) {
+    t.push_back({0, static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                 static_cast<double>(1 + rng.bounded(4))});
+  }
+  for (std::size_t e = 0; e < tail; ++e) {
+    t.push_back({static_cast<Index>(1 + rng.bounded(static_cast<std::uint64_t>(n - 1))),
+                 static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                 static_cast<double>(1 + rng.bounded(4))});
+  }
+  return Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+/// Row i holds roughly n / (i + 1) entries — a Zipf-like length profile.
+Matrix<double> power_law_matrix(Index n, std::uint64_t seed) {
+  using S = semiring::PlusTimes<double>;
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    const std::size_t len = static_cast<std::size_t>(n) /
+                            (static_cast<std::size_t>(i) + 1);
+    for (std::size_t e = 0; e < len; ++e) {
+      t.push_back({i, static_cast<Index>(rng.bounded(static_cast<std::uint64_t>(n))),
+                   static_cast<double>(1 + rng.bounded(4))});
+    }
+  }
+  return Matrix<double>::from_triples<S>(n, n, std::move(t));
+}
+
+/// Like require_thread_invariant, but repeats each thread count several
+/// times: a determinism bug that depends on steal interleaving may only
+/// show up on some runs, so one sample per count is not enough.
+template <typename F>
+void require_thread_invariant_repeated(F&& make, int repeats = 3) {
+  ThreadGuard guard(1);
+  const auto reference = make();
+  for (const int nt : kThreadCounts) {
+    util::set_num_threads(nt);
+    for (int r = 0; r < repeats; ++r) {
+      const auto result = make();
+      EXPECT_TRUE(result == reference)
+          << "diverged at " << nt << " threads, run " << r;
+    }
+  }
+}
+
+void sweep_kernels(const Matrix<double>& a) {
+  using S = semiring::PlusTimes<double>;
+  using Add = semiring::AddMonoidOf<S>;
+  std::vector<double> x(static_cast<std::size_t>(a.ncols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(1 + (i % 7));
+  }
+  require_thread_invariant_repeated([&] { return mxm<S>(a, a); });
+  require_thread_invariant_repeated([&] { return ewise_add<S>(a, a); });
+  require_thread_invariant_repeated([&] { return reduce_rows<Add>(a); });
+  require_thread_invariant_repeated([&] { return mxv_pull<S>(a, x); });
+  require_thread_invariant_repeated(
+      [&] { return std::vector<double>{reduce_all<Add>(a)}; });
+}
+
+TEST(SkewDeterminism, HubRowDominatesFlops) { sweep_kernels(hub_matrix(96, 21)); }
+
+TEST(SkewDeterminism, AllRowsEmpty) {
+  using S = semiring::PlusTimes<double>;
+  sweep_kernels(Matrix<double>::from_triples<S>(128, 128, {}));
+}
+
+TEST(SkewDeterminism, PowerLawRowLengths) {
+  sweep_kernels(power_law_matrix(96, 22));
+}
+
+TEST(SkewDeterminism, StaticAndStealSchedulersAgree) {
+  // The scheduler choice is a timing knob only: both must produce the same
+  // bytes, because chunk boundaries are fixed by the grain and each chunk
+  // writes disjoint slots.
+  using S = semiring::PlusTimes<double>;
+  const auto a = hub_matrix(80, 23);
+  ThreadGuard guard(8);
+  util::set_scheduler(util::Scheduler::kStatic);
+  const auto c_static = mxm<S>(a, a);
+  const auto r_static = util::parallel_reduce(
+      0, 5000, 64, 0.0,
+      [](std::ptrdiff_t i) { return static_cast<double>(i) * 0.5; },
+      [](double x, double y) { return x + y; });
+  util::set_scheduler(util::Scheduler::kWorkSteal);
+  const auto c_steal = mxm<S>(a, a);
+  const auto r_steal = util::parallel_reduce(
+      0, 5000, 64, 0.0,
+      [](std::ptrdiff_t i) { return static_cast<double>(i) * 0.5; },
+      [](double x, double y) { return x + y; });
+  util::reset_scheduler();
+  EXPECT_TRUE(c_static == c_steal);
+  EXPECT_EQ(r_static, r_steal);  // bit-identical, not approximately
+}
+
+TEST(SkewDeterminism, CostHintCoversEveryIndexExactlyOnce) {
+  // A pathological hint (one index claims nearly all the weight, many claim
+  // zero) changes only the tiling — never which indices run or how often.
+  for (const int nt : kThreadCounts) {
+    ThreadGuard guard(nt);
+    constexpr std::ptrdiff_t n = 997;  // prime: no tile divides it evenly
+    std::vector<std::atomic<int>> hits(n);
+    util::parallel_for(
+        0, n, 3,
+        [&](std::ptrdiff_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+        [](std::ptrdiff_t i) -> std::uint64_t {
+          return i == 500 ? 1u << 20 : (i % 3 == 0 ? 0u : 1u);
+        });
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------- scheduler stress
+//
+// Aimed at TSan as much as at correctness: several OS threads launch
+// parallel regions concurrently (losers of the region lock run inline),
+// regions nest, and costs are skewed so steals actually happen.
+
+TEST(SchedulerStress, ConcurrentRegionsNestedAndSkewed) {
+  ThreadGuard guard(4);
+  constexpr int kOuter = 4;
+  constexpr std::ptrdiff_t kPer = 512;
+  std::vector<std::atomic<long>> sums(kOuter);
+  std::vector<std::thread> launchers;
+  launchers.reserve(kOuter);
+  for (int t = 0; t < kOuter; ++t) {
+    launchers.emplace_back([&, t] {
+      for (int round = 0; round < 8; ++round) {
+        util::parallel_for(
+            0, kPer, 1,
+            [&](std::ptrdiff_t i) {
+              if (i % 64 == 0) {  // nested region on a worker thread
+                util::parallel_for(0, 16, 1, [&](std::ptrdiff_t j) {
+                  sums[static_cast<std::size_t>(t)].fetch_add(
+                      j == 0 ? 1 : 0, std::memory_order_relaxed);
+                });
+              }
+              sums[static_cast<std::size_t>(t)].fetch_add(
+                  static_cast<long>(i), std::memory_order_relaxed);
+            },
+            [](std::ptrdiff_t i) -> std::uint64_t {
+              return i % 128 == 0 ? 4096u : 1u;
+            });
+      }
+    });
+  }
+  for (auto& th : launchers) th.join();
+  const long expect = 8 * (kPer * (kPer - 1) / 2 + kPer / 64);
+  for (int t = 0; t < kOuter; ++t) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)].load(), expect) << "thread " << t;
+  }
+}
+
+TEST(SchedulerStress, RepeatedReduceUnderStealIsStable) {
+  ThreadGuard guard(8);
+  const auto a = power_law_matrix(64, 24);
+  using Add = semiring::AddMonoidOf<semiring::PlusTimes<double>>;
+  const double first = reduce_all<Add>(a);
+  for (int r = 0; r < 16; ++r) {
+    ASSERT_EQ(reduce_all<Add>(a), first) << "run " << r;
+  }
 }
 
 // --------------------------------------------------------- graph algorithms

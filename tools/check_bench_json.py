@@ -58,6 +58,9 @@ REQUIRED_ROW_PREFIXES = {
         "bm_serve_telemetry_overhead/",
         "bm_serve_cache/",
     ],
+    "BENCH_parallel.json": [
+        "bm_steal_skew/",
+    ],
 }
 
 
